@@ -1,0 +1,45 @@
+//! Benchmarks the binomial confidence-bound computations — the per-leaf
+//! calibration cost of the wrapper (ablation axis: bound method).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tauw_stats::binomial::{upper_bound, BoundMethod};
+
+fn bench_bound_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_upper_bound");
+    for method in BoundMethod::ALL {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| {
+                // A spread of leaf shapes seen during calibration.
+                for &(k, n) in &[(0u64, 959u64), (3, 500), (40, 1200), (180, 200)] {
+                    let u = upper_bound(
+                        black_box(method),
+                        black_box(k),
+                        black_box(n),
+                        black_box(0.999),
+                    )
+                    .expect("valid bound");
+                    black_box(u);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_special_functions(c: &mut Criterion) {
+    c.bench_function("beta_quantile_0.999", |b| {
+        b.iter(|| {
+            tauw_stats::special::beta_quantile(black_box(0.999), black_box(4.0), black_box(997.0))
+                .expect("valid quantile")
+        });
+    });
+    c.bench_function("reg_inc_beta", |b| {
+        b.iter(|| {
+            tauw_stats::special::reg_inc_beta(black_box(4.0), black_box(997.0), black_box(0.01))
+                .expect("valid value")
+        });
+    });
+}
+
+criterion_group!(benches, bench_bound_methods, bench_special_functions);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Benchmarks regenerating Fig. 4's data: the full test-set replay
+//! (fusion + per-step rates) on a fixed trained wrapper.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tauw_bench::small_context;
+use tauw_experiments::eval::evaluate;
+
+fn bench_fig4(c: &mut Criterion) {
+    let ctx = small_context();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(20);
+    group.bench_function("test_set_replay_and_rates", |b| {
+        b.iter(|| {
+            let eval = evaluate(black_box(&ctx.tauw), black_box(&ctx.test)).expect("evaluate");
+            let rates = eval.misclassification_by_step();
+            black_box((eval.isolated_misclassification(), rates))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

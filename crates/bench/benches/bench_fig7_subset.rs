@@ -1,0 +1,24 @@
+//! Benchmarks one cell of the Fig. 7 sweep: fitting and calibrating a
+//! taQIM variant for a taQF subset on top of the shared stateless wrapper
+//! and replay rows.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tauw_bench::small_context;
+use tauw_core::taqf::{TaqfKind, TaqfSet};
+
+fn bench_variant_fit(c: &mut Criterion) {
+    let ctx = small_context();
+    let mut group = c.benchmark_group("fig7_variant");
+    group.sample_size(10);
+    let pair = TaqfSet::from_kinds(&[TaqfKind::Ratio, TaqfKind::CumulativeCertainty]);
+    group.bench_function("fit_ratio_certainty_variant", |b| {
+        b.iter(|| black_box(ctx.tauw_variant(black_box(pair)).expect("variant")));
+    });
+    group.bench_function("fit_full_variant", |b| {
+        b.iter(|| black_box(ctx.tauw_variant(TaqfSet::FULL).expect("variant")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variant_fit);
+criterion_main!(benches);

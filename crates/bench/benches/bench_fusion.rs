@@ -1,0 +1,53 @@
+//! Benchmarks the per-step fusion primitives (information fusion and the
+//! three uncertainty-fusion rules), including the tie-breaking ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tauw_fusion::info::{CertaintyWeightedVote, InformationFusion, MajorityVote};
+use tauw_fusion::uncertainty::UncertaintyFusion;
+
+fn bench_information_fusion(c: &mut Criterion) {
+    // A worst-case length-10 buffer with disagreement.
+    let outcomes: Vec<u32> = vec![2, 2, 5, 2, 7, 2, 5, 2, 2, 5];
+    let certainties: Vec<f64> = (0..10).map(|i| 0.9 - 0.05 * i as f64).collect();
+    let mut group = c.benchmark_group("information_fusion_len10");
+    group.bench_function("majority_vote", |b| {
+        b.iter(|| MajorityVote.fuse(black_box(&outcomes), black_box(&certainties)));
+    });
+    group.bench_function("certainty_weighted_vote", |b| {
+        b.iter(|| CertaintyWeightedVote.fuse(black_box(&outcomes), black_box(&certainties)));
+    });
+    group.finish();
+}
+
+fn bench_uncertainty_fusion(c: &mut Criterion) {
+    let uncertainties: Vec<f64> = (0..10).map(|i| 0.01 + 0.03 * i as f64).collect();
+    let mut group = c.benchmark_group("uncertainty_fusion_len10");
+    for rule in UncertaintyFusion::ALL {
+        group.bench_function(rule.name(), |b| {
+            b.iter(|| rule.fuse(black_box(&uncertainties)).expect("non-empty"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_series(c: &mut Criterion) {
+    // Fusing every prefix of a 30-step series — the actual runtime access
+    // pattern of the timeseries buffer.
+    let outcomes: Vec<u32> = (0..30).map(|i| if i % 7 == 0 { 5 } else { 2 }).collect();
+    let certainties = vec![0.9; 30];
+    c.bench_function("majority_vote_all_prefixes_30", |b| {
+        b.iter(|| {
+            for i in 1..=outcomes.len() {
+                black_box(MajorityVote.fuse(&outcomes[..i], &certainties[..i]));
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_information_fusion,
+    bench_uncertainty_fusion,
+    bench_incremental_series
+);
+criterion_main!(benches);

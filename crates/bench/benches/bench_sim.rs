@@ -1,0 +1,74 @@
+//! Benchmarks the simulator substrate: situation sampling, series
+//! generation (the data-generation cost of every experiment), tracking,
+//! and model-artifact serialization.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tauw_bench::small_context;
+use tauw_core::tauw::TimeseriesAwareWrapper;
+use tauw_sim::{SignClass, SignTracker, SimConfig, SimulatedDdm, SituationModel};
+
+fn bench_situation_sampling(c: &mut Criterion) {
+    let model = SituationModel::new();
+    c.bench_function("situation_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(model.sample(&mut rng)));
+    });
+}
+
+fn bench_series_generation(c: &mut Criterion) {
+    let ddm = SimulatedDdm::new(SimConfig::default());
+    let model = SituationModel::new();
+    c.bench_function("generate_series_30_frames", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let setting = model.sample(&mut rng);
+        let class = SignClass::new(2).expect("valid class");
+        b.iter(|| black_box(ddm.generate_series(1, class, &setting, &mut rng)));
+    });
+}
+
+fn bench_tracking(c: &mut Criterion) {
+    // 30 detections along one approach.
+    let cfg = SimConfig::default();
+    let detections: Vec<[f64; 2]> = (0..30)
+        .map(|step| {
+            let (x, y) = cfg.geometry.image_position_at(step, 3.0, 2.2);
+            [x, y]
+        })
+        .collect();
+    c.bench_function("kalman_track_30_frames", |b| {
+        b.iter(|| {
+            let mut tracker = SignTracker::with_noise(13.8, 2500.0, 9.0);
+            for &d in &detections {
+                black_box(tracker.observe(d));
+            }
+            tracker.track_count()
+        });
+    });
+}
+
+fn bench_artifact_roundtrip(c: &mut Criterion) {
+    let ctx = small_context();
+    c.bench_function("artifact_serialize", |b| {
+        b.iter(|| black_box(ctx.tauw.to_artifact_json().expect("serialize")));
+    });
+    let json = ctx.tauw.to_artifact_json().expect("serialize");
+    c.bench_function("artifact_deserialize", |b| {
+        b.iter(|| {
+            black_box(
+                TimeseriesAwareWrapper::from_artifact_json(black_box(&json))
+                    .expect("deserialize"),
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_situation_sampling,
+    bench_series_generation,
+    bench_tracking,
+    bench_artifact_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmarks regenerating Table I's metrics: the Brier decomposition and
+//! overconfidence split over large forecast sets, for both grouping
+//! strategies.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tauw_bench::{small_context, synthetic_forecasts};
+use tauw_experiments::eval::{evaluate, Approach};
+use tauw_stats::brier::{BrierDecomposition, Grouping};
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brier_decomposition");
+    for &n in &[10_000usize, 100_000] {
+        let (forecasts, failures) = synthetic_forecasts(n);
+        group.bench_with_input(BenchmarkId::new("unique_values", n), &n, |b, _| {
+            b.iter(|| {
+                BrierDecomposition::compute(
+                    black_box(&forecasts),
+                    black_box(&failures),
+                    Grouping::UniqueValues { tolerance: 1e-9 },
+                )
+                .expect("decomposition")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("quantile_bins_100", n), &n, |b, _| {
+            b.iter(|| {
+                BrierDecomposition::compute(
+                    black_box(&forecasts),
+                    black_box(&failures),
+                    Grouping::QuantileBins(100),
+                )
+                .expect("decomposition")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_table1_end_to_end(c: &mut Criterion) {
+    let ctx = small_context();
+    let eval = evaluate(&ctx.tauw, &ctx.test).expect("evaluate");
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(20);
+    group.bench_function("all_six_rows", |b| {
+        b.iter(|| {
+            for approach in Approach::ALL {
+                black_box(eval.decomposition(approach).expect("row"));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_decomposition, bench_table1_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Benchmarks the wrapper's runtime path: the per-frame latency of a
+//! `TauwSession::step` (the number that matters for deployment in a
+//! perception loop) and the stateless estimate alone.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tauw_bench::small_context;
+
+fn bench_runtime_path(c: &mut Criterion) {
+    let ctx = small_context();
+    let series = &ctx.test[0];
+
+    c.bench_function("stateless_uncertainty_single_frame", |b| {
+        let qf = &series.steps[0].quality_factors;
+        b.iter(|| ctx.tauw.stateless().uncertainty(black_box(qf)).expect("estimate"));
+    });
+
+    c.bench_function("tauw_session_step", |b| {
+        // One step including buffer push, fusion, taQF computation and
+        // taQIM routing, amortized over a full 10-step series (sessions
+        // are reset between iterations to keep the buffer bounded).
+        b.iter(|| {
+            let mut session = ctx.tauw.new_session();
+            session.begin_series();
+            for step in &series.steps {
+                black_box(
+                    session
+                        .step(black_box(&step.quality_factors), black_box(step.outcome))
+                        .expect("step"),
+                );
+            }
+        });
+    });
+
+    c.bench_function("tauw_session_full_test_sweep", |b| {
+        let subset: Vec<_> = ctx.test.iter().take(50).collect();
+        b.iter(|| {
+            let mut session = ctx.tauw.new_session();
+            for series in &subset {
+                session.begin_series();
+                for step in &series.steps {
+                    black_box(
+                        session.step(&step.quality_factors, step.outcome).expect("step"),
+                    );
+                }
+            }
+        });
+    });
+}
+
+fn bench_explain(c: &mut Criterion) {
+    let ctx = small_context();
+    let qf = &ctx.test[0].steps[0].quality_factors;
+    c.bench_function("wrapper_explain", |b| {
+        b.iter(|| ctx.tauw.stateless().explain(black_box(qf)).expect("explanation"));
+    });
+}
+
+criterion_group!(benches, bench_runtime_path, bench_explain);
+criterion_main!(benches);

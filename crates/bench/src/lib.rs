@@ -1,0 +1,50 @@
+//! Shared fixtures for the taUW criterion benches: a deterministic
+//! scaled-down experiment context plus synthetic forecast/label sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tauw_experiments::ExperimentContext;
+use tauw_stats::bootstrap::SplitMix64;
+
+/// Seed shared by all benches.
+pub const BENCH_SEED: u64 = 0xBE5C;
+
+/// Builds the small deterministic world the pipeline benches run against
+/// (5% of paper scale ≈ 2k training series, ~200 test windows).
+pub fn small_context() -> ExperimentContext {
+    ExperimentContext::build(0.05, BENCH_SEED).expect("bench context builds")
+}
+
+/// Builds a mid-size context for the table-regeneration benches.
+pub fn medium_context() -> ExperimentContext {
+    ExperimentContext::build(0.1, BENCH_SEED).expect("bench context builds")
+}
+
+/// Deterministic synthetic `(forecasts, failures)` with `n` cases and a
+/// handful of distinct forecast levels (tree-like output shape).
+pub fn synthetic_forecasts(n: usize) -> (Vec<f64>, Vec<bool>) {
+    let levels = [0.005, 0.01, 0.02, 0.05, 0.1, 0.25, 0.6];
+    let mut rng = SplitMix64::new(7);
+    let mut forecasts = Vec::with_capacity(n);
+    let mut failures = Vec::with_capacity(n);
+    for _ in 0..n {
+        let level = levels[rng.next_index(levels.len())];
+        forecasts.push(level);
+        failures.push(rng.next_f64() < level * 0.9);
+    }
+    (forecasts, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_forecasts_have_requested_size() {
+        let (f, y) = synthetic_forecasts(1000);
+        assert_eq!(f.len(), 1000);
+        assert_eq!(y.len(), 1000);
+        assert!(f.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+}

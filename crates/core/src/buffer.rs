@@ -1,0 +1,173 @@
+//! The timeseries buffer (paper Section III): the state added to the
+//! otherwise stateless uncertainty wrapper. It stores, for the *current*
+//! series only, the per-step DDM outcomes and the per-step stateless
+//! uncertainty estimates; it is cleared whenever the tracking component
+//! signals a new measurement object.
+
+use serde::{Deserialize, Serialize};
+
+/// One buffered timestep: the DDM outcome and the stateless wrapper's
+/// uncertainty estimate for that step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BufferEntry {
+    /// DDM outcome (class id) at this step.
+    pub outcome: u32,
+    /// Stateless uncertainty estimate `u_j` for this step.
+    pub uncertainty: f64,
+}
+
+impl BufferEntry {
+    /// Certainty `c_j = 1 − u_j`.
+    pub fn certainty(&self) -> f64 {
+        1.0 - self.uncertainty
+    }
+}
+
+/// Interim-result store for the current timeseries.
+///
+/// # Examples
+///
+/// ```
+/// use tauw_core::buffer::TimeseriesBuffer;
+///
+/// let mut buf = TimeseriesBuffer::new();
+/// buf.push(2, 0.1);
+/// buf.push(2, 0.05);
+/// assert_eq!(buf.len(), 2);
+/// assert_eq!(buf.outcomes(), vec![2, 2]);
+/// buf.clear(); // new physical object detected
+/// assert!(buf.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeseriesBuffer {
+    entries: Vec<BufferEntry>,
+}
+
+impl TimeseriesBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        TimeseriesBuffer { entries: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity (series length is
+    /// usually known to be ~10–30 steps).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TimeseriesBuffer { entries: Vec::with_capacity(capacity) }
+    }
+
+    /// Records one timestep.
+    pub fn push(&mut self, outcome: u32, uncertainty: f64) {
+        self.entries.push(BufferEntry { outcome, uncertainty: uncertainty.clamp(0.0, 1.0) });
+    }
+
+    /// Clears the buffer at the onset of a new timeseries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of buffered steps `i + 1`.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer holds no steps.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The buffered entries in temporal order.
+    pub fn entries(&self) -> &[BufferEntry] {
+        &self.entries
+    }
+
+    /// The buffered outcomes `o_0..=o_i` in temporal order.
+    pub fn outcomes(&self) -> Vec<u32> {
+        self.entries.iter().map(|e| e.outcome).collect()
+    }
+
+    /// The buffered uncertainties `u_0..=u_i` in temporal order.
+    pub fn uncertainties(&self) -> Vec<f64> {
+        self.entries.iter().map(|e| e.uncertainty).collect()
+    }
+
+    /// The buffered certainties `c_j = 1 − u_j` in temporal order.
+    pub fn certainties(&self) -> Vec<f64> {
+        self.entries.iter().map(BufferEntry::certainty).collect()
+    }
+
+    /// Number of distinct outcomes buffered so far (the basis of taQF3).
+    pub fn unique_outcomes(&self) -> usize {
+        let mut seen: Vec<u32> = Vec::new();
+        for e in &self.entries {
+            if !seen.contains(&e.outcome) {
+                seen.push(e.outcome);
+            }
+        }
+        seen.len()
+    }
+}
+
+impl Extend<BufferEntry> for TimeseriesBuffer {
+    fn extend<T: IntoIterator<Item = BufferEntry>>(&mut self, iter: T) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_accumulates_in_order() {
+        let mut b = TimeseriesBuffer::new();
+        b.push(1, 0.3);
+        b.push(2, 0.2);
+        b.push(1, 0.1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.outcomes(), vec![1, 2, 1]);
+        assert_eq!(b.uncertainties(), vec![0.3, 0.2, 0.1]);
+    }
+
+    #[test]
+    fn certainties_complement_uncertainties() {
+        let mut b = TimeseriesBuffer::new();
+        b.push(5, 0.25);
+        assert_eq!(b.certainties(), vec![0.75]);
+        assert_eq!(b.entries()[0].certainty(), 0.75);
+    }
+
+    #[test]
+    fn clear_resets_for_new_series() {
+        let mut b = TimeseriesBuffer::new();
+        b.push(1, 0.5);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.unique_outcomes(), 0);
+    }
+
+    #[test]
+    fn unique_outcomes_counts_distinct() {
+        let mut b = TimeseriesBuffer::new();
+        for (o, u) in [(1, 0.1), (1, 0.1), (2, 0.1), (3, 0.1), (2, 0.1)] {
+            b.push(o, u);
+        }
+        assert_eq!(b.unique_outcomes(), 3);
+    }
+
+    #[test]
+    fn uncertainties_are_clamped() {
+        let mut b = TimeseriesBuffer::new();
+        b.push(1, 1.7);
+        b.push(2, -0.5);
+        assert_eq!(b.uncertainties(), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn extend_appends_entries() {
+        let mut b = TimeseriesBuffer::with_capacity(4);
+        b.extend([BufferEntry { outcome: 9, uncertainty: 0.4 }]);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.outcomes(), vec![9]);
+    }
+}

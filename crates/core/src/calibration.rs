@@ -1,0 +1,297 @@
+//! Calibrated quality impact models: a decision tree whose leaves carry
+//! dependable (one-sided, high-confidence) failure-probability bounds.
+//!
+//! The paper's procedure (Section IV-C.2): train a CART tree on the
+//! training data, prune on the *calibration* set so every leaf keeps at
+//! least 200 calibration samples, then compute a statistical uncertainty
+//! guarantee per leaf at confidence 0.999.
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+use tauw_dtree::prune::prune_to_min_count;
+use tauw_dtree::{DecisionTree, NodeId};
+use tauw_stats::binomial::{upper_bound, BoundMethod};
+
+/// Calibration statistics and the resulting bound for one leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedLeaf {
+    /// Observed failures among the calibration samples routed to the leaf.
+    pub failures: u64,
+    /// Calibration samples routed to the leaf.
+    pub total: u64,
+    /// One-sided upper confidence bound on the failure probability: the
+    /// *dependable uncertainty* reported for inputs landing in this leaf.
+    pub uncertainty_bound: f64,
+}
+
+impl CalibratedLeaf {
+    /// Point estimate `failures / total`.
+    pub fn point_estimate(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.failures as f64 / self.total as f64
+        }
+    }
+}
+
+/// Hyper-parameters of the calibration step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationOptions {
+    /// Minimum calibration samples per leaf (paper: 200).
+    pub min_samples_per_leaf: u64,
+    /// Confidence level of the per-leaf bound (paper: 0.999).
+    pub confidence: f64,
+    /// Bound construction method (paper: exact/Clopper–Pearson).
+    pub method: BoundMethod,
+}
+
+impl Default for CalibrationOptions {
+    fn default() -> Self {
+        CalibrationOptions {
+            min_samples_per_leaf: 200,
+            confidence: 0.999,
+            method: BoundMethod::ClopperPearson,
+        }
+    }
+}
+
+/// A quality impact model after calibration: routing tree + per-leaf
+/// dependable uncertainty bounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedQim {
+    tree: DecisionTree,
+    /// Indexed by [`NodeId`]; `None` for internal nodes.
+    leaves: Vec<Option<CalibratedLeaf>>,
+    options: CalibrationOptions,
+}
+
+impl CalibratedQim {
+    /// Calibrates a trained tree against a calibration set.
+    ///
+    /// `samples` yields `(features, failed)` pairs; the tree is pruned so
+    /// every leaf keeps at least `options.min_samples_per_leaf` of them,
+    /// then each leaf receives an `upper_bound` on its failure rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the calibration set is empty, too small for
+    /// even the root to satisfy the minimum, or rows have the wrong arity.
+    pub fn calibrate(
+        mut tree: DecisionTree,
+        samples: &[(Vec<f64>, bool)],
+        options: CalibrationOptions,
+    ) -> Result<Self, CoreError> {
+        if samples.is_empty() {
+            return Err(CoreError::InvalidInput { reason: "calibration set is empty".into() });
+        }
+        // 1. Route calibration samples and prune.
+        let counts = tree.node_sample_counts(samples.iter().map(|(f, _)| f.as_slice()))?;
+        prune_to_min_count(&mut tree, &counts, options.min_samples_per_leaf)?;
+
+        // 2. Re-route on the pruned tree and collect per-leaf failure stats.
+        let mut failures = vec![0u64; tree.n_nodes()];
+        let mut totals = vec![0u64; tree.n_nodes()];
+        for (features, failed) in samples {
+            let leaf = tree.leaf_id(features)?;
+            totals[leaf] += 1;
+            if *failed {
+                failures[leaf] += 1;
+            }
+        }
+
+        // 3. Bound per leaf.
+        let mut leaves = vec![None; tree.n_nodes()];
+        for leaf in tree.leaf_ids() {
+            let bound = upper_bound(options.method, failures[leaf], totals[leaf], options.confidence)?;
+            leaves[leaf] = Some(CalibratedLeaf {
+                failures: failures[leaf],
+                total: totals[leaf],
+                uncertainty_bound: bound,
+            });
+        }
+        Ok(CalibratedQim { tree, leaves, options })
+    }
+
+    /// Dependable uncertainty for a feature vector: the bound of the leaf
+    /// the vector routes to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn uncertainty(&self, features: &[f64]) -> Result<f64, CoreError> {
+        let leaf = self.tree.leaf_id(features)?;
+        Ok(self.leaves[leaf]
+            .as_ref()
+            .expect("every reachable leaf was calibrated")
+            .uncertainty_bound)
+    }
+
+    /// The calibrated leaf a feature vector routes to (id + statistics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn route(&self, features: &[f64]) -> Result<(NodeId, CalibratedLeaf), CoreError> {
+        let leaf = self.tree.leaf_id(features)?;
+        Ok((leaf, self.leaves[leaf].expect("every reachable leaf was calibrated")))
+    }
+
+    /// The underlying (pruned) routing tree, for transparency/export.
+    pub fn tree(&self) -> &DecisionTree {
+        &self.tree
+    }
+
+    /// Calibration options used.
+    pub fn options(&self) -> CalibrationOptions {
+        self.options
+    }
+
+    /// All calibrated leaves `(id, leaf)` in depth-first order.
+    pub fn calibrated_leaves(&self) -> Vec<(NodeId, CalibratedLeaf)> {
+        self.tree
+            .leaf_ids()
+            .into_iter()
+            .map(|id| (id, self.leaves[id].expect("every reachable leaf was calibrated")))
+            .collect()
+    }
+
+    /// The smallest uncertainty bound any leaf guarantees — the "lowest
+    /// uncertainty" highlighted in the paper's Fig. 5.
+    pub fn min_uncertainty(&self) -> f64 {
+        self.calibrated_leaves()
+            .iter()
+            .map(|(_, l)| l.uncertainty_bound)
+            .fold(1.0, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tauw_dtree::{Dataset, TreeBuilder};
+
+    /// Training data: failure iff x > 0.5, with x uniform on a grid.
+    fn trained_tree(n: usize) -> DecisionTree {
+        let mut ds = Dataset::new(vec!["x".into()], 2).unwrap();
+        for i in 0..n {
+            let x = i as f64 / n as f64;
+            ds.push_row(&[x], u32::from(x > 0.5)).unwrap();
+        }
+        TreeBuilder::new().max_depth(4).fit(&ds).unwrap()
+    }
+
+    fn calib_samples(n: usize, failure_rule: impl Fn(f64) -> bool) -> Vec<(Vec<f64>, bool)> {
+        (0..n)
+            .map(|i| {
+                let x = (i as f64 + 0.5) / n as f64;
+                (vec![x], failure_rule(x))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn calibrated_bounds_cover_observed_rates() {
+        let tree = trained_tree(400);
+        let calib = calib_samples(1000, |x| x > 0.5);
+        let qim = CalibratedQim::calibrate(tree, &calib, CalibrationOptions::default()).unwrap();
+        for (_, leaf) in qim.calibrated_leaves() {
+            assert!(leaf.total >= 200);
+            assert!(leaf.uncertainty_bound >= leaf.point_estimate());
+            assert!(leaf.uncertainty_bound <= 1.0);
+        }
+    }
+
+    #[test]
+    fn low_risk_region_gets_low_bound() {
+        let tree = trained_tree(400);
+        let calib = calib_samples(2000, |x| x > 0.5);
+        let qim = CalibratedQim::calibrate(tree, &calib, CalibrationOptions::default()).unwrap();
+        let low = qim.uncertainty(&[0.1]).unwrap();
+        let high = qim.uncertainty(&[0.9]).unwrap();
+        assert!(low < 0.05, "clean region bound {low}");
+        assert!(high > 0.9, "failing region bound {high}");
+        assert_eq!(qim.min_uncertainty(), low.min(high));
+    }
+
+    #[test]
+    fn min_samples_forces_pruning() {
+        let tree = trained_tree(400);
+        let n_leaves_before = tree.n_leaves();
+        let calib = calib_samples(450, |x| x > 0.5);
+        let opts = CalibrationOptions { min_samples_per_leaf: 200, ..Default::default() };
+        let qim = CalibratedQim::calibrate(tree, &calib, opts).unwrap();
+        assert!(qim.tree().n_leaves() <= n_leaves_before);
+        assert!(qim.tree().n_leaves() <= 2, "450 samples / 200 per leaf allows at most 2 leaves");
+    }
+
+    #[test]
+    fn higher_confidence_widens_bounds() {
+        let tree = trained_tree(400);
+        let calib = calib_samples(2000, |x| x > 0.5);
+        let loose = CalibratedQim::calibrate(
+            tree.clone(),
+            &calib,
+            CalibrationOptions { confidence: 0.9, ..Default::default() },
+        )
+        .unwrap();
+        let tight = CalibratedQim::calibrate(
+            tree,
+            &calib,
+            CalibrationOptions { confidence: 0.9999, ..Default::default() },
+        )
+        .unwrap();
+        assert!(tight.uncertainty(&[0.1]).unwrap() > loose.uncertainty(&[0.1]).unwrap());
+    }
+
+    #[test]
+    fn empty_calibration_is_rejected() {
+        let tree = trained_tree(100);
+        assert!(matches!(
+            CalibratedQim::calibrate(tree, &[], CalibrationOptions::default()),
+            Err(CoreError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_calibration_is_infeasible() {
+        let tree = trained_tree(100);
+        let calib = calib_samples(50, |x| x > 0.5);
+        assert!(matches!(
+            CalibratedQim::calibrate(tree, &calib, CalibrationOptions::default()),
+            Err(CoreError::Tree(tauw_dtree::DtreeError::CalibrationInfeasible { .. }))
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_at_query_time() {
+        let tree = trained_tree(200);
+        let calib = calib_samples(500, |x| x > 0.5);
+        let qim = CalibratedQim::calibrate(tree, &calib, CalibrationOptions::default()).unwrap();
+        assert!(qim.uncertainty(&[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn route_returns_leaf_statistics() {
+        let tree = trained_tree(200);
+        let calib = calib_samples(1000, |x| x > 0.5);
+        let qim = CalibratedQim::calibrate(tree, &calib, CalibrationOptions::default()).unwrap();
+        let (id, leaf) = qim.route(&[0.2]).unwrap();
+        assert!(leaf.total >= 200);
+        assert_eq!(qim.uncertainty(&[0.2]).unwrap(), leaf.uncertainty_bound);
+        let (id2, _) = qim.route(&[0.21]).unwrap();
+        assert_eq!(id, id2, "nearby inputs route to the same leaf");
+    }
+
+    #[test]
+    fn calibration_shift_is_detected_in_bounds() {
+        // Tree learned "failure iff x > 0.5" but calibration data fails
+        // everywhere: bounds must reflect calibration, not training.
+        let tree = trained_tree(200);
+        let calib = calib_samples(800, |_| true);
+        let qim = CalibratedQim::calibrate(tree, &calib, CalibrationOptions::default()).unwrap();
+        for (_, leaf) in qim.calibrated_leaves() {
+            assert!(leaf.uncertainty_bound > 0.98);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the wrapper framework.
+
+use std::error::Error;
+use std::fmt;
+use tauw_dtree::DtreeError;
+use tauw_stats::StatsError;
+
+/// Errors produced by `tauw-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An underlying decision-tree operation failed.
+    Tree(DtreeError),
+    /// An underlying statistical routine failed.
+    Stats(StatsError),
+    /// Training/calibration input was structurally invalid.
+    InvalidInput {
+        /// Description of what was wrong.
+        reason: String,
+    },
+    /// A runtime query was made before the wrapper saw any outcome for the
+    /// current series.
+    EmptySeries,
+    /// Feature vector arity did not match the wrapper's quality model.
+    FeatureArityMismatch {
+        /// Expected number of features.
+        expected: usize,
+        /// Provided number of features.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Tree(e) => write!(f, "decision tree error: {e}"),
+            CoreError::Stats(e) => write!(f, "statistics error: {e}"),
+            CoreError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            CoreError::EmptySeries => {
+                write!(f, "no outcomes recorded for the current series yet")
+            }
+            CoreError::FeatureArityMismatch { expected, actual } => {
+                write!(f, "quality model expects {expected} features, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Tree(e) => Some(e),
+            CoreError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DtreeError> for CoreError {
+    fn from(e: DtreeError) -> Self {
+        CoreError::Tree(e)
+    }
+}
+
+impl From<StatsError> for CoreError {
+    fn from(e: StatsError) -> Self {
+        CoreError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e: CoreError = DtreeError::EmptyDataset.into();
+        assert!(e.source().is_some());
+        let e: CoreError = StatsError::EmptyInput { name: "x" }.into();
+        assert!(e.to_string().contains("statistics error"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,85 @@
+//! # tauw-core
+//!
+//! The uncertainty wrapper framework and its timeseries-aware extension
+//! (taUW) — the primary contribution of the reproduced paper.
+//!
+//! * [`wrapper`] — the classical **stateless** uncertainty wrapper:
+//!   decision-tree quality impact model with calibrated, dependable
+//!   per-leaf uncertainty bounds, plus an optional scope compliance model.
+//! * [`buffer`] — the **timeseries buffer** storing per-step outcomes and
+//!   uncertainties for the current measurement object.
+//! * [`taqf`] — the four **timeseries-aware quality factors** (ratio,
+//!   length, size, cumulative certainty).
+//! * [`tauw`] — the **timeseries-aware wrapper**: stateless wrapper +
+//!   information fusion + taQIM, exposed as a runtime session.
+//! * [`calibration`] — calibrated quality impact models (prune to a
+//!   minimum calibration count, bound each leaf at high confidence).
+//! * [`scope`] — boundary-check scope compliance.
+//! * [`monitor`] — a simplex-style runtime gate over the estimates.
+//! * [`persist`] — versioned JSON artifacts: train offline, deploy frozen.
+//! * [`training`] — the series-shaped training-data representation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tauw_core::calibration::CalibrationOptions;
+//! use tauw_core::tauw::TauwBuilder;
+//! use tauw_core::training::{TrainingSeries, TrainingStep};
+//! use tauw_core::wrapper::WrapperBuilder;
+//!
+//! // A toy world with one quality factor; outcome 1 is a misreading of
+//! // the true class 0 that happens when quality degrades.
+//! let series = |q: f64, outcomes: &[u32]| TrainingSeries {
+//!     true_outcome: 0,
+//!     steps: outcomes
+//!         .iter()
+//!         .map(|&o| TrainingStep { quality_factors: vec![q], outcome: o })
+//!         .collect(),
+//! };
+//! let mut train = Vec::new();
+//! let mut calib = Vec::new();
+//! for i in 0..120 {
+//!     let q = (i % 12) as f64 / 12.0;
+//!     let outcomes: Vec<u32> = (0..10).map(|j| u32::from(q > 0.6 && j % 3 == 0)).collect();
+//!     train.push(series(q, &outcomes));
+//!     calib.push(series(q, &outcomes));
+//! }
+//! let mut wb = WrapperBuilder::new();
+//! wb.max_depth(3).calibration(CalibrationOptions {
+//!     min_samples_per_leaf: 50,
+//!     confidence: 0.99,
+//!     ..Default::default()
+//! });
+//! let tauw = TauwBuilder::new().wrapper(wb).fit(vec!["q".into()], &train, &calib)?;
+//!
+//! let mut session = tauw.new_session();
+//! session.begin_series();
+//! let step = session.step(&[0.1], 0)?;
+//! assert_eq!(step.fused_outcome, 0);
+//! assert!(step.uncertainty < 0.5);
+//! # Ok::<(), tauw_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod calibration;
+pub mod error;
+pub mod monitor;
+pub mod persist;
+pub mod scope;
+pub mod taqf;
+pub mod tauw;
+pub mod training;
+pub mod wrapper;
+
+pub use buffer::{BufferEntry, TimeseriesBuffer};
+pub use calibration::{CalibratedLeaf, CalibratedQim, CalibrationOptions};
+pub use error::CoreError;
+pub use monitor::{MonitorDecision, MonitorStats, UncertaintyMonitor};
+pub use scope::{ScopeComplianceModel, ScopeVerdict};
+pub use taqf::{TaqfKind, TaqfSet, TaqfVector};
+pub use tauw::{replay, ReplayRow, TauwBuilder, TauwSession, TauwStep, TimeseriesAwareWrapper};
+pub use training::{TrainingSeries, TrainingStep};
+pub use wrapper::{Explanation, UncertaintyEstimate, UncertaintyWrapper, WrapperBuilder};

@@ -1,0 +1,159 @@
+//! Runtime verification monitor: the simplex-style gate the paper's
+//! introduction motivates ("monitoring the ML model during operation and
+//! detecting outcomes with high uncertainty to either overwrite these
+//! outcomes or take some other countermeasures").
+//!
+//! The monitor consumes dependable uncertainty estimates and decides, per
+//! outcome, whether the AI channel may be used or the system must fall
+//! back to its safety channel.
+
+use serde::{Deserialize, Serialize};
+
+/// Decision of the monitor for one outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MonitorDecision {
+    /// The outcome's uncertainty is tolerable: use the AI outcome.
+    Accept,
+    /// The uncertainty exceeds the budget: suppress the outcome and use the
+    /// fallback channel (simplex pattern).
+    Fallback,
+}
+
+/// Running counters of monitor activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MonitorStats {
+    /// Outcomes assessed.
+    pub assessed: u64,
+    /// Outcomes accepted.
+    pub accepted: u64,
+    /// Outcomes diverted to the fallback channel.
+    pub fallbacks: u64,
+}
+
+impl MonitorStats {
+    /// Fraction of assessed outcomes that were accepted (1.0 when nothing
+    /// was assessed — an idle monitor restricts nothing).
+    pub fn availability(&self) -> f64 {
+        if self.assessed == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / self.assessed as f64
+        }
+    }
+}
+
+/// Threshold monitor over dependable uncertainty estimates.
+///
+/// # Examples
+///
+/// ```
+/// use tauw_core::monitor::{MonitorDecision, UncertaintyMonitor};
+///
+/// // Tolerate at most 1% failure probability per consumed outcome.
+/// let mut monitor = UncertaintyMonitor::new(0.01);
+/// assert_eq!(monitor.assess(0.002), MonitorDecision::Accept);
+/// assert_eq!(monitor.assess(0.2), MonitorDecision::Fallback);
+/// assert_eq!(monitor.stats().fallbacks, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncertaintyMonitor {
+    max_uncertainty: f64,
+    stats: MonitorStats,
+}
+
+impl UncertaintyMonitor {
+    /// Creates a monitor with the given per-outcome uncertainty budget
+    /// (clamped into `[0, 1]`).
+    pub fn new(max_uncertainty: f64) -> Self {
+        UncertaintyMonitor {
+            max_uncertainty: max_uncertainty.clamp(0.0, 1.0),
+            stats: MonitorStats::default(),
+        }
+    }
+
+    /// The configured budget.
+    pub fn max_uncertainty(&self) -> f64 {
+        self.max_uncertainty
+    }
+
+    /// Assesses one outcome's uncertainty.
+    pub fn assess(&mut self, uncertainty: f64) -> MonitorDecision {
+        self.stats.assessed += 1;
+        if uncertainty <= self.max_uncertainty {
+            self.stats.accepted += 1;
+            MonitorDecision::Accept
+        } else {
+            self.stats.fallbacks += 1;
+            MonitorDecision::Fallback
+        }
+    }
+
+    /// Running counters.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// Resets the counters (e.g. per drive cycle).
+    pub fn reset_stats(&mut self) {
+        self.stats = MonitorStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let mut m = UncertaintyMonitor::new(0.1);
+        assert_eq!(m.assess(0.1), MonitorDecision::Accept);
+        assert_eq!(m.assess(0.1 + 1e-12), MonitorDecision::Fallback);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = UncertaintyMonitor::new(0.05);
+        for u in [0.01, 0.02, 0.5, 0.9, 0.001] {
+            m.assess(u);
+        }
+        let s = m.stats();
+        assert_eq!(s.assessed, 5);
+        assert_eq!(s.accepted, 3);
+        assert_eq!(s.fallbacks, 2);
+        assert!((s.availability() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_monitor_reports_full_availability() {
+        let m = UncertaintyMonitor::new(0.05);
+        assert_eq!(m.stats().availability(), 1.0);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut m = UncertaintyMonitor::new(0.5);
+        m.assess(0.9);
+        m.reset_stats();
+        assert_eq!(m.stats(), MonitorStats::default());
+    }
+
+    #[test]
+    fn budget_is_clamped() {
+        let m = UncertaintyMonitor::new(7.0);
+        assert_eq!(m.max_uncertainty(), 1.0);
+        let m = UncertaintyMonitor::new(-2.0);
+        assert_eq!(m.max_uncertainty(), 0.0);
+    }
+
+    #[test]
+    fn tighter_budget_reduces_availability() {
+        let uncertainties: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let mut loose = UncertaintyMonitor::new(0.5);
+        let mut tight = UncertaintyMonitor::new(0.05);
+        for &u in &uncertainties {
+            loose.assess(u);
+            tight.assess(u);
+        }
+        assert!(tight.stats().availability() < loose.stats().availability());
+    }
+}

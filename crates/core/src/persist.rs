@@ -1,0 +1,262 @@
+//! Model persistence: train and calibrate wrappers offline, deploy the
+//! frozen artifact to the vehicle.
+//!
+//! The on-disk format is a versioned JSON envelope around the serde
+//! representation of the model. JSON (rather than a binary format) keeps
+//! the deployed artifact *reviewable* — the same transparency argument the
+//! paper makes for decision trees extends to the calibrated bounds a
+//! safety assessor has to sign off on.
+
+use crate::error::CoreError;
+use crate::tauw::TimeseriesAwareWrapper;
+use crate::wrapper::UncertaintyWrapper;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Current artifact format version. Bumped on breaking model-layout
+/// changes; loading rejects mismatches instead of misinterpreting fields.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Kind tag inside the envelope, so a stateless wrapper cannot be loaded
+/// where a timeseries-aware one is expected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum ArtifactKind {
+    /// A stateless [`UncertaintyWrapper`].
+    StatelessWrapper,
+    /// A [`TimeseriesAwareWrapper`].
+    TimeseriesAwareWrapper,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Envelope<T> {
+    format_version: u32,
+    kind: ArtifactKind,
+    model: T,
+}
+
+fn to_json<T: Serialize>(kind: ArtifactKind, model: &T) -> Result<String, CoreError> {
+    serde_json::to_string_pretty(&Envelope { format_version: FORMAT_VERSION, kind, model })
+        .map_err(|e| CoreError::InvalidInput { reason: format!("serialization failed: {e}") })
+}
+
+fn from_json<T: DeserializeOwned>(kind: ArtifactKind, json: &str) -> Result<T, CoreError> {
+    let envelope: Envelope<T> = serde_json::from_str(json)
+        .map_err(|e| CoreError::InvalidInput { reason: format!("deserialization failed: {e}") })?;
+    if envelope.format_version != FORMAT_VERSION {
+        return Err(CoreError::InvalidInput {
+            reason: format!(
+                "artifact format version {} is not supported (expected {FORMAT_VERSION})",
+                envelope.format_version
+            ),
+        });
+    }
+    if envelope.kind != kind {
+        return Err(CoreError::InvalidInput {
+            reason: format!("artifact kind {:?} does not match expected {kind:?}", envelope.kind),
+        });
+    }
+    Ok(envelope.model)
+}
+
+impl UncertaintyWrapper {
+    /// Serializes the wrapper (QIM tree, calibrated bounds, scope model)
+    /// to a versioned JSON artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if serialization fails.
+    pub fn to_artifact_json(&self) -> Result<String, CoreError> {
+        to_json(ArtifactKind::StatelessWrapper, self)
+    }
+
+    /// Loads a wrapper from a JSON artifact produced by
+    /// [`UncertaintyWrapper::to_artifact_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on malformed JSON, a format
+    /// version mismatch, or a wrong artifact kind.
+    pub fn from_artifact_json(json: &str) -> Result<Self, CoreError> {
+        from_json(ArtifactKind::StatelessWrapper, json)
+    }
+
+    /// Writes the artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on serialization or I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let json = self.to_artifact_json()?;
+        std::fs::write(path.as_ref(), json).map_err(|e| CoreError::InvalidInput {
+            reason: format!("writing artifact failed: {e}"),
+        })
+    }
+
+    /// Reads an artifact file written by [`UncertaintyWrapper::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on I/O or format errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let json = std::fs::read_to_string(path.as_ref()).map_err(|e| CoreError::InvalidInput {
+            reason: format!("reading artifact failed: {e}"),
+        })?;
+        Self::from_artifact_json(&json)
+    }
+}
+
+impl TimeseriesAwareWrapper {
+    /// Serializes the full taUW (stateless wrapper + taQIM + taQF
+    /// configuration) to a versioned JSON artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if serialization fails.
+    pub fn to_artifact_json(&self) -> Result<String, CoreError> {
+        to_json(ArtifactKind::TimeseriesAwareWrapper, self)
+    }
+
+    /// Loads a taUW from a JSON artifact produced by
+    /// [`TimeseriesAwareWrapper::to_artifact_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on malformed JSON, a format
+    /// version mismatch, or a wrong artifact kind.
+    pub fn from_artifact_json(json: &str) -> Result<Self, CoreError> {
+        from_json(ArtifactKind::TimeseriesAwareWrapper, json)
+    }
+
+    /// Writes the artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on serialization or I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let json = self.to_artifact_json()?;
+        std::fs::write(path.as_ref(), json).map_err(|e| CoreError::InvalidInput {
+            reason: format!("writing artifact failed: {e}"),
+        })
+    }
+
+    /// Reads an artifact file written by [`TimeseriesAwareWrapper::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on I/O or format errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let json = std::fs::read_to_string(path.as_ref()).map_err(|e| CoreError::InvalidInput {
+            reason: format!("reading artifact failed: {e}"),
+        })?;
+        Self::from_artifact_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::CalibrationOptions;
+    use crate::tauw::TauwBuilder;
+    use crate::training::{TrainingSeries, TrainingStep};
+    use crate::wrapper::WrapperBuilder;
+
+    fn toy_series(n: usize, seed: u64) -> Vec<TrainingSeries> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let q = next();
+                let steps = (0..10)
+                    .map(|_| TrainingStep {
+                        quality_factors: vec![q],
+                        outcome: u32::from(next() < q * 0.8),
+                    })
+                    .collect();
+                TrainingSeries { true_outcome: 0, steps }
+            })
+            .collect()
+    }
+
+    fn fitted() -> TimeseriesAwareWrapper {
+        let mut wb = WrapperBuilder::new();
+        wb.max_depth(3).calibration(CalibrationOptions {
+            min_samples_per_leaf: 50,
+            confidence: 0.99,
+            ..Default::default()
+        });
+        let mut b = TauwBuilder::new();
+        b.wrapper(wb);
+        b.fit(vec!["q".into()], &toy_series(200, 1), &toy_series(200, 2)).unwrap()
+    }
+
+    #[test]
+    fn tauw_roundtrips_through_json() {
+        let tauw = fitted();
+        let json = tauw.to_artifact_json().unwrap();
+        let back = TimeseriesAwareWrapper::from_artifact_json(&json).unwrap();
+        assert_eq!(tauw, back);
+        // Behavioural equality, not just structural: same estimates.
+        let mut s1 = tauw.new_session();
+        let mut s2 = back.new_session();
+        for (qf, outcome) in [(0.1, 0u32), (0.9, 1), (0.9, 1), (0.5, 0)] {
+            let a = s1.step(&[qf], outcome).unwrap();
+            let b = s2.step(&[qf], outcome).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn stateless_wrapper_roundtrips_through_json() {
+        let tauw = fitted();
+        let wrapper = tauw.stateless().clone();
+        let json = wrapper.to_artifact_json().unwrap();
+        let back = UncertaintyWrapper::from_artifact_json(&json).unwrap();
+        assert_eq!(wrapper, back);
+        assert_eq!(wrapper.uncertainty(&[0.42]).unwrap(), back.uncertainty(&[0.42]).unwrap());
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let tauw = fitted();
+        let json = tauw.to_artifact_json().unwrap();
+        let err = UncertaintyWrapper::from_artifact_json(&json);
+        assert!(matches!(err, Err(CoreError::InvalidInput { .. })));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let tauw = fitted();
+        let json = tauw.to_artifact_json().unwrap().replace(
+            "\"format_version\": 1",
+            "\"format_version\": 999",
+        );
+        let err = TimeseriesAwareWrapper::from_artifact_json(&json);
+        assert!(matches!(err, Err(CoreError::InvalidInput { .. })));
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(TimeseriesAwareWrapper::from_artifact_json("not json").is_err());
+        assert!(TimeseriesAwareWrapper::from_artifact_json("{}").is_err());
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let tauw = fitted();
+        let path = std::env::temp_dir().join("tauw_persist_test.json");
+        tauw.save(&path).unwrap();
+        let back = TimeseriesAwareWrapper::load(&path).unwrap();
+        assert_eq!(tauw, back);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_errors_cleanly() {
+        let err = TimeseriesAwareWrapper::load("/nonexistent/path/tauw.json");
+        assert!(matches!(err, Err(CoreError::InvalidInput { .. })));
+    }
+}

@@ -1,0 +1,414 @@
+//! Timeseries-aware quality factors taQF1–taQF4 (paper Section III).
+//!
+//! All four factors are derived from the timeseries buffer and the current
+//! fused outcome; they are deliberately use-case agnostic ("independent of
+//! the specific use case of TSR"):
+//!
+//! * **taQF1 — ratio**: fraction of buffered outcomes agreeing with the
+//!   current fused outcome,
+//! * **taQF2 — length**: the series length `i + 1` so far,
+//! * **taQF3 — size**: number of distinct outcomes so far,
+//! * **taQF4 — cumulative certainty**: sum of certainties `1 − u_j` of the
+//!   steps whose outcome agrees with the fused outcome (others count 0).
+
+use crate::buffer::TimeseriesBuffer;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one timeseries-aware quality factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaqfKind {
+    /// taQF1: agreement ratio with the fused outcome.
+    Ratio,
+    /// taQF2: series length so far.
+    Length,
+    /// taQF3: number of unique outcomes so far.
+    UniqueOutcomes,
+    /// taQF4: cumulative certainty of agreeing steps.
+    CumulativeCertainty,
+}
+
+impl TaqfKind {
+    /// All factors in taQF1..taQF4 order.
+    pub const ALL: [TaqfKind; 4] = [
+        TaqfKind::Ratio,
+        TaqfKind::Length,
+        TaqfKind::UniqueOutcomes,
+        TaqfKind::CumulativeCertainty,
+    ];
+
+    /// Stable snake_case feature/column name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TaqfKind::Ratio => "taqf_ratio",
+            TaqfKind::Length => "taqf_length",
+            TaqfKind::UniqueOutcomes => "taqf_unique_outcomes",
+            TaqfKind::CumulativeCertainty => "taqf_cumulative_certainty",
+        }
+    }
+
+    /// The paper's short label ("ratio", "length", "size", "certainty").
+    pub fn paper_label(self) -> &'static str {
+        match self {
+            TaqfKind::Ratio => "ratio",
+            TaqfKind::Length => "length",
+            TaqfKind::UniqueOutcomes => "size",
+            TaqfKind::CumulativeCertainty => "certainty",
+        }
+    }
+}
+
+impl std::fmt::Display for TaqfKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_label())
+    }
+}
+
+/// The four factor values for one timestep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaqfVector {
+    /// taQF1 in `[0, 1]`.
+    pub ratio: f64,
+    /// taQF2 (≥ 1).
+    pub length: f64,
+    /// taQF3 (≥ 1).
+    pub unique_outcomes: f64,
+    /// taQF4 (≥ 0, ≤ length).
+    pub cumulative_certainty: f64,
+}
+
+impl TaqfVector {
+    /// Computes all four factors from the buffer and the current fused
+    /// outcome. Returns `None` for an empty buffer (no series context yet).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tauw_core::{buffer::TimeseriesBuffer, taqf::TaqfVector};
+    ///
+    /// let mut buf = TimeseriesBuffer::new();
+    /// buf.push(7, 0.1); // agrees with the fused outcome below
+    /// buf.push(3, 0.2); // disagrees
+    /// buf.push(7, 0.0); // agrees
+    /// let taqf = TaqfVector::compute(&buf, 7).unwrap();
+    /// assert!((taqf.ratio - 2.0 / 3.0).abs() < 1e-12);
+    /// assert_eq!(taqf.length, 3.0);
+    /// assert_eq!(taqf.unique_outcomes, 2.0);
+    /// assert!((taqf.cumulative_certainty - 1.9).abs() < 1e-12);
+    /// ```
+    pub fn compute(buffer: &TimeseriesBuffer, fused_outcome: u32) -> Option<TaqfVector> {
+        if buffer.is_empty() {
+            return None;
+        }
+        let n = buffer.len() as f64;
+        let mut agree = 0usize;
+        let mut cumulative = 0.0;
+        for e in buffer.entries() {
+            if e.outcome == fused_outcome {
+                agree += 1;
+                cumulative += e.certainty();
+            }
+        }
+        Some(TaqfVector {
+            ratio: agree as f64 / n,
+            length: n,
+            unique_outcomes: buffer.unique_outcomes() as f64,
+            cumulative_certainty: cumulative,
+        })
+    }
+
+    /// The factor value for one kind.
+    pub fn get(&self, kind: TaqfKind) -> f64 {
+        match kind {
+            TaqfKind::Ratio => self.ratio,
+            TaqfKind::Length => self.length,
+            TaqfKind::UniqueOutcomes => self.unique_outcomes,
+            TaqfKind::CumulativeCertainty => self.cumulative_certainty,
+        }
+    }
+}
+
+/// A subset of the four taQFs (bitmask), used by the RQ3 feature study and
+/// to configure which factors a taQIM consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TaqfSet(u8);
+
+impl TaqfSet {
+    /// The empty set (degenerates the taQIM to a stateless QIM over the
+    /// current step's quality factors).
+    pub const EMPTY: TaqfSet = TaqfSet(0);
+    /// All four factors (the paper's full taUW).
+    pub const FULL: TaqfSet = TaqfSet(0b1111);
+
+    /// Builds a set from the given kinds.
+    pub fn from_kinds(kinds: &[TaqfKind]) -> Self {
+        let mut mask = 0u8;
+        for k in kinds {
+            mask |= 1 << Self::bit(*k);
+        }
+        TaqfSet(mask)
+    }
+
+    /// All 16 subsets (including empty), in mask order — the Fig. 7 sweep.
+    pub fn all_subsets() -> impl Iterator<Item = TaqfSet> {
+        (0u8..16).map(TaqfSet)
+    }
+
+    /// Whether the set contains a factor.
+    pub fn contains(self, kind: TaqfKind) -> bool {
+        self.0 & (1 << Self::bit(kind)) != 0
+    }
+
+    /// Number of factors in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The contained kinds in taQF1..taQF4 order.
+    pub fn kinds(self) -> Vec<TaqfKind> {
+        TaqfKind::ALL.iter().copied().filter(|k| self.contains(*k)).collect()
+    }
+
+    /// Extracts the selected factor values in [`TaqfSet::kinds`] order.
+    pub fn select(self, v: &TaqfVector) -> Vec<f64> {
+        self.kinds().into_iter().map(|k| v.get(k)).collect()
+    }
+
+    /// Human-readable label like `"{ratio, certainty}"`.
+    pub fn label(self) -> String {
+        if self.is_empty() {
+            return "{}".to_string();
+        }
+        let names: Vec<&str> = self.kinds().into_iter().map(TaqfKind::paper_label).collect();
+        format!("{{{}}}", names.join(", "))
+    }
+
+    fn bit(kind: TaqfKind) -> u8 {
+        match kind {
+            TaqfKind::Ratio => 0,
+            TaqfKind::Length => 1,
+            TaqfKind::UniqueOutcomes => 2,
+            TaqfKind::CumulativeCertainty => 3,
+        }
+    }
+}
+
+impl Default for TaqfSet {
+    fn default() -> Self {
+        TaqfSet::FULL
+    }
+}
+
+impl std::fmt::Display for TaqfSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Experimental timeseries features beyond the paper's taQF1–4, for the
+/// `extended_taqf` study (the paper closes RQ3 with "experiments on other
+/// datasets are required to determine ... whether there is an overall best
+/// set of timeseries-aware features" — these probe that direction on the
+/// synthetic substrate).
+pub mod extra {
+    use crate::buffer::TimeseriesBuffer;
+
+    /// Length of the current *trailing streak* of outcomes equal to the
+    /// fused outcome (0 if the most recent outcome disagrees). Rationale: a
+    /// long unbroken run of agreement is stronger evidence than the same
+    /// agreement count scattered across the series.
+    pub fn trailing_agreement_streak(buffer: &TimeseriesBuffer, fused_outcome: u32) -> f64 {
+        buffer
+            .entries()
+            .iter()
+            .rev()
+            .take_while(|e| e.outcome == fused_outcome)
+            .count() as f64
+    }
+
+    /// Exponentially recency-weighted agreement ratio with decay `lambda`
+    /// (0 < lambda ≤ 1; 1 recovers taQF1). Rationale: under drifting
+    /// conditions, recent agreement should count more than stale agreement.
+    pub fn recency_weighted_ratio(
+        buffer: &TimeseriesBuffer,
+        fused_outcome: u32,
+        lambda: f64,
+    ) -> f64 {
+        let entries = buffer.entries();
+        if entries.is_empty() {
+            return 0.0;
+        }
+        let lambda = lambda.clamp(1e-6, 1.0);
+        let n = entries.len();
+        let mut weighted_agree = 0.0;
+        let mut total_weight = 0.0;
+        for (j, e) in entries.iter().enumerate() {
+            let age = (n - 1 - j) as f64;
+            let w = lambda.powf(age);
+            total_weight += w;
+            if e.outcome == fused_outcome {
+                weighted_agree += w;
+            }
+        }
+        weighted_agree / total_weight
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn buffer(entries: &[(u32, f64)]) -> TimeseriesBuffer {
+            let mut b = TimeseriesBuffer::new();
+            for &(o, u) in entries {
+                b.push(o, u);
+            }
+            b
+        }
+
+        #[test]
+        fn streak_counts_trailing_agreement_only() {
+            let b = buffer(&[(1, 0.1), (1, 0.1), (2, 0.1), (1, 0.1), (1, 0.1)]);
+            assert_eq!(trailing_agreement_streak(&b, 1), 2.0);
+            assert_eq!(trailing_agreement_streak(&b, 2), 0.0);
+        }
+
+        #[test]
+        fn streak_spans_whole_series_when_unanimous() {
+            let b = buffer(&[(7, 0.2); 6]);
+            assert_eq!(trailing_agreement_streak(&b, 7), 6.0);
+        }
+
+        #[test]
+        fn streak_of_empty_buffer_is_zero() {
+            assert_eq!(trailing_agreement_streak(&TimeseriesBuffer::new(), 1), 0.0);
+        }
+
+        #[test]
+        fn recency_weighting_with_lambda_one_is_plain_ratio() {
+            let b = buffer(&[(1, 0.1), (2, 0.1), (1, 0.1)]);
+            let r = recency_weighted_ratio(&b, 1, 1.0);
+            assert!((r - 2.0 / 3.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn recent_agreement_outweighs_stale_agreement() {
+            // Agreement only at the start vs only at the end.
+            let stale = buffer(&[(1, 0.1), (1, 0.1), (2, 0.1), (2, 0.1)]);
+            let fresh = buffer(&[(2, 0.1), (2, 0.1), (1, 0.1), (1, 0.1)]);
+            let lambda = 0.5;
+            assert!(
+                recency_weighted_ratio(&fresh, 1, lambda)
+                    > recency_weighted_ratio(&stale, 1, lambda)
+            );
+        }
+
+        #[test]
+        fn recency_ratio_stays_in_unit_interval() {
+            let b = buffer(&[(1, 0.1), (2, 0.3), (3, 0.5), (1, 0.0)]);
+            for lambda in [0.1, 0.5, 0.9, 1.0] {
+                for class in [1, 2, 3, 9] {
+                    let r = recency_weighted_ratio(&b, class, lambda);
+                    assert!((0.0..=1.0).contains(&r));
+                }
+            }
+            assert_eq!(recency_weighted_ratio(&TimeseriesBuffer::new(), 1, 0.5), 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buffer(entries: &[(u32, f64)]) -> TimeseriesBuffer {
+        let mut b = TimeseriesBuffer::new();
+        for &(o, u) in entries {
+            b.push(o, u);
+        }
+        b
+    }
+
+    #[test]
+    fn empty_buffer_has_no_taqf() {
+        assert!(TaqfVector::compute(&TimeseriesBuffer::new(), 0).is_none());
+    }
+
+    #[test]
+    fn single_agreeing_step() {
+        let b = buffer(&[(4, 0.2)]);
+        let t = TaqfVector::compute(&b, 4).unwrap();
+        assert_eq!(t.ratio, 1.0);
+        assert_eq!(t.length, 1.0);
+        assert_eq!(t.unique_outcomes, 1.0);
+        assert!((t.cumulative_certainty - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disagreeing_steps_contribute_zero_certainty() {
+        // Paper: "previous outcomes that disagree with the current fused
+        // outcome are assumed to have a certainty of zero".
+        let b = buffer(&[(1, 0.0), (2, 0.0), (2, 0.5)]);
+        let t = TaqfVector::compute(&b, 2).unwrap();
+        assert!((t.cumulative_certainty - 1.5).abs() < 1e-12);
+        assert!((t.ratio - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unique_outcomes_tracks_variety() {
+        let b = buffer(&[(1, 0.1), (2, 0.1), (3, 0.1), (1, 0.1)]);
+        let t = TaqfVector::compute(&b, 1).unwrap();
+        assert_eq!(t.unique_outcomes, 3.0);
+        assert_eq!(t.length, 4.0);
+    }
+
+    #[test]
+    fn get_matches_fields() {
+        let b = buffer(&[(1, 0.25), (1, 0.25)]);
+        let t = TaqfVector::compute(&b, 1).unwrap();
+        assert_eq!(t.get(TaqfKind::Ratio), t.ratio);
+        assert_eq!(t.get(TaqfKind::Length), t.length);
+        assert_eq!(t.get(TaqfKind::UniqueOutcomes), t.unique_outcomes);
+        assert_eq!(t.get(TaqfKind::CumulativeCertainty), t.cumulative_certainty);
+    }
+
+    #[test]
+    fn subsets_enumerate_sixteen() {
+        let all: Vec<TaqfSet> = TaqfSet::all_subsets().collect();
+        assert_eq!(all.len(), 16);
+        assert_eq!(all[0], TaqfSet::EMPTY);
+        assert_eq!(all[15], TaqfSet::FULL);
+        // Sizes follow the binomial distribution 1,4,6,4,1.
+        let mut by_size = [0usize; 5];
+        for s in all {
+            by_size[s.len()] += 1;
+        }
+        assert_eq!(by_size, [1, 4, 6, 4, 1]);
+    }
+
+    #[test]
+    fn select_orders_by_kind() {
+        let b = buffer(&[(1, 0.5), (2, 0.5)]);
+        let t = TaqfVector::compute(&b, 1).unwrap();
+        let set = TaqfSet::from_kinds(&[TaqfKind::CumulativeCertainty, TaqfKind::Ratio]);
+        let selected = set.select(&t);
+        assert_eq!(selected, vec![t.ratio, t.cumulative_certainty]);
+        assert_eq!(set.kinds(), vec![TaqfKind::Ratio, TaqfKind::CumulativeCertainty]);
+    }
+
+    #[test]
+    fn labels_read_like_the_paper() {
+        let set = TaqfSet::from_kinds(&[TaqfKind::Ratio, TaqfKind::CumulativeCertainty]);
+        assert_eq!(set.label(), "{ratio, certainty}");
+        assert_eq!(TaqfSet::EMPTY.label(), "{}");
+        assert_eq!(TaqfSet::FULL.label(), "{ratio, length, size, certainty}");
+    }
+
+    #[test]
+    fn default_is_full() {
+        assert_eq!(TaqfSet::default(), TaqfSet::FULL);
+    }
+}

@@ -1,0 +1,519 @@
+//! The timeseries-aware uncertainty wrapper (taUW): the paper's main
+//! contribution.
+//!
+//! Architecture (paper Fig. 2): at every timestep the classical stateless
+//! wrapper produces `u_i` from the current quality factors; the result and
+//! the DDM outcome `o_i` enter the **timeseries buffer**; the information
+//! fusion component computes the fused outcome `o_i^(if)` over the buffer;
+//! the **timeseries-aware quality model** derives taQF1–4 from the buffer;
+//! and the **timeseries-aware quality impact model** (a second calibrated
+//! CART tree over stateless QFs + taQFs) produces the dependable
+//! uncertainty for the *fused* outcome.
+
+use crate::buffer::TimeseriesBuffer;
+use crate::calibration::{CalibratedQim, CalibrationOptions};
+use crate::error::CoreError;
+use crate::taqf::{TaqfSet, TaqfVector};
+use crate::training::{flatten_stateless, validate_series, TrainingSeries};
+use crate::wrapper::{UncertaintyWrapper, WrapperBuilder};
+use serde::{Deserialize, Serialize};
+use tauw_dtree::{Dataset, TreeBuilder};
+use tauw_fusion::info::{InformationFusion, MajorityVote};
+
+/// Output of one taUW timestep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TauwStep {
+    /// The fused outcome `o_i^(if)` (majority vote with most-recent
+    /// tie-breaking over the buffered outcomes).
+    pub fused_outcome: u32,
+    /// Dependable uncertainty of the fused outcome from the taQIM.
+    pub uncertainty: f64,
+    /// The stateless wrapper's uncertainty `u_i` for the current step's
+    /// isolated outcome (also what entered the buffer).
+    pub stateless_uncertainty: f64,
+    /// The timeseries-aware quality factors computed this step.
+    pub taqf: TaqfVector,
+    /// Steps in the current series so far (`i + 1`).
+    pub series_length: usize,
+}
+
+/// Builder/trainer for [`TimeseriesAwareWrapper`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TauwBuilder {
+    stateless: WrapperBuilder,
+    taqf_set: TaqfSet,
+}
+
+impl Default for TauwBuilder {
+    fn default() -> Self {
+        TauwBuilder { stateless: WrapperBuilder::new(), taqf_set: TaqfSet::FULL }
+    }
+}
+
+impl TauwBuilder {
+    /// Creates a builder with the paper's defaults (all four taQFs, gini
+    /// CART depth 8, ≥200 calibration samples per leaf, 0.999-confidence
+    /// Clopper–Pearson bounds).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Configures the underlying stateless wrapper (tree depth, criterion,
+    /// calibration options — shared by the taQIM).
+    pub fn wrapper(&mut self, builder: WrapperBuilder) -> &mut Self {
+        self.stateless = builder;
+        self
+    }
+
+    /// Selects which taQFs the taQIM consumes (the RQ3 feature study
+    /// sweeps all 16 subsets).
+    pub fn taqf_set(&mut self, set: TaqfSet) -> &mut Self {
+        self.taqf_set = set;
+        self
+    }
+
+    /// Trains the full taUW pipeline:
+    ///
+    /// 1. fit + calibrate the stateless wrapper on the flattened steps,
+    /// 2. replay every training series through the stateless wrapper and
+    ///    information fusion to compute taQFs and fused-failure labels,
+    /// 3. fit the taQIM tree on `[stateless QFs ‖ selected taQFs]`,
+    /// 4. calibrate it on the replayed calibration series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on empty/ragged input or infeasible
+    /// calibration.
+    pub fn fit(
+        &self,
+        feature_names: Vec<String>,
+        train: &[TrainingSeries],
+        calib: &[TrainingSeries],
+    ) -> Result<TimeseriesAwareWrapper, CoreError> {
+        let arity = validate_series(train)?;
+        let calib_arity = validate_series(calib)?;
+        if arity != calib_arity {
+            return Err(CoreError::InvalidInput {
+                reason: format!("train arity {arity} differs from calibration arity {calib_arity}"),
+            });
+        }
+        if feature_names.len() != arity {
+            return Err(CoreError::FeatureArityMismatch {
+                expected: arity,
+                actual: feature_names.len(),
+            });
+        }
+
+        // 1. Stateless wrapper.
+        let stateless_train = flatten_stateless(train);
+        let stateless_calib = flatten_stateless(calib);
+        let stateless =
+            self.stateless.fit(feature_names.clone(), &stateless_train, &stateless_calib)?;
+
+        // 2. Replay series to build the timeseries-aware rows.
+        let train_rows = replay(&stateless, train)?;
+        let calib_rows = replay(&stateless, calib)?;
+
+        // 3./4. Fit + calibrate the taQIM.
+        self.fit_reusing_stateless(stateless, &feature_names, &train_rows, &calib_rows)
+    }
+
+    /// Fits only the timeseries-aware part on top of an already trained
+    /// stateless wrapper, consuming pre-computed [`replay`] rows. This is
+    /// the fast path for the RQ3 subset sweep, where 16 taQIM variants
+    /// share one stateless wrapper and one replay pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on empty replay batches or infeasible
+    /// calibration.
+    pub fn fit_reusing_stateless(
+        &self,
+        stateless: UncertaintyWrapper,
+        feature_names: &[String],
+        train_replay: &[ReplayRow],
+        calib_replay: &[ReplayRow],
+    ) -> Result<TimeseriesAwareWrapper, CoreError> {
+        if train_replay.is_empty() || calib_replay.is_empty() {
+            return Err(CoreError::InvalidInput { reason: "replay rows are empty".into() });
+        }
+        let ta_names = ta_feature_names(feature_names, self.taqf_set);
+        let mut ds = Dataset::new(ta_names, 2)?;
+        ds.reserve(train_replay.len());
+        for row in train_replay {
+            ds.push_row(&row.ta_features(self.taqf_set), u32::from(row.fused_failed))?;
+        }
+        let tree = clone_tree_builder(&self.stateless).fit(&ds)?;
+        let calib_rows: Vec<(Vec<f64>, bool)> = calib_replay
+            .iter()
+            .map(|row| (row.ta_features(self.taqf_set), row.fused_failed))
+            .collect();
+        let taqim = CalibratedQim::calibrate(tree, &calib_rows, self.calibration_options())?;
+        Ok(TimeseriesAwareWrapper { stateless, taqim, taqf_set: self.taqf_set })
+    }
+
+    fn calibration_options(&self) -> CalibrationOptions {
+        // WrapperBuilder owns the canonical calibration options; reuse them
+        // for the taQIM (paper: same procedure for both models).
+        self.stateless.calibration_options()
+    }
+}
+
+/// One replayed timestep: everything needed to assemble taQIM training
+/// rows for *any* taQF subset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayRow {
+    /// The step's stateless quality factors.
+    pub quality_factors: Vec<f64>,
+    /// The step's stateless uncertainty estimate `u_i`.
+    pub stateless_uncertainty: f64,
+    /// The fused outcome after this step.
+    pub fused_outcome: u32,
+    /// All four taQF values after this step.
+    pub taqf: TaqfVector,
+    /// Whether the fused outcome disagrees with the series ground truth.
+    pub fused_failed: bool,
+    /// Whether the step's isolated DDM outcome disagrees with ground truth.
+    pub isolated_failed: bool,
+    /// Position of the step within its series (0-based).
+    pub step: usize,
+}
+
+impl ReplayRow {
+    /// The taQIM feature vector `[stateless QFs ‖ selected taQFs]`.
+    pub fn ta_features(&self, set: TaqfSet) -> Vec<f64> {
+        let mut features = self.quality_factors.clone();
+        features.extend(set.select(&self.taqf));
+        features
+    }
+}
+
+/// Replays series through the stateless wrapper + majority voting,
+/// producing one [`ReplayRow`] per step. This is the shared preprocessing
+/// for taQIM training, calibration and evaluation.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on feature-arity mismatch.
+pub fn replay(
+    stateless: &UncertaintyWrapper,
+    batch: &[TrainingSeries],
+) -> Result<Vec<ReplayRow>, CoreError> {
+    let fusion = MajorityVote;
+    let mut rows = Vec::with_capacity(batch.iter().map(TrainingSeries::len).sum());
+    let mut buffer = TimeseriesBuffer::new();
+    for series in batch {
+        buffer.clear();
+        for (step_idx, step) in series.steps.iter().enumerate() {
+            let u = stateless.uncertainty(&step.quality_factors)?;
+            buffer.push(step.outcome, u);
+            let fused = fusion
+                .fuse(&buffer.outcomes(), &buffer.certainties())
+                .expect("buffer is non-empty after push");
+            let taqf = TaqfVector::compute(&buffer, fused).expect("buffer is non-empty");
+            rows.push(ReplayRow {
+                quality_factors: step.quality_factors.clone(),
+                stateless_uncertainty: u,
+                fused_outcome: fused,
+                taqf,
+                fused_failed: fused != series.true_outcome,
+                isolated_failed: step.outcome != series.true_outcome,
+                step: step_idx,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Column names for the taQIM: stateless names followed by the selected
+/// taQF names.
+fn ta_feature_names(stateless: &[String], set: TaqfSet) -> Vec<String> {
+    stateless
+        .iter()
+        .cloned()
+        .chain(set.kinds().into_iter().map(|k| k.name().to_string()))
+        .collect()
+}
+
+/// Rebuilds a `TreeBuilder` with the wrapper builder's tree
+/// hyper-parameters.
+fn clone_tree_builder(wb: &WrapperBuilder) -> TreeBuilder {
+    let mut tb = TreeBuilder::new();
+    tb.criterion(wb.criterion_value())
+        .splitter(wb.splitter_value())
+        .max_depth(wb.max_depth_value())
+        .min_samples_leaf(wb.min_samples_leaf_value());
+    tb
+}
+
+/// A trained timeseries-aware uncertainty wrapper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeseriesAwareWrapper {
+    stateless: UncertaintyWrapper,
+    taqim: CalibratedQim,
+    taqf_set: TaqfSet,
+}
+
+impl TimeseriesAwareWrapper {
+    /// Starts a runtime session (one session per camera stream; call
+    /// [`TauwSession::begin_series`] whenever tracking reports a new
+    /// object).
+    pub fn new_session(&self) -> TauwSession<'_> {
+        TauwSession { wrapper: self, buffer: TimeseriesBuffer::with_capacity(32) }
+    }
+
+    /// The embedded stateless wrapper.
+    pub fn stateless(&self) -> &UncertaintyWrapper {
+        &self.stateless
+    }
+
+    /// The calibrated timeseries-aware quality impact model.
+    pub fn taqim(&self) -> &CalibratedQim {
+        &self.taqim
+    }
+
+    /// Which taQFs the taQIM consumes.
+    pub fn taqf_set(&self) -> TaqfSet {
+        self.taqf_set
+    }
+
+    /// The smallest uncertainty the taQIM can guarantee (Fig. 5's "lowest
+    /// uncertainty").
+    pub fn min_uncertainty(&self) -> f64 {
+        self.taqim.min_uncertainty()
+    }
+}
+
+/// Mutable runtime state: the timeseries buffer plus a reference to the
+/// trained models.
+#[derive(Debug, Clone)]
+pub struct TauwSession<'w> {
+    wrapper: &'w TimeseriesAwareWrapper,
+    buffer: TimeseriesBuffer,
+}
+
+impl TauwSession<'_> {
+    /// Clears the buffer at the onset of a new timeseries (new physical
+    /// object reported by tracking).
+    pub fn begin_series(&mut self) {
+        self.buffer.clear();
+    }
+
+    /// Steps in the current series so far.
+    pub fn series_length(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Read access to the buffer (for diagnostics).
+    pub fn buffer(&self) -> &TimeseriesBuffer {
+        &self.buffer
+    }
+
+    /// Processes one timestep: quality factors + DDM outcome in, fused
+    /// outcome + dependable uncertainty out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn step(&mut self, quality_factors: &[f64], outcome: u32) -> Result<TauwStep, CoreError> {
+        let stateless_uncertainty = self.wrapper.stateless.uncertainty(quality_factors)?;
+        self.buffer.push(outcome, stateless_uncertainty);
+        let fused = MajorityVote
+            .fuse(&self.buffer.outcomes(), &self.buffer.certainties())
+            .expect("buffer is non-empty after push");
+        let taqf = TaqfVector::compute(&self.buffer, fused).expect("buffer is non-empty");
+        let mut features = quality_factors.to_vec();
+        features.extend(self.wrapper.taqf_set.select(&taqf));
+        let uncertainty = self.wrapper.taqim.uncertainty(&features)?;
+        Ok(TauwStep {
+            fused_outcome: fused,
+            uncertainty,
+            stateless_uncertainty,
+            taqf,
+            series_length: self.buffer.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::TrainingStep;
+
+    /// A miniature world: one quality factor `q` in [0,1]; the DDM fails
+    /// with probability ~q (with series-level persistence); true class 7,
+    /// confusions collapse onto class 3.
+    fn make_series(n: usize, seed: u64, steps: usize) -> Vec<TrainingSeries> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let q = next();
+                // Series-level persistence: one latent coin biases all steps.
+                let series_bias = next() < 0.5;
+                let steps = (0..steps)
+                    .map(|_| {
+                        let p_fail = (q * if series_bias { 1.3 } else { 0.5 }).min(0.95);
+                        let failed = next() < p_fail;
+                        TrainingStep {
+                            quality_factors: vec![q],
+                            outcome: if failed { 3 } else { 7 },
+                        }
+                    })
+                    .collect();
+                TrainingSeries { true_outcome: 7, steps }
+            })
+            .collect()
+    }
+
+    fn small_builder() -> TauwBuilder {
+        let mut wb = WrapperBuilder::new();
+        wb.max_depth(3).calibration(CalibrationOptions {
+            min_samples_per_leaf: 50,
+            confidence: 0.99,
+            ..Default::default()
+        });
+        let mut b = TauwBuilder::new();
+        b.wrapper(wb);
+        b
+    }
+
+    fn fitted() -> TimeseriesAwareWrapper {
+        let train = make_series(300, 1, 10);
+        let calib = make_series(300, 2, 10);
+        small_builder().fit(vec!["q".into()], &train, &calib).unwrap()
+    }
+
+    #[test]
+    fn session_fuses_outcomes_by_majority() {
+        let w = fitted();
+        let mut s = w.new_session();
+        s.begin_series();
+        assert_eq!(s.step(&[0.1], 7).unwrap().fused_outcome, 7);
+        assert_eq!(s.step(&[0.1], 3).unwrap().fused_outcome, 3, "tie breaks to most recent");
+        assert_eq!(s.step(&[0.1], 7).unwrap().fused_outcome, 7);
+        assert_eq!(s.step(&[0.1], 7).unwrap().fused_outcome, 7);
+        assert_eq!(s.series_length(), 4);
+    }
+
+    #[test]
+    fn begin_series_resets_the_buffer() {
+        let w = fitted();
+        let mut s = w.new_session();
+        for _ in 0..5 {
+            s.step(&[0.2], 3).unwrap();
+        }
+        assert_eq!(s.series_length(), 5);
+        s.begin_series();
+        assert_eq!(s.series_length(), 0);
+        // After reset, a single new outcome defines the fused outcome.
+        assert_eq!(s.step(&[0.2], 7).unwrap().fused_outcome, 7);
+    }
+
+    #[test]
+    fn consistent_series_reach_lower_uncertainty_than_single_steps() {
+        let w = fitted();
+        let mut s = w.new_session();
+        s.begin_series();
+        let first = s.step(&[0.3], 7).unwrap();
+        let mut last = first;
+        for _ in 0..9 {
+            last = s.step(&[0.3], 7).unwrap();
+        }
+        assert!(
+            last.uncertainty <= first.uncertainty + 1e-12,
+            "10 agreeing steps ({}) should not be more uncertain than 1 ({})",
+            last.uncertainty,
+            first.uncertainty
+        );
+    }
+
+    #[test]
+    fn disagreement_raises_uncertainty() {
+        let w = fitted();
+        // Session A: 6 agreeing outcomes. Session B: alternating outcomes.
+        let mut a = w.new_session();
+        let mut b = w.new_session();
+        let mut ua = 0.0;
+        let mut ub = 0.0;
+        for i in 0..6 {
+            ua = a.step(&[0.5], 7).unwrap().uncertainty;
+            ub = b.step(&[0.5], if i % 2 == 0 { 7 } else { 3 }).unwrap().uncertainty;
+        }
+        assert!(
+            ub >= ua,
+            "alternating outcomes ({ub}) must not look safer than agreement ({ua})"
+        );
+    }
+
+    #[test]
+    fn taqf_values_track_the_buffer() {
+        let w = fitted();
+        let mut s = w.new_session();
+        s.step(&[0.1], 7).unwrap();
+        s.step(&[0.1], 3).unwrap();
+        let out = s.step(&[0.1], 7).unwrap();
+        assert_eq!(out.fused_outcome, 7);
+        assert!((out.taqf.ratio - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(out.taqf.length, 3.0);
+        assert_eq!(out.taqf.unique_outcomes, 2.0);
+        assert_eq!(out.series_length, 3);
+    }
+
+    #[test]
+    fn taqf_subset_changes_model_arity() {
+        let train = make_series(300, 3, 10);
+        let calib = make_series(300, 4, 10);
+        let mut b = small_builder();
+        b.taqf_set(TaqfSet::from_kinds(&[crate::taqf::TaqfKind::Ratio]));
+        let w = b.fit(vec!["q".into()], &train, &calib).unwrap();
+        assert_eq!(w.taqim().tree().n_features(), 2, "1 stateless QF + 1 taQF");
+        assert_eq!(w.taqf_set().len(), 1);
+        // Sessions still work.
+        let mut s = w.new_session();
+        let step = s.step(&[0.4], 7).unwrap();
+        assert!(step.uncertainty > 0.0 && step.uncertainty <= 1.0);
+    }
+
+    #[test]
+    fn empty_taqf_set_degenerates_to_stateless_features() {
+        let train = make_series(300, 5, 10);
+        let calib = make_series(300, 6, 10);
+        let mut b = small_builder();
+        b.taqf_set(TaqfSet::EMPTY);
+        let w = b.fit(vec!["q".into()], &train, &calib).unwrap();
+        assert_eq!(w.taqim().tree().n_features(), 1);
+    }
+
+    #[test]
+    fn fit_rejects_mismatched_names() {
+        let train = make_series(50, 7, 10);
+        let calib = make_series(50, 8, 10);
+        let err = small_builder().fit(vec!["a".into(), "b".into()], &train, &calib);
+        assert!(matches!(err, Err(CoreError::FeatureArityMismatch { .. })));
+    }
+
+    #[test]
+    fn fit_rejects_empty_batches() {
+        let err = small_builder().fit(vec!["q".into()], &[], &[]);
+        assert!(matches!(err, Err(CoreError::InvalidInput { .. })));
+    }
+
+    #[test]
+    fn step_rejects_wrong_arity() {
+        let w = fitted();
+        let mut s = w.new_session();
+        assert!(s.step(&[0.1, 0.2], 7).is_err());
+    }
+
+    #[test]
+    fn min_uncertainty_is_achievable() {
+        let w = fitted();
+        let min_u = w.min_uncertainty();
+        assert!(min_u > 0.0, "a finite calibration set can never guarantee zero uncertainty");
+        assert!(min_u < 0.5);
+    }
+}

@@ -1,0 +1,143 @@
+//! Training-data representation for the timeseries-aware wrapper: the
+//! per-series, per-step quality factors and DDM outcomes, with the series'
+//! ground truth. This keeps `tauw-core` independent of any particular
+//! world/simulator — `tauw-sim` series convert into this form.
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+
+/// One timestep of a training/calibration series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingStep {
+    /// Stateless quality factors observed at this step.
+    pub quality_factors: Vec<f64>,
+    /// The DDM's outcome (class id) at this step.
+    pub outcome: u32,
+}
+
+/// A labelled timeseries used to build or calibrate wrappers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingSeries {
+    /// Ground-truth outcome shared by all steps of the series.
+    pub true_outcome: u32,
+    /// Steps in temporal order.
+    pub steps: Vec<TrainingStep>,
+}
+
+impl TrainingSeries {
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the series has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Whether the DDM outcome at `step` is a failure.
+    pub fn is_failure(&self, step: usize) -> bool {
+        self.steps[step].outcome != self.true_outcome
+    }
+}
+
+/// Validates a batch of series: consistent arity, non-empty.
+///
+/// Returns the common quality-factor arity.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInput`] when the batch or any series is
+/// empty, or arities differ across steps/series.
+pub fn validate_series(batch: &[TrainingSeries]) -> Result<usize, CoreError> {
+    let first = batch
+        .first()
+        .and_then(|s| s.steps.first())
+        .ok_or_else(|| CoreError::InvalidInput { reason: "series batch is empty".into() })?;
+    let arity = first.quality_factors.len();
+    for (i, series) in batch.iter().enumerate() {
+        if series.is_empty() {
+            return Err(CoreError::InvalidInput { reason: format!("series {i} has no steps") });
+        }
+        for (j, step) in series.steps.iter().enumerate() {
+            if step.quality_factors.len() != arity {
+                return Err(CoreError::InvalidInput {
+                    reason: format!(
+                        "series {i} step {j} has arity {} but expected {arity}",
+                        step.quality_factors.len()
+                    ),
+                });
+            }
+        }
+    }
+    Ok(arity)
+}
+
+/// Flattens series into stateless `(quality factors, failed)` rows — the
+/// training/calibration format of the classical wrapper.
+pub fn flatten_stateless(batch: &[TrainingSeries]) -> Vec<(Vec<f64>, bool)> {
+    let mut rows = Vec::with_capacity(batch.iter().map(TrainingSeries::len).sum());
+    for series in batch {
+        for (j, step) in series.steps.iter().enumerate() {
+            rows.push((step.quality_factors.clone(), series.is_failure(j)));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(true_outcome: u32, outcomes: &[u32]) -> TrainingSeries {
+        TrainingSeries {
+            true_outcome,
+            steps: outcomes
+                .iter()
+                .map(|&o| TrainingStep { quality_factors: vec![0.1, 0.2], outcome: o })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn failure_detection_per_step() {
+        let s = series(5, &[5, 3, 5]);
+        assert!(!s.is_failure(0));
+        assert!(s.is_failure(1));
+        assert!(!s.is_failure(2));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn validation_returns_arity() {
+        let batch = vec![series(1, &[1, 1]), series(2, &[2])];
+        assert_eq!(validate_series(&batch).unwrap(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_empty_batch_and_series() {
+        assert!(validate_series(&[]).is_err());
+        let batch = vec![TrainingSeries { true_outcome: 0, steps: vec![] }];
+        assert!(validate_series(&batch).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_ragged_arity() {
+        let mut batch = vec![series(1, &[1, 1])];
+        batch.push(TrainingSeries {
+            true_outcome: 1,
+            steps: vec![TrainingStep { quality_factors: vec![0.5], outcome: 1 }],
+        });
+        assert!(validate_series(&batch).is_err());
+    }
+
+    #[test]
+    fn flatten_produces_one_row_per_step() {
+        let batch = vec![series(1, &[1, 2]), series(3, &[3])];
+        let rows = flatten_stateless(&batch);
+        assert_eq!(rows.len(), 3);
+        assert!(!rows[0].1);
+        assert!(rows[1].1);
+        assert!(!rows[2].1);
+    }
+}

@@ -1,0 +1,384 @@
+//! The classical (stateless) uncertainty wrapper: quality impact model +
+//! optional scope compliance model + combination.
+//!
+//! This is the baseline the paper extends. Given the stateless quality
+//! factors of the current input it reports a *dependable* uncertainty — a
+//! high-confidence upper bound on the probability that the wrapped DDM's
+//! outcome is wrong in the current situation.
+
+use crate::calibration::{CalibratedQim, CalibrationOptions};
+use crate::error::CoreError;
+use crate::scope::{ScopeComplianceModel, ScopeVerdict};
+use serde::{Deserialize, Serialize};
+use tauw_dtree::{Dataset, NodeId, SplitCriterion, Splitter, TreeBuilder};
+
+/// A complete uncertainty estimate for one input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncertaintyEstimate {
+    /// Input-quality-related uncertainty (the calibrated QIM bound).
+    pub quality_uncertainty: f64,
+    /// Scope-compliance probability (1.0 when no scope model is attached).
+    pub scope_compliance: f64,
+    /// Combined dependable uncertainty:
+    /// `1 − scope_compliance · (1 − quality_uncertainty)`.
+    pub combined_uncertainty: f64,
+}
+
+/// An explanation of how an estimate came about — the transparency the
+/// decision-tree QIM affords.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Explanation {
+    /// Leaf the input routed to.
+    pub leaf_id: NodeId,
+    /// Calibration failures observed in the leaf.
+    pub leaf_failures: u64,
+    /// Calibration samples in the leaf.
+    pub leaf_total: u64,
+    /// Decision path (node ids from root to leaf).
+    pub path: Vec<NodeId>,
+    /// Scope verdict, when a scope model is attached.
+    pub scope: Option<ScopeVerdict>,
+}
+
+/// Builder for [`UncertaintyWrapper`] (paper defaults: gini CART of depth
+/// 8, leaves ≥ 200 calibration samples, 0.999-confidence Clopper–Pearson
+/// bounds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WrapperBuilder {
+    max_depth: usize,
+    criterion: SplitCriterion,
+    splitter: Splitter,
+    min_samples_leaf: usize,
+    calibration: CalibrationOptions,
+    scope_padding: Option<f64>,
+}
+
+impl Default for WrapperBuilder {
+    fn default() -> Self {
+        WrapperBuilder {
+            max_depth: 8,
+            criterion: SplitCriterion::Gini,
+            splitter: Splitter::Exact,
+            min_samples_leaf: 1,
+            calibration: CalibrationOptions::default(),
+            scope_padding: None,
+        }
+    }
+}
+
+impl WrapperBuilder {
+    /// Creates a builder with the paper's defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maximum QIM tree depth (paper: 8).
+    pub fn max_depth(&mut self, depth: usize) -> &mut Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Split criterion (paper: gini).
+    pub fn criterion(&mut self, criterion: SplitCriterion) -> &mut Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Split search strategy (exact by default; histogram for speed).
+    pub fn splitter(&mut self, splitter: Splitter) -> &mut Self {
+        self.splitter = splitter;
+        self
+    }
+
+    /// Minimum training samples per leaf during tree growth.
+    pub fn min_samples_leaf(&mut self, n: usize) -> &mut Self {
+        self.min_samples_leaf = n;
+        self
+    }
+
+    /// Calibration options (minimum leaf samples, confidence, bound
+    /// method).
+    pub fn calibration(&mut self, options: CalibrationOptions) -> &mut Self {
+        self.calibration = options;
+        self
+    }
+
+    /// Attaches a boundary-check scope compliance model learned from the
+    /// training inputs, padded by the given fraction of each feature range.
+    pub fn with_scope_model(&mut self, padding: f64) -> &mut Self {
+        self.scope_padding = Some(padding);
+        self
+    }
+
+    /// The configured calibration options.
+    pub fn calibration_options(&self) -> CalibrationOptions {
+        self.calibration
+    }
+
+    /// The configured split criterion.
+    pub fn criterion_value(&self) -> SplitCriterion {
+        self.criterion
+    }
+
+    /// The configured splitter.
+    pub fn splitter_value(&self) -> Splitter {
+        self.splitter
+    }
+
+    /// The configured maximum tree depth.
+    pub fn max_depth_value(&self) -> usize {
+        self.max_depth
+    }
+
+    /// The configured minimum training samples per leaf.
+    pub fn min_samples_leaf_value(&self) -> usize {
+        self.min_samples_leaf
+    }
+
+    /// Trains and calibrates a stateless uncertainty wrapper.
+    ///
+    /// * `feature_names` — names of the stateless quality factors;
+    /// * `train` — `(quality factors, DDM failed?)` rows for tree growth;
+    /// * `calib` — held-out rows of the same shape for pruning and bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on empty/mismatched data or infeasible
+    /// calibration.
+    pub fn fit(
+        &self,
+        feature_names: Vec<String>,
+        train: &[(Vec<f64>, bool)],
+        calib: &[(Vec<f64>, bool)],
+    ) -> Result<UncertaintyWrapper, CoreError> {
+        if train.is_empty() {
+            return Err(CoreError::InvalidInput { reason: "training set is empty".into() });
+        }
+        let mut ds = Dataset::new(feature_names.clone(), 2)?;
+        ds.reserve(train.len());
+        for (features, failed) in train {
+            ds.push_row(features, u32::from(*failed))?;
+        }
+        let tree = TreeBuilder::new()
+            .criterion(self.criterion)
+            .splitter(self.splitter)
+            .max_depth(self.max_depth)
+            .min_samples_leaf(self.min_samples_leaf)
+            .fit(&ds)?;
+        let qim = CalibratedQim::calibrate(tree, calib, self.calibration)?;
+        let scope = match self.scope_padding {
+            Some(padding) => Some(ScopeComplianceModel::fit(
+                train.iter().map(|(f, _)| f.as_slice()),
+                feature_names.clone(),
+                padding,
+            )?),
+            None => None,
+        };
+        Ok(UncertaintyWrapper { qim, scope, feature_names })
+    }
+}
+
+/// A trained, calibrated stateless uncertainty wrapper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncertaintyWrapper {
+    qim: CalibratedQim,
+    scope: Option<ScopeComplianceModel>,
+    feature_names: Vec<String>,
+}
+
+impl UncertaintyWrapper {
+    /// Quality-related dependable uncertainty for the current input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn uncertainty(&self, quality_factors: &[f64]) -> Result<f64, CoreError> {
+        self.qim.uncertainty(quality_factors)
+    }
+
+    /// Dependable certainty `1 − u` for the current input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn certainty(&self, quality_factors: &[f64]) -> Result<f64, CoreError> {
+        Ok(1.0 - self.uncertainty(quality_factors)?)
+    }
+
+    /// Full estimate including scope compliance and the combined value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn estimate(&self, quality_factors: &[f64]) -> Result<UncertaintyEstimate, CoreError> {
+        let quality_uncertainty = self.qim.uncertainty(quality_factors)?;
+        let scope_compliance = match &self.scope {
+            Some(model) => model.check(quality_factors)?.similarity,
+            None => 1.0,
+        };
+        Ok(UncertaintyEstimate {
+            quality_uncertainty,
+            scope_compliance,
+            combined_uncertainty: 1.0 - scope_compliance * (1.0 - quality_uncertainty),
+        })
+    }
+
+    /// Explains the estimate: decision path, leaf statistics, scope
+    /// verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn explain(&self, quality_factors: &[f64]) -> Result<Explanation, CoreError> {
+        let (leaf_id, leaf) = self.qim.route(quality_factors)?;
+        let path = self.qim.tree().decision_path(quality_factors)?;
+        let scope = match &self.scope {
+            Some(model) => Some(model.check(quality_factors)?),
+            None => None,
+        };
+        Ok(Explanation {
+            leaf_id,
+            leaf_failures: leaf.failures,
+            leaf_total: leaf.total,
+            path,
+            scope,
+        })
+    }
+
+    /// The calibrated quality impact model.
+    pub fn qim(&self) -> &CalibratedQim {
+        &self.qim
+    }
+
+    /// The attached scope model, if any.
+    pub fn scope_model(&self) -> Option<&ScopeComplianceModel> {
+        self.scope.as_ref()
+    }
+
+    /// Names of the stateless quality factors.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy world: failure probability is high iff `rain > 0.5`.
+    fn toy_rows(n: usize, seed: u64) -> Vec<(Vec<f64>, bool)> {
+        // Small deterministic LCG so the test has no rand dependency here.
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let rain = next();
+                let blur = next();
+                let p_fail = if rain > 0.5 { 0.6 } else { 0.02 };
+                let failed = next() < p_fail;
+                (vec![rain, blur], failed)
+            })
+            .collect()
+    }
+
+    fn fitted() -> UncertaintyWrapper {
+        let train = toy_rows(4000, 1);
+        let calib = toy_rows(3000, 2);
+        WrapperBuilder::new()
+            .fit(vec!["rain".into(), "blur".into()], &train, &calib)
+            .unwrap()
+    }
+
+    #[test]
+    fn risky_inputs_get_higher_uncertainty() {
+        let w = fitted();
+        let dry = w.uncertainty(&[0.1, 0.5]).unwrap();
+        let wet = w.uncertainty(&[0.9, 0.5]).unwrap();
+        assert!(wet > 0.4, "wet uncertainty {wet}");
+        assert!(dry < 0.1, "dry uncertainty {dry}");
+        assert!(w.certainty(&[0.1, 0.5]).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn estimate_without_scope_model_has_full_compliance() {
+        let w = fitted();
+        let e = w.estimate(&[0.2, 0.2]).unwrap();
+        assert_eq!(e.scope_compliance, 1.0);
+        assert!((e.combined_uncertainty - e.quality_uncertainty).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scope_model_raises_combined_uncertainty_out_of_scope() {
+        let train = toy_rows(4000, 3);
+        let calib = toy_rows(3000, 4);
+        let w = WrapperBuilder::new()
+            .with_scope_model(0.0)
+            .fit(vec!["rain".into(), "blur".into()], &train, &calib)
+            .unwrap();
+        let inside = w.estimate(&[0.2, 0.2]).unwrap();
+        let outside = w.estimate(&[5.0, 0.2]).unwrap();
+        assert!(outside.scope_compliance < 1.0);
+        assert!(outside.combined_uncertainty > inside.combined_uncertainty);
+        assert!(outside.combined_uncertainty >= outside.quality_uncertainty);
+    }
+
+    #[test]
+    fn explanation_exposes_path_and_leaf_stats() {
+        let w = fitted();
+        let ex = w.explain(&[0.9, 0.5]).unwrap();
+        assert!(ex.leaf_total >= 200, "calibration minimum respected");
+        assert_eq!(*ex.path.first().unwrap(), 0, "path starts at the root");
+        assert_eq!(*ex.path.last().unwrap(), ex.leaf_id);
+        assert!(ex.scope.is_none());
+    }
+
+    #[test]
+    fn estimates_are_dependable_on_holdout() {
+        // The bound must cover the observed failure rate on fresh data in
+        // the overwhelming majority of leaves (0.999 confidence).
+        let w = fitted();
+        let holdout = toy_rows(4000, 9);
+        let mut per_leaf: std::collections::HashMap<usize, (u64, u64, f64)> =
+            std::collections::HashMap::new();
+        for (f, failed) in &holdout {
+            let ex = w.explain(f).unwrap();
+            let u = w.uncertainty(f).unwrap();
+            let e = per_leaf.entry(ex.leaf_id).or_insert((0, 0, u));
+            e.1 += 1;
+            if *failed {
+                e.0 += 1;
+            }
+        }
+        for (leaf, (failures, total, bound)) in per_leaf {
+            if total < 100 {
+                continue;
+            }
+            let rate = failures as f64 / total as f64;
+            assert!(
+                rate <= bound + 0.05,
+                "leaf {leaf}: observed {rate:.3} far above bound {bound:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_training_is_rejected() {
+        let err = WrapperBuilder::new().fit(vec!["x".into()], &[], &[]);
+        assert!(matches!(err, Err(CoreError::InvalidInput { .. })));
+    }
+
+    #[test]
+    fn builder_options_are_respected() {
+        let train = toy_rows(2000, 5);
+        let calib = toy_rows(2000, 6);
+        let w = WrapperBuilder::new()
+            .max_depth(1)
+            .fit(vec!["rain".into(), "blur".into()], &train, &calib)
+            .unwrap();
+        assert!(w.qim().tree().depth() <= 1);
+        assert_eq!(w.feature_names(), &["rain", "blur"]);
+    }
+}

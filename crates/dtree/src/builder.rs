@@ -1,0 +1,327 @@
+//! CART tree construction with the classic stopping controls
+//! (`max_depth`, `min_samples_split`, `min_samples_leaf`,
+//! `min_impurity_decrease`).
+//!
+//! The paper trains its quality impact models "up to a maximum depth of 8
+//! without pruning during this phase" — pruning happens later against the
+//! calibration set (see [`crate::prune`]).
+
+use crate::criterion::SplitCriterion;
+use crate::data::Dataset;
+use crate::error::DtreeError;
+use crate::splitter::{find_best_split, Splitter};
+use crate::tree::{DecisionTree, Node, NodeInfo, NodeKind};
+
+/// Non-consuming builder for [`DecisionTree`]s.
+///
+/// # Examples
+///
+/// ```
+/// use tauw_dtree::{builder::TreeBuilder, data::Dataset};
+///
+/// let mut ds = Dataset::new(vec!["x".into()], 2)?;
+/// for i in 0..10 {
+///     ds.push_row(&[i as f64], u32::from(i >= 5))?;
+/// }
+/// let tree = TreeBuilder::new().max_depth(8).fit(&ds)?;
+/// assert_eq!(tree.predict(&[0.0])?, 0);
+/// assert_eq!(tree.predict(&[9.0])?, 1);
+/// # Ok::<(), tauw_dtree::DtreeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeBuilder {
+    criterion: SplitCriterion,
+    splitter: Splitter,
+    max_depth: Option<usize>,
+    min_samples_split: usize,
+    min_samples_leaf: usize,
+    min_impurity_decrease: f64,
+}
+
+impl Default for TreeBuilder {
+    fn default() -> Self {
+        TreeBuilder {
+            criterion: SplitCriterion::Gini,
+            splitter: Splitter::Exact,
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            min_impurity_decrease: 0.0,
+        }
+    }
+}
+
+impl TreeBuilder {
+    /// Creates a builder with CART defaults (gini, exact splitter,
+    /// unlimited depth).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the impurity criterion.
+    pub fn criterion(&mut self, criterion: SplitCriterion) -> &mut Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Sets the split search strategy.
+    pub fn splitter(&mut self, splitter: Splitter) -> &mut Self {
+        self.splitter = splitter;
+        self
+    }
+
+    /// Limits tree depth (root = depth 0). The paper uses 8.
+    pub fn max_depth(&mut self, depth: usize) -> &mut Self {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Removes any depth limit.
+    pub fn unlimited_depth(&mut self) -> &mut Self {
+        self.max_depth = None;
+        self
+    }
+
+    /// Minimum samples required to attempt a split (default 2).
+    pub fn min_samples_split(&mut self, n: usize) -> &mut Self {
+        self.min_samples_split = n.max(2);
+        self
+    }
+
+    /// Minimum samples that must land in each child (default 1).
+    pub fn min_samples_leaf(&mut self, n: usize) -> &mut Self {
+        self.min_samples_leaf = n.max(1);
+        self
+    }
+
+    /// Minimum impurity decrease for a split to be accepted (default 0).
+    pub fn min_impurity_decrease(&mut self, d: f64) -> &mut Self {
+        self.min_impurity_decrease = d.max(0.0);
+        self
+    }
+
+    /// Trains a tree on the dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtreeError::EmptyDataset`] if `data` has no samples.
+    pub fn fit(&self, data: &Dataset) -> Result<DecisionTree, DtreeError> {
+        if data.n_samples() == 0 {
+            return Err(DtreeError::EmptyDataset);
+        }
+        let mut idx: Vec<usize> = (0..data.n_samples()).collect();
+        let mut nodes: Vec<Node> = Vec::new();
+        self.build_node(data, &mut idx, 0, 0, &mut nodes)?;
+        DecisionTree::from_parts(
+            nodes,
+            data.n_features(),
+            data.n_classes(),
+            data.feature_names().to_vec(),
+        )
+    }
+
+    /// Recursively builds the subtree over `idx[lo..]`; returns the node id.
+    fn build_node(
+        &self,
+        data: &Dataset,
+        idx: &mut [usize],
+        depth: usize,
+        _parent: usize,
+        nodes: &mut Vec<Node>,
+    ) -> Result<usize, DtreeError> {
+        let mut counts = vec![0u64; data.n_classes() as usize];
+        for &i in idx.iter() {
+            counts[data.label(i) as usize] += 1;
+        }
+        let impurity = self.criterion.impurity(&counts);
+        let id = nodes.len();
+        nodes.push(Node {
+            info: NodeInfo { n: idx.len() as u64, counts: counts.clone(), impurity, depth },
+            kind: NodeKind::Leaf,
+        });
+
+        let depth_ok = self.max_depth.is_none_or(|d| depth < d);
+        if !depth_ok || idx.len() < self.min_samples_split || impurity <= 0.0 {
+            return Ok(id);
+        }
+        let split = match find_best_split(
+            data,
+            idx,
+            &counts,
+            self.criterion,
+            self.splitter,
+            self.min_samples_leaf,
+        ) {
+            Some(s) if s.gain >= self.min_impurity_decrease => s,
+            _ => return Ok(id),
+        };
+
+        // In-place partition: left block gets x[feature] <= threshold.
+        let mut lo = 0usize;
+        let mut hi = idx.len();
+        while lo < hi {
+            if data.value(idx[lo], split.feature) <= split.threshold {
+                lo += 1;
+            } else {
+                hi -= 1;
+                idx.swap(lo, hi);
+            }
+        }
+        debug_assert_eq!(lo, split.n_left, "partition must agree with split search");
+        if lo == 0 || lo == idx.len() {
+            // Degenerate split (can only happen through FP pathologies);
+            // keep the node as a leaf rather than recurse forever.
+            return Ok(id);
+        }
+        let (left_idx, right_idx) = idx.split_at_mut(lo);
+        let left = self.build_node(data, left_idx, depth + 1, id, nodes)?;
+        let right = self.build_node(data, right_idx, depth + 1, id, nodes)?;
+        nodes[id].kind =
+            NodeKind::Internal { feature: split.feature, threshold: split.threshold, left, right };
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_like_dataset() -> Dataset {
+        // Class = (x > 0.35) XOR (y > 0.25): needs depth 2 to separate.
+        // The asymmetric thresholds keep the root split informative (a
+        // perfectly balanced XOR has zero gain for every single split and
+        // defeats any greedy CART, including scikit-learn's).
+        let mut ds = Dataset::new(vec!["x".into(), "y".into()], 2).unwrap();
+        for i in 0..10 {
+            for j in 0..10 {
+                let x = i as f64 / 10.0;
+                let y = j as f64 / 10.0;
+                let label = u32::from((x > 0.35) ^ (y > 0.25));
+                ds.push_row(&[x, y], label).unwrap();
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn fits_xor_perfectly_with_enough_depth() {
+        let ds = xor_like_dataset();
+        let tree = TreeBuilder::new().max_depth(3).fit(&ds).unwrap();
+        let mut errors = 0;
+        for i in 0..ds.n_samples() {
+            if tree.predict(ds.row(i)).unwrap() != ds.label(i) {
+                errors += 1;
+            }
+        }
+        assert_eq!(errors, 0, "XOR should be perfectly separable at depth 3");
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let ds = xor_like_dataset();
+        for limit in [1usize, 2, 3, 5] {
+            let tree = TreeBuilder::new().max_depth(limit).fit(&ds).unwrap();
+            assert!(tree.depth() <= limit, "depth {} exceeds limit {limit}", tree.depth());
+        }
+    }
+
+    #[test]
+    fn depth_zero_yields_single_leaf() {
+        let ds = xor_like_dataset();
+        let tree = TreeBuilder::new().max_depth(0).fit(&ds).unwrap();
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.n_nodes(), 1);
+    }
+
+    #[test]
+    fn min_samples_leaf_bounds_every_leaf() {
+        let ds = xor_like_dataset();
+        let tree = TreeBuilder::new().min_samples_leaf(20).fit(&ds).unwrap();
+        for leaf in tree.leaf_ids() {
+            assert!(tree.node(leaf).info.n >= 20);
+        }
+    }
+
+    #[test]
+    fn min_samples_split_prevents_tiny_splits() {
+        let ds = xor_like_dataset();
+        let tree = TreeBuilder::new().min_samples_split(101).fit(&ds).unwrap();
+        assert_eq!(tree.n_leaves(), 1, "root has 100 samples < 101, must stay a leaf");
+    }
+
+    #[test]
+    fn pure_dataset_yields_stump() {
+        let mut ds = Dataset::new(vec!["x".into()], 2).unwrap();
+        for i in 0..50 {
+            ds.push_row(&[i as f64], 1).unwrap();
+        }
+        let tree = TreeBuilder::new().fit(&ds).unwrap();
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.predict(&[3.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let ds = Dataset::new(vec!["x".into()], 2).unwrap();
+        assert_eq!(TreeBuilder::new().fit(&ds), Err(DtreeError::EmptyDataset));
+    }
+
+    #[test]
+    fn histogram_splitter_reaches_high_accuracy() {
+        let ds = xor_like_dataset();
+        let tree = TreeBuilder::new()
+            .splitter(Splitter::Histogram { bins: 32 })
+            .max_depth(4)
+            .fit(&ds)
+            .unwrap();
+        let mut correct = 0;
+        for i in 0..ds.n_samples() {
+            if tree.predict(ds.row(i)).unwrap() == ds.label(i) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 95, "histogram splitter should be near-exact here, got {correct}/100");
+    }
+
+    #[test]
+    fn min_impurity_decrease_stops_marginal_splits() {
+        let ds = xor_like_dataset();
+        let full = TreeBuilder::new().max_depth(6).fit(&ds).unwrap();
+        let constrained =
+            TreeBuilder::new().max_depth(6).min_impurity_decrease(0.2).fit(&ds).unwrap();
+        assert!(constrained.n_leaves() <= full.n_leaves());
+    }
+
+    #[test]
+    fn node_counts_sum_to_children() {
+        let ds = xor_like_dataset();
+        let tree = TreeBuilder::new().max_depth(4).fit(&ds).unwrap();
+        for id in 0..tree.n_nodes() {
+            if let NodeKind::Internal { left, right, .. } = tree.node(id).kind {
+                assert_eq!(
+                    tree.node(id).info.n,
+                    tree.node(left).info.n + tree.node(right).info.n
+                );
+                for c in 0..2 {
+                    assert_eq!(
+                        tree.node(id).info.counts[c],
+                        tree.node(left).info.counts[c] + tree.node(right).info.counts[c]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiclass_training_works() {
+        let mut ds = Dataset::new(vec!["x".into()], 3).unwrap();
+        for i in 0..30 {
+            let label = (i / 10) as u32;
+            ds.push_row(&[i as f64], label).unwrap();
+        }
+        let tree = TreeBuilder::new().fit(&ds).unwrap();
+        assert_eq!(tree.predict(&[5.0]).unwrap(), 0);
+        assert_eq!(tree.predict(&[15.0]).unwrap(), 1);
+        assert_eq!(tree.predict(&[25.0]).unwrap(), 2);
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for decision-tree construction and use.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `tauw-dtree`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtreeError {
+    /// The dataset is empty or otherwise unusable for training.
+    EmptyDataset,
+    /// A row had the wrong number of features.
+    FeatureCountMismatch {
+        /// Expected number of features.
+        expected: usize,
+        /// Number of features actually provided.
+        actual: usize,
+    },
+    /// A label was outside `0..n_classes`.
+    LabelOutOfRange {
+        /// The offending label.
+        label: u32,
+        /// Number of classes declared for the dataset.
+        n_classes: u32,
+    },
+    /// A non-finite feature value was provided.
+    NonFiniteFeature {
+        /// Row index of the offending value.
+        row: usize,
+        /// Column index of the offending value.
+        column: usize,
+    },
+    /// A hyper-parameter was invalid.
+    InvalidHyperParameter {
+        /// Description of the violated constraint.
+        constraint: &'static str,
+    },
+    /// Prediction input had the wrong number of features.
+    PredictArityMismatch {
+        /// Number of features the tree was trained with.
+        expected: usize,
+        /// Number of features in the query.
+        actual: usize,
+    },
+    /// Calibration failed (e.g. too few samples to satisfy the minimum
+    /// per-leaf count even after collapsing to the root).
+    CalibrationInfeasible {
+        /// Description of the failure.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for DtreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtreeError::EmptyDataset => write!(f, "dataset must contain at least one sample"),
+            DtreeError::FeatureCountMismatch { expected, actual } => {
+                write!(f, "expected {expected} features per row, got {actual}")
+            }
+            DtreeError::LabelOutOfRange { label, n_classes } => {
+                write!(f, "label {label} is outside the declared range 0..{n_classes}")
+            }
+            DtreeError::NonFiniteFeature { row, column } => {
+                write!(f, "non-finite feature value at row {row}, column {column}")
+            }
+            DtreeError::InvalidHyperParameter { constraint } => {
+                write!(f, "invalid hyper-parameter: {constraint}")
+            }
+            DtreeError::PredictArityMismatch { expected, actual } => {
+                write!(f, "tree expects {expected} features, query has {actual}")
+            }
+            DtreeError::CalibrationInfeasible { reason } => {
+                write!(f, "calibration infeasible: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DtreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DtreeError::FeatureCountMismatch { expected: 4, actual: 3 };
+        assert!(e.to_string().contains('4'));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DtreeError>();
+    }
+}

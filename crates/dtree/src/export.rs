@@ -1,0 +1,231 @@
+//! Transparent export of trained trees.
+//!
+//! A core selling point of the uncertainty wrapper approach is that domain
+//! experts can *inspect* the quality impact model. This module renders a
+//! [`DecisionTree`] as indented text, Graphviz DOT, or a self-contained JSON
+//! document (hand-rolled writer — no extra dependencies).
+
+use crate::tree::{DecisionTree, NodeId, NodeKind};
+use std::fmt::Write as _;
+
+/// Renders the tree as human-readable indented text.
+///
+/// # Examples
+///
+/// ```
+/// use tauw_dtree::{builder::TreeBuilder, data::Dataset, export::to_text};
+///
+/// let mut ds = Dataset::new(vec!["x".into()], 2)?;
+/// for i in 0..10 {
+///     ds.push_row(&[i as f64], u32::from(i >= 5))?;
+/// }
+/// let tree = TreeBuilder::new().fit(&ds)?;
+/// let text = to_text(&tree);
+/// assert!(text.contains("x <="));
+/// # Ok::<(), tauw_dtree::DtreeError>(())
+/// ```
+pub fn to_text(tree: &DecisionTree) -> String {
+    let mut out = String::new();
+    render_text(tree, 0, 0, &mut out);
+    out
+}
+
+fn render_text(tree: &DecisionTree, id: NodeId, indent: usize, out: &mut String) {
+    let node = tree.node(id);
+    let pad = "  ".repeat(indent);
+    match node.kind {
+        NodeKind::Leaf => {
+            let _ = writeln!(
+                out,
+                "{pad}leaf #{id}: n={} counts={:?} impurity={:.4}",
+                node.info.n, node.info.counts, node.info.impurity
+            );
+        }
+        NodeKind::Internal { feature, threshold, left, right } => {
+            let name = &tree.feature_names()[feature];
+            let _ = writeln!(
+                out,
+                "{pad}node #{id}: {name} <= {threshold:.6} (n={}, impurity={:.4})",
+                node.info.n, node.info.impurity
+            );
+            render_text(tree, left, indent + 1, out);
+            render_text(tree, right, indent + 1, out);
+        }
+    }
+}
+
+/// Renders the tree in Graphviz DOT format.
+pub fn to_dot(tree: &DecisionTree) -> String {
+    let mut out = String::from("digraph decision_tree {\n  node [shape=box];\n");
+    for id in 0..tree.n_nodes() {
+        if !is_reachable(tree, id) {
+            continue;
+        }
+        let node = tree.node(id);
+        match node.kind {
+            NodeKind::Leaf => {
+                let _ = writeln!(
+                    out,
+                    "  n{id} [label=\"leaf\\nn={}\\ncounts={:?}\"];",
+                    node.info.n, node.info.counts
+                );
+            }
+            NodeKind::Internal { feature, threshold, left, right } => {
+                let name = &tree.feature_names()[feature];
+                let _ = writeln!(
+                    out,
+                    "  n{id} [label=\"{name} <= {threshold:.4}\\nn={}\"];",
+                    node.info.n
+                );
+                let _ = writeln!(out, "  n{id} -> n{left} [label=\"yes\"];");
+                let _ = writeln!(out, "  n{id} -> n{right} [label=\"no\"];");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn is_reachable(tree: &DecisionTree, target: NodeId) -> bool {
+    let mut stack = vec![0usize];
+    while let Some(id) = stack.pop() {
+        if id == target {
+            return true;
+        }
+        if let NodeKind::Internal { left, right, .. } = tree.node(id).kind {
+            stack.push(left);
+            stack.push(right);
+        }
+    }
+    false
+}
+
+/// Renders the tree as a self-contained JSON document (recursive node
+/// objects). The output is deterministic.
+pub fn to_json(tree: &DecisionTree) -> String {
+    let mut out = String::new();
+    out.push_str("{\"n_features\":");
+    let _ = write!(out, "{}", tree.n_features());
+    out.push_str(",\"n_classes\":");
+    let _ = write!(out, "{}", tree.n_classes());
+    out.push_str(",\"feature_names\":[");
+    for (i, name) in tree.feature_names().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(&mut out, name);
+    }
+    out.push_str("],\"root\":");
+    render_json(tree, 0, &mut out);
+    out.push('}');
+    out
+}
+
+fn render_json(tree: &DecisionTree, id: NodeId, out: &mut String) {
+    let node = tree.node(id);
+    out.push('{');
+    let _ = write!(out, "\"id\":{id},\"n\":{},\"impurity\":{}", node.info.n, node.info.impurity);
+    out.push_str(",\"counts\":[");
+    for (i, c) in node.info.counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{c}");
+    }
+    out.push(']');
+    match node.kind {
+        NodeKind::Leaf => out.push_str(",\"kind\":\"leaf\""),
+        NodeKind::Internal { feature, threshold, left, right } => {
+            let _ = write!(out, ",\"kind\":\"internal\",\"feature\":{feature},\"threshold\":{threshold}");
+            out.push_str(",\"left\":");
+            render_json(tree, left, out);
+            out.push_str(",\"right\":");
+            render_json(tree, right, out);
+        }
+    }
+    out.push('}');
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use crate::data::Dataset;
+
+    fn small_tree() -> DecisionTree {
+        let mut ds = Dataset::new(vec!["rain".into(), "blur\"q".into()], 2).unwrap();
+        for i in 0..20 {
+            ds.push_row(&[i as f64 / 20.0, (i % 4) as f64], u32::from(i >= 10)).unwrap();
+        }
+        TreeBuilder::new().max_depth(3).fit(&ds).unwrap()
+    }
+
+    #[test]
+    fn text_mentions_features_and_leaves() {
+        let t = small_tree();
+        let text = to_text(&t);
+        assert!(text.contains("rain <="));
+        assert!(text.contains("leaf"));
+        assert_eq!(text.lines().count(), t.n_nodes());
+    }
+
+    #[test]
+    fn dot_is_well_formed() {
+        let t = small_tree();
+        let dot = to_dot(&t);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Every internal node produces two edges.
+        let n_edges = dot.matches("->").count();
+        assert_eq!(n_edges, (t.n_nodes() - t.n_leaves()) * 2);
+    }
+
+    #[test]
+    fn json_contains_structure_and_escapes() {
+        let t = small_tree();
+        let json = to_json(&t);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"n_features\":2"));
+        assert!(json.contains("\\\"q"), "feature name quote must be escaped");
+        assert!(json.contains("\"kind\":\"leaf\""));
+        // Balanced braces.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_string_escaping_covers_control_chars() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn single_leaf_tree_exports() {
+        let mut ds = Dataset::new(vec!["x".into()], 2).unwrap();
+        ds.push_row(&[1.0], 0).unwrap();
+        let t = TreeBuilder::new().fit(&ds).unwrap();
+        assert!(to_text(&t).contains("leaf #0"));
+        assert!(to_dot(&t).contains("n0"));
+        assert!(to_json(&t).contains("\"kind\":\"leaf\""));
+    }
+}

@@ -1,0 +1,99 @@
+//! Impurity-decrease feature importances (a.k.a. Gini importance), used by
+//! the RQ3 feature study to cross-check the subset-sweep results.
+
+use crate::tree::{DecisionTree, NodeKind};
+
+/// Mean-decrease-in-impurity importance per feature.
+///
+/// For every internal node, the weighted impurity decrease
+/// `(n/N)·(i_parent − (n_l/n)·i_left − (n_r/n)·i_right)` is credited to the
+/// split feature; the result is normalized to sum to one (all zeros for a
+/// stump).
+///
+/// # Examples
+///
+/// ```
+/// use tauw_dtree::{builder::TreeBuilder, data::Dataset, importance::feature_importances};
+///
+/// let mut ds = Dataset::new(vec!["signal".into(), "noise".into()], 2)?;
+/// for i in 0..40 {
+///     // label depends only on the first feature
+///     ds.push_row(&[i as f64, (i % 7) as f64], u32::from(i >= 20))?;
+/// }
+/// let tree = TreeBuilder::new().max_depth(4).fit(&ds)?;
+/// let imp = feature_importances(&tree);
+/// assert!(imp[0] > 0.99);
+/// # Ok::<(), tauw_dtree::DtreeError>(())
+/// ```
+pub fn feature_importances(tree: &DecisionTree) -> Vec<f64> {
+    let mut importances = vec![0.0; tree.n_features()];
+    let total = tree.node(0).info.n as f64;
+    if total == 0.0 {
+        return importances;
+    }
+    let mut stack = vec![0usize];
+    while let Some(id) = stack.pop() {
+        if let NodeKind::Internal { feature, left, right, .. } = tree.node(id).kind {
+            let node = tree.node(id);
+            let l = tree.node(left);
+            let r = tree.node(right);
+            let n = node.info.n as f64;
+            let decrease = node.info.impurity
+                - (l.info.n as f64 / n) * l.info.impurity
+                - (r.info.n as f64 / n) * r.info.impurity;
+            importances[feature] += (n / total) * decrease.max(0.0);
+            stack.push(left);
+            stack.push(right);
+        }
+    }
+    let sum: f64 = importances.iter().sum();
+    if sum > 0.0 {
+        for v in &mut importances {
+            *v /= sum;
+        }
+    }
+    importances
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use crate::data::Dataset;
+
+    #[test]
+    fn importances_sum_to_one_for_nontrivial_tree() {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()], 2).unwrap();
+        for i in 0..50 {
+            let a = i as f64;
+            let b = (i % 5) as f64;
+            ds.push_row(&[a, b], u32::from(a >= 25.0 || b >= 3.0)).unwrap();
+        }
+        let tree = TreeBuilder::new().max_depth(4).fit(&ds).unwrap();
+        let imp = feature_importances(&tree);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(imp.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn stump_has_zero_importances() {
+        let mut ds = Dataset::new(vec!["a".into()], 2).unwrap();
+        for _ in 0..10 {
+            ds.push_row(&[1.0], 0).unwrap();
+        }
+        let tree = TreeBuilder::new().fit(&ds).unwrap();
+        let imp = feature_importances(&tree);
+        assert_eq!(imp, vec![0.0]);
+    }
+
+    #[test]
+    fn informative_feature_dominates() {
+        let mut ds = Dataset::new(vec!["noise".into(), "signal".into()], 2).unwrap();
+        for i in 0..100 {
+            ds.push_row(&[(i % 13) as f64, i as f64], u32::from(i >= 50)).unwrap();
+        }
+        let tree = TreeBuilder::new().max_depth(5).fit(&ds).unwrap();
+        let imp = feature_importances(&tree);
+        assert!(imp[1] > imp[0], "the signal feature must dominate: {imp:?}");
+    }
+}

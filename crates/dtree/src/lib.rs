@@ -1,0 +1,57 @@
+//! # tauw-dtree
+//!
+//! CART decision trees built from scratch for the taUW reproduction. The
+//! paper's quality impact models are CART trees trained with the gini index
+//! (maximum depth 8), later pruned so every leaf retains at least 200
+//! calibration samples, then annotated with binomial confidence bounds.
+//! None of the thin ML crates in the ecosystem expose the calibration-driven
+//! pruning and per-leaf routing this requires, so the tree is hand-built:
+//!
+//! * [`data::Dataset`] — dense row-major feature matrix with named columns.
+//! * [`criterion::SplitCriterion`] — gini / entropy impurity.
+//! * [`splitter::Splitter`] — exact sort-and-scan or histogram split search.
+//! * [`builder::TreeBuilder`] — recursive CART construction with the
+//!   classic stopping controls.
+//! * [`tree::DecisionTree`] — the arena-based tree: prediction, decision
+//!   paths, per-node routing counts, collapse/compact editing.
+//! * [`prune`] — calibration-driven bottom-up pruning.
+//! * [`export`] — text / DOT / JSON rendering for expert review.
+//! * [`importance`] — mean-decrease-in-impurity feature importances.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tauw_dtree::{builder::TreeBuilder, data::Dataset};
+//!
+//! let mut ds = Dataset::new(vec!["rain".into(), "blur".into()], 2)?;
+//! for i in 0..100 {
+//!     let rain = (i % 10) as f64 / 10.0;
+//!     let blur = (i % 7) as f64 / 7.0;
+//!     let failed = u32::from(rain + blur > 1.0);
+//!     ds.push_row(&[rain, blur], failed)?;
+//! }
+//! let tree = TreeBuilder::new().max_depth(8).fit(&ds)?;
+//! let p = tree.predict_proba(&[0.9, 0.9])?;
+//! assert!(p[1] > 0.5, "heavy rain + blur should look risky");
+//! # Ok::<(), tauw_dtree::DtreeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod criterion;
+pub mod data;
+pub mod error;
+pub mod export;
+pub mod importance;
+pub mod prune;
+pub mod splitter;
+pub mod tree;
+
+pub use builder::TreeBuilder;
+pub use criterion::SplitCriterion;
+pub use data::Dataset;
+pub use error::DtreeError;
+pub use splitter::Splitter;
+pub use tree::{DecisionTree, Node, NodeId, NodeInfo, NodeKind};

@@ -1,0 +1,73 @@
+//! Future-work experiment from the paper's RQ1 discussion: "Even after ten
+//! images, the improvement in accuracy does not appear to reach saturation.
+//! Thus, with longer timeseries, an even better result could be achieved."
+//!
+//! Sweeps the subsampled window length and reports how information fusion
+//! and the taUW's uncertainty quality scale with series length.
+
+use tauw_experiments::eval::{evaluate, Approach};
+use tauw_experiments::report::{emit, fmt_pct, fmt_prob, section, TextTable};
+use tauw_experiments::{CliOptions, ExperimentContext};
+use tauw_sim::SimConfig;
+
+fn main() {
+    let opts = CliOptions::from_env();
+
+    let mut out = String::new();
+    out.push_str(&section("window-length sweep (paper: length 10 only)"));
+    let mut table = TextTable::new(vec![
+        "window",
+        "isolated miscls",
+        "fused miscls",
+        "fused @ last step",
+        "taUW brier",
+        "taUW min u",
+    ]);
+
+    let mut final_step_rates = Vec::new();
+    for window_len in [5usize, 10, 15, 20] {
+        let mut config = if opts.scale >= 1.0 {
+            SimConfig::default()
+        } else {
+            SimConfig::scaled(opts.scale)
+        };
+        config.window_len = window_len;
+        let ctx = ExperimentContext::build_with_config(config, opts.seed)
+            .expect("context builds");
+        let eval = evaluate(&ctx.tauw, &ctx.test).expect("evaluation");
+        let rates = eval.misclassification_by_step();
+        let last = rates.last().expect("non-empty");
+        let tauw = eval.decomposition(Approach::IfTauw).expect("decomposition");
+        final_step_rates.push(last.fused);
+        table.row(vec![
+            window_len.to_string(),
+            fmt_pct(eval.isolated_misclassification()),
+            fmt_pct(eval.fused_misclassification()),
+            fmt_pct(last.fused),
+            fmt_prob(tauw.brier),
+            fmt_prob(ctx.tauw.min_uncertainty()),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    out.push_str(&section("shape checks"));
+    let mut checks = TextTable::new(vec!["check", "status"]);
+    let monotone = final_step_rates.windows(2).all(|w| w[1] <= w[0] + 0.004);
+    checks.row(vec![
+        "fused misclassification at the final step keeps falling with longer windows"
+            .to_string(),
+        if monotone { "HOLDS" } else { "VIOLATED" }.to_string(),
+    ]);
+    checks.row(vec![
+        "no saturation: window 20 beats window 10 at the final step".to_string(),
+        if final_step_rates[3] < final_step_rates[1] { "HOLDS" } else { "VIOLATED" }.to_string(),
+    ]);
+    out.push_str(&checks.render());
+    out.push_str(
+        "\nnote: longer windows start earlier in the approach (the full series has 30\n\
+         frames), so their *average* step is further from the sign; the informative\n\
+         comparison is the final-step rate, where all evidence has accumulated.\n",
+    );
+
+    emit(&opts.out_dir, "window_sweep.txt", &out).expect("write results");
+}

@@ -1,0 +1,197 @@
+//! Shared experiment setup: builds the synthetic world, trains and
+//! calibrates the wrappers, and replays the evaluation data — everything
+//! the per-figure binaries have in common.
+
+use crate::convert::to_training_series;
+use tauw_core::calibration::CalibrationOptions;
+use tauw_core::tauw::{replay, ReplayRow, TauwBuilder, TimeseriesAwareWrapper};
+use tauw_core::training::{flatten_stateless, TrainingSeries};
+use tauw_core::wrapper::{UncertaintyWrapper, WrapperBuilder};
+use tauw_core::CoreError;
+use tauw_sim::{DatasetBuilder, QualityObservation, SimConfig};
+
+/// Everything a figure/table binary needs, built deterministically from
+/// `(scale, seed)`.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// World configuration used.
+    pub config: SimConfig,
+    /// Master seed used.
+    pub seed: u64,
+    /// Names of the stateless quality factors.
+    pub feature_names: Vec<String>,
+    /// Training series (full-length, deficit-augmented).
+    pub train: Vec<TrainingSeries>,
+    /// Calibration series (length-10 windows).
+    pub calib: Vec<TrainingSeries>,
+    /// Test series (length-10 windows).
+    pub test: Vec<TrainingSeries>,
+    /// Replayed training rows (for taQIM variant sweeps).
+    pub train_replay: Vec<ReplayRow>,
+    /// Replayed calibration rows.
+    pub calib_replay: Vec<ReplayRow>,
+    /// The trained timeseries-aware wrapper with all four taQFs.
+    pub tauw: TimeseriesAwareWrapper,
+    /// Calibration options used for both QIMs.
+    pub calibration: CalibrationOptions,
+}
+
+impl ExperimentContext {
+    /// Builds the context at the given scale (1.0 = paper-sized) and seed.
+    ///
+    /// At reduced scales the minimum calibration count per leaf is scaled
+    /// down proportionally (the paper's 200 assumes ~110k calibration
+    /// samples); everything else follows the paper's defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if training or calibration fails (which for
+    /// valid configurations it does not).
+    pub fn build(scale: f64, seed: u64) -> Result<Self, CoreError> {
+        let config =
+            if scale >= 1.0 { SimConfig::default() } else { SimConfig::scaled(scale) };
+        Self::build_with_config(config, seed)
+    }
+
+    /// Builds the context for an explicit world configuration (used by the
+    /// sensitivity study, which perturbs the error model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if training or calibration fails.
+    pub fn build_with_config(config: SimConfig, seed: u64) -> Result<Self, CoreError> {
+        let data = DatasetBuilder::new(config.clone(), seed)
+            .map_err(|reason| CoreError::InvalidInput { reason })?
+            .build();
+        let train = to_training_series(&data.train);
+        let calib = to_training_series(&data.calib);
+        let test = to_training_series(&data.test);
+        drop(data);
+
+        let feature_names = QualityObservation::feature_names();
+        let n_calib_rows: usize = calib.iter().map(TrainingSeries::len).sum();
+        let calibration = CalibrationOptions {
+            // Paper: 200 per leaf on ~110k calibration rows. Keep that
+            // exact value at full scale; shrink proportionally (floor 25)
+            // for scaled-down runs so small worlds still produce
+            // informative trees.
+            min_samples_per_leaf: ((n_calib_rows as f64 / 110_000.0 * 200.0).round() as u64)
+                .clamp(25, 200),
+            confidence: 0.999,
+            ..Default::default()
+        };
+        let mut wrapper_builder = WrapperBuilder::new();
+        wrapper_builder.max_depth(8).calibration(calibration);
+
+        // Stateless wrapper.
+        let stateless: UncertaintyWrapper = wrapper_builder.fit(
+            feature_names.clone(),
+            &flatten_stateless(&train),
+            &flatten_stateless(&calib),
+        )?;
+
+        // Replay once; reuse for the full taUW and all subset variants.
+        let train_replay = replay(&stateless, &train)?;
+        let calib_replay = replay(&stateless, &calib)?;
+
+        let mut tauw_builder = TauwBuilder::new();
+        tauw_builder.wrapper(wrapper_builder);
+        let tauw = tauw_builder.fit_reusing_stateless(
+            stateless,
+            &feature_names,
+            &train_replay,
+            &calib_replay,
+        )?;
+
+        Ok(ExperimentContext {
+            config,
+            seed,
+            feature_names,
+            train,
+            calib,
+            test,
+            train_replay,
+            calib_replay,
+            tauw,
+            calibration,
+        })
+    }
+
+    /// DDM misclassification rate over the test windows ("the images of
+    /// the length 10 timeseries"; paper: 7.89%).
+    pub fn test_ddm_misclassification(&self) -> f64 {
+        let mut wrong = 0usize;
+        let mut total = 0usize;
+        for series in &self.test {
+            for (j, _) in series.steps.iter().enumerate() {
+                total += 1;
+                if series.is_failure(j) {
+                    wrong += 1;
+                }
+            }
+        }
+        wrong as f64 / total.max(1) as f64
+    }
+
+    /// Builds a taUW variant with a different taQF subset, reusing the
+    /// stateless wrapper and replay rows (the Fig. 7 sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on infeasible calibration.
+    pub fn tauw_variant(
+        &self,
+        set: tauw_core::taqf::TaqfSet,
+    ) -> Result<TimeseriesAwareWrapper, CoreError> {
+        let mut wrapper_builder = WrapperBuilder::new();
+        wrapper_builder.max_depth(8).calibration(self.calibration);
+        let mut builder = TauwBuilder::new();
+        builder.wrapper(wrapper_builder).taqf_set(set);
+        builder.fit_reusing_stateless(
+            self.tauw.stateless().clone(),
+            &self.feature_names,
+            &self.train_replay,
+            &self.calib_replay,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_context_builds_end_to_end() {
+        let ctx = ExperimentContext::build(0.02, 7).unwrap();
+        assert!(!ctx.train.is_empty());
+        assert!(!ctx.test.is_empty());
+        assert_eq!(ctx.feature_names.len(), tauw_sim::N_QUALITY_FACTORS);
+        let miscls = ctx.test_ddm_misclassification();
+        assert!(
+            (0.005..0.35).contains(&miscls),
+            "DDM misclassification {miscls} wildly off target"
+        );
+        // The full taUW uses all four factors.
+        assert_eq!(ctx.tauw.taqf_set().len(), 4);
+    }
+
+    #[test]
+    fn variant_with_fewer_factors_builds() {
+        let ctx = ExperimentContext::build(0.02, 7).unwrap();
+        let set = tauw_core::taqf::TaqfSet::from_kinds(&[tauw_core::taqf::TaqfKind::Ratio]);
+        let variant = ctx.tauw_variant(set).unwrap();
+        assert_eq!(variant.taqf_set(), set);
+        assert_eq!(
+            variant.taqim().tree().n_features(),
+            ctx.feature_names.len() + 1
+        );
+    }
+
+    #[test]
+    fn context_is_deterministic() {
+        let a = ExperimentContext::build(0.02, 9).unwrap();
+        let b = ExperimentContext::build(0.02, 9).unwrap();
+        assert_eq!(a.test_ddm_misclassification(), b.test_ddm_misclassification());
+        assert_eq!(a.tauw.min_uncertainty(), b.tauw.min_uncertainty());
+    }
+}

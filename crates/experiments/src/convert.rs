@@ -1,0 +1,50 @@
+//! Conversion from the simulator's series records to the wrapper
+//! framework's training representation. The only information that crosses
+//! this boundary is what a real deployment would have: sensor readouts
+//! (quality factors), DDM outcomes, and — for training data — ground truth.
+
+use tauw_core::training::{TrainingSeries, TrainingStep};
+use tauw_sim::SeriesRecord;
+
+/// Converts simulator series into wrapper training series.
+pub fn to_training_series(records: &[SeriesRecord]) -> Vec<TrainingSeries> {
+    records.iter().map(to_one).collect()
+}
+
+/// Converts one simulator series.
+pub fn to_one(record: &SeriesRecord) -> TrainingSeries {
+    TrainingSeries {
+        true_outcome: u32::from(record.true_class.id()),
+        steps: record
+            .frames
+            .iter()
+            .map(|f| TrainingStep {
+                quality_factors: f.observation.feature_vector().to_vec(),
+                outcome: u32::from(f.outcome.id()),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tauw_sim::{DatasetBuilder, SimConfig};
+
+    #[test]
+    fn conversion_preserves_structure_and_labels() {
+        let data = DatasetBuilder::new(SimConfig::scaled(0.01), 3).unwrap().build();
+        let converted = to_training_series(&data.test);
+        assert_eq!(converted.len(), data.test.len());
+        for (orig, conv) in data.test.iter().zip(&converted) {
+            assert_eq!(conv.steps.len(), orig.len());
+            assert_eq!(conv.true_outcome, u32::from(orig.true_class.id()));
+            for (frame, step) in orig.frames.iter().zip(&conv.steps) {
+                assert_eq!(step.outcome, u32::from(frame.outcome.id()));
+                assert_eq!(step.quality_factors.len(), tauw_sim::N_QUALITY_FACTORS);
+                // Failure flags agree between the two representations.
+                assert_eq!(step.outcome != conv.true_outcome, !frame.correct);
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! # tauw-experiments
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! taUW paper on the synthetic substrate:
+//!
+//! | binary            | paper artifact | what it reports |
+//! |-------------------|----------------|-----------------|
+//! | `fig4`            | Fig. 4         | misclassification per timestep, isolated vs information fusion |
+//! | `fig5`            | Fig. 5         | distribution of dependable uncertainty, stateless UW vs taUW+IF |
+//! | `table1`          | Table I        | Brier score + variance/unspecificity/unreliability/overconfidence for six approaches |
+//! | `fig6`            | Fig. 6         | calibration plot (10% certainty quantiles vs observed correctness) |
+//! | `fig7`            | Fig. 7         | Brier score for all 16 taQF subsets, grouped by subset size |
+//! | `bounds_ablation` | §5 ablation    | bound method × min-leaf-count sweep |
+//! | `sensitivity`     | §5 robustness  | Table I ordering under varied error-correlation strength |
+//! | `window_sweep`    | future work    | fusion + taUW quality vs series length (paper: "no saturation") |
+//! | `extended_taqf`   | future work    | candidate features beyond taQF1-4 (paper RQ3 closing question) |
+//! | `if_ablation`     | §2 related wk  | majority vs weighted vs windowed vs latest-only fusion |
+//! | `run_all`         | —              | everything above in one run |
+//!
+//! All binaries accept `--scale <f>` (default 1.0 = paper-sized),
+//! `--seed <n>` (default [`DEFAULT_SEED`]) and `--out <dir>` (default
+//! `results/`). Runs are bit-deterministic for a given seed and scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod convert;
+pub mod eval;
+pub mod paper;
+pub mod report;
+
+pub use context::ExperimentContext;
+pub use eval::{Approach, CaseRecord, TestEvaluation};
+
+/// Master seed used by all experiment binaries unless overridden.
+pub const DEFAULT_SEED: u64 = 20230627; // the VERDI workshop date
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliOptions {
+    /// World scale: 1.0 = paper-sized (1307 series, 28 augmentations).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for result files.
+    pub out_dir: String,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions { scale: 1.0, seed: DEFAULT_SEED, out_dir: "results".to_string() }
+    }
+}
+
+impl CliOptions {
+    /// Parses `--scale`, `--seed` and `--out` from an argument iterator
+    /// (unknown arguments are an error; the binary name must already be
+    /// consumed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed arguments.
+    pub fn parse<I: Iterator<Item = String>>(mut args: I) -> Result<Self, String> {
+        let mut opts = CliOptions::default();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = args.next().ok_or("--scale needs a value")?;
+                    opts.scale = v.parse().map_err(|_| format!("bad --scale value: {v}"))?;
+                }
+                "--seed" => {
+                    let v = args.next().ok_or("--seed needs a value")?;
+                    opts.seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+                }
+                "--out" => {
+                    opts.out_dir = args.next().ok_or("--out needs a value")?;
+                }
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+            return Err(format!("--scale must be in (0, 1], got {}", opts.scale));
+        }
+        Ok(opts)
+    }
+
+    /// Parses from the process arguments, exiting with a usage message on
+    /// error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: <bin> [--scale f] [--seed n] [--out dir]");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, String> {
+        CliOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_paper_sized() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts.scale, 1.0);
+        assert_eq!(opts.seed, DEFAULT_SEED);
+        assert_eq!(opts.out_dir, "results");
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let opts = parse(&["--scale", "0.1", "--seed", "7", "--out", "/tmp/x"]).unwrap();
+        assert_eq!(opts.scale, 0.1);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.out_dir, "/tmp/x");
+    }
+
+    #[test]
+    fn bad_args_are_rejected() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "abc"]).is_err());
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--scale", "1.5"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # tauw-fusion
+//!
+//! Information fusion and uncertainty fusion for timeseries of classifier
+//! outcomes, as used and compared in the taUW paper:
+//!
+//! * [`info`] — fusing *outcomes*: majority voting with most-recent
+//!   tie-breaking (the paper's IF approach), certainty-weighted voting and
+//!   a latest-only baseline.
+//! * [`uncertainty`] — fusing *uncertainties*: the naïve (product),
+//!   opportune (min) and worst-case (max) rules the taUW is evaluated
+//!   against in Table I and Fig. 6.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tauw_fusion::{info::majority_vote, uncertainty::UncertaintyFusion};
+//!
+//! let outcomes = [2u32, 2, 5, 2];
+//! assert_eq!(majority_vote(&outcomes), Some(2));
+//!
+//! let uncertainties = [0.02, 0.3, 0.01, 0.02];
+//! let worst = UncertaintyFusion::WorstCase.fuse(&uncertainties).unwrap();
+//! assert_eq!(worst, 0.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod info;
+pub mod uncertainty;
+
+pub use info::{
+    majority_vote, CertaintyWeightedVote, InformationFusion, LatestOnly, MajorityVote,
+    WindowedMajorityVote,
+};
+pub use uncertainty::UncertaintyFusion;

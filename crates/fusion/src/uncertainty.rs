@@ -1,0 +1,149 @@
+//! Uncertainty fusion baselines (paper Section II, equations 1–3).
+//!
+//! Given the per-step uncertainties `u_0..=u_i` of a timeseries, these
+//! rules produce a joint uncertainty for the fused outcome:
+//!
+//! * **naïve** — `∏ u_j`, valid only under independence (which DDM errors
+//!   violate badly; the paper shows it is strongly overconfident),
+//! * **opportune** — `min u_j`, valid only if the per-step estimates are
+//!   never overconfident,
+//! * **worst-case** — `max u_j`, always dependable but overly conservative.
+
+use serde::{Deserialize, Serialize};
+
+/// An uncertainty-fusion rule over per-step uncertainty estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UncertaintyFusion {
+    /// Product of uncertainties (assumes independent failures), eq. (1).
+    Naive,
+    /// Minimum uncertainty over the series, eq. (2).
+    Opportune,
+    /// Maximum uncertainty over the series, eq. (3).
+    WorstCase,
+}
+
+impl UncertaintyFusion {
+    /// All rules, for sweeps.
+    pub const ALL: [UncertaintyFusion; 3] =
+        [UncertaintyFusion::Naive, UncertaintyFusion::Opportune, UncertaintyFusion::WorstCase];
+
+    /// Short stable name for reports (matches the paper's terminology).
+    pub fn name(self) -> &'static str {
+        match self {
+            UncertaintyFusion::Naive => "naive",
+            UncertaintyFusion::Opportune => "opportune",
+            UncertaintyFusion::WorstCase => "worst-case",
+        }
+    }
+
+    /// Fuses the uncertainties observed so far; `None` on empty input.
+    ///
+    /// Inputs are clamped to `[0, 1]`; the result is always in `[0, 1]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tauw_fusion::uncertainty::UncertaintyFusion;
+    ///
+    /// let u = [0.2, 0.1, 0.4];
+    /// assert!((UncertaintyFusion::Naive.fuse(&u).unwrap() - 0.008).abs() < 1e-12);
+    /// assert_eq!(UncertaintyFusion::Opportune.fuse(&u), Some(0.1));
+    /// assert_eq!(UncertaintyFusion::WorstCase.fuse(&u), Some(0.4));
+    /// ```
+    pub fn fuse(self, uncertainties: &[f64]) -> Option<f64> {
+        if uncertainties.is_empty() {
+            return None;
+        }
+        let clamped = uncertainties.iter().map(|u| u.clamp(0.0, 1.0));
+        Some(match self {
+            UncertaintyFusion::Naive => clamped.product(),
+            UncertaintyFusion::Opportune => clamped.fold(1.0, f64::min),
+            UncertaintyFusion::WorstCase => clamped.fold(0.0, f64::max),
+        })
+    }
+}
+
+impl std::fmt::Display for UncertaintyFusion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_estimate_passes_through_for_all_rules() {
+        for rule in UncertaintyFusion::ALL {
+            assert_eq!(rule.fuse(&[0.37]), Some(0.37));
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        for rule in UncertaintyFusion::ALL {
+            assert_eq!(rule.fuse(&[]), None);
+        }
+    }
+
+    #[test]
+    fn naive_shrinks_fast() {
+        let u = vec![0.1; 10];
+        let fused = UncertaintyFusion::Naive.fuse(&u).unwrap();
+        assert!((fused - 1e-10).abs() < 1e-20);
+    }
+
+    #[test]
+    fn ordering_naive_le_opportune_le_worst_case() {
+        // For uncertainties in [0,1]: ∏u ≤ min u ≤ max u.
+        let cases: [&[f64]; 4] =
+            [&[0.5, 0.5], &[0.9, 0.1, 0.3], &[0.01, 0.02, 0.9, 0.5], &[1.0, 1.0]];
+        for u in cases {
+            let n = UncertaintyFusion::Naive.fuse(u).unwrap();
+            let o = UncertaintyFusion::Opportune.fuse(u).unwrap();
+            let w = UncertaintyFusion::WorstCase.fuse(u).unwrap();
+            assert!(n <= o + 1e-15, "naive {n} > opportune {o} for {u:?}");
+            assert!(o <= w + 1e-15, "opportune {o} > worst {w} for {u:?}");
+        }
+    }
+
+    #[test]
+    fn results_stay_probabilities_even_with_dirty_inputs() {
+        for rule in UncertaintyFusion::ALL {
+            let fused = rule.fuse(&[1.7, -0.3, 0.5]).unwrap();
+            assert!((0.0..=1.0).contains(&fused), "{rule}: {fused}");
+        }
+    }
+
+    #[test]
+    fn worst_case_is_monotone_in_series_length() {
+        let mut u = vec![0.1];
+        let mut prev = UncertaintyFusion::WorstCase.fuse(&u).unwrap();
+        for step in 2..10 {
+            u.push(0.05 * step as f64);
+            let next = UncertaintyFusion::WorstCase.fuse(&u).unwrap();
+            assert!(next >= prev);
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn opportune_is_antitone_in_series_length() {
+        let mut u = vec![0.9];
+        let mut prev = UncertaintyFusion::Opportune.fuse(&u).unwrap();
+        for step in 2..10 {
+            u.push(0.9 / step as f64);
+            let next = UncertaintyFusion::Opportune.fuse(&u).unwrap();
+            assert!(next <= prev);
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn names_match_paper_terms() {
+        assert_eq!(UncertaintyFusion::Naive.to_string(), "naive");
+        assert_eq!(UncertaintyFusion::Opportune.to_string(), "opportune");
+        assert_eq!(UncertaintyFusion::WorstCase.to_string(), "worst-case");
+    }
+}

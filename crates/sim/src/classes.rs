@@ -1,0 +1,233 @@
+//! The GTSRB class inventory: 43 German traffic-sign classes with
+//! visual-similarity confusion groups.
+//!
+//! The simulated DDM makes *systematic* mistakes: when it errs on a series
+//! it predominantly confuses the true sign with a visually similar one
+//! (e.g. one speed limit for another), which is what makes successive
+//! errors within a timeseries agree with each other — the property that
+//! breaks majority voting and the naïve independence assumption.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of classes in the GTSRB benchmark.
+pub const N_CLASSES: u8 = 43;
+
+/// A traffic-sign class id in `0..43`, following the GTSRB numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SignClass(u8);
+
+impl SignClass {
+    /// Creates a class from its GTSRB id.
+    ///
+    /// Returns `None` if `id >= 43`.
+    pub fn new(id: u8) -> Option<Self> {
+        (id < N_CLASSES).then_some(SignClass(id))
+    }
+
+    /// The raw GTSRB class id.
+    pub fn id(self) -> u8 {
+        self.0
+    }
+
+    /// Iterator over all 43 classes in id order.
+    pub fn all() -> impl Iterator<Item = SignClass> {
+        (0..N_CLASSES).map(SignClass)
+    }
+
+    /// English name of the sign, matching the usual GTSRB labelling.
+    pub fn name(self) -> &'static str {
+        NAMES[self.0 as usize]
+    }
+
+    /// The visual confusion group this sign belongs to.
+    pub fn confusion_group(self) -> ConfusionGroup {
+        match self.0 {
+            0..=5 | 7 | 8 => ConfusionGroup::SpeedLimits,
+            6 | 32 | 41 | 42 => ConfusionGroup::EndOfRestriction,
+            9 | 10 | 15 | 16 | 17 => ConfusionGroup::ProhibitoryCircles,
+            11 | 13 | 18..=31 => ConfusionGroup::WarningTriangles,
+            33..=40 => ConfusionGroup::MandatoryBlue,
+            12 | 14 => ConfusionGroup::UniqueShapes,
+            _ => unreachable!("SignClass invariant: id < 43"),
+        }
+    }
+
+    /// Members of this sign's confusion group, excluding the sign itself.
+    pub fn confusable_with(self) -> Vec<SignClass> {
+        let group = self.confusion_group();
+        SignClass::all().filter(|&c| c != self && c.confusion_group() == group).collect()
+    }
+
+    /// Relative frequency weight of this class in the GTSRB training data
+    /// (coarse, normalized so weights sum to ~1). GTSRB is heavily
+    /// imbalanced: speed limits 30/50 and priority/yield signs dominate.
+    pub fn frequency_weight(self) -> f64 {
+        FREQ[self.0 as usize] / FREQ_TOTAL
+    }
+}
+
+impl std::fmt::Display for SignClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.0, self.name())
+    }
+}
+
+/// Visual similarity families used to pick systematic confusion targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConfusionGroup {
+    /// Red-bordered circular speed-limit signs (very high mutual confusion).
+    SpeedLimits,
+    /// Grey "end of restriction" signs.
+    EndOfRestriction,
+    /// Other red-bordered prohibitory circles (no passing, no entry, ...).
+    ProhibitoryCircles,
+    /// Red-bordered warning triangles.
+    WarningTriangles,
+    /// Blue circular mandatory-direction signs.
+    MandatoryBlue,
+    /// Distinctive shapes (priority diamond, stop octagon).
+    UniqueShapes,
+}
+
+const NAMES: [&str; 43] = [
+    "speed limit 20",
+    "speed limit 30",
+    "speed limit 50",
+    "speed limit 60",
+    "speed limit 70",
+    "speed limit 80",
+    "end of speed limit 80",
+    "speed limit 100",
+    "speed limit 120",
+    "no passing",
+    "no passing for trucks",
+    "right-of-way at next intersection",
+    "priority road",
+    "yield",
+    "stop",
+    "no vehicles",
+    "trucks prohibited",
+    "no entry",
+    "general caution",
+    "dangerous curve left",
+    "dangerous curve right",
+    "double curve",
+    "bumpy road",
+    "slippery road",
+    "road narrows on the right",
+    "road work",
+    "traffic signals",
+    "pedestrians",
+    "children crossing",
+    "bicycles crossing",
+    "beware of ice/snow",
+    "wild animals crossing",
+    "end of all speed and passing limits",
+    "turn right ahead",
+    "turn left ahead",
+    "ahead only",
+    "go straight or right",
+    "go straight or left",
+    "keep right",
+    "keep left",
+    "roundabout mandatory",
+    "end of no passing",
+    "end of no passing for trucks",
+];
+
+/// Approximate per-class sample counts in the GTSRB training set (in units
+/// of 30-image tracks), used as sampling weights for realistic class
+/// imbalance.
+const FREQ: [f64; 43] = [
+    7.0, 74.0, 75.0, 47.0, 66.0, 62.0, 14.0, 48.0, 47.0, 49.0, 67.0, 44.0, 70.0, 72.0, 26.0,
+    21.0, 14.0, 37.0, 40.0, 7.0, 11.0, 10.0, 13.0, 17.0, 9.0, 50.0, 20.0, 8.0, 18.0, 9.0, 15.0,
+    26.0, 8.0, 23.0, 14.0, 40.0, 13.0, 7.0, 69.0, 10.0, 12.0, 8.0, 8.0,
+];
+
+const FREQ_TOTAL: f64 = {
+    // const-evaluated sum keeps the weights exactly normalized.
+    let mut total = 0.0;
+    let mut i = 0;
+    while i < 43 {
+        total += FREQ[i];
+        i += 1;
+    }
+    total
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_43_classes() {
+        assert_eq!(SignClass::all().count(), 43);
+        assert!(SignClass::new(42).is_some());
+        assert!(SignClass::new(43).is_none());
+    }
+
+    #[test]
+    fn names_are_distinct_and_nonempty() {
+        let mut seen = std::collections::HashSet::new();
+        for c in SignClass::all() {
+            assert!(!c.name().is_empty());
+            assert!(seen.insert(c.name()), "duplicate name {}", c.name());
+        }
+    }
+
+    #[test]
+    fn every_class_has_a_group() {
+        for c in SignClass::all() {
+            let _ = c.confusion_group(); // must not panic
+        }
+    }
+
+    #[test]
+    fn speed_limits_confuse_with_speed_limits() {
+        let sl50 = SignClass::new(2).unwrap();
+        let peers = sl50.confusable_with();
+        assert!(peers.len() >= 7);
+        for p in &peers {
+            assert_eq!(p.confusion_group(), ConfusionGroup::SpeedLimits);
+            assert_ne!(*p, sl50);
+        }
+    }
+
+    #[test]
+    fn stop_sign_group_is_small_but_nonempty() {
+        let stop = SignClass::new(14).unwrap();
+        assert_eq!(stop.confusion_group(), ConfusionGroup::UniqueShapes);
+        let peers = stop.confusable_with();
+        assert_eq!(peers, vec![SignClass::new(12).unwrap()]);
+    }
+
+    #[test]
+    fn frequency_weights_are_a_distribution() {
+        let total: f64 = SignClass::all().map(|c| c.frequency_weight()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for c in SignClass::all() {
+            assert!(c.frequency_weight() > 0.0);
+        }
+    }
+
+    #[test]
+    fn common_classes_are_more_frequent_than_rare() {
+        let sl30 = SignClass::new(1).unwrap(); // very common
+        let sl20 = SignClass::new(0).unwrap(); // rare
+        assert!(sl30.frequency_weight() > 5.0 * sl20.frequency_weight());
+    }
+
+    #[test]
+    fn display_includes_id_and_name() {
+        let c = SignClass::new(14).unwrap();
+        assert_eq!(c.to_string(), "14 (stop)");
+    }
+
+    #[test]
+    fn confusable_never_includes_self() {
+        for c in SignClass::all() {
+            assert!(!c.confusable_with().contains(&c));
+            assert!(!c.confusable_with().is_empty(), "class {c} has no confusion peers");
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Central configuration for the synthetic TSR world.
+//!
+//! Every knob that shapes the simulated joint distribution of (input
+//! quality, DDM correctness, series structure) lives here with documented
+//! defaults. The defaults were calibrated so that the *shape* of the
+//! paper's results reproduces (DDM error rate near 8% on length-10
+//! windows, strong within-series error correlation, error rate falling as
+//! the sign grows); `tauw-experiments` records the measured values next to
+//! the paper's in `EXPERIMENTS.md`.
+
+use crate::deficits::{DeficitKind, N_DEFICITS};
+use crate::geometry::ApproachGeometry;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic world and the simulated DDM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of base timeseries (paper: 1307 GTSRB tracks).
+    pub n_series: usize,
+    /// Approach geometry shared by all series.
+    pub geometry: ApproachGeometry,
+    /// Train/calibration/test split in series counts (paper: 522/392/392
+    /// with one spare; we assign it to training).
+    pub split: (usize, usize, usize),
+    /// Per-deficit intensity levels used to augment each *training* series
+    /// (paper: low/medium/high).
+    pub train_intensity_levels: Vec<f64>,
+    /// Number of random situation settings per calibration series
+    /// (paper: 28).
+    pub calib_augmentations: usize,
+    /// Number of random situation settings per test series (paper: 28).
+    pub test_augmentations: usize,
+    /// Length of the subsampled windows for calibration/test (paper: 10).
+    pub window_len: usize,
+    /// DDM error-model intercept (log-odds of failure in perfect
+    /// conditions at zero distance).
+    pub ddm_bias: f64,
+    /// Log-odds weight of normalized distance (`distance / start_distance`).
+    pub ddm_distance_weight: f64,
+    /// Log-odds weight per deficit kind.
+    pub ddm_deficit_weights: [f64; N_DEFICITS],
+    /// Standard deviation of the per-series random effect on the log-odds
+    /// (systematic series difficulty; a key driver of error dependence).
+    pub ddm_series_sigma: f64,
+    /// AR(1) coefficient of the Gaussian copula linking consecutive error
+    /// draws (0 = independent errors, →1 = fully persistent errors).
+    pub ddm_error_copula_phi: f64,
+    /// Probability that an error outputs the series' systematic confusion
+    /// class rather than a uniformly random wrong class.
+    pub ddm_systematic_confusion_prob: f64,
+    /// Std-dev of additive sensor noise on observed deficit intensities.
+    pub sensor_noise_sigma: f64,
+    /// Relative std-dev of the observed pixel size (bounding-box jitter).
+    pub pixel_size_rel_noise: f64,
+    /// Per-frame relative jitter of motion blur around its base level.
+    pub blur_jitter: f64,
+    /// Per-frame probability that the artificial-backlight gate toggles
+    /// (streetlights / oncoming traffic passing through the frame).
+    pub backlight_toggle_prob: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n_series: 1307,
+            geometry: ApproachGeometry::default(),
+            split: (523, 392, 392),
+            train_intensity_levels: vec![0.33, 0.66, 1.0],
+            calib_augmentations: 28,
+            test_augmentations: 28,
+            window_len: 10,
+            ddm_bias: -6.45,
+            ddm_distance_weight: 2.4,
+            ddm_deficit_weights: deficit_weights(),
+            ddm_series_sigma: 1.05,
+            ddm_error_copula_phi: 0.72,
+            ddm_systematic_confusion_prob: 0.75,
+            sensor_noise_sigma: 0.04,
+            pixel_size_rel_noise: 0.03,
+            blur_jitter: 0.25,
+            backlight_toggle_prob: 0.25,
+        }
+    }
+}
+
+/// Default log-odds contribution of each deficit at full intensity.
+fn deficit_weights() -> [f64; N_DEFICITS] {
+    let mut w = [0.0; N_DEFICITS];
+    w[DeficitKind::Rain as usize] = 1.0;
+    w[DeficitKind::Darkness as usize] = 0.9;
+    w[DeficitKind::Haze as usize] = 1.3;
+    w[DeficitKind::NaturalBacklight as usize] = 0.8;
+    w[DeficitKind::ArtificialBacklight as usize] = 0.7;
+    w[DeficitKind::DirtOnSign as usize] = 1.0;
+    w[DeficitKind::DirtOnLens as usize] = 0.7;
+    w[DeficitKind::SteamedLens as usize] = 1.4;
+    w[DeficitKind::MotionBlur as usize] = 1.2;
+    w
+}
+
+impl SimConfig {
+    /// A scaled-down configuration for fast unit tests and benches:
+    /// `fraction` scales series counts and augmentations (min 1 each).
+    pub fn scaled(fraction: f64) -> Self {
+        let base = SimConfig::default();
+        let f = fraction.clamp(0.001, 1.0);
+        let scale = |x: usize| ((x as f64 * f).round() as usize).max(4);
+        let split = (scale(base.split.0), scale(base.split.1), scale(base.split.2));
+        SimConfig {
+            // Derive the total from the scaled splits so rounding can never
+            // make them overshoot.
+            n_series: split.0 + split.1 + split.2,
+            split,
+            calib_augmentations: ((base.calib_augmentations as f64 * f).round() as usize).max(1),
+            test_augmentations: ((base.test_augmentations as f64 * f).round() as usize).max(1),
+            ..base
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.split.0 + self.split.1 + self.split.2 > self.n_series {
+            return Err(format!(
+                "split {:?} exceeds n_series {}",
+                self.split, self.n_series
+            ));
+        }
+        if self.window_len == 0 || self.window_len > self.geometry.n_frames {
+            return Err(format!(
+                "window_len {} must be in 1..={}",
+                self.window_len, self.geometry.n_frames
+            ));
+        }
+        if !(0.0..1.0).contains(&self.ddm_error_copula_phi) {
+            return Err("copula phi must be in [0, 1)".into());
+        }
+        if !(0.0..=1.0).contains(&self.ddm_systematic_confusion_prob) {
+            return Err("systematic confusion probability must be in [0, 1]".into());
+        }
+        if self.train_intensity_levels.is_empty() {
+            return Err("at least one training intensity level is required".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_paper_sized() {
+        let c = SimConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.n_series, 1307);
+        assert_eq!(c.split.0 + c.split.1 + c.split.2, 1307);
+        assert_eq!(c.window_len, 10);
+        assert_eq!(c.calib_augmentations, 28);
+        assert_eq!(c.train_intensity_levels.len(), 3);
+    }
+
+    #[test]
+    fn scaled_config_shrinks_but_stays_valid() {
+        let c = SimConfig::scaled(0.05);
+        c.validate().unwrap();
+        assert!(c.n_series < 100);
+        assert!(c.calib_augmentations >= 1);
+    }
+
+    #[test]
+    fn validation_catches_bad_split() {
+        let c = SimConfig { split: (1000, 1000, 1000), ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_window() {
+        let mut c = SimConfig { window_len: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+        c.window_len = 99;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_bad_copula() {
+        let c = SimConfig { ddm_error_copula_phi: 1.0, ..Default::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn all_deficits_have_positive_weight() {
+        let c = SimConfig::default();
+        for k in DeficitKind::ALL {
+            assert!(c.ddm_deficit_weights[k as usize] > 0.0, "{k} weight must be positive");
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! The simulated data-driven model (DDM): a stand-in for the paper's CNN
+//! traffic-sign classifier.
+//!
+//! The wrapper treats the DDM as a black box, so what must be faithful is
+//! not pixels-in/logits-out but the *statistical behaviour* of the
+//! classifier:
+//!
+//! 1. **Error rate depends on input quality** — a logistic model over the
+//!    latent deficit intensities and the (normalized) viewing distance.
+//! 2. **Errors are systematically dependent within a series** — a shared
+//!    per-series random effect on the log-odds, an AR(1) Gaussian copula
+//!    across the per-frame error draws, and a per-series *systematic
+//!    confusion class* that wrong outcomes collapse onto. The paper calls
+//!    this out explicitly: "constant or slowly changing environment factors
+//!    lead to systematic mistakes and thus it cannot be assumed that
+//!    successive DDM misclassifications will occur purely at random."
+//! 3. **Accuracy improves as the sign grows** in the image (Fig. 4).
+
+use crate::classes::SignClass;
+use crate::config::SimConfig;
+use crate::deficits::{DeficitKind, DeficitVector};
+use crate::rng_util::{sample_standard_normal, sample_weighted};
+use crate::sensors::QualityObservation;
+use crate::series::{Frame, SeriesRecord};
+use crate::situation::SituationSetting;
+use rand::Rng;
+use tauw_stats::special::normal_cdf;
+
+/// The simulated CNN classifier.
+#[derive(Debug, Clone)]
+pub struct SimulatedDdm {
+    config: SimConfig,
+}
+
+impl SimulatedDdm {
+    /// Creates a DDM with the given world configuration.
+    pub fn new(config: SimConfig) -> Self {
+        SimulatedDdm { config }
+    }
+
+    /// Access to the configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Per-frame failure probability given latent conditions and the
+    /// series-level random effect on the log-odds.
+    pub fn error_probability(
+        &self,
+        deficits: &DeficitVector,
+        distance_m: f64,
+        series_effect: f64,
+    ) -> f64 {
+        let cfg = &self.config;
+        let normalized_distance = (distance_m / cfg.geometry.start_distance_m).clamp(0.0, 1.5);
+        let mut logit = cfg.ddm_bias + cfg.ddm_distance_weight * normalized_distance + series_effect;
+        for (i, &w) in cfg.ddm_deficit_weights.iter().enumerate() {
+            logit += w * deficits.as_array()[i];
+        }
+        sigmoid(logit)
+    }
+
+    /// Generates one full-length series: evolves the per-frame deficits,
+    /// draws correlated error events, and synthesizes outcomes.
+    pub fn generate_series<R: Rng + ?Sized>(
+        &self,
+        series_id: u64,
+        true_class: SignClass,
+        setting: &SituationSetting,
+        rng: &mut R,
+    ) -> SeriesRecord {
+        let cfg = &self.config;
+        let n_frames = cfg.geometry.n_frames;
+
+        // Series-level systematic components.
+        let series_effect = cfg.ddm_series_sigma * sample_standard_normal(rng);
+        let confusion_peers = true_class.confusable_with();
+        let confusion_target = confusion_peers[rng.gen_range(0..confusion_peers.len())];
+
+        // Artificial backlight gate: Markov on/off chain around the base.
+        let backlight_base = setting.deficits.get(DeficitKind::ArtificialBacklight);
+        let mut backlight_on = backlight_base > 0.0 && rng.gen_bool(0.7);
+
+        // AR(1) Gaussian copula state for error dependence.
+        let phi = cfg.ddm_error_copula_phi;
+        let mut z = sample_standard_normal(rng);
+
+        let mut frames = Vec::with_capacity(n_frames);
+        for step in 0..n_frames {
+            // Per-frame deficit evolution.
+            let mut deficits = setting.deficits;
+            let blur_base = setting.deficits.get(DeficitKind::MotionBlur);
+            let blur = blur_base * (1.0 + cfg.blur_jitter * sample_standard_normal(rng));
+            deficits.set(DeficitKind::MotionBlur, blur);
+            if backlight_base > 0.0 && rng.gen_bool(cfg.backlight_toggle_prob) {
+                backlight_on = !backlight_on;
+            }
+            deficits
+                .set(DeficitKind::ArtificialBacklight, if backlight_on { backlight_base } else { 0.0 });
+
+            let distance_m = cfg.geometry.distance_at(step);
+            let pixel_size = cfg.geometry.pixel_size_at(step);
+            let p_err = self.error_probability(&deficits, distance_m, series_effect);
+
+            // Correlated error draw through the copula.
+            if step > 0 {
+                z = phi * z + (1.0 - phi * phi).sqrt() * sample_standard_normal(rng);
+            }
+            let is_error = normal_cdf(z) < p_err;
+
+            let outcome = if is_error {
+                if rng.gen_bool(cfg.ddm_systematic_confusion_prob) {
+                    confusion_target
+                } else {
+                    // A uniformly random *wrong* class.
+                    let mut weights = [1.0; crate::classes::N_CLASSES as usize];
+                    weights[true_class.id() as usize] = 0.0;
+                    SignClass::new(sample_weighted(rng, &weights) as u8)
+                        .expect("index < N_CLASSES by construction")
+                }
+            } else {
+                true_class
+            };
+
+            // Softmax-style self-confidence proxy (not consumed by the
+            // wrapper): high when conditions are good, noisy when bad.
+            let ddm_confidence = if is_error {
+                rng.gen_range(0.35..0.9)
+            } else {
+                (1.0 - p_err * rng.gen_range(0.2..1.0)).clamp(0.0, 1.0)
+            };
+
+            let observation = QualityObservation::observe(&deficits, pixel_size, cfg, rng);
+            frames.push(Frame {
+                step,
+                absolute_step: step,
+                distance_m,
+                pixel_size,
+                latent_deficits: deficits,
+                observation,
+                outcome,
+                correct: !is_error,
+                ddm_confidence,
+            });
+        }
+
+        SeriesRecord { series_id, true_class, setting: setting.clone(), frames }
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::situation::SituationModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ddm() -> SimulatedDdm {
+        SimulatedDdm::new(SimConfig::default())
+    }
+
+    fn clean_setting(rng: &mut StdRng) -> SituationSetting {
+        let mut s = SituationModel::new().sample(rng);
+        s.deficits = DeficitVector::zero();
+        s
+    }
+
+    #[test]
+    fn error_probability_increases_with_distance() {
+        let d = ddm();
+        let clean = DeficitVector::zero();
+        let near = d.error_probability(&clean, 6.0, 0.0);
+        let far = d.error_probability(&clean, 80.0, 0.0);
+        assert!(far > 2.0 * near, "far {far} should dwarf near {near}");
+    }
+
+    #[test]
+    fn error_probability_increases_with_deficits() {
+        let d = ddm();
+        let clean = DeficitVector::zero();
+        let mut bad = DeficitVector::zero();
+        bad.set(DeficitKind::SteamedLens, 1.0);
+        bad.set(DeficitKind::MotionBlur, 0.8);
+        assert!(
+            d.error_probability(&bad, 30.0, 0.0) > 3.0 * d.error_probability(&clean, 30.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn clean_near_conditions_are_very_reliable() {
+        let d = ddm();
+        let p = d.error_probability(&DeficitVector::zero(), 6.0, 0.0);
+        assert!(p < 0.01, "clean near error rate {p} should be below 1%");
+    }
+
+    #[test]
+    fn series_has_configured_length_and_consistent_flags() {
+        let d = ddm();
+        let mut rng = StdRng::seed_from_u64(1);
+        let setting = SituationModel::new().sample(&mut rng);
+        let s = d.generate_series(1, SignClass::new(13).unwrap(), &setting, &mut rng);
+        assert_eq!(s.len(), 30);
+        for f in &s.frames {
+            assert_eq!(f.correct, f.outcome == s.true_class);
+            assert!(f.pixel_size > 0.0);
+            assert!((0.0..=1.0).contains(&f.ddm_confidence));
+        }
+    }
+
+    #[test]
+    fn errors_are_dependent_within_series() {
+        // Compare the empirical P(error at t+1 | error at t) against the
+        // marginal error rate: with the copula + series effect it must be
+        // much larger.
+        let d = ddm();
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = SituationModel::new();
+        let mut joint = 0usize;
+        let mut after_error = 0usize;
+        let mut errors = 0usize;
+        let mut total = 0usize;
+        for i in 0..600 {
+            let setting = model.sample(&mut rng);
+            let s = d.generate_series(i, SignClass::new(2).unwrap(), &setting, &mut rng);
+            for w in s.frames.windows(2) {
+                total += 1;
+                if !w[0].correct {
+                    errors += 1;
+                    after_error += 1;
+                    if !w[1].correct {
+                        joint += 1;
+                    }
+                }
+            }
+            if let Some(last) = s.frames.last() {
+                if !last.correct {
+                    errors += 1;
+                }
+            }
+            total += 1;
+        }
+        let marginal = errors as f64 / total as f64;
+        let conditional = joint as f64 / after_error.max(1) as f64;
+        assert!(
+            conditional > 3.0 * marginal,
+            "P(err|prev err) = {conditional:.3} vs marginal {marginal:.3}: errors look independent"
+        );
+    }
+
+    #[test]
+    fn wrong_outcomes_concentrate_on_confusion_target() {
+        let d = ddm();
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = SituationModel::new();
+        let mut histogram = std::collections::HashMap::new();
+        let mut n_err = 0;
+        for i in 0..400 {
+            let mut setting = model.sample(&mut rng);
+            // Force terrible conditions so errors abound.
+            setting.deficits.set(DeficitKind::Haze, 1.0);
+            setting.deficits.set(DeficitKind::SteamedLens, 1.0);
+            let s = d.generate_series(i, SignClass::new(5).unwrap(), &setting, &mut rng);
+            let mut per_series = std::collections::HashMap::new();
+            for f in &s.frames {
+                if !f.correct {
+                    n_err += 1;
+                    *per_series.entry(f.outcome).or_insert(0usize) += 1;
+                }
+            }
+            // Record the modal wrong class per series.
+            if let Some((&class, &count)) = per_series.iter().max_by_key(|(_, &c)| c) {
+                histogram.insert(i, (class, count, per_series.values().sum::<usize>()));
+            }
+        }
+        assert!(n_err > 500, "need plenty of errors for this test, got {n_err}");
+        // In most series the modal wrong class dominates the errors.
+        let dominated = histogram
+            .values()
+            .filter(|(_, modal, total)| *modal as f64 > 0.6 * *total as f64)
+            .count();
+        assert!(
+            dominated as f64 > 0.7 * histogram.len() as f64,
+            "systematic confusion should dominate per-series errors"
+        );
+        // And modal wrong classes are usually in the speed-limit group.
+        let speed_group = histogram
+            .values()
+            .filter(|(c, _, _)| {
+                c.confusion_group() == crate::classes::ConfusionGroup::SpeedLimits
+            })
+            .count();
+        assert!(speed_group as f64 > 0.7 * histogram.len() as f64);
+    }
+
+    #[test]
+    fn error_rate_declines_over_the_series() {
+        let d = ddm();
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = SituationModel::new();
+        let mut early = 0usize;
+        let mut late = 0usize;
+        let mut n = 0usize;
+        for i in 0..800 {
+            let setting = model.sample(&mut rng);
+            let s = d.generate_series(i, SignClass::new(1).unwrap(), &setting, &mut rng);
+            early += s.frames[..10].iter().filter(|f| !f.correct).count();
+            late += s.frames[20..].iter().filter(|f| !f.correct).count();
+            n += 10;
+        }
+        let early_rate = early as f64 / n as f64;
+        let late_rate = late as f64 / n as f64;
+        assert!(
+            early_rate > 1.5 * late_rate,
+            "early (far) error rate {early_rate:.3} should exceed late (near) {late_rate:.3}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let d = ddm();
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let s1 = {
+            let setting = clean_setting(&mut rng1);
+            d.generate_series(9, SignClass::new(3).unwrap(), &setting, &mut rng1)
+        };
+        let s2 = {
+            let setting = clean_setting(&mut rng2);
+            d.generate_series(9, SignClass::new(3).unwrap(), &setting, &mut rng2)
+        };
+        assert_eq!(s1, s2);
+    }
+}

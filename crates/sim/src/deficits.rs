@@ -1,0 +1,197 @@
+//! The nine image quality deficits used by the paper's augmentation
+//! framework (Jöckel & Kläs), modelled as latent intensities in `[0, 1]`.
+
+use serde::{Deserialize, Serialize};
+
+/// The quality deficit kinds the paper augments GTSRB images with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum DeficitKind {
+    /// Rain streaks / droplets obscuring the scene.
+    Rain = 0,
+    /// Low ambient light (night, dusk).
+    Darkness = 1,
+    /// Haze / fog reducing contrast.
+    Haze = 2,
+    /// Natural backlight (low sun behind the sign).
+    NaturalBacklight = 3,
+    /// Artificial backlight (street lamps, oncoming headlights).
+    ArtificialBacklight = 4,
+    /// Dirt on the traffic sign itself.
+    DirtOnSign = 5,
+    /// Dirt on the camera lens.
+    DirtOnLens = 6,
+    /// Steamed-up (fogged) camera lens.
+    SteamedLens = 7,
+    /// Motion blur from vehicle speed and exposure time.
+    MotionBlur = 8,
+}
+
+/// Number of deficit kinds.
+pub const N_DEFICITS: usize = 9;
+
+impl DeficitKind {
+    /// All deficit kinds in index order.
+    pub const ALL: [DeficitKind; N_DEFICITS] = [
+        DeficitKind::Rain,
+        DeficitKind::Darkness,
+        DeficitKind::Haze,
+        DeficitKind::NaturalBacklight,
+        DeficitKind::ArtificialBacklight,
+        DeficitKind::DirtOnSign,
+        DeficitKind::DirtOnLens,
+        DeficitKind::SteamedLens,
+        DeficitKind::MotionBlur,
+    ];
+
+    /// Stable snake_case name used for feature columns and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeficitKind::Rain => "rain",
+            DeficitKind::Darkness => "darkness",
+            DeficitKind::Haze => "haze",
+            DeficitKind::NaturalBacklight => "natural_backlight",
+            DeficitKind::ArtificialBacklight => "artificial_backlight",
+            DeficitKind::DirtOnSign => "dirt_on_sign",
+            DeficitKind::DirtOnLens => "dirt_on_lens",
+            DeficitKind::SteamedLens => "steamed_lens",
+            DeficitKind::MotionBlur => "motion_blur",
+        }
+    }
+
+    /// Whether the deficit may change from frame to frame within one series.
+    /// The paper keeps settings constant through a series "except for motion
+    /// blur and artificial backlight".
+    pub fn varies_within_series(self) -> bool {
+        matches!(self, DeficitKind::MotionBlur | DeficitKind::ArtificialBacklight)
+    }
+}
+
+impl std::fmt::Display for DeficitKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Intensities for all nine deficits, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeficitVector([f64; N_DEFICITS]);
+
+impl DeficitVector {
+    /// All-zero (pristine conditions).
+    pub fn zero() -> Self {
+        DeficitVector([0.0; N_DEFICITS])
+    }
+
+    /// Builds a vector from raw intensities, clamping each into `[0, 1]`
+    /// (NaN becomes 0).
+    pub fn from_raw(values: [f64; N_DEFICITS]) -> Self {
+        let mut v = values;
+        for x in &mut v {
+            *x = if x.is_nan() { 0.0 } else { x.clamp(0.0, 1.0) };
+        }
+        DeficitVector(v)
+    }
+
+    /// A vector with a single deficit set to `intensity` (used for the
+    /// paper's per-deficit training augmentation).
+    pub fn single(kind: DeficitKind, intensity: f64) -> Self {
+        let mut v = DeficitVector::zero();
+        v.set(kind, intensity);
+        v
+    }
+
+    /// Intensity of one deficit.
+    pub fn get(&self, kind: DeficitKind) -> f64 {
+        self.0[kind as usize]
+    }
+
+    /// Sets one deficit, clamping into `[0, 1]`.
+    pub fn set(&mut self, kind: DeficitKind, intensity: f64) {
+        self.0[kind as usize] = if intensity.is_nan() { 0.0 } else { intensity.clamp(0.0, 1.0) };
+    }
+
+    /// Raw intensities in [`DeficitKind`] index order.
+    pub fn as_array(&self) -> &[f64; N_DEFICITS] {
+        &self.0
+    }
+
+    /// Sum of all intensities (a crude overall severity measure).
+    pub fn total(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// The most intense deficit and its value, or `None` if all are zero.
+    pub fn dominant(&self) -> Option<(DeficitKind, f64)> {
+        let (idx, &value) = self
+            .0
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .expect("fixed-size array is never empty");
+        (value > 0.0).then_some((DeficitKind::ALL[idx], value))
+    }
+}
+
+impl std::ops::Index<DeficitKind> for DeficitVector {
+    type Output = f64;
+    fn index(&self, kind: DeficitKind) -> &f64 {
+        &self.0[kind as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_unique_indices_and_names() {
+        let mut names = std::collections::HashSet::new();
+        for (i, k) in DeficitKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i);
+            assert!(names.insert(k.name()));
+        }
+        assert_eq!(DeficitKind::ALL.len(), N_DEFICITS);
+    }
+
+    #[test]
+    fn only_blur_and_artificial_backlight_vary() {
+        let varying: Vec<_> =
+            DeficitKind::ALL.iter().filter(|k| k.varies_within_series()).collect();
+        assert_eq!(
+            varying,
+            vec![&DeficitKind::ArtificialBacklight, &DeficitKind::MotionBlur]
+        );
+    }
+
+    #[test]
+    fn from_raw_clamps_and_scrubs_nan() {
+        let v = DeficitVector::from_raw([1.5, -0.3, f64::NAN, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(v.get(DeficitKind::Rain), 1.0);
+        assert_eq!(v.get(DeficitKind::Darkness), 0.0);
+        assert_eq!(v.get(DeficitKind::Haze), 0.0);
+        assert_eq!(v.get(DeficitKind::NaturalBacklight), 0.5);
+    }
+
+    #[test]
+    fn single_sets_exactly_one() {
+        let v = DeficitVector::single(DeficitKind::SteamedLens, 0.7);
+        assert_eq!(v.get(DeficitKind::SteamedLens), 0.7);
+        assert_eq!(v.total(), 0.7);
+        assert_eq!(v.dominant(), Some((DeficitKind::SteamedLens, 0.7)));
+    }
+
+    #[test]
+    fn zero_vector_has_no_dominant() {
+        assert_eq!(DeficitVector::zero().dominant(), None);
+        assert_eq!(DeficitVector::zero().total(), 0.0);
+    }
+
+    #[test]
+    fn index_operator_matches_get() {
+        let mut v = DeficitVector::zero();
+        v.set(DeficitKind::Rain, 0.4);
+        assert_eq!(v[DeficitKind::Rain], 0.4);
+        assert_eq!(v[DeficitKind::Haze], 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Drive scenarios: multi-sign detection streams for exercising the full
+//! runtime pipeline (tracking → buffer reset → fusion → taUW).
+//!
+//! A [`DriveScenario`] strings several sign approaches together the way a
+//! camera would see them — each sign at its own roadside placement, with
+//! the sign leaving the field of view near the end of its approach and
+//! occasional detection dropouts — and yields a flat stream of
+//! [`DriveFrame`]s. This is what the tracking component consumes in the
+//! paper's Fig. 2 architecture.
+
+use crate::classes::SignClass;
+use crate::config::SimConfig;
+use crate::ddm::SimulatedDdm;
+use crate::rng_util::sample_weighted;
+use crate::series::{Frame, SeriesRecord};
+use crate::situation::SituationModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One detection delivered to the runtime pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveFrame {
+    /// Index of the sign within the drive (ground truth, for evaluation).
+    pub sign_index: usize,
+    /// Detection position in the image plane, pixels relative to centre.
+    pub image_position: [f64; 2],
+    /// The underlying camera frame (quality factors, DDM outcome, ...).
+    pub frame: Frame,
+    /// Ground-truth class of the sign (for evaluation only).
+    pub true_class: SignClass,
+}
+
+/// One camera tick of a drive: either a detection, or a frame on which the
+/// detector produced nothing (the tracker should coast).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)] // detections dominate the stream, so boxing them would add an allocation per frame for no saving
+pub enum DriveEvent {
+    /// The detector found the sign in this frame.
+    Detection(DriveFrame),
+    /// Detector miss / occlusion while a sign is nominally visible; real
+    /// trackers coast their motion model through these frames.
+    Dropout {
+        /// Index of the sign that went undetected.
+        sign_index: usize,
+    },
+}
+
+/// A generated drive: the camera event stream plus the per-sign series it
+/// was assembled from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Drive {
+    /// Camera events in temporal order.
+    pub events: Vec<DriveEvent>,
+    /// The source series, one per sign.
+    pub series: Vec<SeriesRecord>,
+}
+
+impl Drive {
+    /// Number of distinct physical signs in the drive.
+    pub fn n_signs(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Iterator over the detections only (skipping dropouts).
+    pub fn detections(&self) -> impl Iterator<Item = &DriveFrame> {
+        self.events.iter().filter_map(|e| match e {
+            DriveEvent::Detection(f) => Some(f),
+            DriveEvent::Dropout { .. } => None,
+        })
+    }
+}
+
+/// Configuration for drive generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriveScenario {
+    /// Number of signs passed during the drive.
+    pub n_signs: usize,
+    /// Horizontal field of view half-width in pixels; detections beyond it
+    /// are dropped (the sign has left the image).
+    pub fov_half_width_px: f64,
+    /// Per-frame probability of a detection dropout (occlusion, detector
+    /// miss) strictly inside a series.
+    pub dropout_prob: f64,
+}
+
+impl Default for DriveScenario {
+    fn default() -> Self {
+        DriveScenario { n_signs: 3, fov_half_width_px: 640.0, dropout_prob: 0.02 }
+    }
+}
+
+impl DriveScenario {
+    /// Generates a drive deterministically from the world config and seed.
+    pub fn generate(&self, config: &SimConfig, seed: u64) -> Drive {
+        let ddm = SimulatedDdm::new(config.clone());
+        let situations = SituationModel::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<f64> = SignClass::all().map(|c| c.frequency_weight()).collect();
+
+        let mut events = Vec::new();
+        let mut series_list = Vec::new();
+        for sign_index in 0..self.n_signs {
+            let true_class = SignClass::new(sample_weighted(&mut rng, &weights) as u8)
+                .expect("weighted index is a valid class");
+            let setting = situations.sample(&mut rng);
+            let series =
+                ddm.generate_series(sign_index as u64, true_class, &setting, &mut rng);
+            // Roadside placement: alternating sides, varying offset/height.
+            let side = if sign_index % 2 == 0 { 1.0 } else { -1.0 };
+            let lateral = side * rng.gen_range(2.0..5.0);
+            let height = rng.gen_range(1.8..3.2);
+            for frame in &series.frames {
+                let (x, y) =
+                    config.geometry.image_position_at(frame.absolute_step, lateral, height);
+                if x.abs() > self.fov_half_width_px {
+                    // Sign left the camera's field of view.
+                    break;
+                }
+                if rng.gen_bool(self.dropout_prob) {
+                    events.push(DriveEvent::Dropout { sign_index });
+                    continue;
+                }
+                events.push(DriveEvent::Detection(DriveFrame {
+                    sign_index,
+                    image_position: [x, y],
+                    frame: *frame,
+                    true_class,
+                }));
+            }
+            series_list.push(series);
+        }
+        Drive { events, series: series_list }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracking::{SignTracker, TrackEvent};
+
+    fn drive() -> Drive {
+        DriveScenario::default().generate(&SimConfig::default(), 5)
+    }
+
+    #[test]
+    fn drive_contains_all_signs_in_order() {
+        let d = drive();
+        assert_eq!(d.n_signs(), 3);
+        let mut last = 0;
+        for f in d.detections() {
+            assert!(f.sign_index >= last, "signs must appear in order");
+            last = f.sign_index;
+        }
+        let seen: std::collections::HashSet<usize> =
+            d.detections().map(|f| f.sign_index).collect();
+        assert_eq!(seen.len(), 3, "every sign must contribute detections");
+    }
+
+    #[test]
+    fn detections_stay_inside_the_fov() {
+        let d = drive();
+        for f in d.detections() {
+            assert!(f.image_position[0].abs() <= 640.0);
+        }
+    }
+
+    #[test]
+    fn dropouts_thin_detections_but_keep_camera_ticks() {
+        let scenario = DriveScenario { dropout_prob: 0.5, ..Default::default() };
+        let thinned = scenario.generate(&SimConfig::default(), 5);
+        let full = DriveScenario { dropout_prob: 0.0, ..Default::default() }
+            .generate(&SimConfig::default(), 5);
+        assert!(thinned.detections().count() < full.detections().count());
+        assert!(thinned.detections().count() > full.detections().count() / 5);
+        let dropouts = thinned
+            .events
+            .iter()
+            .filter(|e| matches!(e, DriveEvent::Dropout { .. }))
+            .count();
+        assert!(dropouts > 0, "50% dropout probability must produce dropout events");
+        assert!(full.events.iter().all(|e| matches!(e, DriveEvent::Detection(_))));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DriveScenario::default().generate(&SimConfig::default(), 9);
+        let b = DriveScenario::default().generate(&SimConfig::default(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tracker_segments_the_default_drive() {
+        // The end-to-end property the scenario exists for: a Kalman tracker
+        // with approach-suited noise, coasting through dropouts, recovers
+        // exactly the sign boundaries.
+        let d = drive();
+        let mut tracker = SignTracker::with_noise(13.8, 2500.0, 9.0);
+        let mut previous: Option<usize> = None;
+        for event in &d.events {
+            match event {
+                DriveEvent::Dropout { .. } => tracker.coast(),
+                DriveEvent::Detection(f) => {
+                    let event = tracker.observe(f.image_position);
+                    if let Some(prev) = previous {
+                        if prev != f.sign_index {
+                            assert_eq!(
+                                event,
+                                TrackEvent::NewTrack,
+                                "sign change {prev}->{} must start a new track",
+                                f.sign_index
+                            );
+                        } else {
+                            assert_eq!(
+                                event,
+                                TrackEvent::Continued,
+                                "track must not fragment within sign {}",
+                                f.sign_index
+                            );
+                        }
+                    }
+                    previous = Some(f.sign_index);
+                }
+            }
+        }
+        assert_eq!(tracker.track_count() as usize, d.n_signs(), "one track per sign");
+    }
+
+    #[test]
+    fn dropout_heavy_drive_still_segments_with_coasting() {
+        let scenario = DriveScenario { dropout_prob: 0.25, ..Default::default() };
+        let d = scenario.generate(&SimConfig::default(), 11);
+        let mut tracker = SignTracker::with_noise(13.8, 2500.0, 9.0);
+        for event in &d.events {
+            match event {
+                DriveEvent::Dropout { .. } => tracker.coast(),
+                DriveEvent::Detection(f) => {
+                    tracker.observe(f.image_position);
+                }
+            }
+        }
+        assert_eq!(tracker.track_count() as usize, d.n_signs());
+    }
+
+    #[test]
+    fn frames_carry_consistent_ground_truth() {
+        let d = drive();
+        for f in d.detections() {
+            assert_eq!(f.true_class, d.series[f.sign_index].true_class);
+            assert_eq!(f.frame.correct, f.frame.outcome == f.true_class);
+        }
+    }
+
+    #[test]
+    fn coast_is_noop_without_active_track() {
+        let mut tracker = SignTracker::new(9.21);
+        tracker.coast(); // must not panic
+        assert_eq!(tracker.track_count(), 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # tauw-sim
+//!
+//! The synthetic traffic-sign-recognition world that substitutes for the
+//! paper's GTSRB images, CNN, augmentation pipeline, DWD weather archive
+//! and OpenStreetMap extracts (see `DESIGN.md` §2 for the substitution
+//! rationale). The uncertainty wrapper is an *outside-model* technique: it
+//! only observes quality factors and DDM outcomes, so the simulator's job
+//! is to reproduce their joint distribution —
+//!
+//! * a situation model with realistic co-occurrence of quality deficits
+//!   ([`situation`]),
+//! * approach geometry that grows the sign frame by frame ([`geometry`]),
+//! * a simulated classifier whose errors depend on input quality and are
+//!   strongly *correlated within a series* ([`ddm`]),
+//! * noisy quality-factor sensors ([`sensors`]),
+//! * the paper's train/calibration/test construction ([`dataset`]),
+//! * multi-sign drive scenarios for end-to-end pipeline demos ([`drive`]),
+//! * and a Kalman-filter sign tracker that signals series onsets
+//!   ([`tracking`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tauw_sim::{config::SimConfig, dataset::DatasetBuilder};
+//!
+//! let cfg = SimConfig::scaled(0.02); // small world for the doctest
+//! let data = DatasetBuilder::new(cfg, 42).map_err(std::io::Error::other)?.build();
+//! assert!(!data.train.is_empty());
+//! assert_eq!(data.test[0].len(), 10); // length-10 windows
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classes;
+pub mod config;
+pub mod dataset;
+pub mod ddm;
+pub mod deficits;
+pub mod drive;
+pub mod geometry;
+pub mod rng_util;
+pub mod sensors;
+pub mod series;
+pub mod situation;
+pub mod tracking;
+
+pub use classes::{ConfusionGroup, SignClass, N_CLASSES};
+pub use config::SimConfig;
+pub use dataset::{DatasetBuilder, GtsrbLikeDataset};
+pub use drive::{Drive, DriveFrame, DriveScenario};
+pub use ddm::SimulatedDdm;
+pub use deficits::{DeficitKind, DeficitVector, N_DEFICITS};
+pub use sensors::{QualityObservation, N_QUALITY_FACTORS};
+pub use series::{Frame, SeriesRecord};
+pub use situation::{RoadEnvironment, SituationModel, SituationSetting};
+pub use tracking::{SignTracker, TrackEvent};

@@ -1,0 +1,87 @@
+//! Small sampling helpers on top of `rand` (which, at the pinned version,
+//! ships no Gaussian distribution without the `rand_distr` add-on crate).
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard the log against u1 == 0.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Derives a stream-specific seed from a master seed and a stream label,
+/// so that every series gets an independent, reproducible RNG regardless of
+/// generation order (SplitMix64 finalizer).
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples an index from a discrete distribution given by `weights`
+/// (need not be normalized; must be non-negative with a positive sum).
+pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0);
+    let mut target = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_has_unit_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn derived_seeds_differ_per_stream() {
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        let c = derive_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_seed(42, 0));
+    }
+
+    #[test]
+    fn weighted_sampling_tracks_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[sample_weighted(&mut rng, &weights)] += 1;
+        }
+        assert!((800..1200).contains(&counts[0]), "{counts:?}");
+        assert!((2700..3300).contains(&counts[1]), "{counts:?}");
+        assert!((5700..6300).contains(&counts[2]), "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_sampling_single_bucket() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(sample_weighted(&mut rng, &[5.0]), 0);
+        }
+    }
+}

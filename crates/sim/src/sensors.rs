@@ -1,0 +1,125 @@
+//! Noisy sensing of quality factors.
+//!
+//! The uncertainty wrapper never sees the latent deficit intensities — it
+//! sees what the vehicle's sensors report (rain sensor, light sensor, blur
+//! estimator, bounding-box size, ...). This module models that measurement
+//! channel: additive Gaussian noise on each deficit, multiplicative jitter
+//! on the detected pixel size.
+
+use crate::config::SimConfig;
+use crate::deficits::{DeficitKind, DeficitVector, N_DEFICITS};
+use crate::rng_util::sample_standard_normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of stateless quality factors exposed to the wrapper
+/// (nine deficit sensors plus the detected sign pixel size).
+pub const N_QUALITY_FACTORS: usize = N_DEFICITS + 1;
+
+/// One frame's sensor readout: the wrapper's stateless quality factors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityObservation {
+    /// Noisy deficit intensity estimates, clamped to `[0, 1]`.
+    pub deficits: [f64; N_DEFICITS],
+    /// Detected sign size in pixels (bounding-box height).
+    pub pixel_size: f64,
+}
+
+impl QualityObservation {
+    /// Simulates the sensor readout for a frame.
+    pub fn observe<R: Rng + ?Sized>(
+        latent: &DeficitVector,
+        pixel_size: f64,
+        config: &SimConfig,
+        rng: &mut R,
+    ) -> Self {
+        let mut deficits = [0.0; N_DEFICITS];
+        for (i, slot) in deficits.iter_mut().enumerate() {
+            let noise = config.sensor_noise_sigma * sample_standard_normal(rng);
+            *slot = (latent.as_array()[i] + noise).clamp(0.0, 1.0);
+        }
+        let px = pixel_size * (1.0 + config.pixel_size_rel_noise * sample_standard_normal(rng));
+        QualityObservation { deficits, pixel_size: px.max(1.0) }
+    }
+
+    /// A noise-free observation (useful for tests and deterministic demos).
+    pub fn exact(latent: &DeficitVector, pixel_size: f64) -> Self {
+        QualityObservation { deficits: *latent.as_array(), pixel_size }
+    }
+
+    /// The stateless quality-factor feature vector, in the column order
+    /// given by [`QualityObservation::feature_names`].
+    pub fn feature_vector(&self) -> [f64; N_QUALITY_FACTORS] {
+        let mut out = [0.0; N_QUALITY_FACTORS];
+        out[..N_DEFICITS].copy_from_slice(&self.deficits);
+        out[N_DEFICITS] = self.pixel_size;
+        out
+    }
+
+    /// Column names matching [`QualityObservation::feature_vector`].
+    pub fn feature_names() -> Vec<String> {
+        DeficitKind::ALL
+            .iter()
+            .map(|k| format!("qf_{}", k.name()))
+            .chain(std::iter::once("qf_pixel_size".to_string()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn feature_vector_has_stable_layout() {
+        let names = QualityObservation::feature_names();
+        assert_eq!(names.len(), N_QUALITY_FACTORS);
+        assert_eq!(names[0], "qf_rain");
+        assert_eq!(names[8], "qf_motion_blur");
+        assert_eq!(names[9], "qf_pixel_size");
+    }
+
+    #[test]
+    fn exact_observation_roundtrips_latent() {
+        let mut latent = DeficitVector::zero();
+        latent.set(DeficitKind::Haze, 0.42);
+        let obs = QualityObservation::exact(&latent, 50.0);
+        let fv = obs.feature_vector();
+        assert_eq!(fv[DeficitKind::Haze as usize], 0.42);
+        assert_eq!(fv[9], 50.0);
+    }
+
+    #[test]
+    fn noisy_observation_stays_in_bounds() {
+        let cfg = SimConfig::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut latent = DeficitVector::zero();
+        latent.set(DeficitKind::Rain, 0.99);
+        latent.set(DeficitKind::Darkness, 0.01);
+        for _ in 0..1000 {
+            let obs = QualityObservation::observe(&latent, 20.0, &cfg, &mut rng);
+            for v in obs.deficits {
+                assert!((0.0..=1.0).contains(&v));
+            }
+            assert!(obs.pixel_size >= 1.0);
+        }
+    }
+
+    #[test]
+    fn noise_is_centred_on_latent() {
+        let cfg = SimConfig::default();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut latent = DeficitVector::zero();
+        latent.set(DeficitKind::Haze, 0.5);
+        let mean: f64 = (0..5000)
+            .map(|_| {
+                QualityObservation::observe(&latent, 20.0, &cfg, &mut rng).deficits
+                    [DeficitKind::Haze as usize]
+            })
+            .sum::<f64>()
+            / 5000.0;
+        assert!((mean - 0.5).abs() < 0.01, "sensor mean {mean} drifted from latent 0.5");
+    }
+}

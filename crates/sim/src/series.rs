@@ -1,0 +1,139 @@
+//! Series and frame records: the unit of data the wrapper pipeline
+//! consumes.
+
+use crate::classes::SignClass;
+use crate::sensors::QualityObservation;
+use crate::situation::SituationSetting;
+use crate::deficits::DeficitVector;
+use serde::{Deserialize, Serialize};
+
+/// One camera frame within a timeseries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Position within the *delivered* series (0-based). For subsampled
+    /// windows this restarts at 0.
+    pub step: usize,
+    /// Position within the original full-length approach (0-based); equals
+    /// `step` for unsubsampled series.
+    pub absolute_step: usize,
+    /// Distance to the sign in metres.
+    pub distance_m: f64,
+    /// True (latent) sign size in pixels.
+    pub pixel_size: f64,
+    /// Latent deficit intensities for this frame (after per-frame
+    /// evolution of motion blur / artificial backlight).
+    pub latent_deficits: DeficitVector,
+    /// The sensor readout (stateless quality factors) for this frame.
+    pub observation: QualityObservation,
+    /// The simulated DDM's classification outcome.
+    pub outcome: SignClass,
+    /// Whether the outcome matches the true class.
+    pub correct: bool,
+    /// The DDM's softmax-style self-confidence (for reference only — the
+    /// outside-model wrapper does not use it).
+    pub ddm_confidence: f64,
+}
+
+/// A timeseries of frames showing the same physical traffic sign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesRecord {
+    /// Unique series id.
+    pub series_id: u64,
+    /// Ground-truth class of the depicted sign.
+    pub true_class: SignClass,
+    /// The situation setting the series was generated under.
+    pub setting: SituationSetting,
+    /// Frames in temporal order.
+    pub frames: Vec<Frame>,
+}
+
+impl SeriesRecord {
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the series has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Fraction of frames the DDM classified correctly.
+    pub fn ddm_accuracy(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().filter(|f| f.correct).count() as f64 / self.frames.len() as f64
+    }
+
+    /// Extracts the subseries `[start, start + len)` with steps re-indexed
+    /// from 0 (used for the paper's length-10 window subsampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the series bounds.
+    pub fn window(&self, start: usize, len: usize) -> SeriesRecord {
+        assert!(start + len <= self.frames.len(), "window out of bounds");
+        let frames = self.frames[start..start + len]
+            .iter()
+            .enumerate()
+            .map(|(i, f)| Frame { step: i, ..*f })
+            .collect();
+        SeriesRecord {
+            series_id: self.series_id,
+            true_class: self.true_class,
+            setting: self.setting.clone(),
+            frames,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::ddm::SimulatedDdm;
+    use crate::situation::SituationModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn any_series() -> SeriesRecord {
+        let cfg = SimConfig::default();
+        let ddm = SimulatedDdm::new(cfg.clone());
+        let mut rng = StdRng::seed_from_u64(5);
+        let setting = SituationModel::new().sample(&mut rng);
+        ddm.generate_series(7, SignClass::new(2).unwrap(), &setting, &mut rng)
+    }
+
+    #[test]
+    fn window_reindexes_steps_and_keeps_geometry() {
+        let s = any_series();
+        let w = s.window(12, 10);
+        assert_eq!(w.len(), 10);
+        for (i, f) in w.frames.iter().enumerate() {
+            assert_eq!(f.step, i);
+            assert_eq!(f.absolute_step, 12 + i);
+            assert_eq!(f.distance_m, s.frames[12 + i].distance_m);
+            assert_eq!(f.outcome, s.frames[12 + i].outcome);
+        }
+        assert_eq!(w.true_class, s.true_class);
+    }
+
+    #[test]
+    #[should_panic(expected = "window out of bounds")]
+    fn window_out_of_bounds_panics() {
+        let s = any_series();
+        let _ = s.window(25, 10);
+    }
+
+    #[test]
+    fn accuracy_counts_correct_frames() {
+        let mut s = any_series();
+        for f in &mut s.frames {
+            f.correct = false;
+        }
+        assert_eq!(s.ddm_accuracy(), 0.0);
+        s.frames[0].correct = true;
+        assert!((s.ddm_accuracy() - 1.0 / s.len() as f64).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,323 @@
+//! The situation-setting model: a synthetic stand-in for the paper's
+//! combination of DWD historical weather data and OpenStreetMap street
+//! locations.
+//!
+//! A *situation setting* fixes the contextual conditions for one timeseries
+//! (one approach to one physical sign): season, hour, road environment,
+//! weather, and the resulting latent quality-deficit intensities. The
+//! paper's generator enumerates ~2.7 million realistic settings; this model
+//! samples from a factored distribution over the same factor space whose
+//! discretized support exceeds that count (see
+//! [`SituationModel::distinct_settings_lower_bound`]), with the co-occurrence
+//! structure that matters for the wrapper:
+//!
+//! * darkness follows the sun (hour × month),
+//! * steamed lenses need cold *and* humid conditions,
+//! * artificial backlight needs darkness and an urban environment,
+//! * motion blur grows with speed and exposure time (darkness),
+//! * natural backlight needs a low sun and an unlucky heading.
+
+use crate::deficits::{DeficitKind, DeficitVector};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Road environment of the approach, which shifts both speed and deficit
+/// priors (a coarse OpenStreetMap surrogate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoadEnvironment {
+    /// City streets: slow, lit at night.
+    Urban,
+    /// Country roads: mid speeds, dirt more likely.
+    Rural,
+    /// Autobahn: high speeds, strong motion blur.
+    Highway,
+}
+
+impl RoadEnvironment {
+    /// All environments.
+    pub const ALL: [RoadEnvironment; 3] =
+        [RoadEnvironment::Urban, RoadEnvironment::Rural, RoadEnvironment::Highway];
+
+    /// Typical driving speed in km/h for the environment.
+    pub fn typical_speed_kmh(self) -> f64 {
+        match self {
+            RoadEnvironment::Urban => 45.0,
+            RoadEnvironment::Rural => 85.0,
+            RoadEnvironment::Highway => 120.0,
+        }
+    }
+}
+
+/// The contextual setting of one timeseries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SituationSetting {
+    /// Month, 1–12.
+    pub month: u8,
+    /// Hour of day, 0–23.
+    pub hour: u8,
+    /// Road environment.
+    pub environment: RoadEnvironment,
+    /// Vehicle speed in km/h.
+    pub speed_kmh: f64,
+    /// Air temperature in °C.
+    pub temperature_c: f64,
+    /// Relative humidity, 0–1.
+    pub humidity: f64,
+    /// Rain rate in mm/h (0 = dry).
+    pub rain_mm_h: f64,
+    /// Heading-vs-sun alignment, 0–1 (1 = driving straight into a low sun).
+    pub sun_alignment: f64,
+    /// Base deficit intensities derived from the above (constant part; the
+    /// per-frame variation of motion blur and artificial backlight is added
+    /// during series generation).
+    pub deficits: DeficitVector,
+}
+
+/// Samples realistic situation settings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SituationModel {
+    _private: (),
+}
+
+impl SituationModel {
+    /// Creates the default model (parameters follow German climate
+    /// seasonality coarsely).
+    pub fn new() -> Self {
+        SituationModel { _private: () }
+    }
+
+    /// Lower bound on the number of distinct settings the discretized factor
+    /// space supports; documented to mirror the paper's "2.7 million
+    /// realistic settings".
+    pub fn distinct_settings_lower_bound(&self) -> u64 {
+        // month(12) × hour(24) × env(3) × rain(8 levels) × temp(16) ×
+        // humidity(8) × sun alignment(8) ≈ 5.7M > 2.7M.
+        12 * 24 * 3 * 8 * 16 * 8 * 8
+    }
+
+    /// Draws one situation setting.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SituationSetting {
+        let month = rng.gen_range(1..=12u8);
+        let hour = rng.gen_range(0..24u8);
+        let environment = match rng.gen_range(0..10u8) {
+            0..=3 => RoadEnvironment::Urban,
+            4..=7 => RoadEnvironment::Rural,
+            _ => RoadEnvironment::Highway,
+        };
+        let speed_kmh = (environment.typical_speed_kmh()
+            + rng.gen_range(-15.0..15.0))
+        .max(15.0);
+
+        // Seasonal temperature: coldest in January (~0°C), warmest in July (~19°C).
+        let season_phase = (month as f64 - 1.0) / 12.0 * std::f64::consts::TAU;
+        let temperature_c =
+            9.5 - 9.5 * season_phase.cos() + rng.gen_range(-6.0..6.0);
+        let humidity = (0.55 + 0.25 * rng.gen_range(-1.0..1.0f64)
+            + if temperature_c < 5.0 { 0.15 } else { 0.0 })
+        .clamp(0.2, 1.0);
+
+        // Rain: ~62% of drives are dry; wet drives follow a skewed intensity.
+        let rain_mm_h = if rng.gen_bool(0.38) {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            8.0 * u * u // up to 8 mm/h, mostly light
+        } else {
+            0.0
+        };
+
+        let sun_elevation = Self::sun_elevation_deg(month, hour);
+        let darkness = Self::darkness_from_sun(sun_elevation);
+        let low_sun = sun_elevation > 0.0 && sun_elevation < 18.0;
+        let sun_alignment = if low_sun { rng.gen_range(0.0..1.0) } else { 0.0 };
+
+        let mut deficits = DeficitVector::zero();
+        deficits.set(DeficitKind::Rain, (rain_mm_h / 8.0).powf(0.7));
+        deficits.set(DeficitKind::Darkness, darkness);
+        // Haze: cold humid mornings; occasional dense fog.
+        let haze_base = if humidity > 0.75 && temperature_c < 8.0 && hour < 11 {
+            rng.gen_range(0.2..0.9)
+        } else if rng.gen_bool(0.05) {
+            rng.gen_range(0.1..0.5)
+        } else {
+            0.0
+        };
+        deficits.set(DeficitKind::Haze, haze_base);
+        deficits.set(
+            DeficitKind::NaturalBacklight,
+            sun_alignment * (1.0 - darkness) * if low_sun { 1.0 } else { 0.0 },
+        );
+        // Artificial backlight base level: dark + urban.
+        let artificial = if darkness > 0.5 && environment == RoadEnvironment::Urban {
+            rng.gen_range(0.0..0.7)
+        } else if darkness > 0.5 && rng.gen_bool(0.2) {
+            rng.gen_range(0.0..0.4) // oncoming headlights elsewhere
+        } else {
+            0.0
+        };
+        deficits.set(DeficitKind::ArtificialBacklight, artificial);
+        // Dirt accumulates; rural roads are worse.
+        let dirt_scale = if environment == RoadEnvironment::Rural { 1.5 } else { 1.0 };
+        let dirt_sign: f64 = rng.gen_range(0.0..1.0);
+        deficits.set(DeficitKind::DirtOnSign, (dirt_sign.powi(4) * dirt_scale).min(1.0));
+        let dirt_lens: f64 = rng.gen_range(0.0..1.0);
+        deficits.set(DeficitKind::DirtOnLens, (dirt_lens.powi(5) * dirt_scale).min(1.0));
+        // Steamed lens: cold and humid.
+        let steam = if temperature_c < 6.0 && humidity > 0.8 {
+            rng.gen_range(0.3..1.0)
+        } else if temperature_c < 10.0 && humidity > 0.7 && rng.gen_bool(0.3) {
+            rng.gen_range(0.1..0.5)
+        } else {
+            0.0
+        };
+        deficits.set(DeficitKind::SteamedLens, steam);
+        // Motion blur base: speed and exposure (darkness lengthens exposure).
+        let blur = (speed_kmh / 160.0) * (0.5 + 0.9 * darkness);
+        deficits.set(DeficitKind::MotionBlur, blur);
+
+        SituationSetting {
+            month,
+            hour,
+            environment,
+            speed_kmh,
+            temperature_c,
+            humidity,
+            rain_mm_h,
+            sun_alignment,
+            deficits,
+        }
+    }
+
+    /// Very coarse solar elevation (degrees) for Germany by month and hour;
+    /// negative means below the horizon.
+    fn sun_elevation_deg(month: u8, hour: u8) -> f64 {
+        // Peak elevation: ~15° in December, ~62° in June.
+        let season_phase = (month as f64 - 0.5) / 12.0 * std::f64::consts::TAU;
+        let peak = 38.5 - 23.5 * season_phase.cos();
+        // Day length: ~8h winter, ~16h summer; solar noon at 13:00 local.
+        let half_day = 4.0 + 4.0 * (1.0 - season_phase.cos()) / 2.0;
+        let t = (hour as f64 - 13.0) / half_day;
+        peak * (1.0 - t * t)
+    }
+
+    fn darkness_from_sun(elevation_deg: f64) -> f64 {
+        // Fully dark below -6° (civil twilight), fully bright above +10°.
+        ((10.0 - elevation_deg) / 16.0).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn samples(n: usize, seed: u64) -> Vec<SituationSetting> {
+        let model = SituationModel::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| model.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn all_deficits_in_unit_interval() {
+        for s in samples(2000, 1) {
+            for k in DeficitKind::ALL {
+                let v = s.deficits.get(k);
+                assert!((0.0..=1.0).contains(&v), "{k} = {v} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn night_hours_are_dark() {
+        let night: Vec<_> =
+            samples(3000, 2).into_iter().filter(|s| s.hour <= 2 || s.hour >= 23).collect();
+        assert!(!night.is_empty());
+        for s in &night {
+            assert!(
+                s.deficits.get(DeficitKind::Darkness) > 0.8,
+                "midnight must be dark (month {}, hour {})",
+                s.month,
+                s.hour
+            );
+        }
+    }
+
+    #[test]
+    fn summer_noon_is_bright() {
+        let noons: Vec<_> = samples(5000, 3)
+            .into_iter()
+            .filter(|s| (6..=8).contains(&s.month) && (11..=14).contains(&s.hour))
+            .collect();
+        assert!(!noons.is_empty());
+        for s in &noons {
+            assert!(
+                s.deficits.get(DeficitKind::Darkness) < 0.2,
+                "summer noon should be bright, got {}",
+                s.deficits.get(DeficitKind::Darkness)
+            );
+        }
+    }
+
+    #[test]
+    fn steam_requires_cold_humid() {
+        for s in samples(4000, 4) {
+            if s.deficits.get(DeficitKind::SteamedLens) > 0.0 {
+                assert!(s.temperature_c < 10.0);
+                assert!(s.humidity > 0.7);
+            }
+        }
+    }
+
+    #[test]
+    fn artificial_backlight_requires_darkness() {
+        for s in samples(4000, 5) {
+            if s.deficits.get(DeficitKind::ArtificialBacklight) > 0.0 {
+                assert!(s.deficits.get(DeficitKind::Darkness) > 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn rain_deficit_tracks_rain_rate() {
+        for s in samples(2000, 6) {
+            if s.rain_mm_h == 0.0 {
+                assert_eq!(s.deficits.get(DeficitKind::Rain), 0.0);
+            } else {
+                assert!(s.deficits.get(DeficitKind::Rain) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn majority_of_drives_are_dry() {
+        let wet = samples(5000, 7).iter().filter(|s| s.rain_mm_h > 0.0).count();
+        assert!((1500..2500).contains(&wet), "wet fraction {wet}/5000 implausible");
+    }
+
+    #[test]
+    fn highway_is_fast_and_blurry() {
+        let s = samples(5000, 8);
+        let mean_speed = |env: RoadEnvironment| {
+            let xs: Vec<_> = s.iter().filter(|x| x.environment == env).collect();
+            xs.iter().map(|x| x.speed_kmh).sum::<f64>() / xs.len() as f64
+        };
+        assert!(mean_speed(RoadEnvironment::Highway) > mean_speed(RoadEnvironment::Urban) + 40.0);
+        let mean_blur = |env: RoadEnvironment| {
+            let xs: Vec<_> = s.iter().filter(|x| x.environment == env).collect();
+            xs.iter().map(|x| x.deficits.get(DeficitKind::MotionBlur)).sum::<f64>()
+                / xs.len() as f64
+        };
+        assert!(mean_blur(RoadEnvironment::Highway) > mean_blur(RoadEnvironment::Urban));
+    }
+
+    #[test]
+    fn setting_space_exceeds_papers_count() {
+        assert!(SituationModel::new().distinct_settings_lower_bound() > 2_700_000);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = samples(10, 42);
+        let b = samples(10, 42);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,104 @@
+//! Diagnostic probe for calibrating the simulated DDM's error model
+//! against the paper's headline rates. Run with:
+//!
+//! ```text
+//! cargo test -p tauw-sim --release --test probe -- --ignored --nocapture
+//! ```
+
+use tauw_sim::{DatasetBuilder, DeficitKind, SimConfig};
+
+#[test]
+#[ignore = "diagnostic tool, not a correctness test"]
+fn print_error_model_statistics() {
+    let scale: f64 = std::env::var("TAUW_PROBE_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.15);
+    let cfg = SimConfig::scaled(scale);
+    let data = DatasetBuilder::new(cfg.clone(), 1).unwrap().build();
+
+    // Per-step misclassification over test windows.
+    let mut per_step = [(0usize, 0usize); 10];
+    for s in &data.test {
+        for (j, f) in s.frames.iter().enumerate() {
+            per_step[j].1 += 1;
+            if !f.correct {
+                per_step[j].0 += 1;
+            }
+        }
+    }
+    println!("== per-window-step isolated misclassification ==");
+    for (j, (wrong, total)) in per_step.iter().enumerate() {
+        println!("step {:2}: {:.4}", j + 1, *wrong as f64 / *total as f64);
+    }
+    let total_wrong: usize = per_step.iter().map(|x| x.0).sum();
+    let total: usize = per_step.iter().map(|x| x.1).sum();
+    println!("overall: {:.4} (paper 0.0789)", total_wrong as f64 / total as f64);
+
+    // Mean latent deficits over test frames.
+    println!("\n== mean latent deficits (test frames) ==");
+    for k in DeficitKind::ALL {
+        let mean: f64 = data
+            .test
+            .iter()
+            .flat_map(|s| &s.frames)
+            .map(|f| f.latent_deficits.get(k))
+            .sum::<f64>()
+            / total as f64;
+        println!("{:22}: {:.3}", k.name(), mean);
+    }
+
+    // Distribution of per-series error counts (correlation fingerprint).
+    let mut hist = [0usize; 11];
+    for s in &data.test {
+        let errs = s.frames.iter().filter(|f| !f.correct).count();
+        hist[errs.min(10)] += 1;
+    }
+    println!("\n== series error-count histogram (10-step windows) ==");
+    for (k, n) in hist.iter().enumerate() {
+        println!("{k:2} errors: {n}");
+    }
+
+    // Fused misclassification via simple majority replay.
+    let mut fused_wrong = 0usize;
+    let mut fused_step10 = (0usize, 0usize);
+    for s in &data.test {
+        let mut outcomes: Vec<u32> = Vec::new();
+        for (j, f) in s.frames.iter().enumerate() {
+            outcomes.push(u32::from(f.outcome.id()));
+            let fused = tauw_fusion_majority(&outcomes);
+            let ok = fused == u32::from(s.true_class.id());
+            if !ok {
+                fused_wrong += 1;
+            }
+            if j == 9 {
+                fused_step10.1 += 1;
+                if !ok {
+                    fused_step10.0 += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "\nfused misclassification: {:.4} (paper 0.0557), step10 {:.4} (paper 0.0369)",
+        fused_wrong as f64 / total as f64,
+        fused_step10.0 as f64 / fused_step10.1 as f64
+    );
+}
+
+fn tauw_fusion_majority(outcomes: &[u32]) -> u32 {
+    let mut entries: Vec<(u32, usize, usize)> = Vec::new();
+    for (j, &o) in outcomes.iter().enumerate() {
+        match entries.iter_mut().find(|(v, _, _)| *v == o) {
+            Some(e) => {
+                e.1 += 1;
+                e.2 = j;
+            }
+            None => entries.push((o, 1, j)),
+        }
+    }
+    let mut best = entries[0];
+    for &e in &entries[1..] {
+        if e.1 > best.1 || (e.1 == best.1 && e.2 > best.2) {
+            best = e;
+        }
+    }
+    best.0
+}

@@ -1,0 +1,324 @@
+//! One-sided binomial confidence bounds.
+//!
+//! The uncertainty wrapper's "dependability" guarantee rests on this module:
+//! for each decision-tree leaf with `n` calibration samples and `k` observed
+//! failures, the wrapper reports not the point estimate `k / n` but an upper
+//! confidence bound on the true failure probability at a requested
+//! confidence level (the paper uses 0.999). The default method is
+//! Clopper–Pearson, which is *exact* (never anti-conservative); Wilson,
+//! Jeffreys and Hoeffding are provided for the ablation experiments.
+
+use crate::error::{check_probability, StatsError};
+use crate::special::{beta_quantile, normal_quantile};
+use serde::{Deserialize, Serialize};
+
+/// Strategy used to turn `(failures, trials)` into a confidence bound on the
+/// underlying failure probability.
+///
+/// All methods are *one-sided*: `upper_bound` at confidence `γ` returns a
+/// value `u` such that `P(p ≤ u) ≥ γ` under the binomial model (exactly for
+/// [`ClopperPearson`](BoundMethod::ClopperPearson) and
+/// [`Hoeffding`](BoundMethod::Hoeffding), approximately for the others).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum BoundMethod {
+    /// Exact bound from inverting the binomial CDF via the beta quantile.
+    /// Conservative by construction; the paper's choice.
+    #[default]
+    ClopperPearson,
+    /// Wilson score interval endpoint. Good average coverage, may be
+    /// slightly anti-conservative for extreme `p`.
+    Wilson,
+    /// Bayesian bound with the Jeffreys prior Beta(1/2, 1/2). Equal-tailed
+    /// credible bound; close to Clopper–Pearson but less conservative.
+    Jeffreys,
+    /// Distribution-free Hoeffding inequality bound
+    /// `p̂ + sqrt(ln(1/α) / (2n))`. Always valid, typically loose.
+    Hoeffding,
+}
+
+impl BoundMethod {
+    /// All supported methods, for sweeps and ablation studies.
+    pub const ALL: [BoundMethod; 4] = [
+        BoundMethod::ClopperPearson,
+        BoundMethod::Wilson,
+        BoundMethod::Jeffreys,
+        BoundMethod::Hoeffding,
+    ];
+
+    /// A short stable name for reports (`"clopper-pearson"`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            BoundMethod::ClopperPearson => "clopper-pearson",
+            BoundMethod::Wilson => "wilson",
+            BoundMethod::Jeffreys => "jeffreys",
+            BoundMethod::Hoeffding => "hoeffding",
+        }
+    }
+}
+
+impl std::fmt::Display for BoundMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn check_counts(failures: u64, trials: u64) -> Result<(), StatsError> {
+    if trials == 0 {
+        return Err(StatsError::InvalidCount { constraint: "trials must be positive" });
+    }
+    if failures > trials {
+        return Err(StatsError::InvalidCount { constraint: "failures must not exceed trials" });
+    }
+    Ok(())
+}
+
+/// One-sided **upper** confidence bound on a binomial proportion.
+///
+/// Given `failures` observed in `trials` Bernoulli draws, returns `u` such
+/// that the true failure probability exceeds `u` with probability at most
+/// `1 − confidence`.
+///
+/// # Errors
+///
+/// Returns [`StatsError`] if `trials == 0`, `failures > trials`, or
+/// `confidence` is not in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use tauw_stats::binomial::{upper_bound, BoundMethod};
+///
+/// // Zero failures in 959 samples at 99.9% confidence: this is the kind of
+/// // leaf that yields the paper's u = 0.0072 "lowest guaranteed uncertainty".
+/// let u = upper_bound(BoundMethod::ClopperPearson, 0, 959, 0.999)?;
+/// assert!((u - 0.0072).abs() < 3e-4);
+/// # Ok::<(), tauw_stats::StatsError>(())
+/// ```
+pub fn upper_bound(
+    method: BoundMethod,
+    failures: u64,
+    trials: u64,
+    confidence: f64,
+) -> Result<f64, StatsError> {
+    check_counts(failures, trials)?;
+    check_probability("confidence", confidence)?;
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidProbability { name: "confidence", value: confidence });
+    }
+    let n = trials as f64;
+    let k = failures as f64;
+    let p_hat = k / n;
+    let bound = match method {
+        BoundMethod::ClopperPearson => {
+            if failures == trials {
+                1.0
+            } else {
+                beta_quantile(confidence, k + 1.0, n - k)?
+            }
+        }
+        BoundMethod::Wilson => {
+            let z = normal_quantile(confidence)?;
+            let z2 = z * z;
+            let denom = 1.0 + z2 / n;
+            let center = p_hat + z2 / (2.0 * n);
+            let half = z * (p_hat * (1.0 - p_hat) / n + z2 / (4.0 * n * n)).sqrt();
+            (center + half) / denom
+        }
+        BoundMethod::Jeffreys => {
+            if failures == trials {
+                1.0
+            } else {
+                beta_quantile(confidence, k + 0.5, n - k + 0.5)?
+            }
+        }
+        BoundMethod::Hoeffding => {
+            let alpha = 1.0 - confidence;
+            p_hat + ((1.0 / alpha).ln() / (2.0 * n)).sqrt()
+        }
+    };
+    Ok(bound.clamp(0.0, 1.0))
+}
+
+/// One-sided **lower** confidence bound on a binomial proportion.
+///
+/// Symmetric counterpart of [`upper_bound`]; mainly used for scope-compliance
+/// diagnostics and tests.
+///
+/// # Errors
+///
+/// Same conditions as [`upper_bound`].
+pub fn lower_bound(
+    method: BoundMethod,
+    failures: u64,
+    trials: u64,
+    confidence: f64,
+) -> Result<f64, StatsError> {
+    check_counts(failures, trials)?;
+    check_probability("confidence", confidence)?;
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(StatsError::InvalidProbability { name: "confidence", value: confidence });
+    }
+    // lower bound on p for k failures = 1 − upper bound on (1−p) for n−k "failures".
+    let complement = upper_bound(method, trials - failures, trials, confidence)?;
+    Ok((1.0 - complement).clamp(0.0, 1.0))
+}
+
+/// Exact binomial CDF `P(X ≤ k)` for `X ~ Binomial(n, p)`, via the
+/// regularized incomplete beta function.
+///
+/// # Errors
+///
+/// Returns [`StatsError`] for invalid `p` or `k > n`.
+pub fn binomial_cdf(k: u64, n: u64, p: f64) -> Result<f64, StatsError> {
+    check_probability("p", p)?;
+    if k > n {
+        return Err(StatsError::InvalidCount { constraint: "k must not exceed n" });
+    }
+    if k == n {
+        return Ok(1.0);
+    }
+    // P(X ≤ k) = I_{1−p}(n−k, k+1).
+    crate::special::reg_inc_beta((n - k) as f64, k as f64 + 1.0, 1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clopper_pearson_zero_failures_rule_of_three() {
+        // With 0/n failures and confidence γ, CP upper = 1 − (1−γ)^(1/n),
+        // ≈ ln(1/(1−γ)) / n for small bounds ("rule of three" generalised).
+        for n in [50u64, 200, 1000, 10000] {
+            let u = upper_bound(BoundMethod::ClopperPearson, 0, n, 0.999).unwrap();
+            let exact = 1.0 - (1.0f64 - 0.999).powf(1.0 / n as f64);
+            assert!((u - exact).abs() < 1e-9, "n={n}: {u} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn clopper_pearson_covers_point_estimate() {
+        for &(k, n) in &[(0u64, 200u64), (1, 200), (10, 200), (100, 200), (199, 200)] {
+            let u = upper_bound(BoundMethod::ClopperPearson, k, n, 0.999).unwrap();
+            assert!(u >= k as f64 / n as f64, "bound below point estimate for {k}/{n}");
+        }
+    }
+
+    #[test]
+    fn clopper_pearson_all_failures_is_one() {
+        assert_eq!(upper_bound(BoundMethod::ClopperPearson, 7, 7, 0.99).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn clopper_pearson_exact_coverage_property() {
+        // The CP upper bound u(k) satisfies P(X ≤ k; n, u) ≤ 1 − γ:
+        // if the true p equalled the bound, seeing ≤ k failures is rare.
+        let n = 200;
+        for k in [0u64, 1, 3, 10, 50] {
+            let u = upper_bound(BoundMethod::ClopperPearson, k, n, 0.999).unwrap();
+            let cdf = binomial_cdf(k, n, u).unwrap();
+            assert!(cdf <= 1e-3 + 1e-9, "k={k}: CDF at bound = {cdf}");
+        }
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_failures() {
+        for method in BoundMethod::ALL {
+            let mut prev = 0.0;
+            for k in 0..=50u64 {
+                let u = upper_bound(method, k, 50, 0.99).unwrap();
+                assert!(u >= prev - 1e-12, "{method}: non-monotone at k={k}");
+                prev = u;
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_shrink_with_more_trials() {
+        for method in BoundMethod::ALL {
+            let wide = upper_bound(method, 5, 50, 0.999).unwrap();
+            let narrow = upper_bound(method, 100, 1000, 0.999).unwrap();
+            assert!(narrow < wide, "{method}: more data should tighten the bound");
+        }
+    }
+
+    #[test]
+    fn bounds_grow_with_confidence() {
+        for method in BoundMethod::ALL {
+            let lo = upper_bound(method, 3, 300, 0.9).unwrap();
+            let hi = upper_bound(method, 3, 300, 0.9999).unwrap();
+            assert!(hi > lo, "{method}: higher confidence must widen the bound");
+        }
+    }
+
+    #[test]
+    fn hoeffding_dominates_clopper_pearson_mid_range() {
+        // Hoeffding is distribution-free and hence looser around p ≈ 0.5.
+        let cp = upper_bound(BoundMethod::ClopperPearson, 100, 200, 0.999).unwrap();
+        let hf = upper_bound(BoundMethod::Hoeffding, 100, 200, 0.999).unwrap();
+        assert!(hf >= cp);
+    }
+
+    #[test]
+    fn jeffreys_between_point_and_cp() {
+        let k = 4;
+        let n = 500;
+        let cp = upper_bound(BoundMethod::ClopperPearson, k, n, 0.999).unwrap();
+        let jf = upper_bound(BoundMethod::Jeffreys, k, n, 0.999).unwrap();
+        assert!(jf > k as f64 / n as f64);
+        assert!(jf <= cp + 1e-12, "Jeffreys should not exceed CP: {jf} vs {cp}");
+    }
+
+    #[test]
+    fn lower_bound_complements_upper() {
+        for method in BoundMethod::ALL {
+            let lo = lower_bound(method, 20, 100, 0.99).unwrap();
+            let up = upper_bound(method, 20, 100, 0.99).unwrap();
+            assert!(lo <= 0.2 && 0.2 <= up);
+            assert!(lo >= 0.0 && up <= 1.0);
+        }
+    }
+
+    #[test]
+    fn lower_bound_zero_failures_is_zero() {
+        let lo = lower_bound(BoundMethod::ClopperPearson, 0, 100, 0.999).unwrap();
+        assert_eq!(lo, 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        assert!(upper_bound(BoundMethod::ClopperPearson, 1, 0, 0.9).is_err());
+        assert!(upper_bound(BoundMethod::ClopperPearson, 5, 3, 0.9).is_err());
+        assert!(upper_bound(BoundMethod::ClopperPearson, 1, 10, 0.0).is_err());
+        assert!(upper_bound(BoundMethod::ClopperPearson, 1, 10, 1.0).is_err());
+        assert!(upper_bound(BoundMethod::ClopperPearson, 1, 10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn binomial_cdf_matches_direct_sum() {
+        // Direct summation for small n.
+        fn direct(k: u64, n: u64, p: f64) -> f64 {
+            let mut total = 0.0;
+            for i in 0..=k {
+                let mut ln_c = 0.0;
+                for j in 0..i {
+                    ln_c += ((n - j) as f64).ln() - ((j + 1) as f64).ln();
+                }
+                total += (ln_c + i as f64 * p.ln() + (n - i) as f64 * (1.0 - p).ln()).exp();
+            }
+            total
+        }
+        for &(k, n, p) in &[(2u64, 10u64, 0.3), (0, 5, 0.5), (7, 12, 0.8)] {
+            let lhs = binomial_cdf(k, n, p).unwrap();
+            let rhs = direct(k, n, p);
+            assert!((lhs - rhs).abs() < 1e-10, "({k},{n},{p}): {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn method_names_are_stable() {
+        assert_eq!(BoundMethod::ClopperPearson.name(), "clopper-pearson");
+        assert_eq!(BoundMethod::default(), BoundMethod::ClopperPearson);
+        assert_eq!(format!("{}", BoundMethod::Wilson), "wilson");
+    }
+}

@@ -1,0 +1,392 @@
+//! Brier score and its Murphy decomposition.
+//!
+//! The paper evaluates uncertainty estimators with the Brier score `bs` and
+//! its decomposition `bs = var − res + unrel` (Murphy 1973), where
+//!
+//! * `var` ("variance", Murphy's *uncertainty* term) depends only on the
+//!   overall failure rate of the wrapped model,
+//! * `res` (resolution) rewards estimates that separate high- and low-risk
+//!   situations, reported via `unspecificity = var − res` (lower is better),
+//! * `unrel` (unreliability, Murphy's *reliability* term) punishes
+//!   miscalibration.
+//!
+//! In addition the paper splits `unrel` into an **overconfidence** part
+//! (groups whose estimated uncertainty *underestimates* the observed failure
+//! rate — the safety-critical direction) and the residual underconfidence.
+
+use crate::error::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// How forecasts are grouped for the decomposition.
+///
+/// Murphy's identity `bs = var − res + unrel` holds exactly when every
+/// member of a group shares the same forecast value, which is the case for
+/// tree-based wrappers (finitely many leaf bounds). For continuous forecasts
+/// (e.g. products of uncertainties in naïve fusion) binning is required and
+/// a small within-group residual appears; it is reported in
+/// [`BrierDecomposition::within_group_residual`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Grouping {
+    /// Group samples whose forecasts are equal after snapping to a tolerance
+    /// grid (`tolerance` ≥ 0; `0.0` groups exact duplicates only).
+    UniqueValues {
+        /// Forecasts closer than this are considered identical.
+        tolerance: f64,
+    },
+    /// Fixed number of equal-width bins over `[0, 1]`.
+    EqualWidthBins(usize),
+    /// Fixed number of equal-population (quantile) bins.
+    QuantileBins(usize),
+}
+
+impl Default for Grouping {
+    fn default() -> Self {
+        Grouping::UniqueValues { tolerance: 1e-9 }
+    }
+}
+
+/// Result of [`BrierDecomposition::compute`].
+///
+/// Field names follow the paper's Table I. All values are non-negative
+/// except that floating-point noise may produce values within ~1e-15 of
+/// zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrierDecomposition {
+    /// Mean squared error between forecast failure probability and the
+    /// 0/1 failure indicator.
+    pub brier: f64,
+    /// Murphy's uncertainty term `ȳ (1 − ȳ)`; depends only on the model's
+    /// failure rate, not on the uncertainty estimator.
+    pub variance: f64,
+    /// Murphy's resolution term (higher is better, bounded by `variance`).
+    pub resolution: f64,
+    /// `variance − resolution` (lower is better); the paper's headline
+    /// specificity measure.
+    pub unspecificity: f64,
+    /// Murphy's reliability term (lower is better): weighted squared gap
+    /// between group forecast and group failure rate.
+    pub unreliability: f64,
+    /// Portion of `unreliability` from groups where the forecast
+    /// *underestimates* the observed failure rate (overconfident groups).
+    pub overconfidence: f64,
+    /// Portion of `unreliability` from groups where the forecast
+    /// overestimates the observed failure rate.
+    pub underconfidence: f64,
+    /// Number of forecast groups used.
+    pub n_groups: usize,
+    /// `bs − (var − res + unrel)`; exactly zero (up to FP noise) for
+    /// [`Grouping::UniqueValues`], small for binned groupings.
+    pub within_group_residual: f64,
+    /// Number of samples scored.
+    pub n_samples: usize,
+}
+
+impl BrierDecomposition {
+    /// Computes the Brier score and its decomposition.
+    ///
+    /// `forecasts[i]` is the predicted probability of the failure event for
+    /// sample `i`; `failures[i]` is whether the failure actually occurred.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if the slices are empty, have mismatched
+    /// lengths, or any forecast is not a probability.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tauw_stats::brier::{BrierDecomposition, Grouping};
+    ///
+    /// let forecasts = [0.1, 0.1, 0.9, 0.9];
+    /// let failures = [false, false, true, true];
+    /// let d = BrierDecomposition::compute(&forecasts, &failures, Grouping::default())?;
+    /// assert!((d.brier - 0.01).abs() < 1e-12);
+    /// assert!(d.unreliability < 0.011); // groups are miscalibrated by 0.1 each
+    /// # Ok::<(), tauw_stats::StatsError>(())
+    /// ```
+    pub fn compute(
+        forecasts: &[f64],
+        failures: &[bool],
+        grouping: Grouping,
+    ) -> Result<Self, StatsError> {
+        if forecasts.is_empty() {
+            return Err(StatsError::EmptyInput { name: "forecasts" });
+        }
+        if forecasts.len() != failures.len() {
+            return Err(StatsError::LengthMismatch {
+                left: forecasts.len(),
+                right: failures.len(),
+            });
+        }
+        for &f in forecasts {
+            crate::error::check_probability("forecast", f)?;
+        }
+
+        let n = forecasts.len();
+        let n_f = n as f64;
+        let base_rate = failures.iter().filter(|&&y| y).count() as f64 / n_f;
+        let variance = base_rate * (1.0 - base_rate);
+
+        let brier = forecasts
+            .iter()
+            .zip(failures)
+            .map(|(&f, &y)| {
+                let o = if y { 1.0 } else { 0.0 };
+                (f - o) * (f - o)
+            })
+            .sum::<f64>()
+            / n_f;
+
+        let groups = group_indices(forecasts, grouping)?;
+        let mut resolution = 0.0;
+        let mut unreliability = 0.0;
+        let mut overconfidence = 0.0;
+        let n_groups = groups.len();
+        for idx in &groups {
+            let w = idx.len() as f64 / n_f;
+            let mean_forecast = idx.iter().map(|&i| forecasts[i]).sum::<f64>() / idx.len() as f64;
+            let obs_rate =
+                idx.iter().filter(|&&i| failures[i]).count() as f64 / idx.len() as f64;
+            resolution += w * (obs_rate - base_rate) * (obs_rate - base_rate);
+            let gap = mean_forecast - obs_rate;
+            let rel = w * gap * gap;
+            unreliability += rel;
+            if mean_forecast < obs_rate {
+                overconfidence += rel;
+            }
+        }
+        let unspecificity = variance - resolution;
+        let within_group_residual = brier - (variance - resolution + unreliability);
+        Ok(BrierDecomposition {
+            brier,
+            variance,
+            resolution,
+            unspecificity,
+            unreliability,
+            overconfidence,
+            underconfidence: unreliability - overconfidence,
+            n_groups,
+            within_group_residual,
+            n_samples: n,
+        })
+    }
+}
+
+/// Plain Brier score without decomposition.
+///
+/// # Errors
+///
+/// Returns [`StatsError`] on empty or mismatched inputs or non-probability
+/// forecasts.
+pub fn brier_score(forecasts: &[f64], failures: &[bool]) -> Result<f64, StatsError> {
+    if forecasts.is_empty() {
+        return Err(StatsError::EmptyInput { name: "forecasts" });
+    }
+    if forecasts.len() != failures.len() {
+        return Err(StatsError::LengthMismatch { left: forecasts.len(), right: failures.len() });
+    }
+    let mut acc = 0.0;
+    for (&f, &y) in forecasts.iter().zip(failures) {
+        crate::error::check_probability("forecast", f)?;
+        let o = if y { 1.0 } else { 0.0 };
+        acc += (f - o) * (f - o);
+    }
+    Ok(acc / forecasts.len() as f64)
+}
+
+/// Partitions sample indices into forecast groups per the grouping strategy.
+fn group_indices(forecasts: &[f64], grouping: Grouping) -> Result<Vec<Vec<usize>>, StatsError> {
+    let n = forecasts.len();
+    match grouping {
+        Grouping::UniqueValues { tolerance } => {
+            if tolerance < 0.0 || !tolerance.is_finite() {
+                return Err(StatsError::InvalidArgument {
+                    reason: "tolerance must be finite and non-negative",
+                });
+            }
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| forecasts[a].total_cmp(&forecasts[b]));
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            for i in order {
+                match groups.last_mut() {
+                    Some(g) if (forecasts[i] - forecasts[g[0]]).abs() <= tolerance => g.push(i),
+                    _ => groups.push(vec![i]),
+                }
+            }
+            Ok(groups)
+        }
+        Grouping::EqualWidthBins(bins) => {
+            if bins == 0 {
+                return Err(StatsError::InvalidArgument { reason: "bin count must be positive" });
+            }
+            let mut groups = vec![Vec::new(); bins];
+            for (i, &f) in forecasts.iter().enumerate() {
+                let b = ((f * bins as f64) as usize).min(bins - 1);
+                groups[b].push(i);
+            }
+            groups.retain(|g| !g.is_empty());
+            Ok(groups)
+        }
+        Grouping::QuantileBins(bins) => {
+            if bins == 0 {
+                return Err(StatsError::InvalidArgument { reason: "bin count must be positive" });
+            }
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| forecasts[a].total_cmp(&forecasts[b]));
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            let per = n.div_ceil(bins);
+            for chunk in order.chunks(per.max(1)) {
+                groups.push(chunk.to_vec());
+            }
+            // Merge boundary ties so equal forecasts land in one group,
+            // keeping the decomposition well defined.
+            let mut merged: Vec<Vec<usize>> = Vec::new();
+            for g in groups {
+                match merged.last_mut() {
+                    Some(last)
+                        if forecasts[*last.last().expect("non-empty group")]
+                            == forecasts[g[0]] =>
+                    {
+                        last.extend(g);
+                    }
+                    _ => merged.push(g),
+                }
+            }
+            Ok(merged)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn perfect_forecast_scores_zero() {
+        let f = [0.0, 1.0, 0.0, 1.0];
+        let y = [false, true, false, true];
+        let d = BrierDecomposition::compute(&f, &y, Grouping::default()).unwrap();
+        assert_close(d.brier, 0.0, 1e-15);
+        assert_close(d.unreliability, 0.0, 1e-15);
+        assert_close(d.resolution, d.variance, 1e-15);
+        assert_close(d.unspecificity, 0.0, 1e-15);
+    }
+
+    #[test]
+    fn constant_forecast_has_zero_resolution() {
+        let f = [0.3; 10];
+        let y = [true, false, false, true, false, false, false, false, false, true];
+        let d = BrierDecomposition::compute(&f, &y, Grouping::default()).unwrap();
+        assert_close(d.resolution, 0.0, 1e-15);
+        assert_eq!(d.n_groups, 1);
+        // bs = var + rel for a constant forecast.
+        assert_close(d.brier, d.variance + d.unreliability, 1e-12);
+    }
+
+    #[test]
+    fn murphy_identity_exact_for_unique_grouping() {
+        let f = [0.1, 0.1, 0.25, 0.25, 0.25, 0.7, 0.7, 0.9];
+        let y = [false, true, false, false, true, true, false, true];
+        let d = BrierDecomposition::compute(&f, &y, Grouping::default()).unwrap();
+        assert_close(d.within_group_residual, 0.0, 1e-12);
+        assert_close(d.brier, d.variance - d.resolution + d.unreliability, 1e-12);
+    }
+
+    #[test]
+    fn overconfidence_detects_underestimated_risk() {
+        // Forecast says 1% failure; observed 50%: grossly overconfident.
+        let f = [0.01; 8];
+        let y = [true, false, true, false, true, false, true, false];
+        let d = BrierDecomposition::compute(&f, &y, Grouping::default()).unwrap();
+        assert!(d.overconfidence > 0.2);
+        assert_close(d.underconfidence, 0.0, 1e-15);
+    }
+
+    #[test]
+    fn underconfidence_detects_overestimated_risk() {
+        let f = [0.9; 8];
+        let y = [false; 8];
+        let d = BrierDecomposition::compute(&f, &y, Grouping::default()).unwrap();
+        assert_close(d.overconfidence, 0.0, 1e-15);
+        assert!(d.underconfidence > 0.5);
+    }
+
+    #[test]
+    fn overconfidence_plus_underconfidence_is_unreliability() {
+        let f = [0.1, 0.1, 0.8, 0.8, 0.5, 0.5];
+        let y = [true, true, false, false, true, false];
+        let d = BrierDecomposition::compute(&f, &y, Grouping::default()).unwrap();
+        assert_close(d.overconfidence + d.underconfidence, d.unreliability, 1e-14);
+    }
+
+    #[test]
+    fn variance_is_estimator_invariant() {
+        let y = [true, false, false, false, true, false, false, false];
+        let d1 = BrierDecomposition::compute(&[0.2; 8], &y, Grouping::default()).unwrap();
+        let d2 =
+            BrierDecomposition::compute(&[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7], &y, Grouping::default())
+                .unwrap();
+        assert_close(d1.variance, d2.variance, 1e-15);
+        assert_close(d1.variance, 0.25 * 0.75, 1e-15);
+    }
+
+    #[test]
+    fn tolerance_merges_near_duplicates() {
+        let f = [0.5, 0.5 + 1e-12, 0.9];
+        let y = [true, false, true];
+        let d =
+            BrierDecomposition::compute(&f, &y, Grouping::UniqueValues { tolerance: 1e-9 }).unwrap();
+        assert_eq!(d.n_groups, 2);
+    }
+
+    #[test]
+    fn equal_width_bins_group_continuous_forecasts() {
+        let f: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let y: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let d = BrierDecomposition::compute(&f, &y, Grouping::EqualWidthBins(10)).unwrap();
+        assert_eq!(d.n_groups, 10);
+        // Identity holds only approximately for bins.
+        assert!(d.within_group_residual.abs() < 0.01);
+    }
+
+    #[test]
+    fn quantile_bins_equalize_population() {
+        let f: Vec<f64> = (0..1000).map(|i| (i as f64 / 1000.0).powi(3)).collect();
+        let y = vec![false; 1000];
+        let d = BrierDecomposition::compute(&f, &y, Grouping::QuantileBins(10)).unwrap();
+        assert_eq!(d.n_groups, 10);
+    }
+
+    #[test]
+    fn quantile_bins_merge_ties() {
+        let mut f = vec![0.0; 500];
+        f.extend(vec![1.0; 500]);
+        let y = vec![false; 1000];
+        let d = BrierDecomposition::compute(&f, &y, Grouping::QuantileBins(10)).unwrap();
+        assert_eq!(d.n_groups, 2, "tied forecasts must not be split across groups");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(BrierDecomposition::compute(&[], &[], Grouping::default()).is_err());
+        assert!(BrierDecomposition::compute(&[0.5], &[], Grouping::default()).is_err());
+        assert!(BrierDecomposition::compute(&[1.5], &[true], Grouping::default()).is_err());
+        assert!(
+            BrierDecomposition::compute(&[0.5], &[true], Grouping::EqualWidthBins(0)).is_err()
+        );
+        assert!(brier_score(&[f64::NAN], &[true]).is_err());
+    }
+
+    #[test]
+    fn brier_score_matches_decomposition() {
+        let f = [0.2, 0.4, 0.9, 0.05];
+        let y = [false, true, true, false];
+        let plain = brier_score(&f, &y).unwrap();
+        let d = BrierDecomposition::compute(&f, &y, Grouping::default()).unwrap();
+        assert_close(plain, d.brier, 1e-15);
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type shared by the statistical routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `tauw-stats` routines.
+///
+/// All variants carry enough context to diagnose the offending call without
+/// a debugger; the `Display` output is lowercase without trailing
+/// punctuation per Rust API guidelines (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A probability-like argument was outside `[0, 1]` or not finite.
+    InvalidProbability {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A count argument was inconsistent (e.g. `successes > trials`).
+    InvalidCount {
+        /// Description of the violated constraint.
+        constraint: &'static str,
+    },
+    /// An input slice was empty where at least one element is required.
+    EmptyInput {
+        /// Name of the empty input.
+        name: &'static str,
+    },
+    /// Two parallel slices had different lengths.
+    LengthMismatch {
+        /// Length of the first slice.
+        left: usize,
+        /// Length of the second slice.
+        right: usize,
+    },
+    /// A numerical routine failed to converge.
+    NoConvergence {
+        /// Name of the routine.
+        routine: &'static str,
+    },
+    /// A generic invalid argument with an explanation.
+    InvalidArgument {
+        /// Description of what was wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidProbability { name, value } => {
+                write!(f, "parameter `{name}` must be a probability in [0, 1], got {value}")
+            }
+            StatsError::InvalidCount { constraint } => {
+                write!(f, "invalid count: {constraint}")
+            }
+            StatsError::EmptyInput { name } => {
+                write!(f, "input `{name}` must not be empty")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "parallel inputs have different lengths ({left} vs {right})")
+            }
+            StatsError::NoConvergence { routine } => {
+                write!(f, "routine `{routine}` failed to converge")
+            }
+            StatsError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+/// Validates that `value` is a finite probability in `[0, 1]`.
+pub(crate) fn check_probability(name: &'static str, value: f64) -> Result<(), StatsError> {
+    if value.is_finite() && (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(StatsError::InvalidProbability { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        let e = StatsError::InvalidProbability { name: "confidence", value: 1.5 };
+        let s = e.to_string();
+        assert!(s.starts_with("parameter"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn check_probability_accepts_bounds() {
+        assert!(check_probability("p", 0.0).is_ok());
+        assert!(check_probability("p", 1.0).is_ok());
+        assert!(check_probability("p", 0.5).is_ok());
+    }
+
+    #[test]
+    fn check_probability_rejects_outside_and_nan() {
+        assert!(check_probability("p", -0.1).is_err());
+        assert!(check_probability("p", 1.1).is_err());
+        assert!(check_probability("p", f64::NAN).is_err());
+        assert!(check_probability("p", f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

@@ -1,0 +1,194 @@
+//! ROC analysis: how well do uncertainty estimates *rank* failures?
+//!
+//! The Brier score (and its decomposition) measures calibration and
+//! resolution together; AUC isolates pure discrimination — whether failures
+//! receive higher uncertainty than successes, regardless of the absolute
+//! level. The experiment harness reports it as a supplementary diagnostic
+//! for the Table I approaches.
+
+use crate::error::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// One operating point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Decision threshold (classify as "failure" when score ≥ threshold).
+    pub threshold: f64,
+    /// True-positive rate at the threshold.
+    pub tpr: f64,
+    /// False-positive rate at the threshold.
+    pub fpr: f64,
+}
+
+/// A ROC curve over `(score, is_positive)` samples; higher scores should
+/// indicate positives (here: higher uncertainty should indicate failures).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocCurve {
+    /// Points ordered by decreasing threshold, starting at `(0, 0)` and
+    /// ending at `(1, 1)`.
+    pub points: Vec<RocPoint>,
+    n_positive: usize,
+    n_negative: usize,
+}
+
+impl RocCurve {
+    /// Builds the curve from scores and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] on empty or mismatched inputs, non-finite
+    /// scores, or single-class labels (AUC is undefined then).
+    pub fn from_scores(scores: &[f64], positives: &[bool]) -> Result<Self, StatsError> {
+        if scores.is_empty() {
+            return Err(StatsError::EmptyInput { name: "scores" });
+        }
+        if scores.len() != positives.len() {
+            return Err(StatsError::LengthMismatch { left: scores.len(), right: positives.len() });
+        }
+        if scores.iter().any(|s| !s.is_finite()) {
+            return Err(StatsError::InvalidArgument { reason: "scores must be finite" });
+        }
+        let n_positive = positives.iter().filter(|&&p| p).count();
+        let n_negative = positives.len() - n_positive;
+        if n_positive == 0 || n_negative == 0 {
+            return Err(StatsError::InvalidArgument {
+                reason: "ROC needs both positive and negative samples",
+            });
+        }
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        let mut points = vec![RocPoint { threshold: f64::INFINITY, tpr: 0.0, fpr: 0.0 }];
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut i = 0;
+        while i < order.len() {
+            let threshold = scores[order[i]];
+            // Consume the whole tie group before emitting a point.
+            while i < order.len() && scores[order[i]] == threshold {
+                if positives[order[i]] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                threshold,
+                tpr: tp as f64 / n_positive as f64,
+                fpr: fp as f64 / n_negative as f64,
+            });
+        }
+        Ok(RocCurve { points, n_positive, n_negative })
+    }
+
+    /// Area under the curve via the trapezoidal rule (equals the
+    /// Mann–Whitney U statistic with tie correction).
+    pub fn auc(&self) -> f64 {
+        let mut area = 0.0;
+        for w in self.points.windows(2) {
+            area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+        }
+        area
+    }
+
+    /// Number of positive samples.
+    pub fn n_positive(&self) -> usize {
+        self.n_positive
+    }
+
+    /// Number of negative samples.
+    pub fn n_negative(&self) -> usize {
+        self.n_negative
+    }
+}
+
+/// AUC without materializing the curve.
+///
+/// # Errors
+///
+/// Same conditions as [`RocCurve::from_scores`].
+///
+/// # Examples
+///
+/// ```
+/// use tauw_stats::roc::auc;
+///
+/// // Perfect ranking: all failures scored above all successes.
+/// let scores = [0.9, 0.8, 0.2, 0.1];
+/// let failed = [true, true, false, false];
+/// assert!((auc(&scores, &failed)? - 1.0).abs() < 1e-12);
+/// # Ok::<(), tauw_stats::StatsError>(())
+/// ```
+pub fn auc(scores: &[f64], positives: &[bool]) -> Result<f64, StatsError> {
+    Ok(RocCurve::from_scores(scores, positives)?.auc())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_auc_one() {
+        let scores = [0.9, 0.8, 0.7, 0.2, 0.1];
+        let y = [true, true, true, false, false];
+        assert!((auc(&scores, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_has_auc_zero() {
+        let scores = [0.1, 0.2, 0.9];
+        let y = [true, true, false];
+        assert!(auc(&scores, &y).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn random_interleaving_is_half() {
+        // Alternating scores with alternating labels: AUC = 0.5 by symmetry.
+        let scores: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let v = auc(&scores, &y).unwrap();
+        assert!((v - 0.5).abs() < 0.02, "AUC {v}");
+    }
+
+    #[test]
+    fn ties_are_handled_with_trapezoid() {
+        // All scores equal: AUC must be exactly 0.5.
+        let scores = [0.3; 10];
+        let y = [true, false, true, false, true, false, true, false, true, false];
+        assert!((auc(&scores, &y).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_endpoints_are_corners() {
+        let scores = [0.4, 0.1, 0.8, 0.6];
+        let y = [false, false, true, true];
+        let curve = RocCurve::from_scores(&scores, &y).unwrap();
+        let first = curve.points.first().unwrap();
+        let last = curve.points.last().unwrap();
+        assert_eq!((first.tpr, first.fpr), (0.0, 0.0));
+        assert_eq!((last.tpr, last.fpr), (1.0, 1.0));
+        assert_eq!(curve.n_positive(), 2);
+        assert_eq!(curve.n_negative(), 2);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let scores = [0.1, 0.5, 0.5, 0.9, 0.3, 0.7];
+        let y = [false, true, false, true, false, true];
+        let curve = RocCurve::from_scores(&scores, &y).unwrap();
+        for w in curve.points.windows(2) {
+            assert!(w[1].tpr >= w[0].tpr);
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].threshold <= w[0].threshold);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(auc(&[], &[]).is_err());
+        assert!(auc(&[0.5], &[true]).is_err(), "single class");
+        assert!(auc(&[0.5, 0.6], &[false, false]).is_err());
+        assert!(auc(&[0.5], &[true, false]).is_err());
+        assert!(auc(&[f64::NAN, 0.5], &[true, false]).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: train a timeseries-aware uncertainty wrapper on a small
+//! synthetic world and query it at runtime.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tauw_suite::core::tauw::TauwBuilder;
+use tauw_suite::core::training::{TrainingSeries, TrainingStep};
+use tauw_suite::core::wrapper::WrapperBuilder;
+use tauw_suite::core::CalibrationOptions;
+use tauw_suite::sim::{DatasetBuilder, QualityObservation, SeriesRecord, SimConfig};
+
+/// Converts a simulator series into the wrapper's training format.
+fn convert(records: &[SeriesRecord]) -> Vec<TrainingSeries> {
+    records
+        .iter()
+        .map(|r| TrainingSeries {
+            true_outcome: u32::from(r.true_class.id()),
+            steps: r
+                .frames
+                .iter()
+                .map(|f| TrainingStep {
+                    quality_factors: f.observation.feature_vector().to_vec(),
+                    outcome: u32::from(f.outcome.id()),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A small synthetic TSR world (5% of the paper's size).
+    let config = SimConfig::scaled(0.15);
+    let data = DatasetBuilder::new(config, 42).map_err(std::io::Error::other)?.build();
+    println!(
+        "world: {} train series, {} calibration windows, {} test windows",
+        data.train.len(),
+        data.calib.len(),
+        data.test.len()
+    );
+
+    // 2. Train + calibrate the taUW (reduced calibration minimum for the
+    //    small world; the paper uses 200 on ~110k calibration samples).
+    let mut wrapper_builder = WrapperBuilder::new();
+    wrapper_builder.max_depth(8).calibration(CalibrationOptions {
+        min_samples_per_leaf: 100,
+        confidence: 0.999,
+        ..Default::default()
+    });
+    let mut builder = TauwBuilder::new();
+    builder.wrapper(wrapper_builder);
+    let tauw = builder.fit(
+        QualityObservation::feature_names(),
+        &convert(&data.train),
+        &convert(&data.calib),
+    )?;
+    println!(
+        "taQIM: {} leaves, lowest guaranteed uncertainty {:.4}",
+        tauw.taqim().tree().n_leaves(),
+        tauw.min_uncertainty()
+    );
+
+    // 3. Run one test series through a runtime session.
+    let test_series = convert(&data.test[..1]);
+    let series = &test_series[0];
+    let mut session = tauw.new_session();
+    session.begin_series();
+    println!("\nstep  outcome  fused  u(stateless)  u(taUW)");
+    for step in &series.steps {
+        let out = session.step(&step.quality_factors, step.outcome)?;
+        println!(
+            "{:>4}  {:>7}  {:>5}  {:>12.4}  {:>7.4}",
+            out.series_length,
+            step.outcome,
+            out.fused_outcome,
+            out.stateless_uncertainty,
+            out.uncertainty
+        );
+    }
+    println!("\nground truth class: {}", series.true_outcome);
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! Full TSR runtime pipeline: camera events from a drive past several
+//! physical signs stream through the Kalman tracker, which decides when a
+//! new timeseries begins (clearing the wrapper's buffer) and coasts
+//! through detector dropouts, while the taUW produces fused outcomes with
+//! dependable uncertainty.
+//!
+//! This mirrors the paper's Fig. 2 architecture end to end: tracking →
+//! timeseries buffer → information fusion → taQFs → taQIM.
+//!
+//! ```text
+//! cargo run --release --example tsr_pipeline
+//! ```
+
+use tauw_suite::core::tauw::TauwBuilder;
+use tauw_suite::core::training::{TrainingSeries, TrainingStep};
+use tauw_suite::core::wrapper::WrapperBuilder;
+use tauw_suite::core::CalibrationOptions;
+use tauw_suite::sim::drive::DriveEvent;
+use tauw_suite::sim::{
+    DatasetBuilder, DriveScenario, QualityObservation, SeriesRecord, SignTracker, SimConfig,
+    TrackEvent,
+};
+
+fn convert(records: &[SeriesRecord]) -> Vec<TrainingSeries> {
+    records
+        .iter()
+        .map(|r| TrainingSeries {
+            true_outcome: u32::from(r.true_class.id()),
+            steps: r
+                .frames
+                .iter()
+                .map(|f| TrainingStep {
+                    quality_factors: f.observation.feature_vector().to_vec(),
+                    outcome: u32::from(f.outcome.id()),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SimConfig::scaled(0.15);
+    let data = DatasetBuilder::new(config.clone(), 7).map_err(std::io::Error::other)?.build();
+
+    let mut wrapper_builder = WrapperBuilder::new();
+    wrapper_builder.max_depth(8).calibration(CalibrationOptions {
+        min_samples_per_leaf: 100,
+        confidence: 0.999,
+        ..Default::default()
+    });
+    let mut builder = TauwBuilder::new();
+    builder.wrapper(wrapper_builder);
+    let tauw = builder.fit(
+        QualityObservation::feature_names(),
+        &convert(&data.train),
+        &convert(&data.calib),
+    )?;
+
+    // A drive past four signs with occasional detector dropouts. The
+    // tracker segments the event stream; the taUW session follows.
+    let scenario = DriveScenario { n_signs: 4, dropout_prob: 0.05, ..Default::default() };
+    let drive = scenario.generate(&config, 99);
+    let mut tracker = SignTracker::with_noise(13.8, 2500.0, 9.0);
+    let mut session = tauw.new_session();
+
+    println!("tick  event        outcome  fused  u(taUW)  true");
+    for (tick, event) in drive.events.iter().enumerate() {
+        match event {
+            DriveEvent::Dropout { .. } => {
+                tracker.coast();
+                println!("{tick:>4}  dropout");
+            }
+            DriveEvent::Detection(detection) => {
+                let track_event = tracker.observe(detection.image_position);
+                if track_event == TrackEvent::NewTrack {
+                    session.begin_series();
+                }
+                let out = session.step(
+                    &detection.frame.observation.feature_vector(),
+                    u32::from(detection.frame.outcome.id()),
+                )?;
+                println!(
+                    "{tick:>4}  {:<11}  {:>7}  {:>5}  {:>7.4}  {:>4}",
+                    match track_event {
+                        TrackEvent::NewTrack => "NEW-SERIES",
+                        TrackEvent::Continued => "",
+                    },
+                    detection.frame.outcome.id(),
+                    out.fused_outcome,
+                    out.uncertainty,
+                    detection.true_class.id()
+                );
+            }
+        }
+    }
+    println!(
+        "\ntracker segmented the stream into {} series (drive contains {})",
+        tracker.track_count(),
+        drive.n_signs()
+    );
+    Ok(())
+}

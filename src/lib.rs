@@ -1,0 +1,31 @@
+//! # tauw-suite
+//!
+//! Meta-crate for the reproduction of *"Timeseries-aware Uncertainty
+//! Wrappers for Uncertainty Quantification of Information-Fusion-Enhanced AI
+//! Models based on Machine Learning"* (Groß et al., DSN 2023 / VERDI).
+//!
+//! This crate re-exports the workspace's public API under one roof so that
+//! downstream users (and the `examples/` binaries) can depend on a single
+//! crate:
+//!
+//! * [`stats`] — binomial confidence bounds, Brier decomposition,
+//!   calibration diagnostics ([`tauw_stats`]).
+//! * [`dtree`] — from-scratch CART decision trees ([`tauw_dtree`]).
+//! * [`sim`] — the synthetic traffic-sign-recognition world
+//!   ([`tauw_sim`]).
+//! * [`fusion`] — information fusion and uncertainty-fusion baselines
+//!   ([`tauw_fusion`]).
+//! * [`core`] — the uncertainty wrapper framework and its
+//!   timeseries-aware extension ([`tauw_core`]).
+//!
+//! See `README.md` for a guided tour and `examples/quickstart.rs` for the
+//! shortest end-to-end pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tauw_core as core;
+pub use tauw_dtree as dtree;
+pub use tauw_fusion as fusion;
+pub use tauw_sim as sim;
+pub use tauw_stats as stats;

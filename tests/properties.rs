@@ -1,0 +1,279 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use tauw_suite::core::buffer::TimeseriesBuffer;
+use tauw_suite::core::taqf::{TaqfSet, TaqfVector};
+use tauw_suite::fusion::majority_vote;
+use tauw_suite::fusion::uncertainty::UncertaintyFusion;
+use tauw_suite::stats::binomial::{lower_bound, upper_bound, BoundMethod};
+use tauw_suite::stats::brier::{brier_score, BrierDecomposition, Grouping};
+use tauw_suite::stats::calibration::CalibrationCurve;
+use tauw_suite::stats::descriptive::quantile;
+
+fn outcome_seq() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..6, 1..30)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // --- fusion ---
+
+    #[test]
+    fn majority_vote_returns_a_member(outcomes in outcome_seq()) {
+        let fused = majority_vote(&outcomes).unwrap();
+        prop_assert!(outcomes.contains(&fused));
+    }
+
+    #[test]
+    fn majority_vote_respects_absolute_majority(
+        winner in 0u32..6,
+        loser in 0u32..6,
+        n_win in 3usize..10,
+    ) {
+        prop_assume!(winner != loser);
+        // winner occupies > half the slots, interleaved.
+        let mut outcomes = Vec::new();
+        for _ in 0..n_win {
+            outcomes.push(winner);
+        }
+        for _ in 0..n_win - 1 {
+            outcomes.push(loser);
+        }
+        prop_assert_eq!(majority_vote(&outcomes), Some(winner));
+    }
+
+    #[test]
+    fn majority_vote_is_permutation_sensitive_only_for_ties(outcomes in outcome_seq()) {
+        // Reversing the sequence can only change the result if there is a
+        // tie in counts (tie-break is recency-based).
+        let fused = majority_vote(&outcomes).unwrap();
+        let mut rev = outcomes.clone();
+        rev.reverse();
+        let fused_rev = majority_vote(&rev).unwrap();
+        let count = |v: &[u32], x: u32| v.iter().filter(|&&o| o == x).count();
+        if fused != fused_rev {
+            prop_assert_eq!(count(&outcomes, fused), count(&outcomes, fused_rev));
+        }
+    }
+
+    #[test]
+    fn uncertainty_fusion_ordering(u in prop::collection::vec(0.0f64..=1.0, 1..20)) {
+        let naive = UncertaintyFusion::Naive.fuse(&u).unwrap();
+        let opportune = UncertaintyFusion::Opportune.fuse(&u).unwrap();
+        let worst = UncertaintyFusion::WorstCase.fuse(&u).unwrap();
+        prop_assert!(naive <= opportune + 1e-15);
+        prop_assert!(opportune <= worst + 1e-15);
+        for v in [naive, opportune, worst] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uncertainty_fusion_is_prefix_monotone(u in prop::collection::vec(0.0f64..=1.0, 2..15)) {
+        // Adding observations can only decrease naive/opportune and only
+        // increase worst-case.
+        let shorter = &u[..u.len() - 1];
+        prop_assert!(
+            UncertaintyFusion::Naive.fuse(&u).unwrap()
+                <= UncertaintyFusion::Naive.fuse(shorter).unwrap() + 1e-15
+        );
+        prop_assert!(
+            UncertaintyFusion::Opportune.fuse(&u).unwrap()
+                <= UncertaintyFusion::Opportune.fuse(shorter).unwrap() + 1e-15
+        );
+        prop_assert!(
+            UncertaintyFusion::WorstCase.fuse(&u).unwrap() + 1e-15
+                >= UncertaintyFusion::WorstCase.fuse(shorter).unwrap()
+        );
+    }
+
+    // --- taQF ---
+
+    #[test]
+    fn taqf_invariants(
+        outcomes in outcome_seq(),
+        raw_u in prop::collection::vec(0.0f64..=1.0, 30),
+    ) {
+        let mut buffer = TimeseriesBuffer::new();
+        for (i, &o) in outcomes.iter().enumerate() {
+            buffer.push(o, raw_u[i]);
+        }
+        let fused = majority_vote(&outcomes).unwrap();
+        let taqf = TaqfVector::compute(&buffer, fused).unwrap();
+        let n = outcomes.len() as f64;
+        prop_assert!((0.0..=1.0).contains(&taqf.ratio));
+        prop_assert_eq!(taqf.length, n);
+        prop_assert!(taqf.unique_outcomes >= 1.0);
+        prop_assert!(taqf.unique_outcomes <= n);
+        prop_assert!(taqf.cumulative_certainty >= -1e-12);
+        prop_assert!(taqf.cumulative_certainty <= taqf.ratio * n + 1e-9);
+        // The fused outcome has at least one supporter (majority vote
+        // returns a member), so ratio > 0.
+        prop_assert!(taqf.ratio > 0.0);
+    }
+
+    #[test]
+    fn taqf_subset_selection_is_consistent(mask in 0u8..16) {
+        let kinds: Vec<_> = tauw_suite::core::taqf::TaqfKind::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, k)| *k)
+            .collect();
+        let set = TaqfSet::from_kinds(&kinds);
+        prop_assert_eq!(set.len(), kinds.len());
+        let mut buffer = TimeseriesBuffer::new();
+        buffer.push(1, 0.25);
+        buffer.push(2, 0.5);
+        let taqf = TaqfVector::compute(&buffer, 2).unwrap();
+        let selected = set.select(&taqf);
+        prop_assert_eq!(selected.len(), set.len());
+        for (value, kind) in selected.iter().zip(set.kinds()) {
+            prop_assert_eq!(*value, taqf.get(kind));
+        }
+    }
+
+    // --- binomial bounds ---
+
+    #[test]
+    fn bounds_bracket_the_point_estimate(
+        failures in 0u64..200,
+        extra in 1u64..500,
+        // Bayesian bounds (Jeffreys) are posterior quantiles and can sit
+        // below the MLE at low confidence; the bracketing property is only
+        // claimed for the high-confidence regime wrappers actually use.
+        confidence in 0.9f64..0.9999,
+    ) {
+        let trials = failures + extra;
+        let p_hat = failures as f64 / trials as f64;
+        for method in BoundMethod::ALL {
+            let up = upper_bound(method, failures, trials, confidence).unwrap();
+            let lo = lower_bound(method, failures, trials, confidence).unwrap();
+            prop_assert!(up + 1e-12 >= p_hat, "{method}: upper {up} < point {p_hat}");
+            prop_assert!(lo <= p_hat + 1e-12, "{method}: lower {lo} > point {p_hat}");
+            prop_assert!((0.0..=1.0).contains(&up));
+            prop_assert!((0.0..=1.0).contains(&lo));
+        }
+    }
+
+    #[test]
+    fn clopper_pearson_tightens_with_data(
+        rate_num in 0u64..10,
+        confidence in 0.9f64..0.999,
+    ) {
+        // Same empirical rate, 10x the data: the bound must shrink.
+        let small = upper_bound(BoundMethod::ClopperPearson, rate_num, 100, confidence).unwrap();
+        let large =
+            upper_bound(BoundMethod::ClopperPearson, rate_num * 10, 1000, confidence).unwrap();
+        prop_assert!(large <= small + 1e-12);
+    }
+
+    // --- Brier / calibration ---
+
+    #[test]
+    fn murphy_identity_on_random_data(
+        values in prop::collection::vec((0.0f64..=1.0, prop::bool::ANY), 2..200),
+    ) {
+        let forecasts: Vec<f64> = values.iter().map(|(f, _)| *f).collect();
+        let failures: Vec<bool> = values.iter().map(|(_, y)| *y).collect();
+        let d = BrierDecomposition::compute(
+            &forecasts,
+            &failures,
+            Grouping::UniqueValues { tolerance: 0.0 },
+        )
+        .unwrap();
+        prop_assert!(d.within_group_residual.abs() < 1e-9);
+        prop_assert!(d.brier >= -1e-12);
+        prop_assert!(d.resolution >= -1e-12);
+        prop_assert!(d.unreliability >= -1e-12);
+        prop_assert!((d.overconfidence + d.underconfidence - d.unreliability).abs() < 1e-12);
+        let plain = brier_score(&forecasts, &failures).unwrap();
+        prop_assert!((plain - d.brier).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_curve_partitions_all_cases(
+        values in prop::collection::vec((0.0f64..=1.0, prop::bool::ANY), 10..300),
+        bins in 1usize..12,
+    ) {
+        let u: Vec<f64> = values.iter().map(|(f, _)| *f).collect();
+        let y: Vec<bool> = values.iter().map(|(_, v)| *v).collect();
+        let curve = CalibrationCurve::from_uncertainties(&u, &y, bins).unwrap();
+        let total: usize = curve.points.iter().map(|p| p.count).sum();
+        prop_assert_eq!(total, values.len());
+        prop_assert!(curve.points.len() <= bins.max(1));
+        prop_assert!(curve.ece() <= 1.0 + 1e-12);
+        prop_assert!(curve.mce() <= 1.0 + 1e-12);
+        prop_assert!(curve.ece() <= curve.mce() + 1e-12);
+    }
+
+    // --- descriptive ---
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let v_lo = quantile(&xs, lo).unwrap();
+        let v_hi = quantile(&xs, hi).unwrap();
+        prop_assert!(v_lo <= v_hi);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v_lo >= min - 1e-9 && v_hi <= max + 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // --- decision trees (heavier cases, fewer iterations) ---
+
+    #[test]
+    fn tree_predictions_are_valid_classes(
+        rows in prop::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0u32..3),
+            20..200,
+        ),
+        depth in 1usize..6,
+    ) {
+        use tauw_suite::dtree::{Dataset, TreeBuilder};
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()], 3).unwrap();
+        for (a, b, label) in &rows {
+            ds.push_row(&[*a, *b], *label).unwrap();
+        }
+        let tree = TreeBuilder::new().max_depth(depth).fit(&ds).unwrap();
+        prop_assert!(tree.depth() <= depth);
+        for (a, b, _) in rows.iter().take(50) {
+            let class = tree.predict(&[*a, *b]).unwrap();
+            prop_assert!(class < 3);
+            let proba = tree.predict_proba(&[*a, *b]).unwrap();
+            let sum: f64 = proba.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+        // Training counts are conserved at every level.
+        let root = tree.node(0);
+        prop_assert_eq!(root.info.n as usize, rows.len());
+    }
+
+    #[test]
+    fn tree_routing_agrees_with_decision_path(
+        rows in prop::collection::vec((0.0f64..1.0, 0u32..2), 30..120),
+        queries in prop::collection::vec(0.0f64..1.0, 1..20),
+    ) {
+        use tauw_suite::dtree::{Dataset, TreeBuilder};
+        let mut ds = Dataset::new(vec!["x".into()], 2).unwrap();
+        for (x, label) in &rows {
+            ds.push_row(&[*x], *label).unwrap();
+        }
+        let tree = TreeBuilder::new().max_depth(5).fit(&ds).unwrap();
+        for q in queries {
+            let leaf = tree.leaf_id(&[q]).unwrap();
+            let path = tree.decision_path(&[q]).unwrap();
+            prop_assert_eq!(*path.last().unwrap(), leaf);
+            prop_assert_eq!(path[0], 0);
+        }
+    }
+}
