@@ -67,7 +67,9 @@ fn bench_pruning(c: &mut Criterion) {
     let tree = TreeBuilder::new().max_depth(8).fit(&ds).expect("fit");
     let calib: Vec<Vec<f64>> = {
         let calib_ds = make_dataset(5_000, 10);
-        (0..calib_ds.n_samples()).map(|i| calib_ds.row(i).to_vec()).collect()
+        (0..calib_ds.n_samples())
+            .map(|i| calib_ds.row(i).to_vec())
+            .collect()
     };
     let mut group = c.benchmark_group("pruning");
     group.sample_size(20);

@@ -57,8 +57,7 @@ fn bench_artifact_roundtrip(c: &mut Criterion) {
     c.bench_function("artifact_deserialize", |b| {
         b.iter(|| {
             black_box(
-                TimeseriesAwareWrapper::from_artifact_json(black_box(&json))
-                    .expect("deserialize"),
+                TimeseriesAwareWrapper::from_artifact_json(black_box(&json)).expect("deserialize"),
             )
         });
     });

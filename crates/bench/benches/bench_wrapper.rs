@@ -11,7 +11,12 @@ fn bench_runtime_path(c: &mut Criterion) {
 
     c.bench_function("stateless_uncertainty_single_frame", |b| {
         let qf = &series.steps[0].quality_factors;
-        b.iter(|| ctx.tauw.stateless().uncertainty(black_box(qf)).expect("estimate"));
+        b.iter(|| {
+            ctx.tauw
+                .stateless()
+                .uncertainty(black_box(qf))
+                .expect("estimate")
+        });
     });
 
     c.bench_function("tauw_session_step", |b| {
@@ -39,7 +44,9 @@ fn bench_runtime_path(c: &mut Criterion) {
                 session.begin_series();
                 for step in &series.steps {
                     black_box(
-                        session.step(&step.quality_factors, step.outcome).expect("step"),
+                        session
+                            .step(&step.quality_factors, step.outcome)
+                            .expect("step"),
                     );
                 }
             }
@@ -51,7 +58,12 @@ fn bench_explain(c: &mut Criterion) {
     let ctx = small_context();
     let qf = &ctx.test[0].steps[0].quality_factors;
     c.bench_function("wrapper_explain", |b| {
-        b.iter(|| ctx.tauw.stateless().explain(black_box(qf)).expect("explanation"));
+        b.iter(|| {
+            ctx.tauw
+                .stateless()
+                .explain(black_box(qf))
+                .expect("explanation")
+        });
     });
 }
 

@@ -47,4 +47,27 @@ mod tests {
         assert_eq!(y.len(), 1000);
         assert!(f.iter().all(|v| (0.0..=1.0).contains(v)));
     }
+
+    #[test]
+    fn synthetic_forecasts_are_deterministic() {
+        assert_eq!(synthetic_forecasts(256), synthetic_forecasts(256));
+    }
+
+    #[test]
+    fn context_smoke_builds_at_two_percent_scale() {
+        // A scaled-down version of the fixtures the benches run against;
+        // guards the bench crate's setup path without bench-sized runtimes.
+        let ctx = ExperimentContext::build(0.02, BENCH_SEED).expect("2% context builds");
+        assert!(!ctx.train.is_empty());
+        assert!(!ctx.calib.is_empty());
+        assert!(!ctx.test.is_empty());
+        let mut session = ctx.tauw.new_session();
+        session.begin_series();
+        let series = &ctx.test[0];
+        let step = series.steps.first().expect("test series has steps");
+        let out = session
+            .step(&step.quality_factors, step.outcome)
+            .expect("session steps");
+        assert!((0.0..=1.0).contains(&out.uncertainty));
+    }
 }

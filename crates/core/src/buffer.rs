@@ -46,18 +46,25 @@ pub struct TimeseriesBuffer {
 impl TimeseriesBuffer {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        TimeseriesBuffer { entries: Vec::new() }
+        TimeseriesBuffer {
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty buffer with reserved capacity (series length is
     /// usually known to be ~10–30 steps).
     pub fn with_capacity(capacity: usize) -> Self {
-        TimeseriesBuffer { entries: Vec::with_capacity(capacity) }
+        TimeseriesBuffer {
+            entries: Vec::with_capacity(capacity),
+        }
     }
 
     /// Records one timestep.
     pub fn push(&mut self, outcome: u32, uncertainty: f64) {
-        self.entries.push(BufferEntry { outcome, uncertainty: uncertainty.clamp(0.0, 1.0) });
+        self.entries.push(BufferEntry {
+            outcome,
+            uncertainty: uncertainty.clamp(0.0, 1.0),
+        });
     }
 
     /// Clears the buffer at the onset of a new timeseries.
@@ -166,7 +173,10 @@ mod tests {
     #[test]
     fn extend_appends_entries() {
         let mut b = TimeseriesBuffer::with_capacity(4);
-        b.extend([BufferEntry { outcome: 9, uncertainty: 0.4 }]);
+        b.extend([BufferEntry {
+            outcome: 9,
+            uncertainty: 0.4,
+        }]);
         assert_eq!(b.len(), 1);
         assert_eq!(b.outcomes(), vec![9]);
     }

@@ -83,7 +83,9 @@ impl CalibratedQim {
         options: CalibrationOptions,
     ) -> Result<Self, CoreError> {
         if samples.is_empty() {
-            return Err(CoreError::InvalidInput { reason: "calibration set is empty".into() });
+            return Err(CoreError::InvalidInput {
+                reason: "calibration set is empty".into(),
+            });
         }
         // 1. Route calibration samples and prune.
         let counts = tree.node_sample_counts(samples.iter().map(|(f, _)| f.as_slice()))?;
@@ -103,14 +105,23 @@ impl CalibratedQim {
         // 3. Bound per leaf.
         let mut leaves = vec![None; tree.n_nodes()];
         for leaf in tree.leaf_ids() {
-            let bound = upper_bound(options.method, failures[leaf], totals[leaf], options.confidence)?;
+            let bound = upper_bound(
+                options.method,
+                failures[leaf],
+                totals[leaf],
+                options.confidence,
+            )?;
             leaves[leaf] = Some(CalibratedLeaf {
                 failures: failures[leaf],
                 total: totals[leaf],
                 uncertainty_bound: bound,
             });
         }
-        Ok(CalibratedQim { tree, leaves, options })
+        Ok(CalibratedQim {
+            tree,
+            leaves,
+            options,
+        })
     }
 
     /// Dependable uncertainty for a feature vector: the bound of the leaf
@@ -134,7 +145,10 @@ impl CalibratedQim {
     /// Returns [`CoreError`] on feature-arity mismatch.
     pub fn route(&self, features: &[f64]) -> Result<(NodeId, CalibratedLeaf), CoreError> {
         let leaf = self.tree.leaf_id(features)?;
-        Ok((leaf, self.leaves[leaf].expect("every reachable leaf was calibrated")))
+        Ok((
+            leaf,
+            self.leaves[leaf].expect("every reachable leaf was calibrated"),
+        ))
     }
 
     /// The underlying (pruned) routing tree, for transparency/export.
@@ -152,7 +166,12 @@ impl CalibratedQim {
         self.tree
             .leaf_ids()
             .into_iter()
-            .map(|id| (id, self.leaves[id].expect("every reachable leaf was calibrated")))
+            .map(|id| {
+                (
+                    id,
+                    self.leaves[id].expect("every reachable leaf was calibrated"),
+                )
+            })
             .collect()
     }
 
@@ -219,10 +238,16 @@ mod tests {
         let tree = trained_tree(400);
         let n_leaves_before = tree.n_leaves();
         let calib = calib_samples(450, |x| x > 0.5);
-        let opts = CalibrationOptions { min_samples_per_leaf: 200, ..Default::default() };
+        let opts = CalibrationOptions {
+            min_samples_per_leaf: 200,
+            ..Default::default()
+        };
         let qim = CalibratedQim::calibrate(tree, &calib, opts).unwrap();
         assert!(qim.tree().n_leaves() <= n_leaves_before);
-        assert!(qim.tree().n_leaves() <= 2, "450 samples / 200 per leaf allows at most 2 leaves");
+        assert!(
+            qim.tree().n_leaves() <= 2,
+            "450 samples / 200 per leaf allows at most 2 leaves"
+        );
     }
 
     #[test]
@@ -232,13 +257,19 @@ mod tests {
         let loose = CalibratedQim::calibrate(
             tree.clone(),
             &calib,
-            CalibrationOptions { confidence: 0.9, ..Default::default() },
+            CalibrationOptions {
+                confidence: 0.9,
+                ..Default::default()
+            },
         )
         .unwrap();
         let tight = CalibratedQim::calibrate(
             tree,
             &calib,
-            CalibrationOptions { confidence: 0.9999, ..Default::default() },
+            CalibrationOptions {
+                confidence: 0.9999,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(tight.uncertainty(&[0.1]).unwrap() > loose.uncertainty(&[0.1]).unwrap());
@@ -259,7 +290,9 @@ mod tests {
         let calib = calib_samples(50, |x| x > 0.5);
         assert!(matches!(
             CalibratedQim::calibrate(tree, &calib, CalibrationOptions::default()),
-            Err(CoreError::Tree(tauw_dtree::DtreeError::CalibrationInfeasible { .. }))
+            Err(CoreError::Tree(
+                tauw_dtree::DtreeError::CalibrationInfeasible { .. }
+            ))
         ));
     }
 

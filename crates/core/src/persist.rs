@@ -36,13 +36,21 @@ struct Envelope<T> {
 }
 
 fn to_json<T: Serialize>(kind: ArtifactKind, model: &T) -> Result<String, CoreError> {
-    serde_json::to_string_pretty(&Envelope { format_version: FORMAT_VERSION, kind, model })
-        .map_err(|e| CoreError::InvalidInput { reason: format!("serialization failed: {e}") })
+    serde_json::to_string_pretty(&Envelope {
+        format_version: FORMAT_VERSION,
+        kind,
+        model,
+    })
+    .map_err(|e| CoreError::InvalidInput {
+        reason: format!("serialization failed: {e}"),
+    })
 }
 
 fn from_json<T: DeserializeOwned>(kind: ArtifactKind, json: &str) -> Result<T, CoreError> {
-    let envelope: Envelope<T> = serde_json::from_str(json)
-        .map_err(|e| CoreError::InvalidInput { reason: format!("deserialization failed: {e}") })?;
+    let envelope: Envelope<T> =
+        serde_json::from_str(json).map_err(|e| CoreError::InvalidInput {
+            reason: format!("deserialization failed: {e}"),
+        })?;
     if envelope.format_version != FORMAT_VERSION {
         return Err(CoreError::InvalidInput {
             reason: format!(
@@ -53,7 +61,10 @@ fn from_json<T: DeserializeOwned>(kind: ArtifactKind, json: &str) -> Result<T, C
     }
     if envelope.kind != kind {
         return Err(CoreError::InvalidInput {
-            reason: format!("artifact kind {:?} does not match expected {kind:?}", envelope.kind),
+            reason: format!(
+                "artifact kind {:?} does not match expected {kind:?}",
+                envelope.kind
+            ),
         });
     }
     Ok(envelope.model)
@@ -164,7 +175,9 @@ mod tests {
     fn toy_series(n: usize, seed: u64) -> Vec<TrainingSeries> {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         (0..n)
@@ -176,7 +189,10 @@ mod tests {
                         outcome: u32::from(next() < q * 0.8),
                     })
                     .collect();
-                TrainingSeries { true_outcome: 0, steps }
+                TrainingSeries {
+                    true_outcome: 0,
+                    steps,
+                }
             })
             .collect()
     }
@@ -190,7 +206,8 @@ mod tests {
         });
         let mut b = TauwBuilder::new();
         b.wrapper(wb);
-        b.fit(vec!["q".into()], &toy_series(200, 1), &toy_series(200, 2)).unwrap()
+        b.fit(vec!["q".into()], &toy_series(200, 1), &toy_series(200, 2))
+            .unwrap()
     }
 
     #[test]
@@ -216,7 +233,10 @@ mod tests {
         let json = wrapper.to_artifact_json().unwrap();
         let back = UncertaintyWrapper::from_artifact_json(&json).unwrap();
         assert_eq!(wrapper, back);
-        assert_eq!(wrapper.uncertainty(&[0.42]).unwrap(), back.uncertainty(&[0.42]).unwrap());
+        assert_eq!(
+            wrapper.uncertainty(&[0.42]).unwrap(),
+            back.uncertainty(&[0.42]).unwrap()
+        );
     }
 
     #[test]
@@ -230,10 +250,10 @@ mod tests {
     #[test]
     fn version_mismatch_is_rejected() {
         let tauw = fitted();
-        let json = tauw.to_artifact_json().unwrap().replace(
-            "\"format_version\": 1",
-            "\"format_version\": 999",
-        );
+        let json = tauw
+            .to_artifact_json()
+            .unwrap()
+            .replace("\"format_version\": 1", "\"format_version\": 999");
         let err = TimeseriesAwareWrapper::from_artifact_json(&json);
         assert!(matches!(err, Err(CoreError::InvalidInput { .. })));
     }
@@ -247,7 +267,8 @@ mod tests {
     #[test]
     fn save_and_load_file() {
         let tauw = fitted();
-        let path = std::env::temp_dir().join("tauw_persist_test.json");
+        let path =
+            std::env::temp_dir().join(format!("tauw_persist_test_{}.json", std::process::id()));
         tauw.save(&path).unwrap();
         let back = TimeseriesAwareWrapper::load(&path).unwrap();
         assert_eq!(tauw, back);

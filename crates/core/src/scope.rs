@@ -48,11 +48,7 @@ impl ScopeComplianceModel {
     ///
     /// Returns [`CoreError::InvalidInput`] if `rows` is empty or arities
     /// are inconsistent with `feature_names`.
-    pub fn fit<'a, I>(
-        rows: I,
-        feature_names: Vec<String>,
-        padding: f64,
-    ) -> Result<Self, CoreError>
+    pub fn fit<'a, I>(rows: I, feature_names: Vec<String>, padding: f64) -> Result<Self, CoreError>
     where
         I: IntoIterator<Item = &'a [f64]>,
     {
@@ -73,7 +69,9 @@ impl ScopeComplianceModel {
             count += 1;
         }
         if count == 0 {
-            return Err(CoreError::InvalidInput { reason: "scope model needs training rows".into() });
+            return Err(CoreError::InvalidInput {
+                reason: "scope model needs training rows".into(),
+            });
         }
         let pad = padding.max(0.0);
         for b in &mut boundaries {
@@ -81,7 +79,10 @@ impl ScopeComplianceModel {
             b.0 -= pad * width;
             b.1 += pad * width;
         }
-        Ok(ScopeComplianceModel { boundaries, feature_names })
+        Ok(ScopeComplianceModel {
+            boundaries,
+            feature_names,
+        })
     }
 
     /// Learned boundaries per feature.
@@ -132,8 +133,9 @@ mod tests {
     use super::*;
 
     fn model() -> ScopeComplianceModel {
-        let rows: Vec<Vec<f64>> =
-            (0..100).map(|i| vec![i as f64 / 100.0, 10.0 + i as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64 / 100.0, 10.0 + i as f64])
+            .collect();
         ScopeComplianceModel::fit(
             rows.iter().map(|r| r.as_slice()),
             vec!["q".into(), "gps".into()],
@@ -182,18 +184,12 @@ mod tests {
     #[test]
     fn padding_expands_boundaries() {
         let rows: Vec<Vec<f64>> = vec![vec![0.0], vec![1.0]];
-        let strict = ScopeComplianceModel::fit(
-            rows.iter().map(|r| r.as_slice()),
-            vec!["x".into()],
-            0.0,
-        )
-        .unwrap();
-        let padded = ScopeComplianceModel::fit(
-            rows.iter().map(|r| r.as_slice()),
-            vec!["x".into()],
-            0.2,
-        )
-        .unwrap();
+        let strict =
+            ScopeComplianceModel::fit(rows.iter().map(|r| r.as_slice()), vec!["x".into()], 0.0)
+                .unwrap();
+        let padded =
+            ScopeComplianceModel::fit(rows.iter().map(|r| r.as_slice()), vec!["x".into()], 0.2)
+                .unwrap();
         assert!(!strict.check(&[1.1]).unwrap().in_scope);
         assert!(padded.check(&[1.1]).unwrap().in_scope);
     }

@@ -170,7 +170,11 @@ impl TaqfSet {
 
     /// The contained kinds in taQF1..taQF4 order.
     pub fn kinds(self) -> Vec<TaqfKind> {
-        TaqfKind::ALL.iter().copied().filter(|k| self.contains(*k)).collect()
+        TaqfKind::ALL
+            .iter()
+            .copied()
+            .filter(|k| self.contains(*k))
+            .collect()
     }
 
     /// Extracts the selected factor values in [`TaqfSet::kinds`] order.
@@ -183,7 +187,11 @@ impl TaqfSet {
         if self.is_empty() {
             return "{}".to_string();
         }
-        let names: Vec<&str> = self.kinds().into_iter().map(TaqfKind::paper_label).collect();
+        let names: Vec<&str> = self
+            .kinds()
+            .into_iter()
+            .map(TaqfKind::paper_label)
+            .collect();
         format!("{{{}}}", names.join(", "))
     }
 
@@ -315,7 +323,10 @@ pub mod extra {
                     assert!((0.0..=1.0).contains(&r));
                 }
             }
-            assert_eq!(recency_weighted_ratio(&TimeseriesBuffer::new(), 1, 0.5), 0.0);
+            assert_eq!(
+                recency_weighted_ratio(&TimeseriesBuffer::new(), 1, 0.5),
+                0.0
+            );
         }
     }
 }
@@ -396,7 +407,10 @@ mod tests {
         let set = TaqfSet::from_kinds(&[TaqfKind::CumulativeCertainty, TaqfKind::Ratio]);
         let selected = set.select(&t);
         assert_eq!(selected, vec![t.ratio, t.cumulative_certainty]);
-        assert_eq!(set.kinds(), vec![TaqfKind::Ratio, TaqfKind::CumulativeCertainty]);
+        assert_eq!(
+            set.kinds(),
+            vec![TaqfKind::Ratio, TaqfKind::CumulativeCertainty]
+        );
     }
 
     #[test]

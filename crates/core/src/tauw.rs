@@ -46,7 +46,10 @@ pub struct TauwBuilder {
 
 impl Default for TauwBuilder {
     fn default() -> Self {
-        TauwBuilder { stateless: WrapperBuilder::new(), taqf_set: TaqfSet::FULL }
+        TauwBuilder {
+            stateless: WrapperBuilder::new(),
+            taqf_set: TaqfSet::FULL,
+        }
     }
 }
 
@@ -108,7 +111,8 @@ impl TauwBuilder {
         let stateless_train = flatten_stateless(train);
         let stateless_calib = flatten_stateless(calib);
         let stateless =
-            self.stateless.fit(feature_names.clone(), &stateless_train, &stateless_calib)?;
+            self.stateless
+                .fit(feature_names.clone(), &stateless_train, &stateless_calib)?;
 
         // 2. Replay series to build the timeseries-aware rows.
         let train_rows = replay(&stateless, train)?;
@@ -135,7 +139,9 @@ impl TauwBuilder {
         calib_replay: &[ReplayRow],
     ) -> Result<TimeseriesAwareWrapper, CoreError> {
         if train_replay.is_empty() || calib_replay.is_empty() {
-            return Err(CoreError::InvalidInput { reason: "replay rows are empty".into() });
+            return Err(CoreError::InvalidInput {
+                reason: "replay rows are empty".into(),
+            });
         }
         let ta_names = ta_feature_names(feature_names, self.taqf_set);
         let mut ds = Dataset::new(ta_names, 2)?;
@@ -149,7 +155,11 @@ impl TauwBuilder {
             .map(|row| (row.ta_features(self.taqf_set), row.fused_failed))
             .collect();
         let taqim = CalibratedQim::calibrate(tree, &calib_rows, self.calibration_options())?;
-        Ok(TimeseriesAwareWrapper { stateless, taqim, taqf_set: self.taqf_set })
+        Ok(TimeseriesAwareWrapper {
+            stateless,
+            taqim,
+            taqf_set: self.taqf_set,
+        })
     }
 
     fn calibration_options(&self) -> CalibrationOptions {
@@ -259,7 +269,10 @@ impl TimeseriesAwareWrapper {
     /// [`TauwSession::begin_series`] whenever tracking reports a new
     /// object).
     pub fn new_session(&self) -> TauwSession<'_> {
-        TauwSession { wrapper: self, buffer: TimeseriesBuffer::with_capacity(32) }
+        TauwSession {
+            wrapper: self,
+            buffer: TimeseriesBuffer::with_capacity(32),
+        }
     }
 
     /// The embedded stateless wrapper.
@@ -344,9 +357,13 @@ mod tests {
     /// with probability ~q (with series-level persistence); true class 7,
     /// confusions collapse onto class 3.
     fn make_series(n: usize, seed: u64, steps: usize) -> Vec<TrainingSeries> {
-        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         (0..n)
@@ -364,7 +381,10 @@ mod tests {
                         }
                     })
                     .collect();
-                TrainingSeries { true_outcome: 7, steps }
+                TrainingSeries {
+                    true_outcome: 7,
+                    steps,
+                }
             })
             .collect()
     }
@@ -384,7 +404,9 @@ mod tests {
     fn fitted() -> TimeseriesAwareWrapper {
         let train = make_series(300, 1, 10);
         let calib = make_series(300, 2, 10);
-        small_builder().fit(vec!["q".into()], &train, &calib).unwrap()
+        small_builder()
+            .fit(vec!["q".into()], &train, &calib)
+            .unwrap()
     }
 
     #[test]
@@ -393,7 +415,11 @@ mod tests {
         let mut s = w.new_session();
         s.begin_series();
         assert_eq!(s.step(&[0.1], 7).unwrap().fused_outcome, 7);
-        assert_eq!(s.step(&[0.1], 3).unwrap().fused_outcome, 3, "tie breaks to most recent");
+        assert_eq!(
+            s.step(&[0.1], 3).unwrap().fused_outcome,
+            3,
+            "tie breaks to most recent"
+        );
         assert_eq!(s.step(&[0.1], 7).unwrap().fused_outcome, 7);
         assert_eq!(s.step(&[0.1], 7).unwrap().fused_outcome, 7);
         assert_eq!(s.series_length(), 4);
@@ -441,7 +467,10 @@ mod tests {
         let mut ub = 0.0;
         for i in 0..6 {
             ua = a.step(&[0.5], 7).unwrap().uncertainty;
-            ub = b.step(&[0.5], if i % 2 == 0 { 7 } else { 3 }).unwrap().uncertainty;
+            ub = b
+                .step(&[0.5], if i % 2 == 0 { 7 } else { 3 })
+                .unwrap()
+                .uncertainty;
         }
         assert!(
             ub >= ua,
@@ -513,7 +542,10 @@ mod tests {
     fn min_uncertainty_is_achievable() {
         let w = fitted();
         let min_u = w.min_uncertainty();
-        assert!(min_u > 0.0, "a finite calibration set can never guarantee zero uncertainty");
+        assert!(
+            min_u > 0.0,
+            "a finite calibration set can never guarantee zero uncertainty"
+        );
         assert!(min_u < 0.5);
     }
 }

@@ -50,14 +50,19 @@ impl TrainingSeries {
 /// Returns [`CoreError::InvalidInput`] when the batch or any series is
 /// empty, or arities differ across steps/series.
 pub fn validate_series(batch: &[TrainingSeries]) -> Result<usize, CoreError> {
-    let first = batch
-        .first()
-        .and_then(|s| s.steps.first())
-        .ok_or_else(|| CoreError::InvalidInput { reason: "series batch is empty".into() })?;
+    let first =
+        batch
+            .first()
+            .and_then(|s| s.steps.first())
+            .ok_or_else(|| CoreError::InvalidInput {
+                reason: "series batch is empty".into(),
+            })?;
     let arity = first.quality_factors.len();
     for (i, series) in batch.iter().enumerate() {
         if series.is_empty() {
-            return Err(CoreError::InvalidInput { reason: format!("series {i} has no steps") });
+            return Err(CoreError::InvalidInput {
+                reason: format!("series {i} has no steps"),
+            });
         }
         for (j, step) in series.steps.iter().enumerate() {
             if step.quality_factors.len() != arity {
@@ -94,7 +99,10 @@ mod tests {
             true_outcome,
             steps: outcomes
                 .iter()
-                .map(|&o| TrainingStep { quality_factors: vec![0.1, 0.2], outcome: o })
+                .map(|&o| TrainingStep {
+                    quality_factors: vec![0.1, 0.2],
+                    outcome: o,
+                })
                 .collect(),
         }
     }
@@ -117,7 +125,10 @@ mod tests {
     #[test]
     fn validation_rejects_empty_batch_and_series() {
         assert!(validate_series(&[]).is_err());
-        let batch = vec![TrainingSeries { true_outcome: 0, steps: vec![] }];
+        let batch = vec![TrainingSeries {
+            true_outcome: 0,
+            steps: vec![],
+        }];
         assert!(validate_series(&batch).is_err());
     }
 
@@ -126,7 +137,10 @@ mod tests {
         let mut batch = vec![series(1, &[1, 1])];
         batch.push(TrainingSeries {
             true_outcome: 1,
-            steps: vec![TrainingStep { quality_factors: vec![0.5], outcome: 1 }],
+            steps: vec![TrainingStep {
+                quality_factors: vec![0.5],
+                outcome: 1,
+            }],
         });
         assert!(validate_series(&batch).is_err());
     }

@@ -152,7 +152,9 @@ impl WrapperBuilder {
         calib: &[(Vec<f64>, bool)],
     ) -> Result<UncertaintyWrapper, CoreError> {
         if train.is_empty() {
-            return Err(CoreError::InvalidInput { reason: "training set is empty".into() });
+            return Err(CoreError::InvalidInput {
+                reason: "training set is empty".into(),
+            });
         }
         let mut ds = Dataset::new(feature_names.clone(), 2)?;
         ds.reserve(train.len());
@@ -174,7 +176,11 @@ impl WrapperBuilder {
             )?),
             None => None,
         };
-        Ok(UncertaintyWrapper { qim, scope, feature_names })
+        Ok(UncertaintyWrapper {
+            qim,
+            scope,
+            feature_names,
+        })
     }
 }
 
@@ -268,9 +274,13 @@ mod tests {
     /// A toy world: failure probability is high iff `rain > 0.5`.
     fn toy_rows(n: usize, seed: u64) -> Vec<(Vec<f64>, bool)> {
         // Small deterministic LCG so the test has no rand dependency here.
-        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut state = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
         let mut next = move || {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         (0..n)

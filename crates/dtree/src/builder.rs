@@ -136,7 +136,12 @@ impl TreeBuilder {
         let impurity = self.criterion.impurity(&counts);
         let id = nodes.len();
         nodes.push(Node {
-            info: NodeInfo { n: idx.len() as u64, counts: counts.clone(), impurity, depth },
+            info: NodeInfo {
+                n: idx.len() as u64,
+                counts: counts.clone(),
+                impurity,
+                depth,
+            },
             kind: NodeKind::Leaf,
         });
 
@@ -176,8 +181,12 @@ impl TreeBuilder {
         let (left_idx, right_idx) = idx.split_at_mut(lo);
         let left = self.build_node(data, left_idx, depth + 1, id, nodes)?;
         let right = self.build_node(data, right_idx, depth + 1, id, nodes)?;
-        nodes[id].kind =
-            NodeKind::Internal { feature: split.feature, threshold: split.threshold, left, right };
+        nodes[id].kind = NodeKind::Internal {
+            feature: split.feature,
+            threshold: split.threshold,
+            left,
+            right,
+        };
         Ok(id)
     }
 }
@@ -221,7 +230,11 @@ mod tests {
         let ds = xor_like_dataset();
         for limit in [1usize, 2, 3, 5] {
             let tree = TreeBuilder::new().max_depth(limit).fit(&ds).unwrap();
-            assert!(tree.depth() <= limit, "depth {} exceeds limit {limit}", tree.depth());
+            assert!(
+                tree.depth() <= limit,
+                "depth {} exceeds limit {limit}",
+                tree.depth()
+            );
         }
     }
 
@@ -246,7 +259,11 @@ mod tests {
     fn min_samples_split_prevents_tiny_splits() {
         let ds = xor_like_dataset();
         let tree = TreeBuilder::new().min_samples_split(101).fit(&ds).unwrap();
-        assert_eq!(tree.n_leaves(), 1, "root has 100 samples < 101, must stay a leaf");
+        assert_eq!(
+            tree.n_leaves(),
+            1,
+            "root has 100 samples < 101, must stay a leaf"
+        );
     }
 
     #[test]
@@ -280,15 +297,21 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(correct >= 95, "histogram splitter should be near-exact here, got {correct}/100");
+        assert!(
+            correct >= 95,
+            "histogram splitter should be near-exact here, got {correct}/100"
+        );
     }
 
     #[test]
     fn min_impurity_decrease_stops_marginal_splits() {
         let ds = xor_like_dataset();
         let full = TreeBuilder::new().max_depth(6).fit(&ds).unwrap();
-        let constrained =
-            TreeBuilder::new().max_depth(6).min_impurity_decrease(0.2).fit(&ds).unwrap();
+        let constrained = TreeBuilder::new()
+            .max_depth(6)
+            .min_impurity_decrease(0.2)
+            .fit(&ds)
+            .unwrap();
         assert!(constrained.n_leaves() <= full.n_leaves());
     }
 

@@ -49,7 +49,12 @@ impl Dataset {
                 constraint: "at least two classes are required",
             });
         }
-        Ok(Dataset { feature_names, n_classes, values: Vec::new(), labels: Vec::new() })
+        Ok(Dataset {
+            feature_names,
+            n_classes,
+            values: Vec::new(),
+            labels: Vec::new(),
+        })
     }
 
     /// Creates a dataset with auto-generated feature names `f0, f1, ...`.
@@ -58,7 +63,10 @@ impl Dataset {
     ///
     /// Same conditions as [`Dataset::new`].
     pub fn with_anonymous_features(n_features: usize, n_classes: u32) -> Result<Self, DtreeError> {
-        Dataset::new((0..n_features).map(|i| format!("f{i}")).collect(), n_classes)
+        Dataset::new(
+            (0..n_features).map(|i| format!("f{i}")).collect(),
+            n_classes,
+        )
     }
 
     /// Appends one sample.
@@ -75,11 +83,17 @@ impl Dataset {
             });
         }
         if label >= self.n_classes {
-            return Err(DtreeError::LabelOutOfRange { label, n_classes: self.n_classes });
+            return Err(DtreeError::LabelOutOfRange {
+                label,
+                n_classes: self.n_classes,
+            });
         }
         for (j, &v) in row.iter().enumerate() {
             if !v.is_finite() {
-                return Err(DtreeError::NonFiniteFeature { row: self.labels.len(), column: j });
+                return Err(DtreeError::NonFiniteFeature {
+                    row: self.labels.len(),
+                    column: j,
+                });
             }
         }
         self.values.extend_from_slice(row);
@@ -220,7 +234,10 @@ mod tests {
         let mut ds = sample();
         assert_eq!(
             ds.push_row(&[1.0], 0),
-            Err(DtreeError::FeatureCountMismatch { expected: 2, actual: 1 })
+            Err(DtreeError::FeatureCountMismatch {
+                expected: 2,
+                actual: 1
+            })
         );
     }
 
@@ -229,7 +246,10 @@ mod tests {
         let mut ds = sample();
         assert_eq!(
             ds.push_row(&[1.0, 1.0], 3),
-            Err(DtreeError::LabelOutOfRange { label: 3, n_classes: 3 })
+            Err(DtreeError::LabelOutOfRange {
+                label: 3,
+                n_classes: 3
+            })
         );
     }
 

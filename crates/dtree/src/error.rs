@@ -57,7 +57,10 @@ impl fmt::Display for DtreeError {
                 write!(f, "expected {expected} features per row, got {actual}")
             }
             DtreeError::LabelOutOfRange { label, n_classes } => {
-                write!(f, "label {label} is outside the declared range 0..{n_classes}")
+                write!(
+                    f,
+                    "label {label} is outside the declared range 0..{n_classes}"
+                )
             }
             DtreeError::NonFiniteFeature { row, column } => {
                 write!(f, "non-finite feature value at row {row}, column {column}")
@@ -83,7 +86,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DtreeError::FeatureCountMismatch { expected: 4, actual: 3 };
+        let e = DtreeError::FeatureCountMismatch {
+            expected: 4,
+            actual: 3,
+        };
         assert!(e.to_string().contains('4'));
         assert!(e.to_string().contains('3'));
     }

@@ -41,7 +41,12 @@ fn render_text(tree: &DecisionTree, id: NodeId, indent: usize, out: &mut String)
                 node.info.n, node.info.counts, node.info.impurity
             );
         }
-        NodeKind::Internal { feature, threshold, left, right } => {
+        NodeKind::Internal {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
             let name = &tree.feature_names()[feature];
             let _ = writeln!(
                 out,
@@ -70,7 +75,12 @@ pub fn to_dot(tree: &DecisionTree) -> String {
                     node.info.n, node.info.counts
                 );
             }
-            NodeKind::Internal { feature, threshold, left, right } => {
+            NodeKind::Internal {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 let name = &tree.feature_names()[feature];
                 let _ = writeln!(
                     out,
@@ -124,7 +134,11 @@ pub fn to_json(tree: &DecisionTree) -> String {
 fn render_json(tree: &DecisionTree, id: NodeId, out: &mut String) {
     let node = tree.node(id);
     out.push('{');
-    let _ = write!(out, "\"id\":{id},\"n\":{},\"impurity\":{}", node.info.n, node.info.impurity);
+    let _ = write!(
+        out,
+        "\"id\":{id},\"n\":{},\"impurity\":{}",
+        node.info.n, node.info.impurity
+    );
     out.push_str(",\"counts\":[");
     for (i, c) in node.info.counts.iter().enumerate() {
         if i > 0 {
@@ -135,8 +149,16 @@ fn render_json(tree: &DecisionTree, id: NodeId, out: &mut String) {
     out.push(']');
     match node.kind {
         NodeKind::Leaf => out.push_str(",\"kind\":\"leaf\""),
-        NodeKind::Internal { feature, threshold, left, right } => {
-            let _ = write!(out, ",\"kind\":\"internal\",\"feature\":{feature},\"threshold\":{threshold}");
+        NodeKind::Internal {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            let _ = write!(
+                out,
+                ",\"kind\":\"internal\",\"feature\":{feature},\"threshold\":{threshold}"
+            );
             out.push_str(",\"left\":");
             render_json(tree, left, out);
             out.push_str(",\"right\":");
@@ -173,7 +195,8 @@ mod tests {
     fn small_tree() -> DecisionTree {
         let mut ds = Dataset::new(vec!["rain".into(), "blur\"q".into()], 2).unwrap();
         for i in 0..20 {
-            ds.push_row(&[i as f64 / 20.0, (i % 4) as f64], u32::from(i >= 10)).unwrap();
+            ds.push_row(&[i as f64 / 20.0, (i % 4) as f64], u32::from(i >= 10))
+                .unwrap();
         }
         TreeBuilder::new().max_depth(3).fit(&ds).unwrap()
     }

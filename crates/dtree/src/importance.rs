@@ -33,7 +33,13 @@ pub fn feature_importances(tree: &DecisionTree) -> Vec<f64> {
     }
     let mut stack = vec![0usize];
     while let Some(id) = stack.pop() {
-        if let NodeKind::Internal { feature, left, right, .. } = tree.node(id).kind {
+        if let NodeKind::Internal {
+            feature,
+            left,
+            right,
+            ..
+        } = tree.node(id).kind
+        {
             let node = tree.node(id);
             let l = tree.node(left);
             let r = tree.node(right);
@@ -67,7 +73,8 @@ mod tests {
         for i in 0..50 {
             let a = i as f64;
             let b = (i % 5) as f64;
-            ds.push_row(&[a, b], u32::from(a >= 25.0 || b >= 3.0)).unwrap();
+            ds.push_row(&[a, b], u32::from(a >= 25.0 || b >= 3.0))
+                .unwrap();
         }
         let tree = TreeBuilder::new().max_depth(4).fit(&ds).unwrap();
         let imp = feature_importances(&tree);
@@ -90,7 +97,8 @@ mod tests {
     fn informative_feature_dominates() {
         let mut ds = Dataset::new(vec!["noise".into(), "signal".into()], 2).unwrap();
         for i in 0..100 {
-            ds.push_row(&[(i % 13) as f64, i as f64], u32::from(i >= 50)).unwrap();
+            ds.push_row(&[(i % 13) as f64, i as f64], u32::from(i >= 50))
+                .unwrap();
         }
         let tree = TreeBuilder::new().max_depth(5).fit(&ds).unwrap();
         let imp = feature_importances(&tree);

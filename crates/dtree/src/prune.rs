@@ -75,7 +75,11 @@ pub fn prune_to_min_count(
     let mut collapsed = 0usize;
     ensure_supported(tree, 0, node_counts, min_count, &mut collapsed);
     tree.compact();
-    Ok(PruneReport { n_leaves_before, n_leaves_after: tree.n_leaves(), collapsed })
+    Ok(PruneReport {
+        n_leaves_before,
+        n_leaves_after: tree.n_leaves(),
+        collapsed,
+    })
 }
 
 /// Returns whether the subtree rooted at `id` can satisfy the minimum after
@@ -127,8 +131,7 @@ pub fn prune_cost_complexity(tree: &mut DecisionTree, alpha: f64) -> PruneReport
             if let NodeKind::Internal { left, right, .. } = tree.node(id).kind {
                 stack.push(left);
                 stack.push(right);
-                let node_risk =
-                    tree.node(id).info.impurity * tree.node(id).info.n as f64 / total;
+                let node_risk = tree.node(id).info.impurity * tree.node(id).info.n as f64 / total;
                 let (subtree_risk, subtree_leaves) = subtree_risk(tree, id, total);
                 if subtree_leaves < 2 {
                     continue;
@@ -148,16 +151,21 @@ pub fn prune_cost_complexity(tree: &mut DecisionTree, alpha: f64) -> PruneReport
         }
     }
     tree.compact();
-    PruneReport { n_leaves_before, n_leaves_after: tree.n_leaves(), collapsed }
+    PruneReport {
+        n_leaves_before,
+        n_leaves_after: tree.n_leaves(),
+        collapsed,
+    }
 }
 
 /// Training risk (count-weighted impurity) and leaf count of the subtree
 /// rooted at `id`.
 fn subtree_risk(tree: &DecisionTree, id: NodeId, total: f64) -> (f64, usize) {
     match tree.node(id).kind {
-        NodeKind::Leaf => {
-            (tree.node(id).info.impurity * tree.node(id).info.n as f64 / total, 1)
-        }
+        NodeKind::Leaf => (
+            tree.node(id).info.impurity * tree.node(id).info.n as f64 / total,
+            1,
+        ),
         NodeKind::Internal { left, right, .. } => {
             let (rl, nl) = subtree_risk(tree, left, total);
             let (rr, nr) = subtree_risk(tree, right, total);
@@ -193,13 +201,21 @@ mod tests {
         assert!(tree.n_leaves() > 4);
         // Calibration set: 64 evenly spread points.
         let calib = rows(&(0..64).map(|i| i as f64 * 2.0).collect::<Vec<_>>());
-        let counts = tree.node_sample_counts(calib.iter().map(|r| r.as_slice())).unwrap();
+        let counts = tree
+            .node_sample_counts(calib.iter().map(|r| r.as_slice()))
+            .unwrap();
         let report = prune_to_min_count(&mut tree, &counts, 10).unwrap();
         assert!(report.n_leaves_after < report.n_leaves_before);
         // Recount on the pruned tree: every leaf ≥ 10.
-        let counts = tree.node_sample_counts(calib.iter().map(|r| r.as_slice())).unwrap();
+        let counts = tree
+            .node_sample_counts(calib.iter().map(|r| r.as_slice()))
+            .unwrap();
         for leaf in tree.leaf_ids() {
-            assert!(counts[leaf] >= 10, "leaf {leaf} has only {} samples", counts[leaf]);
+            assert!(
+                counts[leaf] >= 10,
+                "leaf {leaf} has only {} samples",
+                counts[leaf]
+            );
         }
     }
 
@@ -208,7 +224,9 @@ mod tests {
         let ds = staircase_dataset(64);
         let mut tree = TreeBuilder::new().max_depth(2).fit(&ds).unwrap();
         let calib = rows(&(0..640).map(|i| i as f64 / 10.0).collect::<Vec<_>>());
-        let counts = tree.node_sample_counts(calib.iter().map(|r| r.as_slice())).unwrap();
+        let counts = tree
+            .node_sample_counts(calib.iter().map(|r| r.as_slice()))
+            .unwrap();
         let before = tree.n_leaves();
         let report = prune_to_min_count(&mut tree, &counts, 5).unwrap();
         assert_eq!(report.collapsed, 0);
@@ -220,9 +238,14 @@ mod tests {
         let ds = staircase_dataset(128);
         let mut tree = TreeBuilder::new().max_depth(10).fit(&ds).unwrap();
         let calib = rows(&[1.0, 50.0, 100.0, 120.0, 3.0, 77.0]);
-        let counts = tree.node_sample_counts(calib.iter().map(|r| r.as_slice())).unwrap();
+        let counts = tree
+            .node_sample_counts(calib.iter().map(|r| r.as_slice()))
+            .unwrap();
         let report = prune_to_min_count(&mut tree, &counts, 6).unwrap();
-        assert_eq!(report.n_leaves_after, 1, "6 samples with min 6 forces a single leaf");
+        assert_eq!(
+            report.n_leaves_after, 1,
+            "6 samples with min 6 forces a single leaf"
+        );
         assert_eq!(tree.n_nodes(), 1, "compact must drop unreachable nodes");
     }
 
@@ -231,7 +254,9 @@ mod tests {
         let ds = staircase_dataset(64);
         let mut tree = TreeBuilder::new().max_depth(4).fit(&ds).unwrap();
         let calib = rows(&[1.0, 2.0]);
-        let counts = tree.node_sample_counts(calib.iter().map(|r| r.as_slice())).unwrap();
+        let counts = tree
+            .node_sample_counts(calib.iter().map(|r| r.as_slice()))
+            .unwrap();
         assert!(matches!(
             prune_to_min_count(&mut tree, &counts, 3),
             Err(DtreeError::CalibrationInfeasible { .. })
@@ -257,7 +282,10 @@ mod tests {
         // alpha = 0 only removes splits with zero impurity decrease.
         assert_eq!(report.n_leaves_after, tree.n_leaves());
         assert!(tree.n_leaves() <= before);
-        assert!(tree.n_leaves() > 1, "informative splits must survive alpha 0");
+        assert!(
+            tree.n_leaves() > 1,
+            "informative splits must survive alpha 0"
+        );
     }
 
     #[test]
@@ -302,7 +330,11 @@ mod tests {
                 .filter(|&i| tree.predict(ds.row(i)).unwrap() == ds.label(i))
                 .count()
         };
-        assert_eq!(accuracy(&tree), 256, "tree must separate the data before pruning");
+        assert_eq!(
+            accuracy(&tree),
+            256,
+            "tree must separate the data before pruning"
+        );
         prune_cost_complexity(&mut tree, 1e-4);
         assert_eq!(
             accuracy(&tree),
@@ -320,7 +352,9 @@ mod tests {
         let ds = staircase_dataset(128);
         let mut tree = TreeBuilder::new().max_depth(10).fit(&ds).unwrap();
         let calib = rows(&(0..32).map(|i| i as f64 * 4.0).collect::<Vec<_>>());
-        let counts = tree.node_sample_counts(calib.iter().map(|r| r.as_slice())).unwrap();
+        let counts = tree
+            .node_sample_counts(calib.iter().map(|r| r.as_slice()))
+            .unwrap();
         prune_to_min_count(&mut tree, &counts, 8).unwrap();
         // Prediction still routes and returns a valid class.
         for x in [0.0, 31.0, 64.0, 127.0] {

@@ -65,9 +65,14 @@ pub fn find_best_split(
     let mut best: Option<BestSplit> = None;
     for feature in 0..data.n_features() {
         let candidate = match splitter {
-            Splitter::Exact => {
-                best_split_exact(data, idx, parent_counts, criterion, feature, min_samples_leaf)
-            }
+            Splitter::Exact => best_split_exact(
+                data,
+                idx,
+                parent_counts,
+                criterion,
+                feature,
+                min_samples_leaf,
+            ),
             Splitter::Histogram { bins } => best_split_histogram(
                 data,
                 idx,
@@ -114,8 +119,10 @@ fn best_split_exact(
     min_samples_leaf: usize,
 ) -> Option<Candidate> {
     let n = idx.len();
-    let mut pairs: Vec<(f64, u32)> =
-        idx.iter().map(|&i| (data.value(i, feature), data.label(i))).collect();
+    let mut pairs: Vec<(f64, u32)> = idx
+        .iter()
+        .map(|&i| (data.value(i, feature), data.label(i)))
+        .collect();
     pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let n_classes = parent_counts.len();
@@ -144,7 +151,11 @@ fn best_split_exact(
             if threshold >= next_v {
                 threshold = v;
             }
-            best = Some(Candidate { threshold, weighted_impurity: w, n_left });
+            best = Some(Candidate {
+                threshold,
+                weighted_impurity: w,
+                n_left,
+            });
         }
     }
     best
@@ -220,7 +231,11 @@ mod tests {
         // Class 0 at x ≈ 0, class 1 at x ≈ 10; second feature is noise.
         let mut ds = Dataset::new(vec!["x".into(), "noise".into()], 2).unwrap();
         for i in 0..20 {
-            let x = if i < 10 { i as f64 * 0.1 } else { 10.0 + (i - 10) as f64 * 0.1 };
+            let x = if i < 10 {
+                i as f64 * 0.1
+            } else {
+                10.0 + (i - 10) as f64 * 0.1
+            };
             let label = u32::from(i >= 10);
             ds.push_row(&[x, (i % 3) as f64], label).unwrap();
         }
@@ -232,19 +247,15 @@ mod tests {
     fn exact_finds_separating_threshold() {
         let (ds, idx) = two_cluster_data();
         let counts = ds.class_counts();
-        let split = find_best_split(
-            &ds,
-            &idx,
-            &counts,
-            SplitCriterion::Gini,
-            Splitter::Exact,
-            1,
-        )
-        .expect("split must exist");
+        let split = find_best_split(&ds, &idx, &counts, SplitCriterion::Gini, Splitter::Exact, 1)
+            .expect("split must exist");
         assert_eq!(split.feature, 0);
         assert!(split.threshold > 0.9 && split.threshold < 10.0);
         assert_eq!(split.n_left, 10);
-        assert!((split.gain - 0.5).abs() < 1e-12, "perfect split removes all gini impurity");
+        assert!(
+            (split.gain - 0.5).abs() < 1e-12,
+            "perfect split removes all gini impurity"
+        );
     }
 
     #[test]
@@ -272,8 +283,9 @@ mod tests {
         }
         let idx: Vec<usize> = (0..5).collect();
         let counts = ds.class_counts();
-        assert!(find_best_split(&ds, &idx, &counts, SplitCriterion::Gini, Splitter::Exact, 1)
-            .is_none());
+        assert!(
+            find_best_split(&ds, &idx, &counts, SplitCriterion::Gini, Splitter::Exact, 1).is_none()
+        );
     }
 
     #[test]
@@ -285,8 +297,9 @@ mod tests {
         let idx: Vec<usize> = (0..6).collect();
         let counts = ds.class_counts();
         for splitter in [Splitter::Exact, Splitter::Histogram { bins: 8 }] {
-            assert!(find_best_split(&ds, &idx, &counts, SplitCriterion::Gini, splitter, 1)
-                .is_none());
+            assert!(
+                find_best_split(&ds, &idx, &counts, SplitCriterion::Gini, splitter, 1).is_none()
+            );
         }
     }
 
@@ -295,8 +308,15 @@ mod tests {
         let (ds, idx) = two_cluster_data();
         let counts = ds.class_counts();
         // Requiring 11 samples per side makes the 10/10 split infeasible.
-        assert!(find_best_split(&ds, &idx, &counts, SplitCriterion::Gini, Splitter::Exact, 11)
-            .is_none());
+        assert!(find_best_split(
+            &ds,
+            &idx,
+            &counts,
+            SplitCriterion::Gini,
+            Splitter::Exact,
+            11
+        )
+        .is_none());
     }
 
     #[test]
@@ -308,9 +328,15 @@ mod tests {
         ds.push_row(&[0.0], 0).unwrap();
         ds.push_row(&[1.0], 1).unwrap();
         let counts = ds.class_counts();
-        let split =
-            find_best_split(&ds, &[0, 1], &counts, SplitCriterion::Gini, Splitter::Exact, 1)
-                .unwrap();
+        let split = find_best_split(
+            &ds,
+            &[0, 1],
+            &counts,
+            SplitCriterion::Gini,
+            Splitter::Exact,
+            1,
+        )
+        .unwrap();
         assert!((split.threshold - 0.5).abs() < 1e-12);
     }
 
@@ -319,8 +345,7 @@ mod tests {
         let (ds, idx) = two_cluster_data();
         let counts = ds.class_counts();
         for crit in [SplitCriterion::Gini, SplitCriterion::Entropy] {
-            let split =
-                find_best_split(&ds, &idx, &counts, crit, Splitter::Exact, 1).unwrap();
+            let split = find_best_split(&ds, &idx, &counts, crit, Splitter::Exact, 1).unwrap();
             assert_eq!(split.feature, 0);
         }
     }
@@ -334,8 +359,9 @@ mod tests {
         for &i in &idx {
             counts[ds.label(i) as usize] += 1;
         }
-        assert!(find_best_split(&ds, &idx, &counts, SplitCriterion::Gini, Splitter::Exact, 1)
-            .is_none());
+        assert!(
+            find_best_split(&ds, &idx, &counts, SplitCriterion::Gini, Splitter::Exact, 1).is_none()
+        );
     }
 
     #[test]

@@ -79,7 +79,13 @@ impl DecisionTree {
             return Err(DtreeError::EmptyDataset);
         }
         for node in &nodes {
-            if let NodeKind::Internal { left, right, feature, .. } = node.kind {
+            if let NodeKind::Internal {
+                left,
+                right,
+                feature,
+                ..
+            } = node.kind
+            {
                 if left >= nodes.len() || right >= nodes.len() || feature >= n_features {
                     return Err(DtreeError::InvalidHyperParameter {
                         constraint: "node references out of bounds",
@@ -87,7 +93,12 @@ impl DecisionTree {
                 }
             }
         }
-        Ok(DecisionTree { nodes, n_features, n_classes, feature_names })
+        Ok(DecisionTree {
+            nodes,
+            n_features,
+            n_classes,
+            feature_names,
+        })
     }
 
     /// Number of features the tree was trained on.
@@ -172,7 +183,12 @@ impl DecisionTree {
         loop {
             match self.nodes[id].kind {
                 NodeKind::Leaf => return Ok(id),
-                NodeKind::Internal { feature, threshold, left, right } => {
+                NodeKind::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     id = if x[feature] <= threshold { left } else { right };
                 }
             }
@@ -193,7 +209,13 @@ impl DecisionTree {
         }
         let mut path = vec![0];
         let mut id = 0;
-        while let NodeKind::Internal { feature, threshold, left, right } = self.nodes[id].kind {
+        while let NodeKind::Internal {
+            feature,
+            threshold,
+            left,
+            right,
+        } = self.nodes[id].kind
+        {
             id = if x[feature] <= threshold { left } else { right };
             path.push(id);
         }
@@ -279,7 +301,13 @@ impl DecisionTree {
             let new_id = out.len();
             mapping[id] = Some(new_id);
             out.push(nodes[id].clone());
-            if let NodeKind::Internal { feature, threshold, left, right } = nodes[id].kind {
+            if let NodeKind::Internal {
+                feature,
+                threshold,
+                left,
+                right,
+            } = nodes[id].kind
+            {
                 let new_left = visit(nodes, left, mapping, out);
                 let new_right = visit(nodes, right, mapping, out);
                 out[new_id].kind = NodeKind::Internal {
@@ -320,15 +348,34 @@ mod tests {
         let nodes = vec![
             Node {
                 info: mk_info(10, vec![5, 5], 0),
-                kind: NodeKind::Internal { feature: 0, threshold: 1.0, left: 1, right: 2 },
+                kind: NodeKind::Internal {
+                    feature: 0,
+                    threshold: 1.0,
+                    left: 1,
+                    right: 2,
+                },
             },
-            Node { info: mk_info(4, vec![4, 0], 1), kind: NodeKind::Leaf },
+            Node {
+                info: mk_info(4, vec![4, 0], 1),
+                kind: NodeKind::Leaf,
+            },
             Node {
                 info: mk_info(6, vec![1, 5], 1),
-                kind: NodeKind::Internal { feature: 1, threshold: 5.0, left: 3, right: 4 },
+                kind: NodeKind::Internal {
+                    feature: 1,
+                    threshold: 5.0,
+                    left: 3,
+                    right: 4,
+                },
             },
-            Node { info: mk_info(3, vec![1, 2], 2), kind: NodeKind::Leaf },
-            Node { info: mk_info(3, vec![0, 3], 2), kind: NodeKind::Leaf },
+            Node {
+                info: mk_info(3, vec![1, 2], 2),
+                kind: NodeKind::Leaf,
+            },
+            Node {
+                info: mk_info(3, vec![0, 3], 2),
+                kind: NodeKind::Leaf,
+            },
         ];
         DecisionTree::from_parts(nodes, 2, 2, vec!["f0".into(), "f1".into()]).unwrap()
     }
@@ -337,7 +384,11 @@ mod tests {
     fn routing_follows_thresholds() {
         let t = toy_tree();
         assert_eq!(t.leaf_id(&[0.5, 0.0]).unwrap(), 1);
-        assert_eq!(t.leaf_id(&[1.0, 0.0]).unwrap(), 1, "<= goes left at the boundary");
+        assert_eq!(
+            t.leaf_id(&[1.0, 0.0]).unwrap(),
+            1,
+            "<= goes left at the boundary"
+        );
         assert_eq!(t.leaf_id(&[2.0, 4.0]).unwrap(), 3);
         assert_eq!(t.leaf_id(&[2.0, 6.0]).unwrap(), 4);
     }
@@ -373,7 +424,10 @@ mod tests {
         let t = toy_tree();
         assert!(matches!(
             t.leaf_id(&[1.0]),
-            Err(DtreeError::PredictArityMismatch { expected: 2, actual: 1 })
+            Err(DtreeError::PredictArityMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
         assert!(t.predict(&[1.0, 2.0, 3.0]).is_err());
     }
@@ -382,7 +436,9 @@ mod tests {
     fn node_sample_counts_accumulate_along_paths() {
         let t = toy_tree();
         let rows: Vec<Vec<f64>> = vec![vec![0.0, 0.0], vec![2.0, 4.0], vec![2.0, 6.0]];
-        let counts = t.node_sample_counts(rows.iter().map(|r| r.as_slice())).unwrap();
+        let counts = t
+            .node_sample_counts(rows.iter().map(|r| r.as_slice()))
+            .unwrap();
         assert_eq!(counts, vec![3, 1, 2, 1, 1]);
     }
 
@@ -403,8 +459,18 @@ mod tests {
     #[test]
     fn from_parts_validates_structure() {
         let bad = vec![Node {
-            info: NodeInfo { n: 1, counts: vec![1, 0], impurity: 0.0, depth: 0 },
-            kind: NodeKind::Internal { feature: 0, threshold: 0.0, left: 5, right: 6 },
+            info: NodeInfo {
+                n: 1,
+                counts: vec![1, 0],
+                impurity: 0.0,
+                depth: 0,
+            },
+            kind: NodeKind::Internal {
+                feature: 0,
+                threshold: 0.0,
+                left: 5,
+                right: 6,
+            },
         }];
         assert!(DecisionTree::from_parts(bad, 1, 2, vec!["f0".into()]).is_err());
         assert!(DecisionTree::from_parts(vec![], 1, 2, vec!["f0".into()]).is_err());
@@ -413,7 +479,12 @@ mod tests {
     #[test]
     fn tie_breaks_to_lowest_class() {
         let nodes = vec![Node {
-            info: NodeInfo { n: 4, counts: vec![2, 2], impurity: 0.5, depth: 0 },
+            info: NodeInfo {
+                n: 4,
+                counts: vec![2, 2],
+                impurity: 0.5,
+                depth: 0,
+            },
             kind: NodeKind::Leaf,
         }];
         let t = DecisionTree::from_parts(nodes, 1, 2, vec!["f0".into()]).unwrap();

@@ -13,22 +13,23 @@ use tauw_stats::BrierDecomposition;
 
 fn main() {
     let opts = CliOptions::from_env();
-    let ctx = ExperimentContext::build(opts.scale, opts.seed)
-        .expect("experiment context must build");
+    let ctx =
+        ExperimentContext::build(opts.scale, opts.seed).expect("experiment context must build");
 
     // Retrain the stateless tree once; recalibrate per (method, min-count).
     let train_rows = flatten_stateless(&ctx.train);
     let calib_rows = flatten_stateless(&ctx.calib);
     let test_rows = flatten_stateless(&ctx.test);
-    let mut ds =
-        tauw_dtree::Dataset::new(ctx.feature_names.clone(), 2).expect("dataset");
+    let mut ds = tauw_dtree::Dataset::new(ctx.feature_names.clone(), 2).expect("dataset");
     for (f, failed) in &train_rows {
         ds.push_row(f, u32::from(*failed)).expect("row");
     }
     let tree = TreeBuilder::new().max_depth(8).fit(&ds).expect("tree fits");
 
     let mut out = String::new();
-    out.push_str(&section("bound method x min-leaf-count ablation (stateless QIM)"));
+    out.push_str(&section(
+        "bound method x min-leaf-count ablation (stateless QIM)",
+    ));
     let mut table = TextTable::new(vec![
         "method",
         "min/leaf",

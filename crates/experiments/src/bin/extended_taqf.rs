@@ -42,7 +42,9 @@ impl FeatureSet {
         let mut names = stateless.to_vec();
         if matches!(self, FeatureSet::Paper | FeatureSet::Extended) {
             names.extend(
-                tauw_core::taqf::TaqfKind::ALL.iter().map(|k| k.name().to_string()),
+                tauw_core::taqf::TaqfKind::ALL
+                    .iter()
+                    .map(|k| k.name().to_string()),
             );
         }
         if matches!(self, FeatureSet::Extended | FeatureSet::ExtrasOnly) {
@@ -66,7 +68,9 @@ fn replay_rows(
     for series in batch {
         buffer.clear();
         for step in &series.steps {
-            let u = stateless.uncertainty(&step.quality_factors).expect("estimate");
+            let u = stateless
+                .uncertainty(&step.quality_factors)
+                .expect("estimate");
             buffer.push(step.outcome, u);
             let fused = MajorityVote
                 .fuse(&buffer.outcomes(), &buffer.certainties())
@@ -83,7 +87,11 @@ fn replay_rows(
             }
             if matches!(set, FeatureSet::Extended | FeatureSet::ExtrasOnly) {
                 features.push(extra::trailing_agreement_streak(&buffer, fused));
-                features.push(extra::recency_weighted_ratio(&buffer, fused, RECENCY_LAMBDA));
+                features.push(extra::recency_weighted_ratio(
+                    &buffer,
+                    fused,
+                    RECENCY_LAMBDA,
+                ));
             }
             rows.push((features, fused != series.true_outcome));
         }
@@ -93,20 +101,25 @@ fn replay_rows(
 
 fn main() {
     let opts = CliOptions::from_env();
-    let ctx = ExperimentContext::build(opts.scale, opts.seed)
-        .expect("experiment context must build");
+    let ctx =
+        ExperimentContext::build(opts.scale, opts.seed).expect("experiment context must build");
     let stateless = ctx.tauw.stateless();
 
     let mut out = String::new();
-    out.push_str(&section("extended taQF study (beyond the paper's four factors)"));
+    out.push_str(&section(
+        "extended taQF study (beyond the paper's four factors)",
+    ));
     let mut table = TextTable::new(vec!["feature set", "taQIM leaves", "brier", "min u"]);
 
     let mut briers = Vec::new();
-    for set in [FeatureSet::Paper, FeatureSet::Extended, FeatureSet::ExtrasOnly] {
+    for set in [
+        FeatureSet::Paper,
+        FeatureSet::Extended,
+        FeatureSet::ExtrasOnly,
+    ] {
         // Train.
         let train_rows = replay_rows(stateless, &ctx.train, set);
-        let mut ds =
-            Dataset::new(set.column_names(&ctx.feature_names), 2).expect("dataset");
+        let mut ds = Dataset::new(set.column_names(&ctx.feature_names), 2).expect("dataset");
         ds.reserve(train_rows.len());
         for (features, failed) in &train_rows {
             ds.push_row(features, u32::from(*failed)).expect("row");
@@ -136,7 +149,11 @@ fn main() {
     out.push_str(&table.render());
 
     let brier_of = |s: FeatureSet| {
-        briers.iter().find(|(set, _)| *set == s).map(|(_, b)| *b).expect("measured")
+        briers
+            .iter()
+            .find(|(set, _)| *set == s)
+            .map(|(_, b)| *b)
+            .expect("measured")
     };
     out.push_str(&section("findings"));
     let paper = brier_of(FeatureSet::Paper);

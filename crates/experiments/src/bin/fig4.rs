@@ -8,8 +8,8 @@ use tauw_experiments::{CliOptions, ExperimentContext};
 
 fn main() {
     let opts = CliOptions::from_env();
-    let ctx = ExperimentContext::build(opts.scale, opts.seed)
-        .expect("experiment context must build");
+    let ctx =
+        ExperimentContext::build(opts.scale, opts.seed).expect("experiment context must build");
     let eval = evaluate(&ctx.tauw, &ctx.test).expect("evaluation must succeed");
 
     let mut out = String::new();
@@ -19,8 +19,14 @@ fn main() {
         .iter()
         .map(|r| r.isolated.max(r.fused))
         .fold(0.0, f64::max);
-    let mut table =
-        TextTable::new(vec!["timestep", "isolated", "fused (IF)", "n", "isolated bar", "fused bar"]);
+    let mut table = TextTable::new(vec![
+        "timestep",
+        "isolated",
+        "fused (IF)",
+        "n",
+        "isolated bar",
+        "fused bar",
+    ]);
     for r in &rates {
         table.row(vec![
             r.timestep.to_string(),
@@ -55,7 +61,11 @@ fn main() {
 
     out.push_str(&format!(
         "\nshape check (coincide at step 1, fused <= isolated from step 3, declining): {}\n",
-        if fig4_shape_holds(&rates) { "HOLDS" } else { "VIOLATED" }
+        if fig4_shape_holds(&rates) {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     ));
 
     emit(&opts.out_dir, "fig4.txt", &out).expect("write results");

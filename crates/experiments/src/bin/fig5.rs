@@ -36,21 +36,25 @@ fn histogram_block(label: &str, values: &[f64]) -> String {
 
 fn main() {
     let opts = CliOptions::from_env();
-    let ctx = ExperimentContext::build(opts.scale, opts.seed)
-        .expect("experiment context must build");
+    let ctx =
+        ExperimentContext::build(opts.scale, opts.seed).expect("experiment context must build");
     let eval = evaluate(&ctx.tauw, &ctx.test).expect("evaluation must succeed");
 
     let mut out = String::new();
-    out.push_str(&section("Fig. 5 — distribution of uncertainty across cases"));
+    out.push_str(&section(
+        "Fig. 5 — distribution of uncertainty across cases",
+    ));
     out.push_str(&histogram_block(
         "classical stateless UW",
         &eval.uncertainties(Approach::StatelessNoIf),
     ));
     out.push('\n');
-    out.push_str(&histogram_block("taUW + IF", &eval.uncertainties(Approach::IfTauw)));
+    out.push_str(&histogram_block(
+        "taUW + IF",
+        &eval.uncertainties(Approach::IfTauw),
+    ));
 
-    let (min_stateless, share_stateless) =
-        eval.lowest_uncertainty_share(Approach::StatelessNoIf);
+    let (min_stateless, share_stateless) = eval.lowest_uncertainty_share(Approach::StatelessNoIf);
     let (min_tauw, share_tauw) = eval.lowest_uncertainty_share(Approach::IfTauw);
 
     out.push_str(&section("lowest guaranteed uncertainty (99.9% confidence)"));
@@ -60,7 +64,11 @@ fn main() {
         fmt_prob(min_stateless),
         fmt_pct(share_stateless),
     ]);
-    table.row(vec!["taUW + IF".to_string(), fmt_prob(min_tauw), fmt_pct(share_tauw)]);
+    table.row(vec![
+        "taUW + IF".to_string(),
+        fmt_prob(min_tauw),
+        fmt_pct(share_tauw),
+    ]);
     table.row(vec![
         "taUW + IF (paper)".to_string(),
         fmt_prob(headline::TAUW_MIN_UNCERTAINTY),
@@ -72,12 +80,21 @@ fn main() {
     let mut checks = TextTable::new(vec!["check", "status"]);
     checks.row(vec![
         "taUW guarantees a lower minimum uncertainty than the stateless UW".to_string(),
-        if min_tauw <= min_stateless { "HOLDS" } else { "VIOLATED" }.to_string(),
+        if min_tauw <= min_stateless {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+        .to_string(),
     ]);
     checks.row(vec![
-        "the share of cases at the lowest uncertainty grows substantially (paper: ~2x)"
-            .to_string(),
-        if share_tauw > 1.2 * share_stateless { "HOLDS" } else { "VIOLATED" }.to_string(),
+        "the share of cases at the lowest uncertainty grows substantially (paper: ~2x)".to_string(),
+        if share_tauw > 1.2 * share_stateless {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+        .to_string(),
     ]);
     checks.row(vec![
         "majority of cases get better than 99% certainty with taUW".to_string(),

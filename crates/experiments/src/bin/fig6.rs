@@ -16,8 +16,8 @@ const CURVE_APPROACHES: [Approach; 4] = [
 
 fn main() {
     let opts = CliOptions::from_env();
-    let ctx = ExperimentContext::build(opts.scale, opts.seed)
-        .expect("experiment context must build");
+    let ctx =
+        ExperimentContext::build(opts.scale, opts.seed).expect("experiment context must build");
     let eval = evaluate(&ctx.tauw, &ctx.test).expect("evaluation must succeed");
 
     let mut out = String::new();
@@ -41,8 +41,12 @@ fn main() {
     for approach in CURVE_APPROACHES {
         let curve = eval.calibration_curve(approach, 10).expect("curve");
         out.push_str(&format!("{}:\n", approach.paper_label()));
-        let mut table =
-            TextTable::new(vec!["quantile", "predicted certainty", "observed correctness", "gap"]);
+        let mut table = TextTable::new(vec![
+            "quantile",
+            "predicted certainty",
+            "observed correctness",
+            "gap",
+        ]);
         for (i, p) in curve.points.iter().enumerate() {
             table.row(vec![
                 format!("{}%", (i + 1) * 10),
@@ -63,9 +67,11 @@ fn main() {
             format!("{:.5}", curve.ece()),
             format!("{:.5}", curve.mce()),
             format!("{:.4}", curve.certainty_range()),
-            format!("{}/{}",
+            format!(
+                "{}/{}",
                 curve.points.iter().filter(|p| p.gap() < -0.002).count(),
-                curve.points.len()),
+                curve.points.len()
+            ),
             z,
         ]);
     }
@@ -74,14 +80,25 @@ fn main() {
     out.push_str(&summary.render());
 
     out.push_str(&section("shape checks"));
-    let naive = eval.calibration_curve(Approach::IfNaive, 10).expect("curve");
-    let worst = eval.calibration_curve(Approach::IfWorstCase, 10).expect("curve");
-    let opportune = eval.calibration_curve(Approach::IfOpportune, 10).expect("curve");
+    let naive = eval
+        .calibration_curve(Approach::IfNaive, 10)
+        .expect("curve");
+    let worst = eval
+        .calibration_curve(Approach::IfWorstCase, 10)
+        .expect("curve");
+    let opportune = eval
+        .calibration_curve(Approach::IfOpportune, 10)
+        .expect("curve");
     let tauw = eval.calibration_curve(Approach::IfTauw, 10).expect("curve");
     let mut checks = TextTable::new(vec!["check", "status"]);
     checks.row(vec![
         "naive UF is overconfident (negative mean gap)".to_string(),
-        if naive.mean_signed_gap() < 0.0 { "HOLDS" } else { "VIOLATED" }.to_string(),
+        if naive.mean_signed_gap() < 0.0 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+        .to_string(),
     ]);
     checks.row(vec![
         "worst-case UF is the most conservative (largest positive mean gap)".to_string(),
@@ -97,13 +114,19 @@ fn main() {
     ]);
     checks.row(vec![
         "taUW is better calibrated than naive and worst-case (lower ECE)".to_string(),
-        if tauw.ece() < naive.ece() && tauw.ece() < worst.ece() { "HOLDS" } else { "VIOLATED" }
-            .to_string(),
+        if tauw.ece() < naive.ece() && tauw.ece() < worst.ece() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+        .to_string(),
     ]);
     checks.row(vec![
         "taUW has the largest range of predicted certainties".to_string(),
         if CURVE_APPROACHES.iter().all(|&a| {
-            eval.calibration_curve(a, 10).expect("curve").certainty_range()
+            eval.calibration_curve(a, 10)
+                .expect("curve")
+                .certainty_range()
                 <= tauw.certainty_range() + 1e-12
         }) {
             "HOLDS"

@@ -10,8 +10,8 @@ use tauw_experiments::{CliOptions, ExperimentContext};
 
 fn main() {
     let opts = CliOptions::from_env();
-    let ctx = ExperimentContext::build(opts.scale, opts.seed)
-        .expect("experiment context must build");
+    let ctx =
+        ExperimentContext::build(opts.scale, opts.seed).expect("experiment context must build");
 
     let mut out = String::new();
     out.push_str(&section("Fig. 7 — Brier score per taQF subset"));
@@ -48,7 +48,10 @@ fn main() {
     let size_f = brier_of(TaqfSet::from_kinds(&[UniqueOutcomes]));
     let certainty = brier_of(TaqfSet::from_kinds(&[CumulativeCertainty]));
     let ratio_certainty = brier_of(TaqfSet::from_kinds(&[Ratio, CumulativeCertainty]));
-    let best = results.iter().map(|(_, b)| *b).fold(f64::INFINITY, f64::min);
+    let best = results
+        .iter()
+        .map(|(_, b)| *b)
+        .fold(f64::INFINITY, f64::min);
 
     out.push_str(&section("single-feature ranking"));
     let mut singles = TextTable::new(vec!["feature", "brier", "improvement vs no taQF"]);
@@ -76,15 +79,30 @@ fn main() {
     ]);
     checks.row(vec![
         "ratio is the strongest single feature".to_string(),
-        if single_list[0].0 == "ratio" { "HOLDS" } else { "VIOLATED" }.to_string(),
+        if single_list[0].0 == "ratio" {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+        .to_string(),
     ]);
     checks.row(vec![
         "size is the second-best single feature (paper Sec. V RQ3)".to_string(),
-        if single_list[1].0 == "size" { "HOLDS" } else { "VIOLATED" }.to_string(),
+        if single_list[1].0 == "size" {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+        .to_string(),
     ]);
     checks.row(vec![
         "certainty has predictive power on its own".to_string(),
-        if certainty < empty - 1e-4 { "HOLDS" } else { "VIOLATED" }.to_string(),
+        if certainty < empty - 1e-4 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+        .to_string(),
     ]);
     let best_length_pair = results
         .iter()
@@ -93,19 +111,39 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     checks.row(vec![
         "length combined with one other feature does improve".to_string(),
-        if best_length_pair < length - 1e-4 { "HOLDS" } else { "VIOLATED" }.to_string(),
+        if best_length_pair < length - 1e-4 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+        .to_string(),
     ]);
     checks.row(vec![
         "{ratio, certainty} already achieves (near-)optimal Brier".to_string(),
-        if ratio_certainty <= best + 0.002 { "HOLDS" } else { "VIOLATED" }.to_string(),
+        if ratio_certainty <= best + 0.002 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+        .to_string(),
     ]);
     checks.row(vec![
         "length alone yields no improvement".to_string(),
-        if length >= empty - 0.002 { "HOLDS" } else { "VIOLATED" }.to_string(),
+        if length >= empty - 0.002 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+        .to_string(),
     ]);
     checks.row(vec![
         "the full set is not better than the best pair (redundancy)".to_string(),
-        if full >= best - 0.002 { "HOLDS" } else { "VIOLATED" }.to_string(),
+        if full >= best - 0.002 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+        .to_string(),
     ]);
     out.push_str(&checks.render());
 

@@ -13,22 +13,29 @@ use tauw_fusion::info::{
 
 fn main() {
     let opts = CliOptions::from_env();
-    let ctx = ExperimentContext::build(opts.scale, opts.seed)
-        .expect("experiment context must build");
+    let ctx =
+        ExperimentContext::build(opts.scale, opts.seed).expect("experiment context must build");
     let stateless = ctx.tauw.stateless();
 
     let strategies: Vec<(&str, Box<dyn InformationFusion<u32>>)> = vec![
         ("majority vote (paper)", Box::new(MajorityVote)),
         ("certainty-weighted vote", Box::new(CertaintyWeightedVote)),
-        ("windowed majority (last 5)", Box::new(WindowedMajorityVote::new(5))),
-        ("windowed majority (last 3)", Box::new(WindowedMajorityVote::new(3))),
+        (
+            "windowed majority (last 5)",
+            Box::new(WindowedMajorityVote::new(5)),
+        ),
+        (
+            "windowed majority (last 3)",
+            Box::new(WindowedMajorityVote::new(3)),
+        ),
         ("latest only (no fusion)", Box::new(LatestOnly)),
     ];
 
     let mut out = String::new();
-    out.push_str(&section("information-fusion strategy ablation (fused misclassification)"));
-    let mut table =
-        TextTable::new(vec!["strategy", "all steps", "final step", "vs paper IF"]);
+    out.push_str(&section(
+        "information-fusion strategy ablation (fused misclassification)",
+    ));
+    let mut table = TextTable::new(vec!["strategy", "all steps", "final step", "vs paper IF"]);
 
     let mut results: Vec<(String, f64, f64)> = Vec::new();
     for (name, strategy) in &strategies {
@@ -40,7 +47,9 @@ fn main() {
         for series in &ctx.test {
             buffer.clear();
             for (j, step) in series.steps.iter().enumerate() {
-                let u = stateless.uncertainty(&step.quality_factors).expect("estimate");
+                let u = stateless
+                    .uncertainty(&step.quality_factors)
+                    .expect("estimate");
                 buffer.push(step.outcome, u);
                 let fused = strategy
                     .fuse(&buffer.outcomes(), &buffer.certainties())
@@ -73,12 +82,19 @@ fn main() {
 
     out.push_str(&section("shape checks"));
     let rate_of = |label: &str| {
-        results.iter().find(|(n, _, _)| n.starts_with(label)).map(|(_, r, _)| *r).expect("row")
+        results
+            .iter()
+            .find(|(n, _, _)| n.starts_with(label))
+            .map(|(_, r, _)| *r)
+            .expect("row")
     };
     let mut checks = TextTable::new(vec!["check", "status"]);
     checks.row(vec![
         "every fusion strategy beats latest-only".to_string(),
-        if results[..4].iter().all(|(_, r, _)| *r < rate_of("latest only")) {
+        if results[..4]
+            .iter()
+            .all(|(_, r, _)| *r < rate_of("latest only"))
+        {
             "HOLDS"
         } else {
             "VIOLATED"

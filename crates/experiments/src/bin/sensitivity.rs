@@ -33,19 +33,22 @@ fn main() {
         };
         config.ddm_error_copula_phi = phi;
         config.ddm_series_sigma = sigma;
-        let ctx = ExperimentContext::build_with_config(config, opts.seed)
-            .expect("context builds");
+        let ctx = ExperimentContext::build_with_config(config, opts.seed).expect("context builds");
         let eval = evaluate(&ctx.tauw, &ctx.test).expect("evaluation");
 
         let d = |a: Approach| eval.decomposition(a).expect("decomposition");
         let tauw = d(Approach::IfTauw);
         let naive = d(Approach::IfNaive);
         let worst = d(Approach::IfWorstCase);
-        let tauw_best = Approach::ALL.iter().all(|&a| tauw.brier <= d(a).brier + 1e-12);
-        let naive_overconf =
-            Approach::ALL.iter().all(|&a| naive.overconfidence >= d(a).overconfidence - 1e-12);
-        let worst_unreliable =
-            Approach::ALL.iter().all(|&a| worst.unreliability >= d(a).unreliability - 1e-12);
+        let tauw_best = Approach::ALL
+            .iter()
+            .all(|&a| tauw.brier <= d(a).brier + 1e-12);
+        let naive_overconf = Approach::ALL
+            .iter()
+            .all(|&a| naive.overconfidence >= d(a).overconfidence - 1e-12);
+        let worst_unreliable = Approach::ALL
+            .iter()
+            .all(|&a| worst.unreliability >= d(a).unreliability - 1e-12);
         table.row(vec![
             format!("{phi:.2}"),
             format!("{sigma:.2}"),
@@ -53,7 +56,12 @@ fn main() {
             fmt_pct(eval.fused_misclassification()),
             (if tauw_best { "HOLDS" } else { "violated" }).to_string(),
             (if naive_overconf { "HOLDS" } else { "violated" }).to_string(),
-            (if worst_unreliable { "HOLDS" } else { "violated" }).to_string(),
+            (if worst_unreliable {
+                "HOLDS"
+            } else {
+                "violated"
+            })
+            .to_string(),
         ]);
         out.push_str(&format!(
             "phi={phi:.2}: naive overconfidence {} vs taUW {}\n",

@@ -9,12 +9,14 @@ use tauw_experiments::{CliOptions, ExperimentContext};
 
 fn main() {
     let opts = CliOptions::from_env();
-    let ctx = ExperimentContext::build(opts.scale, opts.seed)
-        .expect("experiment context must build");
+    let ctx =
+        ExperimentContext::build(opts.scale, opts.seed).expect("experiment context must build");
     let eval = evaluate(&ctx.tauw, &ctx.test).expect("evaluation must succeed");
 
     let mut out = String::new();
-    out.push_str(&section("Table I — evaluation of different uncertainty models (measured)"));
+    out.push_str(&section(
+        "Table I — evaluation of different uncertainty models (measured)",
+    ));
     let mut table = TextTable::new(vec![
         "approach",
         "brier",
@@ -84,7 +86,9 @@ fn main() {
     let checks: Vec<(&str, bool)> = vec![
         (
             "taUW has the best (lowest) Brier score of all six approaches",
-            Approach::ALL.iter().all(|&a| tauw.brier <= get(a).brier + 1e-12),
+            Approach::ALL
+                .iter()
+                .all(|&a| tauw.brier <= get(a).brier + 1e-12),
         ),
         (
             "IF reduces the variance component vs isolated predictions",
@@ -99,23 +103,33 @@ fn main() {
         ),
         (
             "worst-case UF has the highest unreliability but tiny overconfidence",
-            Approach::ALL.iter().all(|&a| worst.unreliability >= get(a).unreliability - 1e-12)
+            Approach::ALL
+                .iter()
+                .all(|&a| worst.unreliability >= get(a).unreliability - 1e-12)
                 && worst.overconfidence < 0.1 * worst.unreliability,
         ),
         (
             "taUW has the lowest unspecificity (best resolution)",
-            Approach::ALL.iter().all(|&a| tauw.unspecificity <= get(a).unspecificity + 1e-12),
+            Approach::ALL
+                .iter()
+                .all(|&a| tauw.unspecificity <= get(a).unspecificity + 1e-12),
         ),
         (
             "opportune beats IF+noUF on Brier but is more overconfident",
             opportune.brier <= if_no_uf.brier + 1e-12
                 && opportune.overconfidence >= if_no_uf.overconfidence,
         ),
-        ("taUW overconfidence is (near) zero", tauw.overconfidence < 1e-4),
+        (
+            "taUW overconfidence is (near) zero",
+            tauw.overconfidence < 1e-4,
+        ),
     ];
     let mut check_table = TextTable::new(vec!["check", "status"]);
     for (name, ok) in &checks {
-        check_table.row(vec![name.to_string(), if *ok { "HOLDS" } else { "VIOLATED" }.into()]);
+        check_table.row(vec![
+            name.to_string(),
+            if *ok { "HOLDS" } else { "VIOLATED" }.into(),
+        ]);
     }
     out.push_str(&check_table.render());
 

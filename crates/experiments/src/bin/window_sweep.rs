@@ -32,8 +32,7 @@ fn main() {
             SimConfig::scaled(opts.scale)
         };
         config.window_len = window_len;
-        let ctx = ExperimentContext::build_with_config(config, opts.seed)
-            .expect("context builds");
+        let ctx = ExperimentContext::build_with_config(config, opts.seed).expect("context builds");
         let eval = evaluate(&ctx.tauw, &ctx.test).expect("evaluation");
         let rates = eval.misclassification_by_step();
         let last = rates.last().expect("non-empty");
@@ -54,13 +53,17 @@ fn main() {
     let mut checks = TextTable::new(vec!["check", "status"]);
     let monotone = final_step_rates.windows(2).all(|w| w[1] <= w[0] + 0.004);
     checks.row(vec![
-        "fused misclassification at the final step keeps falling with longer windows"
-            .to_string(),
+        "fused misclassification at the final step keeps falling with longer windows".to_string(),
         if monotone { "HOLDS" } else { "VIOLATED" }.to_string(),
     ]);
     checks.row(vec![
         "no saturation: window 20 beats window 10 at the final step".to_string(),
-        if final_step_rates[3] < final_step_rates[1] { "HOLDS" } else { "VIOLATED" }.to_string(),
+        if final_step_rates[3] < final_step_rates[1] {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+        .to_string(),
     ]);
     out.push_str(&checks.render());
     out.push_str(

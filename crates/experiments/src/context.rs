@@ -48,8 +48,11 @@ impl ExperimentContext {
     /// Returns [`CoreError`] if training or calibration fails (which for
     /// valid configurations it does not).
     pub fn build(scale: f64, seed: u64) -> Result<Self, CoreError> {
-        let config =
-            if scale >= 1.0 { SimConfig::default() } else { SimConfig::scaled(scale) };
+        let config = if scale >= 1.0 {
+            SimConfig::default()
+        } else {
+            SimConfig::scaled(scale)
+        };
         Self::build_with_config(config, seed)
     }
 
@@ -191,7 +194,10 @@ mod tests {
     fn context_is_deterministic() {
         let a = ExperimentContext::build(0.02, 9).unwrap();
         let b = ExperimentContext::build(0.02, 9).unwrap();
-        assert_eq!(a.test_ddm_misclassification(), b.test_ddm_misclassification());
+        assert_eq!(
+            a.test_ddm_misclassification(),
+            b.test_ddm_misclassification()
+        );
         assert_eq!(a.tauw.min_uncertainty(), b.tauw.min_uncertainty());
     }
 }

@@ -33,7 +33,9 @@ mod tests {
 
     #[test]
     fn conversion_preserves_structure_and_labels() {
-        let data = DatasetBuilder::new(SimConfig::scaled(0.01), 3).unwrap().build();
+        let data = DatasetBuilder::new(SimConfig::scaled(0.01), 3)
+            .unwrap()
+            .build();
         let converted = to_training_series(&data.test);
         assert_eq!(converted.len(), data.test.len());
         for (orig, conv) in data.test.iter().zip(&converted) {

@@ -218,16 +218,19 @@ impl TestEvaluation {
     pub fn misclassification_by_step(&self) -> Vec<StepRates> {
         let mut rates = Vec::new();
         for step in 0..self.window_len {
-            let at_step: Vec<&CaseRecord> =
-                self.cases.iter().filter(|c| c.step == step).collect();
+            let at_step: Vec<&CaseRecord> = self.cases.iter().filter(|c| c.step == step).collect();
             if at_step.is_empty() {
                 continue;
             }
             let n = at_step.len();
-            let isolated =
-                at_step.iter().filter(|c| c.isolated_failed).count() as f64 / n as f64;
+            let isolated = at_step.iter().filter(|c| c.isolated_failed).count() as f64 / n as f64;
             let fused = at_step.iter().filter(|c| c.fused_failed).count() as f64 / n as f64;
-            rates.push(StepRates { timestep: step + 1, isolated, fused, n });
+            rates.push(StepRates {
+                timestep: step + 1,
+                isolated,
+                fused,
+                n,
+            });
         }
         rates
     }
@@ -240,8 +243,7 @@ impl TestEvaluation {
 
     /// Mean fused misclassification over all cases (paper: 5.57%).
     pub fn fused_misclassification(&self) -> f64 {
-        self.cases.iter().filter(|c| c.fused_failed).count() as f64
-            / self.cases.len().max(1) as f64
+        self.cases.iter().filter(|c| c.fused_failed).count() as f64 / self.cases.len().max(1) as f64
     }
 
     /// `(lowest uncertainty, fraction of cases at it)` for an approach —
@@ -290,7 +292,11 @@ mod tests {
 
     #[test]
     fn fusion_beats_isolated_on_average() {
-        let (_, eval) = small_eval();
+        // The fusion advantage is an *average* claim; at 2% scale (~80 test
+        // windows) sampling noise can flip it, so this test runs on a
+        // larger slice of the world than the structural tests above.
+        let ctx = ExperimentContext::build(0.08, 11).unwrap();
+        let eval = evaluate(&ctx.tauw, &ctx.test).unwrap();
         assert!(
             eval.fused_misclassification() <= eval.isolated_misclassification(),
             "fused {} vs isolated {}",

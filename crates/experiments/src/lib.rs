@@ -49,7 +49,11 @@ pub struct CliOptions {
 
 impl Default for CliOptions {
     fn default() -> Self {
-        CliOptions { scale: 1.0, seed: DEFAULT_SEED, out_dir: "results".to_string() }
+        CliOptions {
+            scale: 1.0,
+            seed: DEFAULT_SEED,
+            out_dir: "results".to_string(),
+        }
     }
 }
 

@@ -144,7 +144,12 @@ mod tests {
             .map(|i| {
                 let isolated = 0.105 - 0.004 * i as f64;
                 let fused = if i < 2 { isolated } else { isolated - 0.02 };
-                StepRates { timestep: i + 1, isolated, fused, n: 1000 }
+                StepRates {
+                    timestep: i + 1,
+                    isolated,
+                    fused,
+                    n: 1000,
+                }
             })
             .collect();
         assert!(fig4_shape_holds(&rates));
@@ -153,7 +158,12 @@ mod tests {
     #[test]
     fn fig4_shape_rejects_flat_or_inverted_curves() {
         let flat: Vec<StepRates> = (0..10)
-            .map(|i| StepRates { timestep: i + 1, isolated: 0.05, fused: 0.08, n: 1000 })
+            .map(|i| StepRates {
+                timestep: i + 1,
+                isolated: 0.05,
+                fused: 0.08,
+                n: 1000,
+            })
             .collect();
         assert!(!fig4_shape_holds(&flat));
         assert!(!fig4_shape_holds(&[]));

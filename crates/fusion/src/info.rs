@@ -240,7 +240,10 @@ mod tests {
             Stop,
             Yield,
         }
-        assert_eq!(majority_vote(&[Sign::Stop, Sign::Yield, Sign::Stop]), Some(Sign::Stop));
+        assert_eq!(
+            majority_vote(&[Sign::Stop, Sign::Yield, Sign::Stop]),
+            Some(Sign::Stop)
+        );
     }
 
     #[test]
@@ -274,7 +277,10 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(InformationFusion::<u32>::name(&MajorityVote), "majority-vote");
+        assert_eq!(
+            InformationFusion::<u32>::name(&MajorityVote),
+            "majority-vote"
+        );
         assert_eq!(InformationFusion::<u32>::name(&LatestOnly), "latest-only");
         assert_eq!(
             InformationFusion::<u32>::name(&CertaintyWeightedVote),

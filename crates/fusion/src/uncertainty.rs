@@ -24,8 +24,11 @@ pub enum UncertaintyFusion {
 
 impl UncertaintyFusion {
     /// All rules, for sweeps.
-    pub const ALL: [UncertaintyFusion; 3] =
-        [UncertaintyFusion::Naive, UncertaintyFusion::Opportune, UncertaintyFusion::WorstCase];
+    pub const ALL: [UncertaintyFusion; 3] = [
+        UncertaintyFusion::Naive,
+        UncertaintyFusion::Opportune,
+        UncertaintyFusion::WorstCase,
+    ];
 
     /// Short stable name for reports (matches the paper's terminology).
     pub fn name(self) -> &'static str {
@@ -97,8 +100,12 @@ mod tests {
     #[test]
     fn ordering_naive_le_opportune_le_worst_case() {
         // For uncertainties in [0,1]: ∏u ≤ min u ≤ max u.
-        let cases: [&[f64]; 4] =
-            [&[0.5, 0.5], &[0.9, 0.1, 0.3], &[0.01, 0.02, 0.9, 0.5], &[1.0, 1.0]];
+        let cases: [&[f64]; 4] = [
+            &[0.5, 0.5],
+            &[0.9, 0.1, 0.3],
+            &[0.01, 0.02, 0.9, 0.5],
+            &[1.0, 1.0],
+        ];
         for u in cases {
             let n = UncertaintyFusion::Naive.fuse(u).unwrap();
             let o = UncertaintyFusion::Opportune.fuse(u).unwrap();

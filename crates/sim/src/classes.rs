@@ -55,7 +55,9 @@ impl SignClass {
     /// Members of this sign's confusion group, excluding the sign itself.
     pub fn confusable_with(self) -> Vec<SignClass> {
         let group = self.confusion_group();
-        SignClass::all().filter(|&c| c != self && c.confusion_group() == group).collect()
+        SignClass::all()
+            .filter(|&c| c != self && c.confusion_group() == group)
+            .collect()
     }
 
     /// Relative frequency weight of this class in the GTSRB training data
@@ -139,9 +141,9 @@ const NAMES: [&str; 43] = [
 /// of 30-image tracks), used as sampling weights for realistic class
 /// imbalance.
 const FREQ: [f64; 43] = [
-    7.0, 74.0, 75.0, 47.0, 66.0, 62.0, 14.0, 48.0, 47.0, 49.0, 67.0, 44.0, 70.0, 72.0, 26.0,
-    21.0, 14.0, 37.0, 40.0, 7.0, 11.0, 10.0, 13.0, 17.0, 9.0, 50.0, 20.0, 8.0, 18.0, 9.0, 15.0,
-    26.0, 8.0, 23.0, 14.0, 40.0, 13.0, 7.0, 69.0, 10.0, 12.0, 8.0, 8.0,
+    7.0, 74.0, 75.0, 47.0, 66.0, 62.0, 14.0, 48.0, 47.0, 49.0, 67.0, 44.0, 70.0, 72.0, 26.0, 21.0,
+    14.0, 37.0, 40.0, 7.0, 11.0, 10.0, 13.0, 17.0, 9.0, 50.0, 20.0, 8.0, 18.0, 9.0, 15.0, 26.0,
+    8.0, 23.0, 14.0, 40.0, 13.0, 7.0, 69.0, 10.0, 12.0, 8.0, 8.0,
 ];
 
 const FREQ_TOTAL: f64 = {
@@ -227,7 +229,10 @@ mod tests {
     fn confusable_never_includes_self() {
         for c in SignClass::all() {
             assert!(!c.confusable_with().contains(&c));
-            assert!(!c.confusable_with().is_empty(), "class {c} has no confusion peers");
+            assert!(
+                !c.confusable_with().is_empty(),
+                "class {c} has no confusion peers"
+            );
         }
     }
 }

@@ -105,7 +105,11 @@ impl SimConfig {
         let base = SimConfig::default();
         let f = fraction.clamp(0.001, 1.0);
         let scale = |x: usize| ((x as f64 * f).round() as usize).max(4);
-        let split = (scale(base.split.0), scale(base.split.1), scale(base.split.2));
+        let split = (
+            scale(base.split.0),
+            scale(base.split.1),
+            scale(base.split.2),
+        );
         SimConfig {
             // Derive the total from the scaled splits so rounding can never
             // make them overshoot.
@@ -173,13 +177,19 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_split() {
-        let c = SimConfig { split: (1000, 1000, 1000), ..Default::default() };
+        let c = SimConfig {
+            split: (1000, 1000, 1000),
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn validation_catches_bad_window() {
-        let mut c = SimConfig { window_len: 0, ..Default::default() };
+        let mut c = SimConfig {
+            window_len: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         c.window_len = 99;
         assert!(c.validate().is_err());
@@ -187,7 +197,10 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_copula() {
-        let c = SimConfig { ddm_error_copula_phi: 1.0, ..Default::default() };
+        let c = SimConfig {
+            ddm_error_copula_phi: 1.0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -195,7 +208,10 @@ mod tests {
     fn all_deficits_have_positive_weight() {
         let c = SimConfig::default();
         for k in DeficitKind::ALL {
-            assert!(c.ddm_deficit_weights[k as usize] > 0.0, "{k} weight must be positive");
+            assert!(
+                c.ddm_deficit_weights[k as usize] > 0.0,
+                "{k} weight must be positive"
+            );
         }
     }
 }

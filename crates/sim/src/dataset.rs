@@ -192,7 +192,10 @@ mod tests {
         let ds = b.build();
         let starts: std::collections::HashSet<usize> =
             ds.test.iter().map(|s| s.frames[0].absolute_step).collect();
-        assert!(starts.len() > 5, "window starts should vary, got {starts:?}");
+        assert!(
+            starts.len() > 5,
+            "window starts should vary, got {starts:?}"
+        );
     }
 
     #[test]
@@ -206,8 +209,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = DatasetBuilder::new(SimConfig::scaled(0.02), 1).unwrap().build();
-        let b = DatasetBuilder::new(SimConfig::scaled(0.02), 2).unwrap().build();
+        let a = DatasetBuilder::new(SimConfig::scaled(0.02), 1)
+            .unwrap()
+            .build();
+        let b = DatasetBuilder::new(SimConfig::scaled(0.02), 2)
+            .unwrap()
+            .build();
         assert_ne!(a.test[0], b.test[0]);
     }
 
@@ -226,7 +233,10 @@ mod tests {
 
     #[test]
     fn invalid_config_is_rejected() {
-        let cfg = SimConfig { split: (2000, 2000, 2000), ..Default::default() };
+        let cfg = SimConfig {
+            split: (2000, 2000, 2000),
+            ..Default::default()
+        };
         assert!(DatasetBuilder::new(cfg, 1).is_err());
     }
 

@@ -53,7 +53,8 @@ impl SimulatedDdm {
     ) -> f64 {
         let cfg = &self.config;
         let normalized_distance = (distance_m / cfg.geometry.start_distance_m).clamp(0.0, 1.5);
-        let mut logit = cfg.ddm_bias + cfg.ddm_distance_weight * normalized_distance + series_effect;
+        let mut logit =
+            cfg.ddm_bias + cfg.ddm_distance_weight * normalized_distance + series_effect;
         for (i, &w) in cfg.ddm_deficit_weights.iter().enumerate() {
             logit += w * deficits.as_array()[i];
         }
@@ -95,8 +96,10 @@ impl SimulatedDdm {
             if backlight_base > 0.0 && rng.gen_bool(cfg.backlight_toggle_prob) {
                 backlight_on = !backlight_on;
             }
-            deficits
-                .set(DeficitKind::ArtificialBacklight, if backlight_on { backlight_base } else { 0.0 });
+            deficits.set(
+                DeficitKind::ArtificialBacklight,
+                if backlight_on { backlight_base } else { 0.0 },
+            );
 
             let distance_m = cfg.geometry.distance_at(step);
             let pixel_size = cfg.geometry.pixel_size_at(step);
@@ -144,7 +147,12 @@ impl SimulatedDdm {
             });
         }
 
-        SeriesRecord { series_id, true_class, setting: setting.clone(), frames }
+        SeriesRecord {
+            series_id,
+            true_class,
+            setting: setting.clone(),
+            frames,
+        }
     }
 }
 
@@ -276,7 +284,10 @@ mod tests {
                 histogram.insert(i, (class, count, per_series.values().sum::<usize>()));
             }
         }
-        assert!(n_err > 500, "need plenty of errors for this test, got {n_err}");
+        assert!(
+            n_err > 500,
+            "need plenty of errors for this test, got {n_err}"
+        );
         // In most series the modal wrong class dominates the errors.
         let dominated = histogram
             .values()
@@ -289,9 +300,7 @@ mod tests {
         // And modal wrong classes are usually in the speed-limit group.
         let speed_group = histogram
             .values()
-            .filter(|(c, _, _)| {
-                c.confusion_group() == crate::classes::ConfusionGroup::SpeedLimits
-            })
+            .filter(|(c, _, _)| c.confusion_group() == crate::classes::ConfusionGroup::SpeedLimits)
             .count();
         assert!(speed_group as f64 > 0.7 * histogram.len() as f64);
     }

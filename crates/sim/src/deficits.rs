@@ -63,7 +63,10 @@ impl DeficitKind {
     /// The paper keeps settings constant through a series "except for motion
     /// blur and artificial backlight".
     pub fn varies_within_series(self) -> bool {
-        matches!(self, DeficitKind::MotionBlur | DeficitKind::ArtificialBacklight)
+        matches!(
+            self,
+            DeficitKind::MotionBlur | DeficitKind::ArtificialBacklight
+        )
     }
 }
 
@@ -108,7 +111,11 @@ impl DeficitVector {
 
     /// Sets one deficit, clamping into `[0, 1]`.
     pub fn set(&mut self, kind: DeficitKind, intensity: f64) {
-        self.0[kind as usize] = if intensity.is_nan() { 0.0 } else { intensity.clamp(0.0, 1.0) };
+        self.0[kind as usize] = if intensity.is_nan() {
+            0.0
+        } else {
+            intensity.clamp(0.0, 1.0)
+        };
     }
 
     /// Raw intensities in [`DeficitKind`] index order.
@@ -156,8 +163,10 @@ mod tests {
 
     #[test]
     fn only_blur_and_artificial_backlight_vary() {
-        let varying: Vec<_> =
-            DeficitKind::ALL.iter().filter(|k| k.varies_within_series()).collect();
+        let varying: Vec<_> = DeficitKind::ALL
+            .iter()
+            .filter(|k| k.varies_within_series())
+            .collect();
         assert_eq!(
             varying,
             vec![&DeficitKind::ArtificialBacklight, &DeficitKind::MotionBlur]

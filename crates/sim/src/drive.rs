@@ -86,7 +86,11 @@ pub struct DriveScenario {
 
 impl Default for DriveScenario {
     fn default() -> Self {
-        DriveScenario { n_signs: 3, fov_half_width_px: 640.0, dropout_prob: 0.02 }
+        DriveScenario {
+            n_signs: 3,
+            fov_half_width_px: 640.0,
+            dropout_prob: 0.02,
+        }
     }
 }
 
@@ -104,15 +108,16 @@ impl DriveScenario {
             let true_class = SignClass::new(sample_weighted(&mut rng, &weights) as u8)
                 .expect("weighted index is a valid class");
             let setting = situations.sample(&mut rng);
-            let series =
-                ddm.generate_series(sign_index as u64, true_class, &setting, &mut rng);
+            let series = ddm.generate_series(sign_index as u64, true_class, &setting, &mut rng);
             // Roadside placement: alternating sides, varying offset/height.
             let side = if sign_index % 2 == 0 { 1.0 } else { -1.0 };
             let lateral = side * rng.gen_range(2.0..5.0);
             let height = rng.gen_range(1.8..3.2);
             for frame in &series.frames {
                 let (x, y) =
-                    config.geometry.image_position_at(frame.absolute_step, lateral, height);
+                    config
+                        .geometry
+                        .image_position_at(frame.absolute_step, lateral, height);
                 if x.abs() > self.fov_half_width_px {
                     // Sign left the camera's field of view.
                     break;
@@ -130,7 +135,10 @@ impl DriveScenario {
             }
             series_list.push(series);
         }
-        Drive { events, series: series_list }
+        Drive {
+            events,
+            series: series_list,
+        }
     }
 }
 
@@ -152,8 +160,7 @@ mod tests {
             assert!(f.sign_index >= last, "signs must appear in order");
             last = f.sign_index;
         }
-        let seen: std::collections::HashSet<usize> =
-            d.detections().map(|f| f.sign_index).collect();
+        let seen: std::collections::HashSet<usize> = d.detections().map(|f| f.sign_index).collect();
         assert_eq!(seen.len(), 3, "every sign must contribute detections");
     }
 
@@ -167,10 +174,16 @@ mod tests {
 
     #[test]
     fn dropouts_thin_detections_but_keep_camera_ticks() {
-        let scenario = DriveScenario { dropout_prob: 0.5, ..Default::default() };
+        let scenario = DriveScenario {
+            dropout_prob: 0.5,
+            ..Default::default()
+        };
         let thinned = scenario.generate(&SimConfig::default(), 5);
-        let full = DriveScenario { dropout_prob: 0.0, ..Default::default() }
-            .generate(&SimConfig::default(), 5);
+        let full = DriveScenario {
+            dropout_prob: 0.0,
+            ..Default::default()
+        }
+        .generate(&SimConfig::default(), 5);
         assert!(thinned.detections().count() < full.detections().count());
         assert!(thinned.detections().count() > full.detections().count() / 5);
         let dropouts = thinned
@@ -178,8 +191,14 @@ mod tests {
             .iter()
             .filter(|e| matches!(e, DriveEvent::Dropout { .. }))
             .count();
-        assert!(dropouts > 0, "50% dropout probability must produce dropout events");
-        assert!(full.events.iter().all(|e| matches!(e, DriveEvent::Detection(_))));
+        assert!(
+            dropouts > 0,
+            "50% dropout probability must produce dropout events"
+        );
+        assert!(full
+            .events
+            .iter()
+            .all(|e| matches!(e, DriveEvent::Detection(_))));
     }
 
     #[test]
@@ -223,12 +242,19 @@ mod tests {
                 }
             }
         }
-        assert_eq!(tracker.track_count() as usize, d.n_signs(), "one track per sign");
+        assert_eq!(
+            tracker.track_count() as usize,
+            d.n_signs(),
+            "one track per sign"
+        );
     }
 
     #[test]
     fn dropout_heavy_drive_still_segments_with_coasting() {
-        let scenario = DriveScenario { dropout_prob: 0.25, ..Default::default() };
+        let scenario = DriveScenario {
+            dropout_prob: 0.25,
+            ..Default::default()
+        };
         let d = scenario.generate(&SimConfig::default(), 11);
         let mut tracker = SignTracker::with_noise(13.8, 2500.0, 9.0);
         for event in &d.events {

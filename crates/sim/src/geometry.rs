@@ -57,7 +57,12 @@ impl ApproachGeometry {
     /// relative to the image centre. Signs drift outward as the car closes
     /// in (they sit at the roadside), which is what the Kalman tracker
     /// follows.
-    pub fn image_position_at(&self, step: usize, lateral_offset_m: f64, height_m: f64) -> (f64, f64) {
+    pub fn image_position_at(
+        &self,
+        step: usize,
+        lateral_offset_m: f64,
+        height_m: f64,
+    ) -> (f64, f64) {
         let d = self.distance_at(step);
         let focal_px = 1200.0;
         (focal_px * lateral_offset_m / d, focal_px * height_m / d)
@@ -106,12 +111,18 @@ mod tests {
         let g = ApproachGeometry::default();
         let (x0, y0) = g.image_position_at(0, 3.0, 2.0);
         let (x29, y29) = g.image_position_at(29, 3.0, 2.0);
-        assert!(x29 > x0 && y29 > y0, "sign should drift outward while approaching");
+        assert!(
+            x29 > x0 && y29 > y0,
+            "sign should drift outward while approaching"
+        );
     }
 
     #[test]
     fn single_frame_geometry_is_degenerate_but_safe() {
-        let g = ApproachGeometry { n_frames: 1, ..Default::default() };
+        let g = ApproachGeometry {
+            n_frames: 1,
+            ..Default::default()
+        };
         assert_eq!(g.distance_at(0), g.end_distance_m);
     }
 }

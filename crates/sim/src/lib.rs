@@ -49,9 +49,9 @@ pub mod tracking;
 pub use classes::{ConfusionGroup, SignClass, N_CLASSES};
 pub use config::SimConfig;
 pub use dataset::{DatasetBuilder, GtsrbLikeDataset};
-pub use drive::{Drive, DriveFrame, DriveScenario};
 pub use ddm::SimulatedDdm;
 pub use deficits::{DeficitKind, DeficitVector, N_DEFICITS};
+pub use drive::{Drive, DriveFrame, DriveScenario};
 pub use sensors::{QualityObservation, N_QUALITY_FACTORS};
 pub use series::{Frame, SeriesRecord};
 pub use situation::{RoadEnvironment, SituationModel, SituationSetting};

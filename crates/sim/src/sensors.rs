@@ -39,12 +39,18 @@ impl QualityObservation {
             *slot = (latent.as_array()[i] + noise).clamp(0.0, 1.0);
         }
         let px = pixel_size * (1.0 + config.pixel_size_rel_noise * sample_standard_normal(rng));
-        QualityObservation { deficits, pixel_size: px.max(1.0) }
+        QualityObservation {
+            deficits,
+            pixel_size: px.max(1.0),
+        }
     }
 
     /// A noise-free observation (useful for tests and deterministic demos).
     pub fn exact(latent: &DeficitVector, pixel_size: f64) -> Self {
-        QualityObservation { deficits: *latent.as_array(), pixel_size }
+        QualityObservation {
+            deficits: *latent.as_array(),
+            pixel_size,
+        }
     }
 
     /// The stateless quality-factor feature vector, in the column order
@@ -120,6 +126,9 @@ mod tests {
             })
             .sum::<f64>()
             / 5000.0;
-        assert!((mean - 0.5).abs() < 0.01, "sensor mean {mean} drifted from latent 0.5");
+        assert!(
+            (mean - 0.5).abs() < 0.01,
+            "sensor mean {mean} drifted from latent 0.5"
+        );
     }
 }

@@ -2,9 +2,9 @@
 //! consumes.
 
 use crate::classes::SignClass;
+use crate::deficits::DeficitVector;
 use crate::sensors::QualityObservation;
 use crate::situation::SituationSetting;
-use crate::deficits::DeficitVector;
 use serde::{Deserialize, Serialize};
 
 /// One camera frame within a timeseries.

@@ -35,8 +35,11 @@ pub enum RoadEnvironment {
 
 impl RoadEnvironment {
     /// All environments.
-    pub const ALL: [RoadEnvironment; 3] =
-        [RoadEnvironment::Urban, RoadEnvironment::Rural, RoadEnvironment::Highway];
+    pub const ALL: [RoadEnvironment; 3] = [
+        RoadEnvironment::Urban,
+        RoadEnvironment::Rural,
+        RoadEnvironment::Highway,
+    ];
 
     /// Typical driving speed in km/h for the environment.
     pub fn typical_speed_kmh(self) -> f64 {
@@ -104,15 +107,13 @@ impl SituationModel {
             4..=7 => RoadEnvironment::Rural,
             _ => RoadEnvironment::Highway,
         };
-        let speed_kmh = (environment.typical_speed_kmh()
-            + rng.gen_range(-15.0..15.0))
-        .max(15.0);
+        let speed_kmh = (environment.typical_speed_kmh() + rng.gen_range(-15.0..15.0)).max(15.0);
 
         // Seasonal temperature: coldest in January (~0°C), warmest in July (~19°C).
         let season_phase = (month as f64 - 1.0) / 12.0 * std::f64::consts::TAU;
-        let temperature_c =
-            9.5 - 9.5 * season_phase.cos() + rng.gen_range(-6.0..6.0);
-        let humidity = (0.55 + 0.25 * rng.gen_range(-1.0..1.0f64)
+        let temperature_c = 9.5 - 9.5 * season_phase.cos() + rng.gen_range(-6.0..6.0);
+        let humidity = (0.55
+            + 0.25 * rng.gen_range(-1.0..1.0f64)
             + if temperature_c < 5.0 { 0.15 } else { 0.0 })
         .clamp(0.2, 1.0);
 
@@ -127,7 +128,11 @@ impl SituationModel {
         let sun_elevation = Self::sun_elevation_deg(month, hour);
         let darkness = Self::darkness_from_sun(sun_elevation);
         let low_sun = sun_elevation > 0.0 && sun_elevation < 18.0;
-        let sun_alignment = if low_sun { rng.gen_range(0.0..1.0) } else { 0.0 };
+        let sun_alignment = if low_sun {
+            rng.gen_range(0.0..1.0)
+        } else {
+            0.0
+        };
 
         let mut deficits = DeficitVector::zero();
         deficits.set(DeficitKind::Rain, (rain_mm_h / 8.0).powf(0.7));
@@ -155,11 +160,21 @@ impl SituationModel {
         };
         deficits.set(DeficitKind::ArtificialBacklight, artificial);
         // Dirt accumulates; rural roads are worse.
-        let dirt_scale = if environment == RoadEnvironment::Rural { 1.5 } else { 1.0 };
+        let dirt_scale = if environment == RoadEnvironment::Rural {
+            1.5
+        } else {
+            1.0
+        };
         let dirt_sign: f64 = rng.gen_range(0.0..1.0);
-        deficits.set(DeficitKind::DirtOnSign, (dirt_sign.powi(4) * dirt_scale).min(1.0));
+        deficits.set(
+            DeficitKind::DirtOnSign,
+            (dirt_sign.powi(4) * dirt_scale).min(1.0),
+        );
         let dirt_lens: f64 = rng.gen_range(0.0..1.0);
-        deficits.set(DeficitKind::DirtOnLens, (dirt_lens.powi(5) * dirt_scale).min(1.0));
+        deficits.set(
+            DeficitKind::DirtOnLens,
+            (dirt_lens.powi(5) * dirt_scale).min(1.0),
+        );
         // Steamed lens: cold and humid.
         let steam = if temperature_c < 6.0 && humidity > 0.8 {
             rng.gen_range(0.3..1.0)
@@ -228,8 +243,10 @@ mod tests {
 
     #[test]
     fn night_hours_are_dark() {
-        let night: Vec<_> =
-            samples(3000, 2).into_iter().filter(|s| s.hour <= 2 || s.hour >= 23).collect();
+        let night: Vec<_> = samples(3000, 2)
+            .into_iter()
+            .filter(|s| s.hour <= 2 || s.hour >= 23)
+            .collect();
         assert!(!night.is_empty());
         for s in &night {
             assert!(
@@ -289,8 +306,14 @@ mod tests {
 
     #[test]
     fn majority_of_drives_are_dry() {
-        let wet = samples(5000, 7).iter().filter(|s| s.rain_mm_h > 0.0).count();
-        assert!((1500..2500).contains(&wet), "wet fraction {wet}/5000 implausible");
+        let wet = samples(5000, 7)
+            .iter()
+            .filter(|s| s.rain_mm_h > 0.0)
+            .count();
+        assert!(
+            (1500..2500).contains(&wet),
+            "wet fraction {wet}/5000 implausible"
+        );
     }
 
     #[test]
@@ -303,7 +326,9 @@ mod tests {
         assert!(mean_speed(RoadEnvironment::Highway) > mean_speed(RoadEnvironment::Urban) + 40.0);
         let mean_blur = |env: RoadEnvironment| {
             let xs: Vec<_> = s.iter().filter(|x| x.environment == env).collect();
-            xs.iter().map(|x| x.deficits.get(DeficitKind::MotionBlur)).sum::<f64>()
+            xs.iter()
+                .map(|x| x.deficits.get(DeficitKind::MotionBlur))
+                .sum::<f64>()
                 / xs.len() as f64
         };
         assert!(mean_blur(RoadEnvironment::Highway) > mean_blur(RoadEnvironment::Urban));

@@ -50,7 +50,12 @@ impl KalmanFilter2D {
     /// Time-update with unit timestep.
     pub fn predict(&mut self) {
         // x' = F x with F = [[1,0,1,0],[0,1,0,1],[0,0,1,0],[0,0,0,1]].
-        self.x = [self.x[0] + self.x[2], self.x[1] + self.x[3], self.x[2], self.x[3]];
+        self.x = [
+            self.x[0] + self.x[2],
+            self.x[1] + self.x[3],
+            self.x[2],
+            self.x[3],
+        ];
         // P' = F P Fᵀ + Q.
         let f = [
             [1.0, 0.0, 1.0, 0.0],
@@ -192,7 +197,13 @@ impl SignTracker {
     /// need a large process noise to keep the constant-velocity model's
     /// gate open (e.g. `with_noise(13.8, 2500.0, 9.0)`).
     pub fn with_noise(gate: f64, process_noise: f64, measurement_noise: f64) -> Self {
-        SignTracker { filter: None, gate, process_noise, measurement_noise, track_count: 0 }
+        SignTracker {
+            filter: None,
+            gate,
+            process_noise,
+            measurement_noise,
+            track_count: 0,
+        }
     }
 
     /// Number of distinct tracks seen so far.
@@ -245,8 +256,11 @@ impl SignTracker {
     }
 
     fn start_track(&mut self, position: [f64; 2]) {
-        self.filter =
-            Some(KalmanFilter2D::new(position, self.process_noise, self.measurement_noise));
+        self.filter = Some(KalmanFilter2D::new(
+            position,
+            self.process_noise,
+            self.measurement_noise,
+        ));
         self.track_count += 1;
     }
 }
@@ -308,7 +322,11 @@ mod tests {
         }
         assert_eq!(events[0], TrackEvent::NewTrack);
         assert!(events[1..10].iter().all(|e| *e == TrackEvent::Continued));
-        assert_eq!(events[10], TrackEvent::NewTrack, "jump must start a new series");
+        assert_eq!(
+            events[10],
+            TrackEvent::NewTrack,
+            "jump must start a new series"
+        );
         assert!(events[11..].iter().all(|e| *e == TrackEvent::Continued));
         assert_eq!(tracker.track_count(), 2);
     }
@@ -325,7 +343,10 @@ mod tests {
                 new_tracks += 1;
             }
         }
-        assert_eq!(new_tracks, 0, "noisy but consistent motion must not fragment the track");
+        assert_eq!(
+            new_tracks, 0,
+            "noisy but consistent motion must not fragment the track"
+        );
     }
 
     #[test]

@@ -10,7 +10,10 @@ use tauw_sim::{DatasetBuilder, DeficitKind, SimConfig};
 #[test]
 #[ignore = "diagnostic tool, not a correctness test"]
 fn print_error_model_statistics() {
-    let scale: f64 = std::env::var("TAUW_PROBE_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.15);
+    let scale: f64 = std::env::var("TAUW_PROBE_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.15);
     let cfg = SimConfig::scaled(scale);
     let data = DatasetBuilder::new(cfg.clone(), 1).unwrap().build();
 
@@ -30,7 +33,10 @@ fn print_error_model_statistics() {
     }
     let total_wrong: usize = per_step.iter().map(|x| x.0).sum();
     let total: usize = per_step.iter().map(|x| x.1).sum();
-    println!("overall: {:.4} (paper 0.0789)", total_wrong as f64 / total as f64);
+    println!(
+        "overall: {:.4} (paper 0.0789)",
+        total_wrong as f64 / total as f64
+    );
 
     // Mean latent deficits over test frames.
     println!("\n== mean latent deficits (test frames) ==");

@@ -64,10 +64,14 @@ impl std::fmt::Display for BoundMethod {
 
 fn check_counts(failures: u64, trials: u64) -> Result<(), StatsError> {
     if trials == 0 {
-        return Err(StatsError::InvalidCount { constraint: "trials must be positive" });
+        return Err(StatsError::InvalidCount {
+            constraint: "trials must be positive",
+        });
     }
     if failures > trials {
-        return Err(StatsError::InvalidCount { constraint: "failures must not exceed trials" });
+        return Err(StatsError::InvalidCount {
+            constraint: "failures must not exceed trials",
+        });
     }
     Ok(())
 }
@@ -103,7 +107,10 @@ pub fn upper_bound(
     check_counts(failures, trials)?;
     check_probability("confidence", confidence)?;
     if !(confidence > 0.0 && confidence < 1.0) {
-        return Err(StatsError::InvalidProbability { name: "confidence", value: confidence });
+        return Err(StatsError::InvalidProbability {
+            name: "confidence",
+            value: confidence,
+        });
     }
     let n = trials as f64;
     let k = failures as f64;
@@ -156,7 +163,10 @@ pub fn lower_bound(
     check_counts(failures, trials)?;
     check_probability("confidence", confidence)?;
     if !(confidence > 0.0 && confidence < 1.0) {
-        return Err(StatsError::InvalidProbability { name: "confidence", value: confidence });
+        return Err(StatsError::InvalidProbability {
+            name: "confidence",
+            value: confidence,
+        });
     }
     // lower bound on p for k failures = 1 − upper bound on (1−p) for n−k "failures".
     let complement = upper_bound(method, trials - failures, trials, confidence)?;
@@ -172,7 +182,9 @@ pub fn lower_bound(
 pub fn binomial_cdf(k: u64, n: u64, p: f64) -> Result<f64, StatsError> {
     check_probability("p", p)?;
     if k > n {
-        return Err(StatsError::InvalidCount { constraint: "k must not exceed n" });
+        return Err(StatsError::InvalidCount {
+            constraint: "k must not exceed n",
+        });
     }
     if k == n {
         return Ok(1.0);
@@ -200,13 +212,19 @@ mod tests {
     fn clopper_pearson_covers_point_estimate() {
         for &(k, n) in &[(0u64, 200u64), (1, 200), (10, 200), (100, 200), (199, 200)] {
             let u = upper_bound(BoundMethod::ClopperPearson, k, n, 0.999).unwrap();
-            assert!(u >= k as f64 / n as f64, "bound below point estimate for {k}/{n}");
+            assert!(
+                u >= k as f64 / n as f64,
+                "bound below point estimate for {k}/{n}"
+            );
         }
     }
 
     #[test]
     fn clopper_pearson_all_failures_is_one() {
-        assert_eq!(upper_bound(BoundMethod::ClopperPearson, 7, 7, 0.99).unwrap(), 1.0);
+        assert_eq!(
+            upper_bound(BoundMethod::ClopperPearson, 7, 7, 0.99).unwrap(),
+            1.0
+        );
     }
 
     #[test]
@@ -238,7 +256,10 @@ mod tests {
         for method in BoundMethod::ALL {
             let wide = upper_bound(method, 5, 50, 0.999).unwrap();
             let narrow = upper_bound(method, 100, 1000, 0.999).unwrap();
-            assert!(narrow < wide, "{method}: more data should tighten the bound");
+            assert!(
+                narrow < wide,
+                "{method}: more data should tighten the bound"
+            );
         }
     }
 
@@ -266,7 +287,10 @@ mod tests {
         let cp = upper_bound(BoundMethod::ClopperPearson, k, n, 0.999).unwrap();
         let jf = upper_bound(BoundMethod::Jeffreys, k, n, 0.999).unwrap();
         assert!(jf > k as f64 / n as f64);
-        assert!(jf <= cp + 1e-12, "Jeffreys should not exceed CP: {jf} vs {cp}");
+        assert!(
+            jf <= cp + 1e-12,
+            "Jeffreys should not exceed CP: {jf} vs {cp}"
+        );
     }
 
     #[test]

@@ -94,10 +94,15 @@ where
         return Err(StatsError::EmptyInput { name: "sample" });
     }
     if replicates == 0 {
-        return Err(StatsError::InvalidArgument { reason: "replicates must be positive" });
+        return Err(StatsError::InvalidArgument {
+            reason: "replicates must be positive",
+        });
     }
     if !(confidence > 0.0 && confidence < 1.0) {
-        return Err(StatsError::InvalidProbability { name: "confidence", value: confidence });
+        return Err(StatsError::InvalidProbability {
+            name: "confidence",
+            value: confidence,
+        });
     }
     let identity: Vec<usize> = (0..n).collect();
     let point = statistic(&identity);
@@ -115,7 +120,12 @@ where
     let alpha = 1.0 - confidence;
     let lower = crate::descriptive::quantile_sorted(&values, alpha / 2.0);
     let upper = crate::descriptive::quantile_sorted(&values, 1.0 - alpha / 2.0);
-    Ok(BootstrapInterval { point, lower, upper, replicates })
+    Ok(BootstrapInterval {
+        point,
+        lower,
+        upper,
+        replicates,
+    })
 }
 
 #[cfg(test)]
@@ -148,7 +158,10 @@ mod tests {
             counts[rng.next_index(10)] += 1;
         }
         for &c in &counts {
-            assert!((700..1300).contains(&c), "bucket count {c} far from uniform");
+            assert!(
+                (700..1300).contains(&c),
+                "bucket count {c} far from uniform"
+            );
         }
     }
 

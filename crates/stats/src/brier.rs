@@ -145,8 +145,7 @@ impl BrierDecomposition {
         for idx in &groups {
             let w = idx.len() as f64 / n_f;
             let mean_forecast = idx.iter().map(|&i| forecasts[i]).sum::<f64>() / idx.len() as f64;
-            let obs_rate =
-                idx.iter().filter(|&&i| failures[i]).count() as f64 / idx.len() as f64;
+            let obs_rate = idx.iter().filter(|&&i| failures[i]).count() as f64 / idx.len() as f64;
             resolution += w * (obs_rate - base_rate) * (obs_rate - base_rate);
             let gap = mean_forecast - obs_rate;
             let rel = w * gap * gap;
@@ -183,7 +182,10 @@ pub fn brier_score(forecasts: &[f64], failures: &[bool]) -> Result<f64, StatsErr
         return Err(StatsError::EmptyInput { name: "forecasts" });
     }
     if forecasts.len() != failures.len() {
-        return Err(StatsError::LengthMismatch { left: forecasts.len(), right: failures.len() });
+        return Err(StatsError::LengthMismatch {
+            left: forecasts.len(),
+            right: failures.len(),
+        });
     }
     let mut acc = 0.0;
     for (&f, &y) in forecasts.iter().zip(failures) {
@@ -217,7 +219,9 @@ fn group_indices(forecasts: &[f64], grouping: Grouping) -> Result<Vec<Vec<usize>
         }
         Grouping::EqualWidthBins(bins) => {
             if bins == 0 {
-                return Err(StatsError::InvalidArgument { reason: "bin count must be positive" });
+                return Err(StatsError::InvalidArgument {
+                    reason: "bin count must be positive",
+                });
             }
             let mut groups = vec![Vec::new(); bins];
             for (i, &f) in forecasts.iter().enumerate() {
@@ -229,7 +233,9 @@ fn group_indices(forecasts: &[f64], grouping: Grouping) -> Result<Vec<Vec<usize>
         }
         Grouping::QuantileBins(bins) => {
             if bins == 0 {
-                return Err(StatsError::InvalidArgument { reason: "bin count must be positive" });
+                return Err(StatsError::InvalidArgument {
+                    reason: "bin count must be positive",
+                });
             }
             let mut order: Vec<usize> = (0..n).collect();
             order.sort_by(|&a, &b| forecasts[a].total_cmp(&forecasts[b]));
@@ -244,8 +250,7 @@ fn group_indices(forecasts: &[f64], grouping: Grouping) -> Result<Vec<Vec<usize>
             for g in groups {
                 match merged.last_mut() {
                     Some(last)
-                        if forecasts[*last.last().expect("non-empty group")]
-                            == forecasts[g[0]] =>
+                        if forecasts[*last.last().expect("non-empty group")] == forecasts[g[0]] =>
                     {
                         last.extend(g);
                     }
@@ -279,7 +284,9 @@ mod tests {
     #[test]
     fn constant_forecast_has_zero_resolution() {
         let f = [0.3; 10];
-        let y = [true, false, false, true, false, false, false, false, false, true];
+        let y = [
+            true, false, false, true, false, false, false, false, false, true,
+        ];
         let d = BrierDecomposition::compute(&f, &y, Grouping::default()).unwrap();
         assert_close(d.resolution, 0.0, 1e-15);
         assert_eq!(d.n_groups, 1);
@@ -327,9 +334,12 @@ mod tests {
     fn variance_is_estimator_invariant() {
         let y = [true, false, false, false, true, false, false, false];
         let d1 = BrierDecomposition::compute(&[0.2; 8], &y, Grouping::default()).unwrap();
-        let d2 =
-            BrierDecomposition::compute(&[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7], &y, Grouping::default())
-                .unwrap();
+        let d2 = BrierDecomposition::compute(
+            &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7],
+            &y,
+            Grouping::default(),
+        )
+        .unwrap();
         assert_close(d1.variance, d2.variance, 1e-15);
         assert_close(d1.variance, 0.25 * 0.75, 1e-15);
     }
@@ -338,8 +348,8 @@ mod tests {
     fn tolerance_merges_near_duplicates() {
         let f = [0.5, 0.5 + 1e-12, 0.9];
         let y = [true, false, true];
-        let d =
-            BrierDecomposition::compute(&f, &y, Grouping::UniqueValues { tolerance: 1e-9 }).unwrap();
+        let d = BrierDecomposition::compute(&f, &y, Grouping::UniqueValues { tolerance: 1e-9 })
+            .unwrap();
         assert_eq!(d.n_groups, 2);
     }
 
@@ -367,7 +377,10 @@ mod tests {
         f.extend(vec![1.0; 500]);
         let y = vec![false; 1000];
         let d = BrierDecomposition::compute(&f, &y, Grouping::QuantileBins(10)).unwrap();
-        assert_eq!(d.n_groups, 2, "tied forecasts must not be split across groups");
+        assert_eq!(
+            d.n_groups, 2,
+            "tied forecasts must not be split across groups"
+        );
     }
 
     #[test]
@@ -375,9 +388,7 @@ mod tests {
         assert!(BrierDecomposition::compute(&[], &[], Grouping::default()).is_err());
         assert!(BrierDecomposition::compute(&[0.5], &[], Grouping::default()).is_err());
         assert!(BrierDecomposition::compute(&[1.5], &[true], Grouping::default()).is_err());
-        assert!(
-            BrierDecomposition::compute(&[0.5], &[true], Grouping::EqualWidthBins(0)).is_err()
-        );
+        assert!(BrierDecomposition::compute(&[0.5], &[true], Grouping::EqualWidthBins(0)).is_err());
         assert!(brier_score(&[f64::NAN], &[true]).is_err());
     }
 

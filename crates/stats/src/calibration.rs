@@ -60,7 +60,9 @@ impl CalibrationCurve {
         bins: usize,
     ) -> Result<Self, StatsError> {
         if uncertainties.is_empty() {
-            return Err(StatsError::EmptyInput { name: "uncertainties" });
+            return Err(StatsError::EmptyInput {
+                name: "uncertainties",
+            });
         }
         if uncertainties.len() != failures.len() {
             return Err(StatsError::LengthMismatch {
@@ -69,7 +71,9 @@ impl CalibrationCurve {
             });
         }
         if bins == 0 {
-            return Err(StatsError::InvalidArgument { reason: "bins must be positive" });
+            return Err(StatsError::InvalidArgument {
+                reason: "bins must be positive",
+            });
         }
         for &u in uncertainties {
             crate::error::check_probability("uncertainty", u)?;
@@ -113,7 +117,10 @@ impl CalibrationCurve {
 
     /// Maximum calibration error: largest absolute gap over groups.
     pub fn mce(&self) -> f64 {
-        self.points.iter().map(|p| p.gap().abs()).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.gap().abs())
+            .fold(0.0, f64::max)
     }
 
     /// Count-weighted mean *signed* gap; negative values indicate net
@@ -123,7 +130,11 @@ impl CalibrationCurve {
         if total == 0 {
             return 0.0;
         }
-        self.points.iter().map(|p| p.count as f64 * p.gap()).sum::<f64>() / total as f64
+        self.points
+            .iter()
+            .map(|p| p.count as f64 * p.gap())
+            .sum::<f64>()
+            / total as f64
     }
 
     /// Range of predicted certainties spanned by the curve (the paper notes
@@ -185,7 +196,10 @@ pub fn spiegelhalter_z(forecasts: &[f64], failures: &[bool]) -> Result<f64, Stat
         return Err(StatsError::EmptyInput { name: "forecasts" });
     }
     if forecasts.len() != failures.len() {
-        return Err(StatsError::LengthMismatch { left: forecasts.len(), right: failures.len() });
+        return Err(StatsError::LengthMismatch {
+            left: forecasts.len(),
+            right: failures.len(),
+        });
     }
     let mut numerator = 0.0;
     let mut variance = 0.0;
@@ -258,7 +272,9 @@ mod tests {
     fn overconfident_model_has_negative_gap() {
         // Claims 1% uncertainty but fails half the time.
         let u = [0.01; 10];
-        let failed = [true, false, true, false, true, false, true, false, true, false];
+        let failed = [
+            true, false, true, false, true, false, true, false, true, false,
+        ];
         let curve = CalibrationCurve::from_uncertainties(&u, &failed, 1).unwrap();
         assert!(curve.points[0].gap() < -0.4);
         assert_eq!(curve.overconfident_fraction(0.1), 1.0);

@@ -32,7 +32,13 @@ pub struct Moments {
 impl Moments {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Moments { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Moments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -104,8 +110,8 @@ impl Moments {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean = new_mean;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -179,13 +185,24 @@ impl Histogram {
     /// Returns [`StatsError`] if `bins == 0` or the range is empty/NaN.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
         if bins == 0 {
-            return Err(StatsError::InvalidArgument { reason: "bins must be positive" });
+            return Err(StatsError::InvalidArgument {
+                reason: "bins must be positive",
+            });
         }
         // The partial_cmp form also rejects NaN edges.
         if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
-            return Err(StatsError::InvalidArgument { reason: "histogram range must be non-empty" });
+            return Err(StatsError::InvalidArgument {
+                reason: "histogram range must be non-empty",
+            });
         }
-        Ok(Histogram { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 })
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        })
     }
 
     /// Records one observation.
@@ -244,7 +261,9 @@ mod tests {
 
     #[test]
     fn welford_matches_naive_two_pass() {
-        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.731).sin() * 5.0 + 2.0).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| (i as f64 * 0.731).sin() * 5.0 + 2.0)
+            .collect();
         let m: Moments = xs.iter().copied().collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;

@@ -50,7 +50,10 @@ impl fmt::Display for StatsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StatsError::InvalidProbability { name, value } => {
-                write!(f, "parameter `{name}` must be a probability in [0, 1], got {value}")
+                write!(
+                    f,
+                    "parameter `{name}` must be a probability in [0, 1], got {value}"
+                )
             }
             StatsError::InvalidCount { constraint } => {
                 write!(f, "invalid count: {constraint}")
@@ -59,7 +62,10 @@ impl fmt::Display for StatsError {
                 write!(f, "input `{name}` must not be empty")
             }
             StatsError::LengthMismatch { left, right } => {
-                write!(f, "parallel inputs have different lengths ({left} vs {right})")
+                write!(
+                    f,
+                    "parallel inputs have different lengths ({left} vs {right})"
+                )
             }
             StatsError::NoConvergence { routine } => {
                 write!(f, "routine `{routine}` failed to converge")
@@ -86,7 +92,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_without_period() {
-        let e = StatsError::InvalidProbability { name: "confidence", value: 1.5 };
+        let e = StatsError::InvalidProbability {
+            name: "confidence",
+            value: 1.5,
+        };
         let s = e.to_string();
         assert!(s.starts_with("parameter"));
         assert!(!s.ends_with('.'));

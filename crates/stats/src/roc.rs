@@ -43,10 +43,15 @@ impl RocCurve {
             return Err(StatsError::EmptyInput { name: "scores" });
         }
         if scores.len() != positives.len() {
-            return Err(StatsError::LengthMismatch { left: scores.len(), right: positives.len() });
+            return Err(StatsError::LengthMismatch {
+                left: scores.len(),
+                right: positives.len(),
+            });
         }
         if scores.iter().any(|s| !s.is_finite()) {
-            return Err(StatsError::InvalidArgument { reason: "scores must be finite" });
+            return Err(StatsError::InvalidArgument {
+                reason: "scores must be finite",
+            });
         }
         let n_positive = positives.iter().filter(|&&p| p).count();
         let n_negative = positives.len() - n_positive;
@@ -57,7 +62,11 @@ impl RocCurve {
         }
         let mut order: Vec<usize> = (0..scores.len()).collect();
         order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
-        let mut points = vec![RocPoint { threshold: f64::INFINITY, tpr: 0.0, fpr: 0.0 }];
+        let mut points = vec![RocPoint {
+            threshold: f64::INFINITY,
+            tpr: 0.0,
+            fpr: 0.0,
+        }];
         let mut tp = 0usize;
         let mut fp = 0usize;
         let mut i = 0;
@@ -78,7 +87,11 @@ impl RocCurve {
                 fpr: fp as f64 / n_negative as f64,
             });
         }
-        Ok(RocCurve { points, n_positive, n_negative })
+        Ok(RocCurve {
+            points,
+            n_positive,
+            n_negative,
+        })
     }
 
     /// Area under the curve via the trapezoidal rule (equals the
@@ -154,7 +167,9 @@ mod tests {
     fn ties_are_handled_with_trapezoid() {
         // All scores equal: AUC must be exactly 0.5.
         let scores = [0.3; 10];
-        let y = [true, false, true, false, true, false, true, false, true, false];
+        let y = [
+            true, false, true, false, true, false, true, false, true, false,
+        ];
         assert!((auc(&scores, &y).unwrap() - 0.5).abs() < 1e-12);
     }
 

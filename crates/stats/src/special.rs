@@ -132,10 +132,15 @@ pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> Result<f64, StatsError> {
     if a.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
         || b.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
     {
-        return Err(StatsError::InvalidArgument { reason: "beta parameters must be positive" });
+        return Err(StatsError::InvalidArgument {
+            reason: "beta parameters must be positive",
+        });
     }
     if !(0.0..=1.0).contains(&x) {
-        return Err(StatsError::InvalidProbability { name: "x", value: x });
+        return Err(StatsError::InvalidProbability {
+            name: "x",
+            value: x,
+        });
     }
     if x == 0.0 {
         return Ok(0.0);
@@ -166,7 +171,9 @@ pub fn beta_quantile(p: f64, a: f64, b: f64) -> Result<f64, StatsError> {
     if a.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
         || b.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
     {
-        return Err(StatsError::InvalidArgument { reason: "beta parameters must be positive" });
+        return Err(StatsError::InvalidArgument {
+            reason: "beta parameters must be positive",
+        });
     }
     if p == 0.0 {
         return Ok(0.0);
@@ -238,7 +245,9 @@ pub fn erfc(x: f64) -> f64 {
 pub fn reg_inc_gamma_p(a: f64, x: f64) -> Result<f64, StatsError> {
     // The partial_cmp form also rejects NaN parameters.
     if a.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || x < 0.0 {
-        return Err(StatsError::InvalidArgument { reason: "gamma parameters must satisfy a > 0, x >= 0" });
+        return Err(StatsError::InvalidArgument {
+            reason: "gamma parameters must satisfy a > 0, x >= 0",
+        });
     }
     if x == 0.0 {
         return Ok(0.0);
@@ -254,7 +263,9 @@ pub fn reg_inc_gamma_p(a: f64, x: f64) -> Result<f64, StatsError> {
 pub fn reg_inc_gamma_q(a: f64, x: f64) -> Result<f64, StatsError> {
     // The partial_cmp form also rejects NaN parameters.
     if a.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || x < 0.0 {
-        return Err(StatsError::InvalidArgument { reason: "gamma parameters must satisfy a > 0, x >= 0" });
+        return Err(StatsError::InvalidArgument {
+            reason: "gamma parameters must satisfy a > 0, x >= 0",
+        });
     }
     if x == 0.0 {
         return Ok(1.0);
@@ -281,7 +292,9 @@ fn gamma_series(a: f64, x: f64) -> Result<f64, StatsError> {
             return Ok(sum * ln_pre.exp());
         }
     }
-    Err(StatsError::NoConvergence { routine: "gamma_series" })
+    Err(StatsError::NoConvergence {
+        routine: "gamma_series",
+    })
 }
 
 fn gamma_cf(a: f64, x: f64) -> Result<f64, StatsError> {
@@ -311,7 +324,9 @@ fn gamma_cf(a: f64, x: f64) -> Result<f64, StatsError> {
             return Ok(h * ln_pre.exp());
         }
     }
-    Err(StatsError::NoConvergence { routine: "gamma_cf" })
+    Err(StatsError::NoConvergence {
+        routine: "gamma_cf",
+    })
 }
 
 /// Standard normal cumulative distribution function `Φ(x)`.
@@ -327,7 +342,10 @@ pub fn normal_cdf(x: f64) -> f64 {
 /// Returns [`StatsError`] if `p` is not strictly inside `(0, 1)`.
 pub fn normal_quantile(p: f64) -> Result<f64, StatsError> {
     if !p.is_finite() || p <= 0.0 || p >= 1.0 {
-        return Err(StatsError::InvalidProbability { name: "p", value: p });
+        return Err(StatsError::InvalidProbability {
+            name: "p",
+            value: p,
+        });
     }
     // Acklam coefficients.
     const A: [f64; 6] = [
@@ -418,10 +436,18 @@ mod tests {
     #[test]
     fn reg_inc_beta_symmetry() {
         // I_x(a, b) = 1 − I_{1−x}(b, a).
-        for &(a, b, x) in &[(2.0, 5.0, 0.3), (0.5, 0.5, 0.7), (10.0, 1.0, 0.9), (200.0, 3.0, 0.99)] {
+        for &(a, b, x) in &[
+            (2.0, 5.0, 0.3),
+            (0.5, 0.5, 0.7),
+            (10.0, 1.0, 0.9),
+            (200.0, 3.0, 0.99),
+        ] {
             let lhs = reg_inc_beta(a, b, x).unwrap();
             let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x).unwrap();
-            assert!((lhs - rhs).abs() < 1e-12, "symmetry failed for ({a},{b},{x})");
+            assert!(
+                (lhs - rhs).abs() < 1e-12,
+                "symmetry failed for ({a},{b},{x})"
+            );
         }
     }
 
@@ -437,11 +463,20 @@ mod tests {
 
     #[test]
     fn beta_quantile_inverts_cdf() {
-        for &(a, b) in &[(1.0, 1.0), (2.0, 5.0), (0.5, 0.5), (4.0, 997.0), (200.0, 1.0)] {
+        for &(a, b) in &[
+            (1.0, 1.0),
+            (2.0, 5.0),
+            (0.5, 0.5),
+            (4.0, 997.0),
+            (200.0, 1.0),
+        ] {
             for &p in &[0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999] {
                 let x = beta_quantile(p, a, b).unwrap();
                 let back = reg_inc_beta(a, b, x).unwrap();
-                assert!((back - p).abs() < 1e-9, "roundtrip failed for ({a},{b},{p}): {back}");
+                assert!(
+                    (back - p).abs() < 1e-9,
+                    "roundtrip failed for ({a},{b},{p}): {back}"
+                );
             }
         }
     }
@@ -480,7 +515,10 @@ mod tests {
     fn normal_quantile_inverts_cdf() {
         for &p in &[1e-6, 0.001, 0.025, 0.5, 0.975, 0.999, 1.0 - 1e-6] {
             let x = normal_quantile(p).unwrap();
-            assert!((normal_cdf(x) - p).abs() < 1e-11, "quantile roundtrip at {p}");
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-11,
+                "quantile roundtrip at {p}"
+            );
         }
     }
 

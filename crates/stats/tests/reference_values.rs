@@ -1,0 +1,170 @@
+//! Focused reference-value tests for `tauw_stats`: binomial bounds against
+//! known Clopper–Pearson/Wilson values, and the Murphy identity for the
+//! Brier decomposition.
+//!
+//! The anchors are external: closed-form zero-failure bounds, the published
+//! 95% Clopper–Pearson and Wilson intervals for 10/100, and the CDF
+//! inversion identity that *defines* the Clopper–Pearson bound. If the
+//! special-function implementations drift, these fail before any wrapper
+//! calibration silently degrades.
+
+use tauw_stats::binomial::{binomial_cdf, lower_bound, upper_bound, BoundMethod};
+use tauw_stats::brier::{brier_score, BrierDecomposition, Grouping};
+
+const CONFIDENCES: [f64; 3] = [0.9, 0.975, 0.999];
+
+/// Closed form for the zero-failure Clopper–Pearson upper bound:
+/// `(1 − p)ⁿ = α  ⇒  p = 1 − α^(1/n)`.
+#[test]
+fn clopper_pearson_zero_failures_matches_closed_form() {
+    for n in [10u64, 100, 959, 5000] {
+        for confidence in CONFIDENCES {
+            let alpha = 1.0 - confidence;
+            let expected = 1.0 - alpha.powf(1.0 / n as f64);
+            let got = upper_bound(BoundMethod::ClopperPearson, 0, n, confidence).unwrap();
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "n={n} c={confidence}: got {got}, expected {expected}"
+            );
+        }
+    }
+    // The paper's headline leaf: 0 failures in 959 samples at 99.9%
+    // confidence gives the "lowest guaranteed uncertainty" of ~0.72%.
+    let u = upper_bound(BoundMethod::ClopperPearson, 0, 959, 0.999).unwrap();
+    assert!((u - 0.007177).abs() < 1e-5, "{u}");
+}
+
+/// Published 95% Clopper–Pearson interval for 10 events in 100 trials:
+/// (0.04900, 0.17622). One-sided bounds at 97.5% confidence reproduce the
+/// two-sided endpoints.
+#[test]
+fn clopper_pearson_reference_interval_10_of_100() {
+    let up = upper_bound(BoundMethod::ClopperPearson, 10, 100, 0.975).unwrap();
+    let lo = lower_bound(BoundMethod::ClopperPearson, 10, 100, 0.975).unwrap();
+    assert!((up - 0.17622).abs() < 2e-4, "upper {up}");
+    assert!((lo - 0.04900).abs() < 2e-4, "lower {lo}");
+}
+
+/// Published 95% Wilson score interval for 10 events in 100 trials:
+/// (0.05523, 0.17437).
+#[test]
+fn wilson_reference_interval_10_of_100() {
+    let up = upper_bound(BoundMethod::Wilson, 10, 100, 0.975).unwrap();
+    let lo = lower_bound(BoundMethod::Wilson, 10, 100, 0.975).unwrap();
+    assert!((up - 0.17437).abs() < 2e-4, "upper {up}");
+    assert!((lo - 0.05523).abs() < 2e-4, "lower {lo}");
+}
+
+/// The Clopper–Pearson upper bound is *defined* by CDF inversion:
+/// `P(X ≤ k; n, p_upper) = α`. Checks the bound against the crate's own
+/// exact binomial CDF on a grid of leaf shapes.
+#[test]
+fn clopper_pearson_inverts_the_binomial_cdf() {
+    for (k, n) in [(0u64, 50u64), (1, 50), (3, 500), (40, 1200), (17, 100)] {
+        for confidence in CONFIDENCES {
+            let alpha = 1.0 - confidence;
+            let p_upper = upper_bound(BoundMethod::ClopperPearson, k, n, confidence).unwrap();
+            let cdf = binomial_cdf(k, n, p_upper).unwrap();
+            assert!(
+                (cdf - alpha).abs() < 1e-6,
+                "k={k} n={n} c={confidence}: CDF at bound {cdf}, expected {alpha}"
+            );
+        }
+    }
+}
+
+/// Hoeffding's bound has an exact closed form; the implementation must
+/// match it to machine precision (after clamping into [0, 1]).
+#[test]
+fn hoeffding_matches_closed_form() {
+    for (k, n) in [(0u64, 100u64), (5, 100), (180, 200)] {
+        for confidence in CONFIDENCES {
+            let alpha = 1.0 - confidence;
+            let expected =
+                (k as f64 / n as f64 + ((1.0 / alpha).ln() / (2.0 * n as f64)).sqrt()).min(1.0);
+            let got = upper_bound(BoundMethod::Hoeffding, k, n, confidence).unwrap();
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "k={k} n={n}: {got} vs {expected}"
+            );
+        }
+    }
+}
+
+/// Conservativeness ordering at high confidence: Jeffreys is less
+/// conservative than Clopper–Pearson, Hoeffding is the loosest of the
+/// distribution-dependent trio for moderate rates.
+#[test]
+fn method_conservativeness_ordering() {
+    for (k, n) in [(0u64, 200u64), (2, 200), (10, 100), (40, 1200)] {
+        let cp = upper_bound(BoundMethod::ClopperPearson, k, n, 0.999).unwrap();
+        let jeffreys = upper_bound(BoundMethod::Jeffreys, k, n, 0.999).unwrap();
+        assert!(
+            jeffreys <= cp + 1e-12,
+            "k={k} n={n}: jeffreys {jeffreys} > cp {cp}"
+        );
+    }
+}
+
+/// Murphy identity on a hand-computed example:
+/// forecasts (0.25, 0.25, 0.75, 0.75), outcomes (no, yes, yes, yes).
+#[test]
+fn brier_decomposition_hand_computed_example() {
+    let forecasts = [0.25, 0.25, 0.75, 0.75];
+    let failures = [false, true, true, true];
+    let d = BrierDecomposition::compute(
+        &forecasts,
+        &failures,
+        Grouping::UniqueValues { tolerance: 0.0 },
+    )
+    .unwrap();
+    assert!((d.brier - 0.1875).abs() < 1e-12);
+    assert!((d.variance - 0.1875).abs() < 1e-12);
+    assert!((d.resolution - 0.0625).abs() < 1e-12);
+    assert!((d.unreliability - 0.0625).abs() < 1e-12);
+    // Both groups underestimate their observed failure rate.
+    assert!((d.overconfidence - 0.0625).abs() < 1e-12);
+    assert!(d.underconfidence.abs() < 1e-12);
+    assert!((d.unspecificity - (d.variance - d.resolution)).abs() < 1e-12);
+}
+
+/// Murphy identity `bs = var − res + unrel` holds exactly (up to FP noise)
+/// under exact-value grouping, on deterministic pseudo-random data.
+#[test]
+fn brier_decomposition_murphy_identity() {
+    // Deterministic LCG so the test needs no RNG dependency.
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let levels = [0.02, 0.1, 0.35, 0.5, 0.8];
+    let mut forecasts = Vec::new();
+    let mut failures = Vec::new();
+    for _ in 0..500 {
+        let f = levels[(next() * levels.len() as f64) as usize % levels.len()];
+        forecasts.push(f);
+        failures.push(next() < f);
+    }
+    let d = BrierDecomposition::compute(
+        &forecasts,
+        &failures,
+        Grouping::UniqueValues { tolerance: 0.0 },
+    )
+    .unwrap();
+    let reconstructed = d.variance - d.resolution + d.unreliability;
+    assert!(
+        (d.brier - reconstructed).abs() < 1e-12,
+        "bs {} vs var − res + unrel {}",
+        d.brier,
+        reconstructed
+    );
+    assert!(d.within_group_residual.abs() < 1e-12);
+    assert!((d.overconfidence + d.underconfidence - d.unreliability).abs() < 1e-12);
+    let plain = brier_score(&forecasts, &failures).unwrap();
+    assert!((plain - d.brier).abs() < 1e-12);
+    assert_eq!(d.n_samples, 500);
+    assert_eq!(d.n_groups, levels.len());
+}

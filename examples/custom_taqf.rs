@@ -34,7 +34,9 @@ fn convert(records: &[SeriesRecord]) -> Vec<TrainingSeries> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SimConfig::scaled(0.15);
-    let data = DatasetBuilder::new(config, 5).map_err(std::io::Error::other)?.build();
+    let data = DatasetBuilder::new(config, 5)
+        .map_err(std::io::Error::other)?
+        .build();
     let train = convert(&data.train);
     let calib = convert(&data.calib);
     let test = convert(&data.test);
@@ -49,8 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut wrapper_builder = WrapperBuilder::new();
     wrapper_builder.max_depth(8).calibration(calibration);
-    let stateless =
-        wrapper_builder.fit(names.clone(), &flatten_stateless(&train), &flatten_stateless(&calib))?;
+    let stateless = wrapper_builder.fit(
+        names.clone(),
+        &flatten_stateless(&train),
+        &flatten_stateless(&calib),
+    )?;
     let train_replay = replay(&stateless, &train)?;
     let calib_replay = replay(&stateless, &calib)?;
 
@@ -87,7 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 failures.push(out.fused_outcome != series.true_outcome);
             }
         }
-        println!("{:<36} {:>8.4}", set.label(), brier_score(&forecasts, &failures)?);
+        println!(
+            "{:<36} {:>8.4}",
+            set.label(),
+            brier_score(&forecasts, &failures)?
+        );
     }
     println!(
         "\npaper shape: ratio & certainty are the strongest factors; their pair is\n\

@@ -30,9 +30,11 @@ fn convert(records: &[SeriesRecord]) -> Vec<TrainingSeries> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. A small synthetic TSR world (5% of the paper's size).
+    // 1. A small synthetic TSR world (15% of the paper's size).
     let config = SimConfig::scaled(0.15);
-    let data = DatasetBuilder::new(config, 42).map_err(std::io::Error::other)?.build();
+    let data = DatasetBuilder::new(config, 42)
+        .map_err(std::io::Error::other)?
+        .build();
     println!(
         "world: {} train series, {} calibration windows, {} test windows",
         data.train.len(),
@@ -43,11 +45,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Train + calibrate the taUW (reduced calibration minimum for the
     //    small world; the paper uses 200 on ~110k calibration samples).
     let mut wrapper_builder = WrapperBuilder::new();
-    wrapper_builder.max_depth(8).calibration(CalibrationOptions {
-        min_samples_per_leaf: 100,
-        confidence: 0.999,
-        ..Default::default()
-    });
+    wrapper_builder
+        .max_depth(8)
+        .calibration(CalibrationOptions {
+            min_samples_per_leaf: 100,
+            confidence: 0.999,
+            ..Default::default()
+        });
     let mut builder = TauwBuilder::new();
     builder.wrapper(wrapper_builder);
     let tauw = builder.fit(

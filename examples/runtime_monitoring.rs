@@ -35,14 +35,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A third of the paper's scale: large enough for the calibrated
     // bounds to reach the ~1% regime that makes tight budgets meaningful.
     let config = SimConfig::scaled(0.3);
-    let data = DatasetBuilder::new(config, 13).map_err(std::io::Error::other)?.build();
+    let data = DatasetBuilder::new(config, 13)
+        .map_err(std::io::Error::other)?
+        .build();
 
     let mut wrapper_builder = WrapperBuilder::new();
-    wrapper_builder.max_depth(8).calibration(CalibrationOptions {
-        min_samples_per_leaf: 150,
-        confidence: 0.999,
-        ..Default::default()
-    });
+    wrapper_builder
+        .max_depth(8)
+        .calibration(CalibrationOptions {
+            min_samples_per_leaf: 150,
+            confidence: 0.999,
+            ..Default::default()
+        });
     let mut builder = TauwBuilder::new();
     builder.wrapper(wrapper_builder);
     let tauw = builder.fit(
@@ -81,7 +85,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "{:>18.2} | {:<12} | {:>11.1}% | {:.3}% ({} of {})",
                 budget,
-                if use_tauw { "taUW + IF" } else { "stateless UW" },
+                if use_tauw {
+                    "taUW + IF"
+                } else {
+                    "stateless UW"
+                },
                 stats.availability() * 100.0,
                 100.0 * accepted_failures as f64 / accepted.max(1) as f64,
                 accepted_failures,

@@ -35,13 +35,17 @@ fn convert(records: &[SeriesRecord]) -> Vec<TrainingSeries> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- development time ---
     let config = SimConfig::scaled(0.15);
-    let data = DatasetBuilder::new(config, 42).map_err(std::io::Error::other)?.build();
+    let data = DatasetBuilder::new(config, 42)
+        .map_err(std::io::Error::other)?
+        .build();
     let mut wrapper_builder = WrapperBuilder::new();
-    wrapper_builder.max_depth(8).calibration(CalibrationOptions {
-        min_samples_per_leaf: 100,
-        confidence: 0.999,
-        ..Default::default()
-    });
+    wrapper_builder
+        .max_depth(8)
+        .calibration(CalibrationOptions {
+            min_samples_per_leaf: 100,
+            confidence: 0.999,
+            ..Default::default()
+        });
     let mut builder = TauwBuilder::new();
     builder.wrapper(wrapper_builder);
     let trained = builder.fit(
@@ -53,13 +57,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let artifact_path = std::env::temp_dir().join("tauw_artifact.json");
     trained.save(&artifact_path)?;
     let size = std::fs::metadata(&artifact_path)?.len();
-    println!("artifact written: {} ({size} bytes)", artifact_path.display());
+    println!(
+        "artifact written: {} ({size} bytes)",
+        artifact_path.display()
+    );
 
     // The artifact is plain JSON a safety assessor can diff and review.
     let json = trained.to_artifact_json()?;
     println!(
         "artifact head: {}...",
-        &json.chars().take(120).collect::<String>().replace('\n', " ")
+        &json
+            .chars()
+            .take(120)
+            .collect::<String>()
+            .replace('\n', " ")
     );
 
     // --- deployment time ---
@@ -81,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for step in &series.steps {
             let a = dev_session.step(&step.quality_factors, step.outcome)?;
             let b = car_session.step(&step.quality_factors, step.outcome)?;
-            assert_eq!(a, b, "deployed artifact must reproduce training-time estimates");
+            assert_eq!(
+                a, b,
+                "deployed artifact must reproduce training-time estimates"
+            );
             checked += 1;
         }
     }

@@ -36,7 +36,9 @@ fn convert(records: &[SeriesRecord]) -> Vec<TrainingSeries> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SimConfig::scaled(0.15);
-    let data = DatasetBuilder::new(config, 21).map_err(std::io::Error::other)?.build();
+    let data = DatasetBuilder::new(config, 21)
+        .map_err(std::io::Error::other)?
+        .build();
 
     // Stateless wrapper WITH a scope model learned from the training
     // inputs (2% padding beyond the observed feature ranges).

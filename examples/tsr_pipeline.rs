@@ -40,14 +40,18 @@ fn convert(records: &[SeriesRecord]) -> Vec<TrainingSeries> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = SimConfig::scaled(0.15);
-    let data = DatasetBuilder::new(config.clone(), 7).map_err(std::io::Error::other)?.build();
+    let data = DatasetBuilder::new(config.clone(), 7)
+        .map_err(std::io::Error::other)?
+        .build();
 
     let mut wrapper_builder = WrapperBuilder::new();
-    wrapper_builder.max_depth(8).calibration(CalibrationOptions {
-        min_samples_per_leaf: 100,
-        confidence: 0.999,
-        ..Default::default()
-    });
+    wrapper_builder
+        .max_depth(8)
+        .calibration(CalibrationOptions {
+            min_samples_per_leaf: 100,
+            confidence: 0.999,
+            ..Default::default()
+        });
     let mut builder = TauwBuilder::new();
     builder.wrapper(wrapper_builder);
     let tauw = builder.fit(
@@ -58,7 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A drive past four signs with occasional detector dropouts. The
     // tracker segments the event stream; the taUW session follows.
-    let scenario = DriveScenario { n_signs: 4, dropout_prob: 0.05, ..Default::default() };
+    let scenario = DriveScenario {
+        n_signs: 4,
+        dropout_prob: 0.05,
+        ..Default::default()
+    };
     let drive = scenario.generate(&config, 99);
     let mut tracker = SignTracker::with_noise(13.8, 2500.0, 9.0);
     let mut session = tauw.new_session();

@@ -2,8 +2,8 @@
 //! calibration, runtime estimates — is a pure function of (config, seed).
 
 use tauw_suite::core::calibration::CalibrationOptions;
-use tauw_suite::core::training::{TrainingSeries, TrainingStep};
 use tauw_suite::core::tauw::TauwBuilder;
+use tauw_suite::core::training::{TrainingSeries, TrainingStep};
 use tauw_suite::core::wrapper::WrapperBuilder;
 use tauw_suite::sim::{DatasetBuilder, QualityObservation, SeriesRecord, SimConfig};
 
@@ -36,7 +36,11 @@ fn pipeline_fingerprint(seed: u64) -> Vec<f64> {
     let mut builder = TauwBuilder::new();
     builder.wrapper(wb);
     let tauw = builder
-        .fit(QualityObservation::feature_names(), &convert(&data.train), &convert(&data.calib))
+        .fit(
+            QualityObservation::feature_names(),
+            &convert(&data.train),
+            &convert(&data.calib),
+        )
         .unwrap();
     let mut fingerprint = Vec::new();
     let mut session = tauw.new_session();
@@ -64,6 +68,66 @@ fn different_seeds_produce_different_worlds() {
     let a = pipeline_fingerprint(31);
     let b = pipeline_fingerprint(32);
     assert_ne!(a, b, "different seeds should change the generated world");
+}
+
+#[test]
+fn persisted_wrapper_reproduces_bit_identical_estimates() {
+    // Train offline, save, reload: the deployed artifact must yield
+    // bit-identical estimates on a held-out series — the JSON roundtrip may
+    // not perturb a single calibrated bound.
+    let config = SimConfig::scaled(0.04);
+    let data = DatasetBuilder::new(config, 31).unwrap().build();
+    let mut wb = WrapperBuilder::new();
+    wb.max_depth(6).calibration(CalibrationOptions {
+        min_samples_per_leaf: 50,
+        confidence: 0.99,
+        ..Default::default()
+    });
+    let mut builder = TauwBuilder::new();
+    builder.wrapper(wb);
+    let tauw = builder
+        .fit(
+            QualityObservation::feature_names(),
+            &convert(&data.train),
+            &convert(&data.calib),
+        )
+        .unwrap();
+
+    let path = std::env::temp_dir().join(format!(
+        "tauw_determinism_roundtrip_{}.json",
+        std::process::id()
+    ));
+    tauw.save(&path).unwrap();
+    let reloaded = tauw_suite::core::tauw::TimeseriesAwareWrapper::load(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(
+        tauw, reloaded,
+        "persisted model must be structurally identical"
+    );
+
+    let held_out = convert(&data.test);
+    let mut fresh = tauw.new_session();
+    let mut deployed = reloaded.new_session();
+    let mut compared = 0usize;
+    for series in held_out.iter().take(20) {
+        fresh.begin_series();
+        deployed.begin_series();
+        for step in &series.steps {
+            let a = fresh.step(&step.quality_factors, step.outcome).unwrap();
+            let b = deployed.step(&step.quality_factors, step.outcome).unwrap();
+            assert_eq!(
+                a.uncertainty.to_bits(),
+                b.uncertainty.to_bits(),
+                "estimates diverged after persistence roundtrip"
+            );
+            assert_eq!(a, b);
+            compared += 1;
+        }
+    }
+    assert!(
+        compared > 100,
+        "held-out comparison covered only {compared} steps"
+    );
 }
 
 #[test]

@@ -47,9 +47,16 @@ fn build_world_at(seed: u64, scale: f64) -> World {
     let mut builder = TauwBuilder::new();
     builder.wrapper(wb);
     let tauw = builder
-        .fit(QualityObservation::feature_names(), &convert(&data.train), &convert(&data.calib))
+        .fit(
+            QualityObservation::feature_names(),
+            &convert(&data.train),
+            &convert(&data.calib),
+        )
         .unwrap();
-    World { tauw, test: convert(&data.test) }
+    World {
+        tauw,
+        test: convert(&data.test),
+    }
 }
 
 #[test]
@@ -134,7 +141,10 @@ fn dependable_bounds_cover_observed_failure_rates() {
         }
         i = j;
     }
-    assert!(groups >= 2, "expected several distinct bound levels, got {groups}");
+    assert!(
+        groups >= 2,
+        "expected several distinct bound levels, got {groups}"
+    );
     assert!(
         violations * 5 <= groups,
         "{violations} of {groups} bound groups violated their guarantee"
@@ -185,19 +195,29 @@ fn buffer_reset_isolates_series() {
     let mut long_session = w.tauw.new_session();
     long_session.begin_series();
     for step in &series_a.steps {
-        long_session.step(&step.quality_factors, step.outcome).unwrap();
+        long_session
+            .step(&step.quality_factors, step.outcome)
+            .unwrap();
     }
     long_session.begin_series();
     let mut with_reset = Vec::new();
     for step in &series_b.steps {
-        with_reset.push(long_session.step(&step.quality_factors, step.outcome).unwrap());
+        with_reset.push(
+            long_session
+                .step(&step.quality_factors, step.outcome)
+                .unwrap(),
+        );
     }
 
     let mut fresh_session = w.tauw.new_session();
     fresh_session.begin_series();
     let mut fresh = Vec::new();
     for step in &series_b.steps {
-        fresh.push(fresh_session.step(&step.quality_factors, step.outcome).unwrap());
+        fresh.push(
+            fresh_session
+                .step(&step.quality_factors, step.outcome)
+                .unwrap(),
+        );
     }
     assert_eq!(with_reset, fresh, "buffer reset must fully isolate series");
 }

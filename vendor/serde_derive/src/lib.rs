@@ -1,0 +1,475 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the serde stub.
+//!
+//! Implemented directly on `proc_macro` (no `syn`/`quote` — the build is
+//! offline), so it parses only the shapes this workspace actually derives:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialize transparently),
+//! * unit structs,
+//! * enums with unit / tuple / struct variants (externally tagged),
+//! * at most simple type parameters (`struct Envelope<T> { ... }`).
+//!
+//! Generated code targets the stub's value-tree model: `Serialize::serialize
+//! (&self) -> Value` and `Deserialize::deserialize(&Value) -> Result`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive produced invalid Serialize impl")
+}
+
+/// Derives the stub `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive produced invalid Deserialize impl")
+}
+
+// --- item model ---
+
+struct Item {
+    name: String,
+    /// Simple type-parameter names (`T`), in declaration order.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// --- parsing ---
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    let generics = parse_generics(&tokens, &mut i);
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Advances past outer attributes (`#[...]`, including expanded doc
+/// comments) and a visibility qualifier (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<T, U>` after the type name, if present. Bounds, lifetimes and
+/// const parameters are not needed by this workspace and are rejected so a
+/// future use fails loudly at compile time instead of silently miscompiling.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => *i += 1,
+        _ => return params,
+    }
+    let mut expect_param = true;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                *i += 1;
+                return params;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                expect_param = true;
+                *i += 1;
+            }
+            Some(TokenTree::Ident(id)) if expect_param => {
+                params.push(id.to_string());
+                expect_param = false;
+                *i += 1;
+            }
+            other => panic!("unsupported generic parameter syntax at {other:?}"),
+        }
+    }
+}
+
+/// Extracts field names from the token stream of a braced field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other}"),
+        }
+        skip_to_top_level_comma(&tokens, &mut i);
+        i += 1; // past the separating comma (or the end)
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts top-level comma-separated items (tuple-struct fields).
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut i = 0;
+    loop {
+        skip_to_top_level_comma(&tokens, &mut i);
+        i += 1; // past the comma
+        if i >= tokens.len() {
+            return count; // trailing comma
+        }
+        count += 1;
+        if i >= tokens.len() {
+            return count;
+        }
+    }
+}
+
+/// Advances `i` to the next `,` at angle-bracket depth 0 (or to the end).
+/// Delimited groups are single tokens, so only `<...>` needs depth
+/// tracking; `->` return arrows are consumed before their `>` is seen.
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == '-' => {
+                // `->`: skip the `>` so it is not counted as a close.
+                if let Some(TokenTree::Punct(next)) = tokens.get(*i + 1) {
+                    if next.as_char() == '>' {
+                        *i += 1;
+                    }
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an explicit discriminant (`= 3`) and the separating comma.
+        skip_to_top_level_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// --- code generation (emitted as source text, then re-parsed) ---
+
+fn impl_header(item: &Item, trait_path: &str, bound: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl {trait_path} for {}", item.name)
+    } else {
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        format!(
+            "impl<{}> {trait_path} for {}<{}>",
+            params.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{} {{ fn serialize(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "::serde::Serialize", "::serde::Serialize")
+    )
+}
+
+fn serialize_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    let tag = format!("::std::string::String::from(\"{vname}\")");
+    match &v.shape {
+        Shape::Unit => format!("{name}::{vname} => ::serde::Value::Str({tag}),"),
+        Shape::Tuple(1) => format!(
+            "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![({tag}, \
+             ::serde::Serialize::serialize(__f0))]),"
+        ),
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                .collect();
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![({tag}, \
+                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![({tag}, \
+                 ::serde::Value::Map(::std::vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::__field(__map, \"{f}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __map = ::serde::__expect_map(__v, \"{name}\")?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = ::serde::__expect_seq(__v, {n}, \"{name}\")?; \
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "{} {{ fn deserialize(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(item, "::serde::Deserialize", "::serde::Deserialize")
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.shape, Shape::Unit))
+        .map(|v| deserialize_data_arm(name, v))
+        .collect();
+    let err = format!(
+        "::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+         \"unknown variant `{{__other}}` for {name}\")))"
+    );
+    format!(
+        "match __v {{ \
+           ::serde::Value::Str(__s) => match __s.as_str() {{ \
+             {} __other => {err}, \
+           }}, \
+           ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+             let (__tag, __payload) = &__entries[0]; \
+             match __tag.as_str() {{ \
+               {} __other => {err}, \
+             }} \
+           }}, \
+           __other_v => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\
+             \"expected variant of {name}, found {{}}\", ::serde::__kind(__other_v)))), \
+         }}",
+        unit_arms.join(" "),
+        data_arms.join(" ")
+    )
+}
+
+fn deserialize_data_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.shape {
+        Shape::Unit => unreachable!("unit variants handled in the string arm"),
+        Shape::Tuple(1) => format!(
+            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+             ::serde::Deserialize::deserialize(__payload)?)),"
+        ),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "\"{vname}\" => {{ let __seq = ::serde::__expect_seq(__payload, {n}, \
+                 \"{name}::{vname}\")?; ::std::result::Result::Ok({name}::{vname}({})) }},",
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::__field(__m, \"{f}\", \"{name}::{vname}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "\"{vname}\" => {{ let __m = ::serde::__expect_map(__payload, \
+                 \"{name}::{vname}\")?; ::std::result::Result::Ok({name}::{vname} {{ {} }}) }},",
+                inits.join(", ")
+            )
+        }
+    }
+}
