@@ -1,0 +1,286 @@
+//! Perf-trajectory baseline: times the parallel training and multi-stream
+//! inference hot paths at a fixed scale and writes machine-readable
+//! `BENCH_dtree.json` and `BENCH_pipeline.json` files (wall time +
+//! throughput, serial vs parallel, bit-identity verdicts).
+//!
+//! The committed files at the repo root are the baseline; regenerate with
+//!
+//! ```text
+//! cargo run --release -p tauw-bench --bin baseline -- --out .
+//! ```
+//!
+//! `--smoke` runs a heavily scaled-down variant for CI schema validation.
+
+use serde::Serialize;
+use std::time::Instant;
+use tauw_core::engine::TauwEngine;
+use tauw_core::tauw::replay_with_threads;
+use tauw_dtree::{Dataset, Splitter, TreeBuilder};
+use tauw_experiments::ExperimentContext;
+use tauw_stats::bootstrap::SplitMix64;
+
+/// Schema tag so CI can detect malformed or stale baseline files.
+const SCHEMA: &str = "tauw-bench-baseline/v1";
+
+#[derive(Debug, Clone)]
+struct Options {
+    out_dir: String,
+    smoke: bool,
+    threads: usize,
+    repetitions: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            out_dir: ".".to_string(),
+            smoke: false,
+            threads: 4,
+            repetitions: 3,
+        }
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => opts.out_dir = args.next().unwrap_or_else(|| usage("--out needs a value")),
+            "--smoke" => opts.smoke = true,
+            "--threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--threads needs a value"));
+                opts.threads = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage(&format!("bad --threads value: {v}")));
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    opts
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: baseline [--out dir] [--threads n] [--smoke]");
+    std::process::exit(2);
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = f();
+        best = best.min(start.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("at least one repetition"))
+}
+
+/// One serial-vs-parallel comparison row.
+#[derive(Debug, Serialize)]
+struct Comparison {
+    name: String,
+    /// Work units processed per run (rows for training, steps for replay
+    /// and inference) — the numerator of the throughput columns.
+    work_units: u64,
+    serial_ms: f64,
+    parallel_ms: f64,
+    /// `serial / parallel`; > 1 means the parallel path is faster.
+    speedup: f64,
+    serial_per_s: f64,
+    parallel_per_s: f64,
+    /// Whether serial and parallel outputs were verified bit-identical.
+    bit_identical: bool,
+}
+
+impl Comparison {
+    fn new(
+        name: &str,
+        work_units: u64,
+        serial_s: f64,
+        parallel_s: f64,
+        bit_identical: bool,
+    ) -> Self {
+        Comparison {
+            name: name.to_string(),
+            work_units,
+            serial_ms: serial_s * 1e3,
+            parallel_ms: parallel_s * 1e3,
+            speedup: serial_s / parallel_s,
+            serial_per_s: work_units as f64 / serial_s,
+            parallel_per_s: work_units as f64 / parallel_s,
+            bit_identical,
+        }
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema: String,
+    bench: String,
+    smoke: bool,
+    threads_parallel: usize,
+    repetitions: usize,
+    host_parallelism: usize,
+    /// How to read the speedup columns on this host.
+    note: String,
+    results: Vec<Comparison>,
+}
+
+fn write_report(opts: &Options, file: &str, bench: &str, results: Vec<Comparison>) {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let note = if host_parallelism < opts.threads {
+        format!(
+            "host exposes only {host_parallelism} hardware thread(s) for a \
+             {}-thread budget: parallel rows measure scheduling overhead, not \
+             speedup; regenerate on a multicore host to measure scaling",
+            opts.threads
+        )
+    } else {
+        "speedup = serial / parallel wall time; > 1 means the parallel path wins".to_string()
+    };
+    let report = Report {
+        schema: SCHEMA.to_string(),
+        bench: bench.to_string(),
+        smoke: opts.smoke,
+        threads_parallel: opts.threads,
+        repetitions: opts.repetitions,
+        host_parallelism,
+        note,
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = std::path::Path::new(&opts.out_dir).join(file);
+    std::fs::create_dir_all(&opts.out_dir).expect("create out dir");
+    std::fs::write(&path, json + "\n").expect("write report");
+    println!("wrote {}", path.display());
+}
+
+/// Synthetic training dataset matching `bench_dtree`'s shape.
+fn make_dataset(n: usize, n_features: usize) -> Dataset {
+    let mut rng = SplitMix64::new(42);
+    let mut ds = Dataset::with_anonymous_features(n_features, 2).expect("dataset");
+    for _ in 0..n {
+        let row: Vec<f64> = (0..n_features).map(|_| rng.next_f64()).collect();
+        let risk: f64 = row.iter().take(3).sum::<f64>() / 3.0;
+        let label = u32::from(rng.next_f64() < risk * 0.3);
+        ds.push_row(&row, label).expect("row");
+    }
+    ds
+}
+
+fn bench_dtree(opts: &Options) {
+    let rows = if opts.smoke { 3_000 } else { 20_000 };
+    let ds = make_dataset(rows, 10);
+    let mut results = Vec::new();
+    for (name, splitter) in [
+        ("fit_exact_depth8", Splitter::Exact),
+        ("fit_histogram64_depth8", Splitter::Histogram { bins: 64 }),
+    ] {
+        let fit = |threads: usize| {
+            TreeBuilder::new()
+                .splitter(splitter)
+                .max_depth(8)
+                .threads(threads)
+                .fit(&ds)
+                .expect("fit")
+        };
+        let (serial_s, serial_tree) = time_best(opts.repetitions, || fit(1));
+        let (parallel_s, parallel_tree) = time_best(opts.repetitions, || fit(opts.threads));
+        let identical = serde_json::to_string(&serial_tree).expect("tree serializes")
+            == serde_json::to_string(&parallel_tree).expect("tree serializes");
+        results.push(Comparison::new(
+            name,
+            rows as u64,
+            serial_s,
+            parallel_s,
+            identical,
+        ));
+        println!(
+            "dtree/{name}: serial {:.1} ms, parallel({}) {:.1} ms, identical={identical}",
+            serial_s * 1e3,
+            opts.threads,
+            parallel_s * 1e3,
+        );
+    }
+    write_report(opts, "BENCH_dtree.json", "dtree", results);
+}
+
+fn bench_pipeline(opts: &Options) {
+    let scale = if opts.smoke { 0.02 } else { 0.1 };
+    let ctx = ExperimentContext::build(scale, 0xBE5C).expect("bench context builds");
+    let mut results = Vec::new();
+
+    // Training-side hot path: the series replay feeding taQIM fitting.
+    let replay_steps: u64 = ctx.calib.iter().map(|s| s.len() as u64).sum();
+    let stateless = ctx.tauw.stateless();
+    let (serial_s, serial_rows) = time_best(opts.repetitions, || {
+        replay_with_threads(stateless, &ctx.calib, 1).expect("replay")
+    });
+    let (parallel_s, parallel_rows) = time_best(opts.repetitions, || {
+        replay_with_threads(stateless, &ctx.calib, opts.threads).expect("replay")
+    });
+    let identical = serial_rows == parallel_rows;
+    results.push(Comparison::new(
+        "replay_calibration_series",
+        replay_steps,
+        serial_s,
+        parallel_s,
+        identical,
+    ));
+    println!(
+        "pipeline/replay: serial {:.1} ms, parallel({}) {:.1} ms, identical={identical}",
+        serial_s * 1e3,
+        opts.threads,
+        parallel_s * 1e3,
+    );
+
+    // Inference-side hot path: N concurrent streams through batched
+    // engine waves, vs the same traffic on a single-thread budget. One
+    // engine is reused; `step_series_waves` resets the streams per run.
+    let inference_steps: u64 = ctx.test.iter().map(|s| s.len() as u64).sum();
+    let mut engine = TauwEngine::new(ctx.tauw.clone());
+    let (serial_s, serial_steps) = time_best(opts.repetitions, || {
+        engine.threads(1);
+        engine.step_series_waves(&ctx.test).expect("waves")
+    });
+    let (parallel_s, parallel_steps) = time_best(opts.repetitions, || {
+        engine.threads(opts.threads);
+        engine.step_series_waves(&ctx.test).expect("waves")
+    });
+    let identical = serial_steps == parallel_steps;
+    results.push(Comparison::new(
+        "engine_step_many_test_streams",
+        inference_steps,
+        serial_s,
+        parallel_s,
+        identical,
+    ));
+    println!(
+        "pipeline/step_many: serial {:.1} ms, parallel({}) {:.1} ms, identical={identical}",
+        serial_s * 1e3,
+        opts.threads,
+        parallel_s * 1e3,
+    );
+
+    write_report(opts, "BENCH_pipeline.json", "pipeline", results);
+}
+
+fn main() {
+    let opts = parse_args();
+    println!(
+        "baseline bench: smoke={}, parallel threads={}, host parallelism={}",
+        opts.smoke,
+        opts.threads,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    bench_dtree(&opts);
+    bench_pipeline(&opts);
+}

@@ -25,6 +25,14 @@ impl BufferEntry {
 
 /// Interim-result store for the current timeseries.
 ///
+/// An **unbounded** buffer ([`TimeseriesBuffer::new`]) keeps every step of
+/// the current series — the paper's setting, where tracking clears the
+/// buffer on every new object. A **bounded** buffer
+/// ([`TimeseriesBuffer::bounded`]) keeps only the most recent `capacity`
+/// steps, wrapping around by evicting the oldest entry; long-running
+/// streams (the engine's "millions of users" shape) use it to cap per-
+/// stream memory.
+///
 /// # Examples
 ///
 /// ```
@@ -37,30 +45,72 @@ impl BufferEntry {
 /// assert_eq!(buf.outcomes(), vec![2, 2]);
 /// buf.clear(); // new physical object detected
 /// assert!(buf.is_empty());
+///
+/// let mut window = TimeseriesBuffer::bounded(2);
+/// window.push(1, 0.1);
+/// window.push(2, 0.2);
+/// window.push(3, 0.3); // evicts outcome 1
+/// assert_eq!(window.outcomes(), vec![2, 3]);
 /// ```
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct TimeseriesBuffer {
     entries: Vec<BufferEntry>,
+    /// Sliding-window bound; `None` keeps the full series.
+    capacity: Option<usize>,
 }
 
 impl TimeseriesBuffer {
-    /// Creates an empty buffer.
+    /// Creates an empty unbounded buffer.
     pub fn new() -> Self {
         TimeseriesBuffer {
             entries: Vec::new(),
+            capacity: None,
         }
     }
 
-    /// Creates an empty buffer with reserved capacity (series length is
-    /// usually known to be ~10–30 steps).
+    /// Creates an empty unbounded buffer with reserved capacity (series
+    /// length is usually known to be ~10–30 steps). The hint only
+    /// pre-allocates; it does not bound the buffer.
     pub fn with_capacity(capacity: usize) -> Self {
         TimeseriesBuffer {
             entries: Vec::with_capacity(capacity),
+            capacity: None,
         }
     }
 
-    /// Records one timestep.
+    /// Creates an empty **bounded** buffer holding at most `capacity`
+    /// entries (clamped to ≥ 1). Once full, each push evicts the oldest
+    /// entry, so the buffer always holds the most recent `capacity` steps
+    /// in temporal order.
+    pub fn bounded(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TimeseriesBuffer {
+            entries: Vec::with_capacity(capacity),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// The sliding-window bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Whether a bounded buffer has reached its capacity (always `false`
+    /// for unbounded buffers).
+    pub fn is_full(&self) -> bool {
+        self.capacity.is_some_and(|cap| self.entries.len() >= cap)
+    }
+
+    /// Records one timestep; a full bounded buffer wraps around by
+    /// evicting its oldest entry first.
     pub fn push(&mut self, outcome: u32, uncertainty: f64) {
+        if let Some(cap) = self.capacity {
+            if self.entries.len() >= cap {
+                // Entries stay contiguous and in temporal order; the shift
+                // is O(capacity) with capacities of ~10–30 steps.
+                self.entries.remove(0);
+            }
+        }
         self.entries.push(BufferEntry {
             outcome,
             uncertainty: uncertainty.clamp(0.0, 1.0),
@@ -116,7 +166,9 @@ impl TimeseriesBuffer {
 
 impl Extend<BufferEntry> for TimeseriesBuffer {
     fn extend<T: IntoIterator<Item = BufferEntry>>(&mut self, iter: T) {
-        self.entries.extend(iter);
+        for e in iter {
+            self.push(e.outcome, e.uncertainty);
+        }
     }
 }
 
@@ -179,5 +231,95 @@ mod tests {
         }]);
         assert_eq!(b.len(), 1);
         assert_eq!(b.outcomes(), vec![9]);
+    }
+
+    #[test]
+    fn unbounded_buffers_report_no_capacity() {
+        let b = TimeseriesBuffer::with_capacity(4);
+        assert_eq!(b.capacity(), None);
+        assert!(!b.is_full());
+        let mut b = TimeseriesBuffer::new();
+        for i in 0..100 {
+            b.push(i, 0.1);
+        }
+        assert_eq!(b.len(), 100, "unbounded buffers never evict");
+        assert!(!b.is_full());
+    }
+
+    #[test]
+    fn capacity_one_buffer_keeps_only_the_latest_step() {
+        let mut b = TimeseriesBuffer::bounded(1);
+        assert_eq!(b.capacity(), Some(1));
+        assert!(!b.is_full());
+        b.push(1, 0.3);
+        assert!(b.is_full());
+        assert_eq!(b.outcomes(), vec![1]);
+        b.push(2, 0.7);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.outcomes(), vec![2]);
+        assert_eq!(b.uncertainties(), vec![0.7]);
+        assert_eq!(b.unique_outcomes(), 1);
+    }
+
+    #[test]
+    fn bounded_buffer_wraps_after_exactly_capacity_pushes() {
+        let cap = 5;
+        let mut b = TimeseriesBuffer::bounded(cap);
+        for i in 0..cap as u32 {
+            assert!(!b.is_full(), "not full before push {i}");
+            b.push(i, i as f64 / 10.0);
+        }
+        // After exactly `capacity` pushes: full, nothing evicted yet.
+        assert!(b.is_full());
+        assert_eq!(b.len(), cap);
+        assert_eq!(b.outcomes(), vec![0, 1, 2, 3, 4]);
+        // Push `capacity + 1` wraps around: oldest entry leaves, temporal
+        // order of the survivors is preserved.
+        b.push(99, 0.9);
+        assert_eq!(b.len(), cap);
+        assert_eq!(b.outcomes(), vec![1, 2, 3, 4, 99]);
+        assert_eq!(b.entries()[0].outcome, 1);
+        assert!((b.uncertainties()[4] - 0.9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn taqf_on_a_not_yet_full_bounded_buffer_uses_the_true_length() {
+        use crate::taqf::TaqfVector;
+        let mut b = TimeseriesBuffer::bounded(10);
+        b.push(7, 0.2);
+        b.push(3, 0.4);
+        b.push(7, 0.0);
+        assert!(!b.is_full());
+        let taqf = TaqfVector::compute(&b, 7).expect("non-empty buffer");
+        // length is the number of buffered steps, not the capacity.
+        assert_eq!(taqf.length, 3.0);
+        assert!((taqf.ratio - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(taqf.unique_outcomes, 2.0);
+        assert!((taqf.cumulative_certainty - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_buffer_clear_resets_but_keeps_the_bound() {
+        let mut b = TimeseriesBuffer::bounded(2);
+        b.push(1, 0.1);
+        b.push(2, 0.2);
+        b.push(3, 0.3);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), Some(2));
+        b.push(4, 0.4);
+        b.push(5, 0.5);
+        b.push(6, 0.6);
+        assert_eq!(b.outcomes(), vec![5, 6]);
+    }
+
+    #[test]
+    fn extend_respects_the_bound() {
+        let mut b = TimeseriesBuffer::bounded(2);
+        b.extend((0..5).map(|i| BufferEntry {
+            outcome: i,
+            uncertainty: 0.1,
+        }));
+        assert_eq!(b.outcomes(), vec![3, 4]);
     }
 }

@@ -1,0 +1,658 @@
+//! Multi-stream inference engine: one trained wrapper serving many
+//! concurrent timeseries.
+//!
+//! A [`crate::tauw::TauwSession`] monitors exactly one stream. Production
+//! deployments (one camera per vehicle, millions of users) need one set of
+//! trained models to serve *many* interleaved series at once. The
+//! [`TauwEngine`] owns the trained [`TimeseriesAwareWrapper`] plus one
+//! [`TimeseriesBuffer`] per [`StreamId`], and exposes a batched
+//! [`TauwEngine::step_many`] that fans independent streams out over a
+//! thread budget.
+//!
+//! Two guarantees:
+//!
+//! * **Session equivalence** — every engine step delegates to the same
+//!   [`TimeseriesAwareWrapper::step_with_buffer`] a session uses, so an
+//!   engine serving N streams produces bit-identical estimates to N
+//!   sequential sessions (asserted by `tests/determinism.rs`).
+//! * **Batch-order semantics** — a batch behaves exactly as if its steps
+//!   were applied one by one in batch order; steps of the *same* stream
+//!   within one batch see each other's effects in order.
+
+use crate::buffer::TimeseriesBuffer;
+use crate::error::CoreError;
+use crate::tauw::{TauwStep, TimeseriesAwareWrapper};
+use crate::training::TrainingSeries;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier of one logical stream (one tracked object / user / camera).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct StreamId(pub u64);
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream#{}", self.0)
+    }
+}
+
+/// One unit of batched work for [`TauwEngine::step_many`]: the stream it
+/// belongs to, the step's quality factors, and the DDM outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStep {
+    /// Target stream (created on first use).
+    pub stream: StreamId,
+    /// Stateless quality factors of this step.
+    pub quality_factors: Vec<f64>,
+    /// DDM outcome (class id) of this step.
+    pub outcome: u32,
+}
+
+impl StreamStep {
+    /// Convenience constructor.
+    pub fn new(stream: StreamId, quality_factors: Vec<f64>, outcome: u32) -> Self {
+        StreamStep {
+            stream,
+            quality_factors,
+            outcome,
+        }
+    }
+}
+
+/// A trained wrapper plus per-stream runtime state.
+///
+/// # Examples
+///
+/// ```
+/// use tauw_core::calibration::CalibrationOptions;
+/// use tauw_core::engine::{StreamId, StreamStep};
+/// use tauw_core::tauw::TauwBuilder;
+/// use tauw_core::training::{TrainingSeries, TrainingStep};
+/// use tauw_core::wrapper::WrapperBuilder;
+///
+/// // Train a tiny wrapper (same toy world as the crate quickstart).
+/// let series = |q: f64, outcomes: &[u32]| TrainingSeries {
+///     true_outcome: 0,
+///     steps: outcomes
+///         .iter()
+///         .map(|&o| TrainingStep { quality_factors: vec![q], outcome: o })
+///         .collect(),
+/// };
+/// let mut train = Vec::new();
+/// let mut calib = Vec::new();
+/// for i in 0..120 {
+///     let q = (i % 12) as f64 / 12.0;
+///     let outcomes: Vec<u32> = (0..10).map(|j| u32::from(q > 0.6 && j % 3 == 0)).collect();
+///     train.push(series(q, &outcomes));
+///     calib.push(series(q, &outcomes));
+/// }
+/// let mut wb = WrapperBuilder::new();
+/// wb.max_depth(3).calibration(CalibrationOptions {
+///     min_samples_per_leaf: 50,
+///     confidence: 0.99,
+///     ..Default::default()
+/// });
+/// let mut builder = TauwBuilder::new();
+/// builder.wrapper(wb);
+/// let tauw = builder.fit(vec!["q".into()], &train, &calib)?;
+///
+/// // One engine, two concurrent streams, one batched call per "frame".
+/// let mut engine = tauw.into_engine();
+/// let batch = vec![
+///     StreamStep::new(StreamId(1), vec![0.1], 0),
+///     StreamStep::new(StreamId(2), vec![0.9], 1),
+/// ];
+/// let steps = engine.step_many(&batch)?;
+/// assert_eq!(steps.len(), 2);
+/// assert_eq!(steps[0].fused_outcome, 0);
+/// assert_eq!(engine.n_streams(), 2);
+/// // Each stream evolved independently, as if it had its own session.
+/// assert_eq!(engine.stream_len(StreamId(1)), Some(1));
+/// # Ok::<(), tauw_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TauwEngine {
+    wrapper: TimeseriesAwareWrapper,
+    streams: BTreeMap<StreamId, TimeseriesBuffer>,
+    buffer_capacity: Option<usize>,
+    n_threads: Option<usize>,
+}
+
+impl TauwEngine {
+    /// Creates an engine around a trained wrapper with no active streams.
+    pub fn new(wrapper: TimeseriesAwareWrapper) -> Self {
+        TauwEngine {
+            wrapper,
+            streams: BTreeMap::new(),
+            buffer_capacity: None,
+            n_threads: None,
+        }
+    }
+
+    /// Bounds every *newly created* stream buffer to a sliding window of
+    /// `capacity` steps (see [`TimeseriesBuffer::bounded`]); existing
+    /// streams keep their buffers. Unbounded by default.
+    pub fn buffer_capacity(&mut self, capacity: usize) -> &mut Self {
+        self.buffer_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Pins the thread budget for [`TauwEngine::step_many`] (clamped to
+    /// ≥ 1). Unpinned engines use [`parallel::max_threads`]. Results are
+    /// bit-identical for every budget.
+    pub fn threads(&mut self, n: usize) -> &mut Self {
+        self.n_threads = Some(n.max(1));
+        self
+    }
+
+    /// The trained wrapper the engine serves.
+    pub fn wrapper(&self) -> &TimeseriesAwareWrapper {
+        &self.wrapper
+    }
+
+    /// Consumes the engine, returning the wrapper.
+    pub fn into_wrapper(self) -> TimeseriesAwareWrapper {
+        self.wrapper
+    }
+
+    /// Number of active streams.
+    pub fn n_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Active stream ids in ascending order.
+    pub fn stream_ids(&self) -> Vec<StreamId> {
+        self.streams.keys().copied().collect()
+    }
+
+    /// Steps buffered for a stream, or `None` if the stream is unknown.
+    pub fn stream_len(&self, stream: StreamId) -> Option<usize> {
+        self.streams.get(&stream).map(TimeseriesBuffer::len)
+    }
+
+    /// Read access to a stream's buffer (diagnostics).
+    pub fn stream_buffer(&self, stream: StreamId) -> Option<&TimeseriesBuffer> {
+        self.streams.get(&stream)
+    }
+
+    /// Clears a stream's buffer (tracking reported a new physical object on
+    /// that stream), creating the stream if it does not exist yet.
+    pub fn begin_series(&mut self, stream: StreamId) {
+        let capacity = self.buffer_capacity;
+        self.streams
+            .entry(stream)
+            .and_modify(TimeseriesBuffer::clear)
+            .or_insert_with(|| new_buffer(capacity));
+    }
+
+    /// Removes a stream and its buffer entirely (the object left the scene
+    /// / the user disconnected). Returns whether the stream existed.
+    pub fn end_stream(&mut self, stream: StreamId) -> bool {
+        self.streams.remove(&stream).is_some()
+    }
+
+    /// Removes all streams.
+    pub fn clear_streams(&mut self) {
+        self.streams.clear();
+    }
+
+    /// Processes one timestep on one stream (created on first use).
+    /// Equivalent to [`crate::tauw::TauwSession::step`] on that stream's
+    /// dedicated session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch, in which case no
+    /// stream state is created or modified.
+    pub fn step(
+        &mut self,
+        stream: StreamId,
+        quality_factors: &[f64],
+        outcome: u32,
+    ) -> Result<TauwStep, CoreError> {
+        self.check_arity(quality_factors.len())?;
+        let capacity = self.buffer_capacity;
+        let buffer = self
+            .streams
+            .entry(stream)
+            .or_insert_with(|| new_buffer(capacity));
+        self.wrapper
+            .step_with_buffer(buffer, quality_factors, outcome)
+    }
+
+    /// Processes a batch of steps spanning any number of streams,
+    /// returning one [`TauwStep`] per input **in batch order**.
+    ///
+    /// Independent streams fan out over the engine's thread budget; steps
+    /// of the same stream are applied in batch order within one worker.
+    /// The results are bit-identical to calling [`TauwEngine::step`] for
+    /// each entry sequentially (and therefore to N dedicated sessions).
+    ///
+    /// Prefer [`TauwEngine::step_many_borrowed`] in hot paths where the
+    /// quality factors already live elsewhere — it avoids one `Vec`
+    /// allocation per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch of **any** batch
+    /// entry; the batch is validated up front, so on error no stream state
+    /// has been modified.
+    pub fn step_many(&mut self, batch: &[StreamStep]) -> Result<Vec<TauwStep>, CoreError> {
+        self.step_many_impl(batch.len(), |i| {
+            let step = &batch[i];
+            (step.stream, step.quality_factors.as_slice(), step.outcome)
+        })
+    }
+
+    /// Zero-copy variant of [`TauwEngine::step_many`] over borrowed
+    /// quality-factor slices. Identical semantics and results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch of **any** batch
+    /// entry; the batch is validated up front, so on error no stream state
+    /// has been modified.
+    pub fn step_many_borrowed(
+        &mut self,
+        batch: &[(StreamId, &[f64], u32)],
+    ) -> Result<Vec<TauwStep>, CoreError> {
+        self.step_many_impl(batch.len(), |i| batch[i])
+    }
+
+    /// Shared batched-step core: `get(i)` yields batch entry `i`.
+    fn step_many_impl<'a, F>(&mut self, n: usize, get: F) -> Result<Vec<TauwStep>, CoreError>
+    where
+        F: Fn(usize) -> (StreamId, &'a [f64], u32) + Sync,
+    {
+        for i in 0..n {
+            self.check_arity(get(i).1.len())?;
+        }
+
+        // Group batch positions by stream, preserving batch order within
+        // each stream. BTreeMap keeps the work list deterministic.
+        let mut by_stream: BTreeMap<StreamId, Vec<usize>> = BTreeMap::new();
+        for i in 0..n {
+            by_stream.entry(get(i).0).or_default().push(i);
+        }
+
+        // Detach the touched buffers so each worker owns its stream state.
+        let capacity = self.buffer_capacity;
+        let mut work: Vec<(StreamId, Vec<usize>, TimeseriesBuffer)> = by_stream
+            .into_iter()
+            .map(|(stream, positions)| {
+                let buffer = self
+                    .streams
+                    .remove(&stream)
+                    .unwrap_or_else(|| new_buffer(capacity));
+                (stream, positions, buffer)
+            })
+            .collect();
+
+        let threads = self.n_threads.unwrap_or_else(parallel::max_threads).max(1);
+        let wrapper = &self.wrapper;
+        // Workers propagate errors instead of panicking: the arity
+        // precheck makes failure unreachable for well-formed wrappers, but
+        // an internally inconsistent model (e.g. a tampered persisted
+        // artifact) must surface as `Err`, not abort the process.
+        let per_stream: Vec<Result<Vec<TauwStep>, CoreError>> =
+            parallel::par_map_mut(threads, &mut work, |(_, positions, buffer)| {
+                positions
+                    .iter()
+                    .map(|&i| {
+                        let (_, quality_factors, outcome) = get(i);
+                        wrapper.step_with_buffer(buffer, quality_factors, outcome)
+                    })
+                    .collect()
+            });
+
+        // Reattach every buffer (even on error), then scatter results back
+        // into batch order. Errors report the lowest affected stream id.
+        let mut results: Vec<Option<TauwStep>> = vec![None; n];
+        let mut first_err: Option<CoreError> = None;
+        for ((stream, positions, buffer), stream_results) in work.into_iter().zip(per_stream) {
+            self.streams.insert(stream, buffer);
+            match stream_results {
+                Ok(steps) => {
+                    for (&i, step) in positions.iter().zip(steps) {
+                        results[i] = Some(step);
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every batch position produced a result"))
+            .collect())
+    }
+
+    /// Replays a batch of series as concurrent streams: series `s` becomes
+    /// stream `StreamId(s as u64)` (reset at the start), and step `j` of
+    /// every series is submitted as one batched wave. Returns one
+    /// `Vec<TauwStep>` per series, in series order — bit-identical to
+    /// replaying each series through its own dedicated session.
+    ///
+    /// This is the canonical wave-batching loop shared by the experiment
+    /// evaluation, the monitoring example, and the bench baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn step_series_waves(
+        &mut self,
+        series: &[TrainingSeries],
+    ) -> Result<Vec<Vec<TauwStep>>, CoreError> {
+        for s in 0..series.len() {
+            self.begin_series(StreamId(s as u64));
+        }
+        let window_len = series.iter().map(TrainingSeries::len).max().unwrap_or(0);
+        let mut out: Vec<Vec<TauwStep>> =
+            series.iter().map(|s| Vec::with_capacity(s.len())).collect();
+        let mut positions: Vec<usize> = Vec::with_capacity(series.len());
+        let mut batch: Vec<(StreamId, &[f64], u32)> = Vec::with_capacity(series.len());
+        for j in 0..window_len {
+            positions.clear();
+            batch.clear();
+            for (s, ts) in series.iter().enumerate() {
+                if let Some(step) = ts.steps.get(j) {
+                    positions.push(s);
+                    batch.push((
+                        StreamId(s as u64),
+                        step.quality_factors.as_slice(),
+                        step.outcome,
+                    ));
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            for (&s, step) in positions.iter().zip(self.step_many_borrowed(&batch)?) {
+                out[s].push(step);
+            }
+        }
+        Ok(out)
+    }
+
+    fn check_arity(&self, actual: usize) -> Result<(), CoreError> {
+        let expected = self.wrapper.stateless().feature_names().len();
+        if actual != expected {
+            return Err(CoreError::FeatureArityMismatch { expected, actual });
+        }
+        Ok(())
+    }
+}
+
+fn new_buffer(capacity: Option<usize>) -> TimeseriesBuffer {
+    match capacity {
+        Some(cap) => TimeseriesBuffer::bounded(cap),
+        None => TimeseriesBuffer::with_capacity(32),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::CalibrationOptions;
+    use crate::tauw::TauwBuilder;
+    use crate::training::{TrainingSeries, TrainingStep};
+    use crate::wrapper::WrapperBuilder;
+
+    /// Same miniature world as the `tauw` module tests.
+    fn make_series(n: usize, seed: u64, steps: usize) -> Vec<TrainingSeries> {
+        let mut state = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let q = next();
+                let series_bias = next() < 0.5;
+                let steps = (0..steps)
+                    .map(|_| {
+                        let p_fail = (q * if series_bias { 1.3 } else { 0.5 }).min(0.95);
+                        let failed = next() < p_fail;
+                        TrainingStep {
+                            quality_factors: vec![q],
+                            outcome: if failed { 3 } else { 7 },
+                        }
+                    })
+                    .collect();
+                TrainingSeries {
+                    true_outcome: 7,
+                    steps,
+                }
+            })
+            .collect()
+    }
+
+    fn fitted() -> TimeseriesAwareWrapper {
+        let train = make_series(300, 1, 10);
+        let calib = make_series(300, 2, 10);
+        let mut wb = WrapperBuilder::new();
+        wb.max_depth(3).calibration(CalibrationOptions {
+            min_samples_per_leaf: 50,
+            confidence: 0.99,
+            ..Default::default()
+        });
+        let mut b = TauwBuilder::new();
+        b.wrapper(wb);
+        b.fit(vec!["q".into()], &train, &calib).unwrap()
+    }
+
+    #[test]
+    fn streams_are_created_on_first_step_and_independent() {
+        let mut engine = fitted().into_engine();
+        let a = engine.step(StreamId(10), &[0.2], 7).unwrap();
+        let b = engine.step(StreamId(20), &[0.2], 3).unwrap();
+        assert_eq!(engine.n_streams(), 2);
+        assert_eq!(a.fused_outcome, 7);
+        assert_eq!(b.fused_outcome, 3);
+        assert_eq!(engine.stream_len(StreamId(10)), Some(1));
+        assert_eq!(engine.stream_len(StreamId(99)), None);
+        assert_eq!(engine.stream_ids(), vec![StreamId(10), StreamId(20)]);
+    }
+
+    #[test]
+    fn engine_step_matches_session_step_exactly() {
+        let tauw = fitted();
+        let mut engine = tauw.clone().into_engine();
+        let mut session = tauw.new_session();
+        for (i, &(q, o)) in [(0.1, 7), (0.5, 3), (0.2, 7), (0.9, 3)].iter().enumerate() {
+            let from_engine = engine.step(StreamId(0), &[q], o).unwrap();
+            let from_session = session.step(&[q], o).unwrap();
+            assert_eq!(from_engine, from_session, "step {i}");
+            assert_eq!(
+                from_engine.uncertainty.to_bits(),
+                from_session.uncertainty.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn step_many_preserves_batch_order_and_intra_stream_sequencing() {
+        let tauw = fitted();
+        let mut engine = tauw.clone().into_engine();
+        // Stream 5 appears twice in one batch: the second occurrence must
+        // see the first one's push (series_length 2).
+        let batch = vec![
+            StreamStep::new(StreamId(5), vec![0.1], 7),
+            StreamStep::new(StreamId(9), vec![0.4], 3),
+            StreamStep::new(StreamId(5), vec![0.1], 3),
+        ];
+        let out = engine.step_many(&batch).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].series_length, 1);
+        assert_eq!(out[1].series_length, 1);
+        assert_eq!(out[2].series_length, 2);
+        assert_eq!(out[2].fused_outcome, 3, "tie breaks to most recent");
+
+        let mut session = tauw.new_session();
+        assert_eq!(session.step(&[0.1], 7).unwrap(), out[0]);
+        assert_eq!(session.step(&[0.1], 3).unwrap(), out[2]);
+    }
+
+    #[test]
+    fn step_many_rejects_bad_arity_without_mutating_state() {
+        let mut engine = fitted().into_engine();
+        engine.step(StreamId(1), &[0.3], 7).unwrap();
+        let batch = vec![
+            StreamStep::new(StreamId(1), vec![0.1], 7),
+            StreamStep::new(StreamId(2), vec![0.1, 0.2], 7),
+        ];
+        assert!(matches!(
+            engine.step_many(&batch),
+            Err(CoreError::FeatureArityMismatch { .. })
+        ));
+        assert_eq!(
+            engine.stream_len(StreamId(1)),
+            Some(1),
+            "failed batch must not advance any stream"
+        );
+        assert_eq!(engine.stream_len(StreamId(2)), None);
+    }
+
+    #[test]
+    fn step_rejects_bad_arity_without_creating_a_phantom_stream() {
+        let mut engine = fitted().into_engine();
+        assert!(matches!(
+            engine.step(StreamId(77), &[0.1, 0.2], 7),
+            Err(CoreError::FeatureArityMismatch { .. })
+        ));
+        assert_eq!(
+            engine.n_streams(),
+            0,
+            "failed step must not register a stream"
+        );
+        assert_eq!(engine.stream_len(StreamId(77)), None);
+    }
+
+    #[test]
+    fn step_many_borrowed_matches_owned_batches_exactly() {
+        let tauw = fitted();
+        let qfs = [[0.1], [0.5], [0.1], [0.9]];
+        let entries = [
+            (StreamId(1), 7u32),
+            (StreamId(2), 3),
+            (StreamId(1), 3),
+            (StreamId(2), 3),
+        ];
+        let mut owned_engine = tauw.clone().into_engine();
+        let owned_batch: Vec<StreamStep> = entries
+            .iter()
+            .zip(&qfs)
+            .map(|(&(stream, outcome), qf)| StreamStep::new(stream, qf.to_vec(), outcome))
+            .collect();
+        let owned = owned_engine.step_many(&owned_batch).unwrap();
+
+        let mut borrowed_engine = tauw.into_engine();
+        let borrowed_batch: Vec<(StreamId, &[f64], u32)> = entries
+            .iter()
+            .zip(&qfs)
+            .map(|(&(stream, outcome), qf)| (stream, qf.as_slice(), outcome))
+            .collect();
+        let borrowed = borrowed_engine.step_many_borrowed(&borrowed_batch).unwrap();
+        assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    fn begin_series_and_end_stream_manage_lifecycle() {
+        let mut engine = fitted().into_engine();
+        engine.step(StreamId(3), &[0.1], 7).unwrap();
+        engine.step(StreamId(3), &[0.1], 7).unwrap();
+        engine.begin_series(StreamId(3));
+        assert_eq!(engine.stream_len(StreamId(3)), Some(0));
+        engine.begin_series(StreamId(4)); // creates an empty stream
+        assert_eq!(engine.stream_len(StreamId(4)), Some(0));
+        assert!(engine.end_stream(StreamId(3)));
+        assert!(!engine.end_stream(StreamId(3)));
+        engine.clear_streams();
+        assert_eq!(engine.n_streams(), 0);
+    }
+
+    #[test]
+    fn bounded_engine_buffers_slide() {
+        let mut engine = fitted().into_engine();
+        engine.buffer_capacity(2);
+        for _ in 0..5 {
+            engine.step(StreamId(0), &[0.2], 7).unwrap();
+        }
+        assert_eq!(engine.stream_len(StreamId(0)), Some(2));
+        assert_eq!(
+            engine.stream_buffer(StreamId(0)).unwrap().capacity(),
+            Some(2)
+        );
+        // The sliding window caps taQF length at the capacity.
+        let out = engine.step(StreamId(0), &[0.2], 7).unwrap();
+        assert_eq!(out.taqf.length, 2.0);
+    }
+
+    #[test]
+    fn step_many_is_identical_across_thread_budgets() {
+        let tauw = fitted();
+        let series = make_series(24, 77, 10);
+        let mut baseline: Option<Vec<TauwStep>> = None;
+        for threads in [1usize, 2, 8] {
+            let mut engine = tauw.clone().into_engine();
+            engine.threads(threads);
+            let mut all = Vec::new();
+            for j in 0..10 {
+                let batch: Vec<StreamStep> = series
+                    .iter()
+                    .enumerate()
+                    .map(|(s, ts)| {
+                        let step = &ts.steps[j];
+                        StreamStep::new(
+                            StreamId(s as u64),
+                            step.quality_factors.clone(),
+                            step.outcome,
+                        )
+                    })
+                    .collect();
+                all.extend(engine.step_many(&batch).unwrap());
+            }
+            match &baseline {
+                None => baseline = Some(all),
+                Some(expected) => assert_eq!(expected, &all, "threads={threads}"),
+            }
+        }
+    }
+
+    #[test]
+    fn step_series_waves_matches_dedicated_sessions() {
+        let tauw = fitted();
+        let series = make_series(12, 5, 7);
+        let mut engine = tauw.clone().into_engine();
+        let waves = engine.step_series_waves(&series).unwrap();
+        assert_eq!(waves.len(), series.len());
+        for (s, ts) in series.iter().enumerate() {
+            let mut session = tauw.new_session();
+            session.begin_series();
+            assert_eq!(waves[s].len(), ts.steps.len());
+            for (step, expected) in ts.steps.iter().zip(&waves[s]) {
+                let got = session.step(&step.quality_factors, step.outcome).unwrap();
+                assert_eq!(&got, expected);
+            }
+        }
+        // A second call resets the streams (fresh series, same ids).
+        let again = engine.step_series_waves(&series).unwrap();
+        assert_eq!(waves, again);
+    }
+
+    #[test]
+    fn stream_id_formats_readably() {
+        assert_eq!(StreamId(42).to_string(), "stream#42");
+        assert!(StreamId(1) < StreamId(2));
+    }
+}

@@ -12,6 +12,8 @@
 //!   length, size, cumulative certainty).
 //! * [`tauw`] — the **timeseries-aware wrapper**: stateless wrapper +
 //!   information fusion + taQIM, exposed as a runtime session.
+//! * [`engine`] — the **multi-stream inference engine**: one trained
+//!   wrapper serving many concurrent series via batched `step_many`.
 //! * [`calibration`] — calibrated quality impact models (prune to a
 //!   minimum calibration count, bound each leaf at high confidence).
 //! * [`scope`] — boundary-check scope compliance.
@@ -65,6 +67,7 @@
 
 pub mod buffer;
 pub mod calibration;
+pub mod engine;
 pub mod error;
 pub mod monitor;
 pub mod persist;
@@ -76,6 +79,7 @@ pub mod wrapper;
 
 pub use buffer::{BufferEntry, TimeseriesBuffer};
 pub use calibration::{CalibratedLeaf, CalibratedQim, CalibrationOptions};
+pub use engine::{StreamId, StreamStep, TauwEngine};
 pub use error::CoreError;
 pub use monitor::{MonitorDecision, MonitorStats, UncertaintyMonitor};
 pub use scope::{ScopeComplianceModel, ScopeVerdict};

@@ -202,6 +202,10 @@ impl ReplayRow {
 /// producing one [`ReplayRow`] per step. This is the shared preprocessing
 /// for taQIM training, calibration and evaluation.
 ///
+/// Uses the process-wide [`parallel::max_threads`] budget; see
+/// [`replay_with_threads`] for an explicit budget. Output is bit-identical
+/// for every thread count.
+///
 /// # Errors
 ///
 /// Returns [`CoreError`] on feature-arity mismatch.
@@ -209,28 +213,54 @@ pub fn replay(
     stateless: &UncertaintyWrapper,
     batch: &[TrainingSeries],
 ) -> Result<Vec<ReplayRow>, CoreError> {
-    let fusion = MajorityVote;
+    replay_with_threads(stateless, batch, parallel::max_threads())
+}
+
+/// [`replay`] with an explicit thread budget. Every series is replayed
+/// independently (series own their buffers), so the fan-out preserves
+/// bit-identical rows in batch order for any `threads`.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on feature-arity mismatch.
+pub fn replay_with_threads(
+    stateless: &UncertaintyWrapper,
+    batch: &[TrainingSeries],
+    threads: usize,
+) -> Result<Vec<ReplayRow>, CoreError> {
+    let per_series: Vec<Result<Vec<ReplayRow>, CoreError>> =
+        parallel::par_map(threads, batch, |series| replay_one(stateless, series));
     let mut rows = Vec::with_capacity(batch.iter().map(TrainingSeries::len).sum());
-    let mut buffer = TimeseriesBuffer::new();
-    for series in batch {
-        buffer.clear();
-        for (step_idx, step) in series.steps.iter().enumerate() {
-            let u = stateless.uncertainty(&step.quality_factors)?;
-            buffer.push(step.outcome, u);
-            let fused = fusion
-                .fuse(&buffer.outcomes(), &buffer.certainties())
-                .expect("buffer is non-empty after push");
-            let taqf = TaqfVector::compute(&buffer, fused).expect("buffer is non-empty");
-            rows.push(ReplayRow {
-                quality_factors: step.quality_factors.clone(),
-                stateless_uncertainty: u,
-                fused_outcome: fused,
-                taqf,
-                fused_failed: fused != series.true_outcome,
-                isolated_failed: step.outcome != series.true_outcome,
-                step: step_idx,
-            });
-        }
+    for series_rows in per_series {
+        rows.extend(series_rows?);
+    }
+    Ok(rows)
+}
+
+/// Replays a single series (one buffer, steps in order).
+fn replay_one(
+    stateless: &UncertaintyWrapper,
+    series: &TrainingSeries,
+) -> Result<Vec<ReplayRow>, CoreError> {
+    let fusion = MajorityVote;
+    let mut buffer = TimeseriesBuffer::with_capacity(series.len());
+    let mut rows = Vec::with_capacity(series.len());
+    for (step_idx, step) in series.steps.iter().enumerate() {
+        let u = stateless.uncertainty(&step.quality_factors)?;
+        buffer.push(step.outcome, u);
+        let fused = fusion
+            .fuse(&buffer.outcomes(), &buffer.certainties())
+            .expect("buffer is non-empty after push");
+        let taqf = TaqfVector::compute(&buffer, fused).expect("buffer is non-empty");
+        rows.push(ReplayRow {
+            quality_factors: step.quality_factors.clone(),
+            stateless_uncertainty: u,
+            fused_outcome: fused,
+            taqf,
+            fused_failed: fused != series.true_outcome,
+            isolated_failed: step.outcome != series.true_outcome,
+            step: step_idx,
+        });
     }
     Ok(rows)
 }
@@ -295,6 +325,43 @@ impl TimeseriesAwareWrapper {
     pub fn min_uncertainty(&self) -> f64 {
         self.taqim.min_uncertainty()
     }
+
+    /// Moves the wrapper into a multi-stream [`crate::engine::TauwEngine`].
+    pub fn into_engine(self) -> crate::engine::TauwEngine {
+        crate::engine::TauwEngine::new(self)
+    }
+
+    /// Processes one timestep against an externally owned buffer. This is
+    /// **the** per-step computation: [`TauwSession::step`] and the
+    /// multi-stream [`crate::engine::TauwEngine`] both delegate here, so a
+    /// batched engine step is exactly a session step by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn step_with_buffer(
+        &self,
+        buffer: &mut TimeseriesBuffer,
+        quality_factors: &[f64],
+        outcome: u32,
+    ) -> Result<TauwStep, CoreError> {
+        let stateless_uncertainty = self.stateless.uncertainty(quality_factors)?;
+        buffer.push(outcome, stateless_uncertainty);
+        let fused = MajorityVote
+            .fuse(&buffer.outcomes(), &buffer.certainties())
+            .expect("buffer is non-empty after push");
+        let taqf = TaqfVector::compute(buffer, fused).expect("buffer is non-empty");
+        let mut features = quality_factors.to_vec();
+        features.extend(self.taqf_set.select(&taqf));
+        let uncertainty = self.taqim.uncertainty(&features)?;
+        Ok(TauwStep {
+            fused_outcome: fused,
+            uncertainty,
+            stateless_uncertainty,
+            taqf,
+            series_length: buffer.len(),
+        })
+    }
 }
 
 /// Mutable runtime state: the timeseries buffer plus a reference to the
@@ -329,22 +396,8 @@ impl TauwSession<'_> {
     ///
     /// Returns [`CoreError`] on feature-arity mismatch.
     pub fn step(&mut self, quality_factors: &[f64], outcome: u32) -> Result<TauwStep, CoreError> {
-        let stateless_uncertainty = self.wrapper.stateless.uncertainty(quality_factors)?;
-        self.buffer.push(outcome, stateless_uncertainty);
-        let fused = MajorityVote
-            .fuse(&self.buffer.outcomes(), &self.buffer.certainties())
-            .expect("buffer is non-empty after push");
-        let taqf = TaqfVector::compute(&self.buffer, fused).expect("buffer is non-empty");
-        let mut features = quality_factors.to_vec();
-        features.extend(self.wrapper.taqf_set.select(&taqf));
-        let uncertainty = self.wrapper.taqim.uncertainty(&features)?;
-        Ok(TauwStep {
-            fused_outcome: fused,
-            uncertainty,
-            stateless_uncertainty,
-            taqf,
-            series_length: self.buffer.len(),
-        })
+        self.wrapper
+            .step_with_buffer(&mut self.buffer, quality_factors, outcome)
     }
 }
 

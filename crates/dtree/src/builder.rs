@@ -5,12 +5,23 @@
 //! The paper trains its quality impact models "up to a maximum depth of 8
 //! without pruning during this phase" — pruning happens later against the
 //! calibration set (see [`crate::prune`]).
+//!
+//! Construction runs on a thread budget ([`TreeBuilder::threads`]): the
+//! split search fans out across features, and large sibling subtrees build
+//! concurrently. Parallel builds are **bit-identical** to serial ones —
+//! concurrently built subtrees are spliced back into the exact pre-order
+//! node layout the serial recursion would have produced, and every
+//! floating-point reduction keeps its serial order.
 
 use crate::criterion::SplitCriterion;
 use crate::data::Dataset;
 use crate::error::DtreeError;
-use crate::splitter::{find_best_split, Splitter};
+use crate::splitter::{find_best_split_with_threads, Splitter};
 use crate::tree::{DecisionTree, Node, NodeInfo, NodeKind};
+
+/// Sibling subtrees build concurrently only when **both** children hold at
+/// least this many samples; below it, thread-spawn overhead dominates.
+const PARALLEL_FIT_MIN_SAMPLES: usize = 1024;
 
 /// Non-consuming builder for [`DecisionTree`]s.
 ///
@@ -36,6 +47,7 @@ pub struct TreeBuilder {
     min_samples_split: usize,
     min_samples_leaf: usize,
     min_impurity_decrease: f64,
+    n_threads: Option<usize>,
 }
 
 impl Default for TreeBuilder {
@@ -47,6 +59,7 @@ impl Default for TreeBuilder {
             min_samples_split: 2,
             min_samples_leaf: 1,
             min_impurity_decrease: 0.0,
+            n_threads: None,
         }
     }
 }
@@ -100,6 +113,20 @@ impl TreeBuilder {
         self
     }
 
+    /// Pins the thread budget for [`TreeBuilder::fit`] (clamped to ≥ 1).
+    /// Unpinned builders use [`parallel::max_threads`]. The trained tree is
+    /// bit-identical for every budget; only wall time changes.
+    pub fn threads(&mut self, n: usize) -> &mut Self {
+        self.n_threads = Some(n.max(1));
+        self
+    }
+
+    /// Restores the default (process-wide) thread budget.
+    pub fn auto_threads(&mut self) -> &mut Self {
+        self.n_threads = None;
+        self
+    }
+
     /// Trains a tree on the dataset.
     ///
     /// # Errors
@@ -109,9 +136,10 @@ impl TreeBuilder {
         if data.n_samples() == 0 {
             return Err(DtreeError::EmptyDataset);
         }
+        let threads = self.n_threads.unwrap_or_else(parallel::max_threads).max(1);
         let mut idx: Vec<usize> = (0..data.n_samples()).collect();
         let mut nodes: Vec<Node> = Vec::new();
-        self.build_node(data, &mut idx, 0, 0, &mut nodes)?;
+        self.build_node(data, &mut idx, 0, &mut nodes, threads)?;
         DecisionTree::from_parts(
             nodes,
             data.n_features(),
@@ -120,14 +148,18 @@ impl TreeBuilder {
         )
     }
 
-    /// Recursively builds the subtree over `idx[lo..]`; returns the node id.
+    /// Recursively builds the subtree over `idx` into `nodes` (pre-order:
+    /// parent, left block, right block); returns the node id. `threads` is
+    /// the budget available to this subtree: the split search fans out
+    /// across features with it, and when both children are large enough the
+    /// budget is halved over two concurrently built sibling subtrees.
     fn build_node(
         &self,
         data: &Dataset,
         idx: &mut [usize],
         depth: usize,
-        _parent: usize,
         nodes: &mut Vec<Node>,
+        threads: usize,
     ) -> Result<usize, DtreeError> {
         let mut counts = vec![0u64; data.n_classes() as usize];
         for &i in idx.iter() {
@@ -149,13 +181,14 @@ impl TreeBuilder {
         if !depth_ok || idx.len() < self.min_samples_split || impurity <= 0.0 {
             return Ok(id);
         }
-        let split = match find_best_split(
+        let split = match find_best_split_with_threads(
             data,
             idx,
             &counts,
             self.criterion,
             self.splitter,
             self.min_samples_leaf,
+            threads,
         ) {
             Some(s) if s.gain >= self.min_impurity_decrease => s,
             _ => return Ok(id),
@@ -179,8 +212,28 @@ impl TreeBuilder {
             return Ok(id);
         }
         let (left_idx, right_idx) = idx.split_at_mut(lo);
-        let left = self.build_node(data, left_idx, depth + 1, id, nodes)?;
-        let right = self.build_node(data, right_idx, depth + 1, id, nodes)?;
+        let fork = threads > 1
+            && left_idx.len() >= PARALLEL_FIT_MIN_SAMPLES
+            && right_idx.len() >= PARALLEL_FIT_MIN_SAMPLES;
+        let (left, right) = if fork {
+            // Build the sibling subtrees concurrently into local pre-order
+            // vectors, then splice them back at exactly the ids the serial
+            // recursion would have assigned (left block first, then right).
+            let left_budget = threads.div_ceil(2);
+            let right_budget = threads / 2;
+            let (left_sub, right_sub) = parallel::join(
+                threads,
+                || self.build_subtree(data, left_idx, depth + 1, left_budget),
+                || self.build_subtree(data, right_idx, depth + 1, right_budget),
+            );
+            let left = splice_subtree(nodes, left_sub?);
+            let right = splice_subtree(nodes, right_sub?);
+            (left, right)
+        } else {
+            let left = self.build_node(data, left_idx, depth + 1, nodes, threads)?;
+            let right = self.build_node(data, right_idx, depth + 1, nodes, threads)?;
+            (left, right)
+        };
         nodes[id].kind = NodeKind::Internal {
             feature: split.feature,
             threshold: split.threshold,
@@ -189,6 +242,35 @@ impl TreeBuilder {
         };
         Ok(id)
     }
+
+    /// Builds a detached subtree with local (zero-based) node ids.
+    fn build_subtree(
+        &self,
+        data: &Dataset,
+        idx: &mut [usize],
+        depth: usize,
+        threads: usize,
+    ) -> Result<Vec<Node>, DtreeError> {
+        let mut nodes = Vec::new();
+        self.build_node(data, idx, depth, &mut nodes, threads)?;
+        Ok(nodes)
+    }
+}
+
+/// Appends a locally-indexed subtree to `nodes`, rebasing child ids; the
+/// subtree root lands at the returned id (`nodes.len()` before the append),
+/// which matches the id the serial pre-order recursion would have used.
+fn splice_subtree(nodes: &mut Vec<Node>, subtree: Vec<Node>) -> usize {
+    let offset = nodes.len();
+    nodes.reserve(subtree.len());
+    for mut node in subtree {
+        if let NodeKind::Internal { left, right, .. } = &mut node.kind {
+            *left += offset;
+            *right += offset;
+        }
+        nodes.push(node);
+    }
+    offset
 }
 
 #[cfg(test)]
@@ -333,6 +415,50 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn threaded_fit_matches_serial_fit_on_small_data() {
+        // Small data never crosses the fork threshold, but the whole code
+        // path (budget plumbing, split fan-out guard) must stay identical.
+        let ds = xor_like_dataset();
+        let serial = TreeBuilder::new().max_depth(4).threads(1).fit(&ds).unwrap();
+        for threads in [2usize, 8] {
+            let par = TreeBuilder::new()
+                .max_depth(4)
+                .threads(threads)
+                .fit(&ds)
+                .unwrap();
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn threaded_fit_matches_serial_fit_above_fork_threshold() {
+        // Enough samples that the root split forks sibling subtree builds.
+        let mut ds = Dataset::new(vec!["x".into(), "y".into()], 2).unwrap();
+        let mut state = 99u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..6000 {
+            let (x, y) = (next(), next());
+            let label = u32::from(x + 0.3 * y > 0.6);
+            ds.push_row(&[x, y], label).unwrap();
+        }
+        let serial = TreeBuilder::new().max_depth(6).threads(1).fit(&ds).unwrap();
+        for threads in [2usize, 8] {
+            let par = TreeBuilder::new()
+                .max_depth(6)
+                .threads(threads)
+                .fit(&ds)
+                .unwrap();
+            assert_eq!(serial, par, "threads={threads}");
+        }
+        assert!(serial.n_nodes() > 3, "tree must actually have forked");
     }
 
     #[test]

@@ -1,10 +1,20 @@
 //! Split search strategies: exact (sort-and-scan over every distinct
 //! threshold) and histogram (binned, approximate but much faster on large
 //! nodes). The ablation bench `bench_dtree` compares both.
+//!
+//! The search can fan out across features on a thread budget
+//! ([`find_best_split_with_threads`]). Per-feature candidates are computed
+//! independently and reduced sequentially in feature order with the same
+//! comparison as the serial loop, so the selected split is **bit-identical**
+//! for every thread count.
 
 use crate::criterion::SplitCriterion;
 use crate::data::Dataset;
 use serde::{Deserialize, Serialize};
+
+/// Below this node workload (`samples × features`) the parallel fan-out is
+/// pure overhead and the search stays serial regardless of budget.
+const PARALLEL_SPLIT_MIN_WORK: usize = 8_192;
 
 /// Strategy used to enumerate candidate thresholds at a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
@@ -58,12 +68,37 @@ pub fn find_best_split(
     splitter: Splitter,
     min_samples_leaf: usize,
 ) -> Option<BestSplit> {
+    find_best_split_with_threads(
+        data,
+        idx,
+        parent_counts,
+        criterion,
+        splitter,
+        min_samples_leaf,
+        1,
+    )
+}
+
+/// [`find_best_split`] with per-feature fan-out over up to `threads`
+/// worker threads. The result is bit-identical to the serial search: each
+/// feature's candidate is computed independently (same floating-point
+/// operations in the same order) and the winner is reduced sequentially in
+/// ascending feature order, preferring the lower feature index on equal
+/// gain exactly like the serial loop.
+pub fn find_best_split_with_threads(
+    data: &Dataset,
+    idx: &[usize],
+    parent_counts: &[u64],
+    criterion: SplitCriterion,
+    splitter: Splitter,
+    min_samples_leaf: usize,
+    threads: usize,
+) -> Option<BestSplit> {
     let parent_impurity = criterion.impurity(parent_counts);
     if parent_impurity <= 0.0 {
         return None;
     }
-    let mut best: Option<BestSplit> = None;
-    for feature in 0..data.n_features() {
+    let search_feature = |feature: usize| -> Option<BestSplit> {
         let candidate = match splitter {
             Splitter::Exact => best_split_exact(
                 data,
@@ -83,22 +118,36 @@ pub fn find_best_split(
                 bins.max(2),
             ),
         };
-        if let Some(c) = candidate {
+        candidate.and_then(|c| {
             let gain = parent_impurity - c.weighted_impurity;
-            if gain > 1e-12 {
-                let better = match &best {
-                    None => true,
-                    Some(b) => gain > b.gain,
-                };
-                if better {
-                    best = Some(BestSplit {
-                        feature,
-                        threshold: c.threshold,
-                        gain,
-                        n_left: c.n_left,
-                    });
-                }
-            }
+            (gain > 1e-12).then_some(BestSplit {
+                feature,
+                threshold: c.threshold,
+                gain,
+                n_left: c.n_left,
+            })
+        })
+    };
+
+    let n_features = data.n_features();
+    let per_feature: Vec<Option<BestSplit>> =
+        if threads > 1 && n_features > 1 && idx.len() * n_features >= PARALLEL_SPLIT_MIN_WORK {
+            let features: Vec<usize> = (0..n_features).collect();
+            parallel::par_map(threads, &features, |&feature| search_feature(feature))
+        } else {
+            (0..n_features).map(search_feature).collect()
+        };
+
+    // Deterministic reduction: ascending feature order, strict improvement
+    // required — identical tie-breaking to the serial loop.
+    let mut best: Option<BestSplit> = None;
+    for candidate in per_feature.into_iter().flatten() {
+        let better = match &best {
+            None => true,
+            Some(b) => candidate.gain > b.gain,
+        };
+        if better {
+            best = Some(candidate);
         }
     }
     best
@@ -362,6 +411,45 @@ mod tests {
         assert!(
             find_best_split(&ds, &idx, &counts, SplitCriterion::Gini, Splitter::Exact, 1).is_none()
         );
+    }
+
+    #[test]
+    fn threaded_split_search_matches_serial() {
+        // Large enough to clear PARALLEL_SPLIT_MIN_WORK with 4 features.
+        let mut ds = Dataset::new(vec!["a".into(), "b".into(), "c".into(), "d".into()], 2).unwrap();
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..4000 {
+            let row = [next(), next(), next(), next()];
+            let label = u32::from(row[1] > 0.55);
+            ds.push_row(&row, label).unwrap();
+        }
+        let idx: Vec<usize> = (0..ds.n_samples()).collect();
+        let counts = ds.class_counts();
+        for splitter in [Splitter::Exact, Splitter::Histogram { bins: 32 }] {
+            let serial =
+                find_best_split(&ds, &idx, &counts, SplitCriterion::Gini, splitter, 1).unwrap();
+            for threads in [2usize, 8] {
+                let par = find_best_split_with_threads(
+                    &ds,
+                    &idx,
+                    &counts,
+                    SplitCriterion::Gini,
+                    splitter,
+                    1,
+                    threads,
+                )
+                .unwrap();
+                assert_eq!(serial, par, "{splitter:?} threads={threads}");
+                assert_eq!(serial.gain.to_bits(), par.gain.to_bits());
+                assert_eq!(serial.threshold.to_bits(), par.threshold.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,13 @@
 //! Evaluation of the six uncertainty-estimation approaches of Table I on
 //! the test windows.
+//!
+//! The replay runs on the multi-stream [`TauwEngine`]: every test window is
+//! a stream, and each wave of the window advances all streams through one
+//! batched [`TauwEngine::step_many`] call — the same inference path a
+//! production deployment would use. Results are bit-identical to replaying
+//! each series through its own [`tauw_core::tauw::TauwSession`].
 
+use tauw_core::engine::TauwEngine;
 use tauw_core::tauw::TimeseriesAwareWrapper;
 use tauw_core::training::TrainingSeries;
 use tauw_core::CoreError;
@@ -141,6 +148,12 @@ pub struct TestEvaluation {
 /// Replays the test series through the trained wrapper and collects every
 /// approach's uncertainty per case.
 ///
+/// Every series becomes one engine stream; step `j` of all series is
+/// submitted as one batched [`TauwEngine::step_many`] wave. The engine
+/// guarantees stream independence, so the records are bit-identical to the
+/// sequential one-session-per-series replay, in the same (series, step)
+/// order.
+///
 /// # Errors
 ///
 /// Returns [`CoreError`] on feature-arity mismatch.
@@ -149,14 +162,12 @@ pub fn evaluate(
     test: &[TrainingSeries],
 ) -> Result<TestEvaluation, CoreError> {
     let window_len = test.iter().map(TrainingSeries::len).max().unwrap_or(0);
+    let waves = TauwEngine::new(tauw.clone()).step_series_waves(test)?;
     let mut cases = Vec::with_capacity(test.iter().map(TrainingSeries::len).sum());
-    let mut session = tauw.new_session();
     let mut step_uncertainties: Vec<f64> = Vec::with_capacity(window_len);
-    for series in test {
-        session.begin_series();
+    for (series, outs) in test.iter().zip(&waves) {
         step_uncertainties.clear();
-        for (j, step) in series.steps.iter().enumerate() {
-            let out = session.step(&step.quality_factors, step.outcome)?;
+        for (j, out) in outs.iter().enumerate() {
             step_uncertainties.push(out.stateless_uncertainty);
             let u_naive = UncertaintyFusion::Naive
                 .fuse(&step_uncertainties)
@@ -354,6 +365,30 @@ mod tests {
         let us = eval.uncertainties(Approach::IfTauw);
         let manual_min = us.iter().copied().fold(f64::INFINITY, f64::min);
         assert_eq!(min_u, manual_min);
+    }
+
+    #[test]
+    fn engine_replay_matches_sequential_sessions_bitwise() {
+        // The batched multi-stream replay must be indistinguishable from
+        // one dedicated session per series.
+        let (ctx, eval) = small_eval();
+        let mut session = ctx.tauw.new_session();
+        let mut idx = 0usize;
+        for series in &ctx.test {
+            session.begin_series();
+            for step in &series.steps {
+                let out = session.step(&step.quality_factors, step.outcome).unwrap();
+                let case = &eval.cases[idx];
+                assert_eq!(case.u_tauw.to_bits(), out.uncertainty.to_bits());
+                assert_eq!(
+                    case.u_stateless.to_bits(),
+                    out.stateless_uncertainty.to_bits()
+                );
+                assert_eq!(case.fused_failed, out.fused_outcome != series.true_outcome);
+                idx += 1;
+            }
+        }
+        assert_eq!(idx, eval.cases.len());
     }
 
     #[test]

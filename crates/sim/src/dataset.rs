@@ -40,10 +40,16 @@ impl GtsrbLikeDataset {
 }
 
 /// Deterministic builder for [`GtsrbLikeDataset`].
+///
+/// Generation is embarrassingly parallel: every base series derives its
+/// own RNG stream from `(master seed, base index)`, so batches of base
+/// series fan out over a thread budget ([`DatasetBuilder::threads`]) and
+/// the result is **bit-identical** for every thread count.
 #[derive(Debug, Clone)]
 pub struct DatasetBuilder {
     config: SimConfig,
     seed: u64,
+    n_threads: Option<usize>,
 }
 
 impl DatasetBuilder {
@@ -54,7 +60,23 @@ impl DatasetBuilder {
     /// Returns the configuration's validation error, if any.
     pub fn new(config: SimConfig, seed: u64) -> Result<Self, String> {
         config.validate()?;
-        Ok(DatasetBuilder { config, seed })
+        Ok(DatasetBuilder {
+            config,
+            seed,
+            n_threads: None,
+        })
+    }
+
+    /// Pins the thread budget for [`DatasetBuilder::build`] (clamped to
+    /// ≥ 1). Unpinned builders use [`parallel::max_threads`]. The generated
+    /// dataset is bit-identical for every budget.
+    pub fn threads(&mut self, n: usize) -> &mut Self {
+        self.n_threads = Some(n.max(1));
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        self.n_threads.unwrap_or_else(parallel::max_threads).max(1)
     }
 
     /// Access to the configuration.
@@ -96,35 +118,42 @@ impl DatasetBuilder {
     }
 
     /// Training augmentation: one clean copy plus one copy per
-    /// (deficit, level).
+    /// (deficit, level). Base series fan out over the thread budget; the
+    /// per-base RNG stream and series ids depend only on the base index,
+    /// so output order and content match the serial loop exactly.
     fn build_train(&self, specs: &[SignClass]) -> Vec<SeriesRecord> {
         let ddm = SimulatedDdm::new(self.config.clone());
         let model = SituationModel::new();
-        let mut out = Vec::new();
-        let mut series_id = 0u64;
-        for (base_idx, &true_class) in specs.iter().enumerate() {
-            let base_seed = derive_seed(self.seed, 0x7EA1_0000 ^ base_idx as u64);
-            let mut rng = StdRng::seed_from_u64(base_seed);
-            // The clean variant keeps contextual fields plausible but zeroes
-            // the deficits.
-            let mut variants: Vec<DeficitVector> = vec![DeficitVector::zero()];
-            for kind in DeficitKind::ALL {
-                for &level in &self.config.train_intensity_levels {
-                    variants.push(DeficitVector::single(kind, level));
-                }
-            }
-            for deficits in variants {
-                let mut setting = model.sample(&mut rng);
-                setting.deficits = deficits;
-                out.push(ddm.generate_series(series_id, true_class, &setting, &mut rng));
-                series_id += 1;
+        // The clean variant keeps contextual fields plausible but zeroes
+        // the deficits.
+        let mut variants: Vec<DeficitVector> = vec![DeficitVector::zero()];
+        for kind in DeficitKind::ALL {
+            for &level in &self.config.train_intensity_levels {
+                variants.push(DeficitVector::single(kind, level));
             }
         }
-        out
+        let indexed: Vec<(usize, SignClass)> = specs.iter().copied().enumerate().collect();
+        let per_base: Vec<Vec<SeriesRecord>> = parallel::par_map(
+            self.effective_threads(),
+            &indexed,
+            |&(base_idx, true_class)| {
+                let base_seed = derive_seed(self.seed, 0x7EA1_0000 ^ base_idx as u64);
+                let mut rng = StdRng::seed_from_u64(base_seed);
+                let first_id = (base_idx * variants.len()) as u64;
+                let mut out = Vec::with_capacity(variants.len());
+                for (series_id, deficits) in (first_id..).zip(&variants) {
+                    let mut setting = model.sample(&mut rng);
+                    setting.deficits = *deficits;
+                    out.push(ddm.generate_series(series_id, true_class, &setting, &mut rng));
+                }
+                out
+            },
+        );
+        per_base.into_iter().flatten().collect()
     }
 
     /// Calibration/test augmentation: random settings, then window
-    /// subsampling.
+    /// subsampling. Parallel over base series like [`Self::build_train`].
     fn build_windows(
         &self,
         specs: &[SignClass],
@@ -135,20 +164,25 @@ impl DatasetBuilder {
         let model = SituationModel::new();
         let window_len = self.config.window_len;
         let n_frames = self.config.geometry.n_frames;
-        let mut out = Vec::with_capacity(specs.len() * augmentations);
-        let mut series_id = salt << 32;
-        for (base_idx, &true_class) in specs.iter().enumerate() {
-            let base_seed = derive_seed(self.seed, salt ^ ((base_idx as u64) << 8));
-            let mut rng = StdRng::seed_from_u64(base_seed);
-            for _ in 0..augmentations {
-                let setting: SituationSetting = model.sample(&mut rng);
-                let full = ddm.generate_series(series_id, true_class, &setting, &mut rng);
-                let start = rng.gen_range(0..=n_frames - window_len);
-                out.push(full.window(start, window_len));
-                series_id += 1;
-            }
-        }
-        out
+        let indexed: Vec<(usize, SignClass)> = specs.iter().copied().enumerate().collect();
+        let per_base: Vec<Vec<SeriesRecord>> = parallel::par_map(
+            self.effective_threads(),
+            &indexed,
+            |&(base_idx, true_class)| {
+                let base_seed = derive_seed(self.seed, salt ^ ((base_idx as u64) << 8));
+                let mut rng = StdRng::seed_from_u64(base_seed);
+                let first_id = (salt << 32) + (base_idx * augmentations) as u64;
+                let mut out = Vec::with_capacity(augmentations);
+                for series_id in first_id..first_id + augmentations as u64 {
+                    let setting: SituationSetting = model.sample(&mut rng);
+                    let full = ddm.generate_series(series_id, true_class, &setting, &mut rng);
+                    let start = rng.gen_range(0..=n_frames - window_len);
+                    out.push(full.window(start, window_len));
+                }
+                out
+            },
+        );
+        per_base.into_iter().flatten().collect()
     }
 }
 
@@ -205,6 +239,17 @@ mod tests {
         assert_eq!(a.train.len(), b.train.len());
         assert_eq!(a.test[3], b.test[3]);
         assert_eq!(a.train[5], b.train[5]);
+    }
+
+    #[test]
+    fn build_is_bit_identical_across_thread_counts() {
+        let serial = small_builder().threads(1).build();
+        for threads in [2usize, 8] {
+            let par = small_builder().threads(threads).build();
+            assert_eq!(serial.train, par.train, "threads={threads}");
+            assert_eq!(serial.calib, par.calib, "threads={threads}");
+            assert_eq!(serial.test, par.test, "threads={threads}");
+        }
     }
 
     #[test]

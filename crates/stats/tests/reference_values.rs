@@ -168,3 +168,79 @@ fn brier_decomposition_murphy_identity() {
     assert_eq!(d.n_samples, 500);
     assert_eq!(d.n_groups, levels.len());
 }
+
+/// AUC on a 4-point example small enough to enumerate by hand.
+///
+/// Scores (uncertainties) 0.8, 0.6, 0.4, 0.2 with failure labels
+/// T, F, T, F give four (positive, negative) pairs:
+/// (0.8 > 0.6) ✓, (0.8 > 0.2) ✓, (0.4 < 0.6) ✗, (0.4 > 0.2) ✓ —
+/// i.e. the Mann–Whitney statistic is 3/4.
+#[test]
+fn roc_auc_matches_hand_computed_four_point_example() {
+    use tauw_stats::roc::{auc, RocCurve};
+    let scores = [0.8, 0.6, 0.4, 0.2];
+    let failed = [true, false, true, false];
+    let got = auc(&scores, &failed).unwrap();
+    assert!((got - 0.75).abs() < 1e-12, "AUC {got}, expected 0.75");
+
+    // The curve itself: thresholds descend 0.8, 0.6, 0.4, 0.2 producing
+    // (fpr, tpr) = (0,0) → (0,0.5) → (0.5,0.5) → (0.5,1) → (1,1).
+    let curve = RocCurve::from_scores(&scores, &failed).unwrap();
+    let pts: Vec<(f64, f64)> = curve.points.iter().map(|p| (p.fpr, p.tpr)).collect();
+    assert_eq!(
+        pts,
+        vec![(0.0, 0.0), (0.0, 0.5), (0.5, 0.5), (0.5, 1.0), (1.0, 1.0)]
+    );
+    assert_eq!(curve.n_positive(), 2);
+    assert_eq!(curve.n_negative(), 2);
+}
+
+/// Tied scores across classes count half a pair each (trapezoidal rule):
+/// positives {0.5, 0.5}, negatives {0.5, 0.1} → pairs
+/// (0.5 vs 0.5) ½, (0.5 vs 0.1) 1, twice ⇒ AUC = (½ + 1 + ½ + 1)/4 = 0.75.
+#[test]
+fn roc_auc_handles_cross_class_ties_as_half_wins() {
+    use tauw_stats::roc::auc;
+    let scores = [0.5, 0.5, 0.5, 0.1];
+    let failed = [true, true, false, false];
+    let got = auc(&scores, &failed).unwrap();
+    assert!((got - 0.75).abs() < 1e-12, "AUC {got}, expected 0.75");
+
+    // All-tied degenerates to chance level exactly.
+    let flat = auc(&[0.3; 6], &[true, false, true, false, true, false]).unwrap();
+    assert!((flat - 0.5).abs() < 1e-12);
+}
+
+/// Full hand-computed Murphy decomposition: forecasts 0.2, 0.2, 0.6, 0.6
+/// against failures F, T, T, T.
+///
+/// * base rate ȳ = 3/4, variance = 3/16 = 0.1875
+/// * group 0.2 observes rate 1/2, group 0.6 observes rate 1
+/// * resolution = ½(½−¾)² + ½(1−¾)² = 0.0625
+/// * unreliability = ½(0.2−0.5)² + ½(0.6−1)² = 0.045 + 0.08 = 0.125
+/// * Brier = var − res + unrel = 0.1875 − 0.0625 + 0.125 = **0.25**,
+///   matching the direct mean of squared errors (0.04+0.64+0.16+0.16)/4.
+#[test]
+fn brier_decomposition_sums_to_total_on_hand_computed_example() {
+    let forecasts = [0.2, 0.2, 0.6, 0.6];
+    let failures = [false, true, true, true];
+    let d = BrierDecomposition::compute(
+        &forecasts,
+        &failures,
+        Grouping::UniqueValues { tolerance: 0.0 },
+    )
+    .unwrap();
+    assert!((d.brier - 0.25).abs() < 1e-12);
+    assert!((d.variance - 0.1875).abs() < 1e-12);
+    assert!((d.resolution - 0.0625).abs() < 1e-12);
+    assert!((d.unreliability - 0.125).abs() < 1e-12);
+    assert!((d.brier - (d.variance - d.resolution + d.unreliability)).abs() < 1e-12);
+    assert!(d.within_group_residual.abs() < 1e-12);
+    // Both groups underestimate their observed failure rate: the entire
+    // unreliability is overconfidence, none underconfidence.
+    assert!((d.overconfidence - 0.125).abs() < 1e-12);
+    assert!(d.underconfidence.abs() < 1e-12);
+    let plain = brier_score(&forecasts, &failures).unwrap();
+    assert!((plain - d.brier).abs() < 1e-15);
+    assert_eq!(d.n_groups, 2);
+}

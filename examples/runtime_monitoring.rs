@@ -3,16 +3,26 @@
 //! fixed residual-risk budget when uncertainty estimates are
 //! timeseries-aware?
 //!
+//! The replay runs on the multi-stream [`TauwEngine`]: test windows are
+//! served in cohorts of concurrent streams, each frame advancing the whole
+//! cohort through one batched `step_many` call — the deployment shape where
+//! one trained wrapper monitors many vehicles at once. Stream independence
+//! makes the estimates identical to per-series sessions.
+//!
 //! ```text
 //! cargo run --release --example runtime_monitoring
 //! ```
 
+use tauw_suite::core::engine::TauwEngine;
 use tauw_suite::core::monitor::{MonitorDecision, UncertaintyMonitor};
 use tauw_suite::core::tauw::TauwBuilder;
 use tauw_suite::core::training::{TrainingSeries, TrainingStep};
 use tauw_suite::core::wrapper::WrapperBuilder;
 use tauw_suite::core::CalibrationOptions;
 use tauw_suite::sim::{DatasetBuilder, QualityObservation, SeriesRecord, SimConfig};
+
+/// How many streams the engine serves concurrently per cohort.
+const COHORT_STREAMS: usize = 16;
 
 fn convert(records: &[SeriesRecord]) -> Vec<TrainingSeries> {
     records
@@ -56,27 +66,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let test = convert(&data.test);
+    println!(
+        "serving {} test windows on a {COHORT_STREAMS}-stream engine\n",
+        test.len()
+    );
     println!("uncertainty budget | channel      | availability | accepted-outcome error rate");
     println!("-------------------+--------------+--------------+----------------------------");
+    // Serve the windows in cohorts of concurrent streams; within a cohort
+    // every frame is one batched multi-stream wave. The estimates do not
+    // depend on the monitor configuration, so one inference pass feeds all
+    // budget × channel rows below.
+    let mut engine = TauwEngine::new(tauw);
+    let cohort_waves = test
+        .chunks(COHORT_STREAMS)
+        .map(|cohort| engine.step_series_waves(cohort))
+        .collect::<Result<Vec<_>, _>>()?;
     for budget in [0.15, 0.05, 0.02] {
         for use_tauw in [false, true] {
             let mut monitor = UncertaintyMonitor::new(budget);
             let mut accepted_failures = 0u64;
             let mut accepted = 0u64;
-            let mut session = tauw.new_session();
-            for series in &test {
-                session.begin_series();
-                for (j, step) in series.steps.iter().enumerate() {
-                    let out = session.step(&step.quality_factors, step.outcome)?;
-                    let (uncertainty, failed) = if use_tauw {
-                        (out.uncertainty, out.fused_outcome != series.true_outcome)
-                    } else {
-                        (out.stateless_uncertainty, series.is_failure(j))
-                    };
-                    if monitor.assess(uncertainty) == MonitorDecision::Accept {
-                        accepted += 1;
-                        if failed {
-                            accepted_failures += 1;
+            for (cohort, waves) in test.chunks(COHORT_STREAMS).zip(&cohort_waves) {
+                for (series, outs) in cohort.iter().zip(waves) {
+                    for (j, out) in outs.iter().enumerate() {
+                        let (uncertainty, failed) = if use_tauw {
+                            (out.uncertainty, out.fused_outcome != series.true_outcome)
+                        } else {
+                            (out.stateless_uncertainty, series.is_failure(j))
+                        };
+                        if monitor.assess(uncertainty) == MonitorDecision::Accept {
+                            accepted += 1;
+                            if failed {
+                                accepted_failures += 1;
+                            }
                         }
                     }
                 }

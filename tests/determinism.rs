@@ -131,6 +131,135 @@ fn persisted_wrapper_reproduces_bit_identical_estimates() {
 }
 
 #[test]
+fn parallel_fit_is_bit_identical_across_thread_counts() {
+    // A dataset large enough that both the per-feature split fan-out and
+    // the sibling-subtree fork actually engage (root children ≥ 1024).
+    use tauw_suite::dtree::{Dataset, Splitter, TreeBuilder};
+    let mut state = 0xD7EEu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut ds = Dataset::with_anonymous_features(6, 3).unwrap();
+    for _ in 0..8000 {
+        let row: Vec<f64> = (0..6).map(|_| next()).collect();
+        let label = ((row[0] * 2.0 + row[3]) as u32).min(2);
+        ds.push_row(&row, label).unwrap();
+    }
+    for splitter in [Splitter::Exact, Splitter::Histogram { bins: 32 }] {
+        let serial = TreeBuilder::new()
+            .splitter(splitter)
+            .max_depth(8)
+            .threads(1)
+            .fit(&ds)
+            .unwrap();
+        let serial_json = serde_json::to_string(&serial).unwrap();
+        let serial_text = tauw_suite::dtree::export::to_text(&serial);
+        for threads in [2usize, 8] {
+            let par = TreeBuilder::new()
+                .splitter(splitter)
+                .max_depth(8)
+                .threads(threads)
+                .fit(&ds)
+                .unwrap();
+            // Structural equality AND byte-for-byte identical exports: the
+            // parallel build must reproduce the serial pre-order node
+            // layout exactly, not just an equivalent predictor.
+            assert_eq!(serial, par, "{splitter:?} threads={threads}");
+            assert_eq!(
+                serial_json,
+                serde_json::to_string(&par).unwrap(),
+                "{splitter:?} threads={threads}: serialized trees diverged"
+            );
+            assert_eq!(
+                serial_text,
+                tauw_suite::dtree::export::to_text(&par),
+                "{splitter:?} threads={threads}: text exports diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_step_many_matches_sequential_single_stream_wrappers() {
+    use tauw_suite::core::engine::{StreamId, StreamStep, TauwEngine};
+
+    let config = SimConfig::scaled(0.04);
+    let data = DatasetBuilder::new(config, 31).unwrap().build();
+    let mut wb = WrapperBuilder::new();
+    wb.max_depth(6).calibration(CalibrationOptions {
+        min_samples_per_leaf: 50,
+        confidence: 0.99,
+        ..Default::default()
+    });
+    let mut builder = TauwBuilder::new();
+    builder.wrapper(wb);
+    let tauw = builder
+        .fit(
+            QualityObservation::feature_names(),
+            &convert(&data.train),
+            &convert(&data.calib),
+        )
+        .unwrap();
+
+    let streams: Vec<_> = convert(&data.test).into_iter().take(32).collect();
+
+    // Reference: one dedicated session per stream, stepped sequentially.
+    let mut expected: Vec<Vec<tauw_suite::core::tauw::TauwStep>> = Vec::new();
+    for series in &streams {
+        let mut session = tauw.new_session();
+        session.begin_series();
+        expected.push(
+            series
+                .steps
+                .iter()
+                .map(|s| session.step(&s.quality_factors, s.outcome).unwrap())
+                .collect(),
+        );
+    }
+
+    // Engine: all streams advance together, one batched call per wave,
+    // across several thread budgets.
+    for threads in [1usize, 2, 8] {
+        let mut engine = TauwEngine::new(tauw.clone());
+        engine.threads(threads);
+        let window_len = streams.iter().map(|s| s.steps.len()).max().unwrap();
+        let mut got: Vec<Vec<tauw_suite::core::tauw::TauwStep>> = vec![Vec::new(); streams.len()];
+        for j in 0..window_len {
+            let mut positions = Vec::new();
+            let mut batch = Vec::new();
+            for (s, series) in streams.iter().enumerate() {
+                if let Some(step) = series.steps.get(j) {
+                    positions.push(s);
+                    batch.push(StreamStep::new(
+                        StreamId(s as u64),
+                        step.quality_factors.clone(),
+                        step.outcome,
+                    ));
+                }
+            }
+            for (&s, out) in positions.iter().zip(engine.step_many(&batch).unwrap()) {
+                got[s].push(out);
+            }
+        }
+        assert_eq!(expected.len(), got.len());
+        for (s, (want, have)) in expected.iter().zip(&got).enumerate() {
+            assert_eq!(want.len(), have.len(), "stream {s} length");
+            for (k, (w, h)) in want.iter().zip(have).enumerate() {
+                assert_eq!(
+                    w.uncertainty.to_bits(),
+                    h.uncertainty.to_bits(),
+                    "stream {s} step {k} threads={threads}"
+                );
+                assert_eq!(w, h, "stream {s} step {k} threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
 fn dataset_generation_is_order_independent_per_series() {
     // Each series derives its RNG stream from (master seed, series index),
     // so regenerating the same world twice yields identical series even

@@ -259,6 +259,119 @@ proptest! {
     }
 
     #[test]
+    fn tree_predictions_invariant_under_sample_permutation(
+        rows in prop::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0u32..3),
+            20..150,
+        ),
+        perm_seed in 0u64..u64::MAX,
+        depth in 1usize..6,
+    ) {
+        use tauw_suite::dtree::{Dataset, TreeBuilder};
+        // Deterministic Fisher–Yates shuffle from the generated seed.
+        let mut permuted = rows.clone();
+        let mut state = perm_seed | 1;
+        for i in (1..permuted.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            permuted.swap(i, j);
+        }
+        let build = |data: &[(f64, f64, u32)]| {
+            let mut ds = Dataset::new(vec!["a".into(), "b".into()], 3).unwrap();
+            for (a, b, label) in data {
+                ds.push_row(&[*a, *b], *label).unwrap();
+            }
+            TreeBuilder::new().max_depth(depth).fit(&ds).unwrap()
+        };
+        let original = build(&rows);
+        let shuffled = build(&permuted);
+        // CART training is a function of the sample *multiset*: split
+        // search sorts per feature and class counts are order-free, so the
+        // trained trees — and thus all predictions — must coincide exactly.
+        prop_assert_eq!(&original, &shuffled);
+        for (a, b, _) in rows.iter().take(30) {
+            prop_assert_eq!(
+                original.predict_proba(&[*a, *b]).unwrap(),
+                shuffled.predict_proba(&[*a, *b]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_split_gain_never_beats_exact_gain(
+        rows in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0u32..2), 20..200),
+        bins in 2usize..64,
+        min_leaf in 1usize..8,
+    ) {
+        use tauw_suite::dtree::splitter::find_best_split;
+        use tauw_suite::dtree::{Dataset, SplitCriterion, Splitter};
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()], 2).unwrap();
+        for (a, b, label) in &rows {
+            ds.push_row(&[*a, *b], *label).unwrap();
+        }
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        let counts = ds.class_counts();
+        let exact = find_best_split(
+            &ds, &idx, &counts, SplitCriterion::Gini, Splitter::Exact, min_leaf,
+        );
+        let hist = find_best_split(
+            &ds, &idx, &counts, SplitCriterion::Gini,
+            Splitter::Histogram { bins }, min_leaf,
+        );
+        // Every histogram threshold induces a sample partition the exact
+        // scan also evaluates, so the exact splitter's gain dominates.
+        if let Some(h) = hist {
+            let e = exact.expect("exact must find a split whenever histogram does");
+            prop_assert!(
+                e.gain >= h.gain - 1e-9,
+                "exact gain {} < histogram gain {}", e.gain, h.gain
+            );
+        }
+    }
+
+    #[test]
+    fn every_leaf_respects_min_samples_leaf(
+        rows in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0u32..2), 10..200),
+        min_leaf in 1usize..20,
+        depth in 1usize..8,
+    ) {
+        use tauw_suite::dtree::{Dataset, NodeKind, TreeBuilder};
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()], 2).unwrap();
+        for (a, b, label) in &rows {
+            ds.push_row(&[*a, *b], *label).unwrap();
+        }
+        let tree = TreeBuilder::new()
+            .max_depth(depth)
+            .min_samples_leaf(min_leaf)
+            .fit(&ds)
+            .unwrap();
+        for leaf in tree.leaf_ids() {
+            let node = tree.node(leaf);
+            // The root may hold fewer samples than `min_samples_leaf` (an
+            // unsplit tiny dataset); every leaf *created by a split* must
+            // respect the bound.
+            if leaf != 0 {
+                prop_assert!(
+                    node.info.n >= min_leaf as u64,
+                    "leaf {leaf} holds {} < min_samples_leaf {min_leaf}", node.info.n
+                );
+            }
+        }
+        // And the structural invariant that makes that check meaningful:
+        // internal nodes route every sample to exactly one child.
+        for id in 0..tree.n_nodes() {
+            if let NodeKind::Internal { left, right, .. } = tree.node(id).kind {
+                prop_assert_eq!(
+                    tree.node(id).info.n,
+                    tree.node(left).info.n + tree.node(right).info.n
+                );
+            }
+        }
+    }
+
+    #[test]
     fn tree_routing_agrees_with_decision_path(
         rows in prop::collection::vec((0.0f64..1.0, 0u32..2), 30..120),
         queries in prop::collection::vec(0.0f64..1.0, 1..20),

@@ -1,0 +1,221 @@
+//! Vendored minimal parallel-execution primitives built on
+//! [`std::thread::scope`], mirroring the slice of a rayon-like API this
+//! workspace needs (`join`, `par_map`), so the build stays fully offline.
+//!
+//! Every primitive takes an explicit *thread budget* and guarantees
+//! **deterministic, input-order results**: work is split into contiguous
+//! chunks, each chunk is processed in order within one thread, and chunk
+//! results are concatenated in chunk order. A budget of 0 or 1 (or a
+//! single-element input) degenerates to the plain serial loop, so callers
+//! can assert bit-identical serial/parallel outputs by construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global default thread budget; 0 means "not yet resolved".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The process-wide default thread budget used when a caller does not pin
+/// an explicit count: the `TAUW_THREADS` environment variable if set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`].
+///
+/// The value is resolved once and cached.
+pub fn max_threads() -> usize {
+    let cached = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let resolved = std::env::var("TAUW_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    DEFAULT_THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the process-wide default thread budget (0 restores the
+/// environment-derived default on next query). Outputs of the primitives
+/// are identical for every budget; this only changes scheduling.
+pub fn set_max_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// Runs both closures, potentially concurrently, and returns their results
+/// as `(a, b)`. With `threads <= 1` the closures run sequentially on the
+/// caller's thread (`a` first), which produces the same results because the
+/// closures are independent.
+///
+/// `threads` is the *total* budget for both sides; the caller conventionally
+/// passes half of it on to nested joins inside each closure.
+///
+/// # Examples
+///
+/// ```
+/// let (a, b) = parallel::join(2, || 6 * 7, || "ok");
+/// assert_eq!((a, b), (42, "ok"));
+/// ```
+pub fn join<RA, RB>(
+    threads: usize,
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if threads <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(a);
+        let rb = b();
+        let ra = handle.join().expect("parallel::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Maps `f` over `items` with up to `threads` worker threads, returning the
+/// results **in input order**. The slice is split into at most `threads`
+/// contiguous chunks; each chunk is mapped left-to-right within a single
+/// thread, so for a pure `f` the output is bit-identical to the serial
+/// `items.iter().map(f)`.
+///
+/// # Examples
+///
+/// ```
+/// let squares = parallel::par_map(4, &[1, 2, 3, 4, 5], |&x: &i32| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// ```
+pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let chunk_len = match chunk_len(threads, items.len()) {
+        Some(len) => len,
+        None => return items.iter().map(f).collect(),
+    };
+    std::thread::scope(|scope| {
+        let mut chunks = items.chunks(chunk_len);
+        let first = chunks.next().expect("non-empty input");
+        let handles: Vec<_> = chunks
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<U>>()))
+            .collect();
+        let mut out: Vec<U> = first.iter().map(&f).collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel::par_map worker panicked"));
+        }
+        out
+    })
+}
+
+/// Like [`par_map`] but with mutable access to each item (e.g. advancing
+/// independent per-stream state machines). Results are returned in input
+/// order; each item is visited exactly once.
+pub fn par_map_mut<T, U, F>(threads: usize, items: &mut [T], f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(&mut T) -> U + Sync,
+{
+    let chunk_len = match chunk_len(threads, items.len()) {
+        Some(len) => len,
+        None => return items.iter_mut().map(f).collect(),
+    };
+    std::thread::scope(|scope| {
+        let mut chunks = items.chunks_mut(chunk_len);
+        let first = chunks.next().expect("non-empty input");
+        let handles: Vec<_> = chunks
+            .map(|chunk| scope.spawn(|| chunk.iter_mut().map(&f).collect::<Vec<U>>()))
+            .collect();
+        let mut out: Vec<U> = first.iter_mut().map(&f).collect();
+        for handle in handles {
+            out.extend(
+                handle
+                    .join()
+                    .expect("parallel::par_map_mut worker panicked"),
+            );
+        }
+        out
+    })
+}
+
+/// Chunk length for fanning `n` items out over `threads`, or `None` when
+/// the serial path should be used.
+fn chunk_len(threads: usize, n: usize) -> Option<usize> {
+    if threads <= 1 || n <= 1 {
+        return None;
+    }
+    Some(n.div_ceil(threads.min(n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_in_declaration_order() {
+        for threads in [0, 1, 2, 8] {
+            let (a, b) = join(threads, || 1, || 2);
+            assert_eq!((a, b), (1, 2));
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_input_order_for_all_budgets() {
+        let items: Vec<u64> = (0..997).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x)).collect();
+        for threads in [1, 2, 3, 8, 64, 2000] {
+            let out = par_map(threads, &items, |&x| x.wrapping_mul(x));
+            assert_eq!(out, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_tiny_inputs() {
+        assert_eq!(par_map(8, &[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(par_map(8, &[5u32], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn par_map_mut_visits_each_item_once() {
+        for threads in [1, 4] {
+            let mut items = vec![0u32; 100];
+            let out = par_map_mut(threads, &mut items, |x| {
+                *x += 1;
+                *x
+            });
+            assert_eq!(out, vec![1; 100]);
+            assert_eq!(items, vec![1; 100]);
+        }
+    }
+
+    #[test]
+    fn set_max_threads_overrides_and_restores() {
+        set_max_threads(3);
+        assert_eq!(max_threads(), 3);
+        set_max_threads(0);
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_join_inside_par_map_works() {
+        let items: Vec<u32> = (0..16).collect();
+        let out = par_map(4, &items, |&x| {
+            let (a, b) = join(2, move || x, move || x + 1);
+            a + b
+        });
+        let expected: Vec<u32> = items.iter().map(|&x| 2 * x + 1).collect();
+        assert_eq!(out, expected);
+    }
+}
