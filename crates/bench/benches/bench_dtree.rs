@@ -47,9 +47,13 @@ fn bench_training(c: &mut Criterion) {
 fn bench_prediction(c: &mut Criterion) {
     let ds = make_dataset(20_000, 10);
     let tree = TreeBuilder::new().max_depth(8).fit(&ds).expect("fit");
+    let flat = tauw_dtree::FlatTree::from_tree(&tree);
     let query: Vec<f64> = (0..10).map(|i| i as f64 / 10.0).collect();
     c.bench_function("tree_predict_single", |b| {
         b.iter(|| tree.predict(black_box(&query)).expect("predict"));
+    });
+    c.bench_function("flat_predict_single", |b| {
+        b.iter(|| flat.predict(black_box(&query)).expect("predict"));
     });
     c.bench_function("tree_leaf_routing_1k_rows", |b| {
         b.iter(|| {
@@ -60,6 +64,35 @@ fn bench_prediction(c: &mut Criterion) {
             }
         });
     });
+    c.bench_function("flat_leaf_routing_1k_rows", |b| {
+        b.iter(|| {
+            for i in 0..1000 {
+                let mut q = query.clone();
+                q[0] = (i % 100) as f64 / 100.0;
+                black_box(flat.predict_leaf_id(&q).expect("route"));
+            }
+        });
+    });
+    let batch: Vec<Vec<f64>> = (0..1000)
+        .map(|i| {
+            let mut q = query.clone();
+            q[0] = (i % 100) as f64 / 100.0;
+            q
+        })
+        .collect();
+    let mut group = c.benchmark_group("flat_batch_routing_1k_rows");
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let mut out = Vec::with_capacity(batch.len());
+            b.iter(|| {
+                out.clear();
+                flat.predict_leaf_ids_into(t, black_box(&batch), &mut out)
+                    .expect("batch");
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
 }
 
 fn bench_pruning(c: &mut Criterion) {

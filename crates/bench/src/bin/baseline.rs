@@ -1,7 +1,19 @@
 //! Perf-trajectory baseline: times the parallel training and multi-stream
 //! inference hot paths at a fixed scale and writes machine-readable
 //! `BENCH_dtree.json` and `BENCH_pipeline.json` files (wall time +
-//! throughput, serial vs parallel, bit-identity verdicts).
+//! throughput, baseline-vs-contender pairs, bit-identity verdicts).
+//!
+//! Two kinds of comparison rows share one schema:
+//!
+//! * **serial vs parallel** — the same code on thread budgets 1 and N
+//!   (training fan-out, series replay, batched engine waves);
+//! * **pointer vs flat** — the arena [`tauw_dtree::DecisionTree`] against
+//!   the compiled [`tauw_dtree::FlatTree`] serving form, on raw leaf
+//!   routing and on the calibrated QIM lookup.
+//!
+//! Every row records whether the two sides produced bit-identical outputs;
+//! the CI `bench-regression` job fails the build on any `false`, on schema
+//! drift, or on a throughput collapse against the committed files.
 //!
 //! The committed files at the repo root are the baseline; regenerate with
 //!
@@ -15,12 +27,14 @@ use serde::Serialize;
 use std::time::Instant;
 use tauw_core::engine::TauwEngine;
 use tauw_core::tauw::replay_with_threads;
-use tauw_dtree::{Dataset, Splitter, TreeBuilder};
+use tauw_dtree::{Dataset, FlatTree, Splitter, TreeBuilder};
 use tauw_experiments::ExperimentContext;
 use tauw_stats::bootstrap::SplitMix64;
 
 /// Schema tag so CI can detect malformed or stale baseline files.
-const SCHEMA: &str = "tauw-bench-baseline/v1";
+/// v2: rows carry explicit `baseline_label` / `contender_label` columns so
+/// pointer-vs-flat rows coexist with serial-vs-parallel rows.
+const SCHEMA: &str = "tauw-bench-baseline/v2";
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -83,20 +97,25 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, last.expect("at least one repetition"))
 }
 
-/// One serial-vs-parallel comparison row.
+/// One timed comparison row: a baseline implementation against a
+/// contender, with throughput on both sides and a bit-identity verdict.
 #[derive(Debug, Serialize)]
 struct Comparison {
     name: String,
-    /// Work units processed per run (rows for training, steps for replay
-    /// and inference) — the numerator of the throughput columns.
+    /// Work units processed per run (rows for training, routed samples or
+    /// steps for inference) — the numerator of the throughput columns.
     work_units: u64,
-    serial_ms: f64,
-    parallel_ms: f64,
-    /// `serial / parallel`; > 1 means the parallel path is faster.
+    /// What the `baseline_*` columns measure (e.g. "serial", "pointer").
+    baseline_label: String,
+    /// What the `contender_*` columns measure (e.g. "parallel(4)", "flat").
+    contender_label: String,
+    baseline_ms: f64,
+    contender_ms: f64,
+    /// `baseline / contender` wall time; > 1 means the contender is faster.
     speedup: f64,
-    serial_per_s: f64,
-    parallel_per_s: f64,
-    /// Whether serial and parallel outputs were verified bit-identical.
+    baseline_per_s: f64,
+    contender_per_s: f64,
+    /// Whether both sides produced verified bit-identical outputs.
     bit_identical: bool,
 }
 
@@ -104,20 +123,35 @@ impl Comparison {
     fn new(
         name: &str,
         work_units: u64,
-        serial_s: f64,
-        parallel_s: f64,
+        (baseline_label, baseline_s): (&str, f64),
+        (contender_label, contender_s): (&str, f64),
         bit_identical: bool,
     ) -> Self {
         Comparison {
             name: name.to_string(),
             work_units,
-            serial_ms: serial_s * 1e3,
-            parallel_ms: parallel_s * 1e3,
-            speedup: serial_s / parallel_s,
-            serial_per_s: work_units as f64 / serial_s,
-            parallel_per_s: work_units as f64 / parallel_s,
+            baseline_label: baseline_label.to_string(),
+            contender_label: contender_label.to_string(),
+            baseline_ms: baseline_s * 1e3,
+            contender_ms: contender_s * 1e3,
+            speedup: baseline_s / contender_s,
+            baseline_per_s: work_units as f64 / baseline_s,
+            contender_per_s: work_units as f64 / contender_s,
             bit_identical,
         }
+    }
+
+    fn print(&self) {
+        println!(
+            "{}: {} {:.2} ms vs {} {:.2} ms ({:.2}x, identical={})",
+            self.name,
+            self.baseline_label,
+            self.baseline_ms,
+            self.contender_label,
+            self.contender_ms,
+            self.speedup,
+            self.bit_identical,
+        );
     }
 }
 
@@ -129,23 +163,29 @@ struct Report {
     threads_parallel: usize,
     repetitions: usize,
     host_parallelism: usize,
-    /// How to read the speedup columns on this host.
+    /// Host description plus how to read the speedup columns, composed
+    /// programmatically from the environment the run actually saw.
     note: String,
     results: Vec<Comparison>,
 }
 
 fn write_report(opts: &Options, file: &str, bench: &str, results: Vec<Comparison>) {
     let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let note = if host_parallelism < opts.threads {
+    let reading_guide = if host_parallelism < opts.threads {
         format!(
-            "host exposes only {host_parallelism} hardware thread(s) for a \
-             {}-thread budget: parallel rows measure scheduling overhead, not \
-             speedup; regenerate on a multicore host to measure scaling",
+            "host exposes fewer hardware threads than the {}-thread budget: \
+             parallel rows measure scheduling overhead, not speedup; \
+             regenerate on a multicore host to measure scaling",
             opts.threads
         )
     } else {
-        "speedup = serial / parallel wall time; > 1 means the parallel path wins".to_string()
+        "speedup = baseline / contender wall time; > 1 means the contender wins".to_string()
     };
+    let note = format!(
+        "host: {host_parallelism} hardware thread(s), {}-{}; {reading_guide}",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    );
     let report = Report {
         schema: SCHEMA.to_string(),
         bench: bench.to_string(),
@@ -176,10 +216,19 @@ fn make_dataset(n: usize, n_features: usize) -> Dataset {
     ds
 }
 
+/// Random query rows for the routing comparisons.
+fn make_queries(n: usize, n_features: usize) -> Vec<Vec<f64>> {
+    let mut rng = SplitMix64::new(0x51EE7);
+    (0..n)
+        .map(|_| (0..n_features).map(|_| rng.next_f64()).collect())
+        .collect()
+}
+
 fn bench_dtree(opts: &Options) {
     let rows = if opts.smoke { 3_000 } else { 20_000 };
     let ds = make_dataset(rows, 10);
     let mut results = Vec::new();
+    let parallel_label = format!("parallel({})", opts.threads);
     for (name, splitter) in [
         ("fit_exact_depth8", Splitter::Exact),
         ("fit_histogram64_depth8", Splitter::Histogram { bins: 64 }),
@@ -199,17 +248,65 @@ fn bench_dtree(opts: &Options) {
         results.push(Comparison::new(
             name,
             rows as u64,
-            serial_s,
-            parallel_s,
+            ("serial", serial_s),
+            (&parallel_label, parallel_s),
             identical,
         ));
-        println!(
-            "dtree/{name}: serial {:.1} ms, parallel({}) {:.1} ms, identical={identical}",
-            serial_s * 1e3,
-            opts.threads,
-            parallel_s * 1e3,
-        );
+        results.last().expect("just pushed").print();
     }
+
+    // Routing: the pointer arena tree vs the flattened SoA serving form,
+    // one query at a time (the wrapper's per-step shape).
+    let tree = TreeBuilder::new()
+        .splitter(Splitter::Exact)
+        .max_depth(8)
+        .fit(&ds)
+        .expect("fit");
+    let flat = FlatTree::from_tree(&tree);
+    let queries = make_queries(rows, 10);
+    let (pointer_s, pointer_leaves) = time_best(opts.repetitions, || {
+        queries
+            .iter()
+            .map(|q| tree.leaf_id(q).expect("route"))
+            .collect::<Vec<_>>()
+    });
+    let (flat_s, flat_leaves) = time_best(opts.repetitions, || {
+        queries
+            .iter()
+            .map(|q| flat.predict_leaf_id(q).expect("route"))
+            .collect::<Vec<_>>()
+    });
+    let identical = pointer_leaves.len() == flat_leaves.len()
+        && pointer_leaves
+            .iter()
+            .zip(&flat_leaves)
+            .all(|(&node, &lid)| flat.leaf(lid).node_id == node);
+    results.push(Comparison::new(
+        "route_single_pointer_vs_flat",
+        rows as u64,
+        ("pointer", pointer_s),
+        ("flat", flat_s),
+        identical,
+    ));
+    results.last().expect("just pushed").print();
+
+    // Batched flat routing across the thread fan-out.
+    let (batch1_s, batch1) = time_best(opts.repetitions, || {
+        flat.predict_leaf_ids(1, &queries).expect("batch")
+    });
+    let (batch_n_s, batch_n) = time_best(opts.repetitions, || {
+        flat.predict_leaf_ids(opts.threads, &queries)
+            .expect("batch")
+    });
+    results.push(Comparison::new(
+        "route_batch_flat",
+        rows as u64,
+        ("serial", batch1_s),
+        (&parallel_label, batch_n_s),
+        batch1 == batch_n && batch1 == flat_leaves,
+    ));
+    results.last().expect("just pushed").print();
+
     write_report(opts, "BENCH_dtree.json", "dtree", results);
 }
 
@@ -217,6 +314,7 @@ fn bench_pipeline(opts: &Options) {
     let scale = if opts.smoke { 0.02 } else { 0.1 };
     let ctx = ExperimentContext::build(scale, 0xBE5C).expect("bench context builds");
     let mut results = Vec::new();
+    let parallel_label = format!("parallel({})", opts.threads);
 
     // Training-side hot path: the series replay feeding taQIM fitting.
     let replay_steps: u64 = ctx.calib.iter().map(|s| s.len() as u64).sum();
@@ -227,20 +325,14 @@ fn bench_pipeline(opts: &Options) {
     let (parallel_s, parallel_rows) = time_best(opts.repetitions, || {
         replay_with_threads(stateless, &ctx.calib, opts.threads).expect("replay")
     });
-    let identical = serial_rows == parallel_rows;
     results.push(Comparison::new(
         "replay_calibration_series",
         replay_steps,
-        serial_s,
-        parallel_s,
-        identical,
+        ("serial", serial_s),
+        (&parallel_label, parallel_s),
+        serial_rows == parallel_rows,
     ));
-    println!(
-        "pipeline/replay: serial {:.1} ms, parallel({}) {:.1} ms, identical={identical}",
-        serial_s * 1e3,
-        opts.threads,
-        parallel_s * 1e3,
-    );
+    results.last().expect("just pushed").print();
 
     // Inference-side hot path: N concurrent streams through batched
     // engine waves, vs the same traffic on a single-thread budget. One
@@ -255,20 +347,60 @@ fn bench_pipeline(opts: &Options) {
         engine.threads(opts.threads);
         engine.step_series_waves(&ctx.test).expect("waves")
     });
-    let identical = serial_steps == parallel_steps;
     results.push(Comparison::new(
         "engine_step_many_test_streams",
         inference_steps,
-        serial_s,
-        parallel_s,
+        ("serial", serial_s),
+        (&parallel_label, parallel_s),
+        serial_steps == parallel_steps,
+    ));
+    results.last().expect("just pushed").print();
+
+    // The calibrated QIM lookup itself: pointer reference vs the flat
+    // serving path, over every stateless quality-factor vector in the test
+    // windows. This is the per-step tree cost the wrapper pays twice
+    // (stateless QIM + taQIM), isolated from buffering and fusion.
+    let qim = ctx.tauw.stateless().qim();
+    let qfs: Vec<&[f64]> = ctx
+        .test
+        .iter()
+        .flat_map(|s| s.steps.iter().map(|st| st.quality_factors.as_slice()))
+        .collect();
+    // Loop the query set several times per measured run so the row clears
+    // the timer granularity even at smoke scale.
+    const QIM_PASSES: usize = 32;
+    let (pointer_s, pointer_u) = time_best(opts.repetitions, || {
+        let mut out = Vec::with_capacity(qfs.len());
+        for _ in 0..QIM_PASSES {
+            out.clear();
+            out.extend(
+                qfs.iter()
+                    .map(|q| qim.uncertainty_reference(q).expect("reference")),
+            );
+        }
+        out
+    });
+    let (flat_s, flat_u) = time_best(opts.repetitions, || {
+        let mut out = Vec::with_capacity(qfs.len());
+        for _ in 0..QIM_PASSES {
+            out.clear();
+            out.extend(qfs.iter().map(|q| qim.uncertainty(q).expect("flat")));
+        }
+        out
+    });
+    let identical = pointer_u.len() == flat_u.len()
+        && pointer_u
+            .iter()
+            .zip(&flat_u)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    results.push(Comparison::new(
+        "qim_uncertainty_pointer_vs_flat",
+        (qfs.len() * QIM_PASSES) as u64,
+        ("pointer", pointer_s),
+        ("flat", flat_s),
         identical,
     ));
-    println!(
-        "pipeline/step_many: serial {:.1} ms, parallel({}) {:.1} ms, identical={identical}",
-        serial_s * 1e3,
-        opts.threads,
-        parallel_s * 1e3,
-    );
+    results.last().expect("just pushed").print();
 
     write_report(opts, "BENCH_pipeline.json", "pipeline", results);
 }

@@ -9,7 +9,7 @@
 use crate::error::CoreError;
 use serde::{Deserialize, Serialize};
 use tauw_dtree::prune::prune_to_min_count;
-use tauw_dtree::{DecisionTree, NodeId};
+use tauw_dtree::{DecisionTree, FlatTree, LeafId, NodeId};
 use tauw_stats::binomial::{upper_bound, BoundMethod};
 
 /// Calibration statistics and the resulting bound for one leaf.
@@ -58,12 +58,29 @@ impl Default for CalibrationOptions {
 
 /// A quality impact model after calibration: routing tree + per-leaf
 /// dependable uncertainty bounds.
+///
+/// Two representations of the same model are kept:
+///
+/// * the pointer [`DecisionTree`] plus a [`NodeId`]-indexed bound table —
+///   the transparent, reviewable form used for export, explanations and as
+///   the reference path in bit-identity checks;
+/// * a compiled [`FlatTree`] plus a dense [`LeafId`]-indexed bound array —
+///   the serving form. [`CalibratedQim::uncertainty`] is one flat
+///   traversal and one array index, which is what every wrapper, session
+///   and engine step executes.
+///
+/// Both forms are serialized, so a persisted artifact round-trips the flat
+/// form byte-for-byte instead of re-deriving it at load time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CalibratedQim {
     tree: DecisionTree,
     /// Indexed by [`NodeId`]; `None` for internal nodes.
     leaves: Vec<Option<CalibratedLeaf>>,
     options: CalibrationOptions,
+    /// The compiled serving form of `tree`.
+    flat: FlatTree,
+    /// Uncertainty bounds indexed by [`LeafId`] — the leaf-ID fast path.
+    leaf_bounds: Vec<f64>,
 }
 
 impl CalibratedQim {
@@ -91,29 +108,36 @@ impl CalibratedQim {
         let counts = tree.node_sample_counts(samples.iter().map(|(f, _)| f.as_slice()))?;
         prune_to_min_count(&mut tree, &counts, options.min_samples_per_leaf)?;
 
-        // 2. Re-route on the pruned tree and collect per-leaf failure stats.
-        let mut failures = vec![0u64; tree.n_nodes()];
-        let mut totals = vec![0u64; tree.n_nodes()];
-        for (features, failed) in samples {
-            let leaf = tree.leaf_id(features)?;
-            totals[leaf] += 1;
+        // 2. Compile the pruned tree and re-route the calibration set on
+        // the flat form (batched, thread-fanned, input-order) to collect
+        // per-leaf failure stats keyed by the dense leaf id.
+        let flat = FlatTree::from_tree(&tree);
+        let rows: Vec<&[f64]> = samples.iter().map(|(f, _)| f.as_slice()).collect();
+        let routed = flat.predict_leaf_ids(parallel::max_threads(), &rows)?;
+        let mut failures = vec![0u64; flat.n_leaves()];
+        let mut totals = vec![0u64; flat.n_leaves()];
+        for (leaf, (_, failed)) in routed.into_iter().zip(samples) {
+            totals[leaf as usize] += 1;
             if *failed {
-                failures[leaf] += 1;
+                failures[leaf as usize] += 1;
             }
         }
 
-        // 3. Bound per leaf.
+        // 3. Bound per leaf, filling both the dense leaf-id array (serving
+        // path) and the node-indexed table (transparency path).
+        let mut leaf_bounds = vec![0.0; flat.n_leaves()];
         let mut leaves = vec![None; tree.n_nodes()];
-        for leaf in tree.leaf_ids() {
+        for (leaf_id, flat_leaf) in flat.leaves().iter().enumerate() {
             let bound = upper_bound(
                 options.method,
-                failures[leaf],
-                totals[leaf],
+                failures[leaf_id],
+                totals[leaf_id],
                 options.confidence,
             )?;
-            leaves[leaf] = Some(CalibratedLeaf {
-                failures: failures[leaf],
-                total: totals[leaf],
+            leaf_bounds[leaf_id] = bound;
+            leaves[flat_leaf.node_id] = Some(CalibratedLeaf {
+                failures: failures[leaf_id],
+                total: totals[leaf_id],
                 uncertainty_bound: bound,
             });
         }
@@ -121,21 +145,47 @@ impl CalibratedQim {
             tree,
             leaves,
             options,
+            flat,
+            leaf_bounds,
         })
     }
 
-    /// Dependable uncertainty for a feature vector: the bound of the leaf
-    /// the vector routes to.
+    /// Dependable uncertainty for a feature vector: one flat traversal to
+    /// the leaf id plus one array index. This is **the** per-step serving
+    /// routine behind every wrapper, session and engine step.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError`] on feature-arity mismatch.
     pub fn uncertainty(&self, features: &[f64]) -> Result<f64, CoreError> {
+        Ok(self.leaf_bounds[self.flat.predict_leaf_id(features)? as usize])
+    }
+
+    /// Reference implementation of [`CalibratedQim::uncertainty`] over the
+    /// pointer tree. Kept for bit-identity verification (tests, the bench
+    /// baseline's flat-vs-pointer rows) — not a serving path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn uncertainty_reference(&self, features: &[f64]) -> Result<f64, CoreError> {
         let leaf = self.tree.leaf_id(features)?;
         Ok(self.leaves[leaf]
             .as_ref()
             .expect("every reachable leaf was calibrated")
             .uncertainty_bound)
+    }
+
+    /// Routes a feature vector on the flat form, returning both identities
+    /// of the leaf it lands in: the dense [`LeafId`] and the arena
+    /// [`NodeId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn route_ids(&self, features: &[f64]) -> Result<(LeafId, NodeId), CoreError> {
+        let leaf_id = self.flat.predict_leaf_id(features)?;
+        Ok((leaf_id, self.flat.leaf(leaf_id).node_id))
     }
 
     /// The calibrated leaf a feature vector routes to (id + statistics).
@@ -144,16 +194,79 @@ impl CalibratedQim {
     ///
     /// Returns [`CoreError`] on feature-arity mismatch.
     pub fn route(&self, features: &[f64]) -> Result<(NodeId, CalibratedLeaf), CoreError> {
-        let leaf = self.tree.leaf_id(features)?;
+        let (_, node) = self.route_ids(features)?;
         Ok((
-            leaf,
-            self.leaves[leaf].expect("every reachable leaf was calibrated"),
+            node,
+            self.calibrated_leaf(node)
+                .expect("every reachable leaf was calibrated"),
         ))
+    }
+
+    /// Calibration statistics of the leaf at arena node `node`, or `None`
+    /// for internal/unknown nodes.
+    pub fn calibrated_leaf(&self, node: NodeId) -> Option<CalibratedLeaf> {
+        self.leaves.get(node).copied().flatten()
+    }
+
+    /// Checks the internal consistency of the two model representations:
+    /// the flat form must be exactly the lowering of the pointer tree, and
+    /// the leaf-ID bound table must mirror the node-indexed calibrated
+    /// leaves. Freshly calibrated models satisfy this by construction; the
+    /// persistence layer calls it on every load so a truncated or
+    /// hand-edited artifact fails with a clean error instead of panicking
+    /// on the serving path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] describing the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.flat != FlatTree::from_tree(&self.tree) {
+            return Err(CoreError::InvalidInput {
+                reason: "calibrated QIM: flat form is not the lowering of its tree".into(),
+            });
+        }
+        if self.leaf_bounds.len() != self.flat.n_leaves() {
+            return Err(CoreError::InvalidInput {
+                reason: format!(
+                    "calibrated QIM: {} leaf bounds for {} leaves",
+                    self.leaf_bounds.len(),
+                    self.flat.n_leaves()
+                ),
+            });
+        }
+        for (leaf_id, flat_leaf) in self.flat.leaves().iter().enumerate() {
+            let Some(leaf) = self.calibrated_leaf(flat_leaf.node_id) else {
+                return Err(CoreError::InvalidInput {
+                    reason: format!(
+                        "calibrated QIM: leaf node {} carries no calibration record",
+                        flat_leaf.node_id
+                    ),
+                });
+            };
+            if leaf.uncertainty_bound.to_bits() != self.leaf_bounds[leaf_id].to_bits() {
+                return Err(CoreError::InvalidInput {
+                    reason: format!("calibrated QIM: bound table diverges at leaf id {leaf_id}"),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// The underlying (pruned) routing tree, for transparency/export.
     pub fn tree(&self) -> &DecisionTree {
         &self.tree
+    }
+
+    /// The compiled serving form of the routing tree.
+    pub fn flat(&self) -> &FlatTree {
+        &self.flat
+    }
+
+    /// The dependable uncertainty bounds indexed by [`LeafId`] — the
+    /// lookup table the serving path reads after routing.
+    pub fn leaf_bounds(&self) -> &[f64] {
+        &self.leaf_bounds
     }
 
     /// Calibration options used.
@@ -314,6 +427,24 @@ mod tests {
         assert_eq!(qim.uncertainty(&[0.2]).unwrap(), leaf.uncertainty_bound);
         let (id2, _) = qim.route(&[0.21]).unwrap();
         assert_eq!(id, id2, "nearby inputs route to the same leaf");
+    }
+
+    #[test]
+    fn flat_serving_path_matches_pointer_reference() {
+        let tree = trained_tree(400);
+        let calib = calib_samples(2000, |x| x > 0.5);
+        let qim = CalibratedQim::calibrate(tree, &calib, CalibrationOptions::default()).unwrap();
+        assert_eq!(qim.flat().n_leaves(), qim.tree().n_leaves());
+        assert_eq!(qim.leaf_bounds().len(), qim.flat().n_leaves());
+        for i in 0..200 {
+            let q = [i as f64 / 199.0];
+            let fast = qim.uncertainty(&q).unwrap();
+            let reference = qim.uncertainty_reference(&q).unwrap();
+            assert_eq!(fast.to_bits(), reference.to_bits(), "x={}", q[0]);
+            let (leaf_id, node_id) = qim.route_ids(&q).unwrap();
+            assert_eq!(qim.leaf_bounds()[leaf_id as usize], fast);
+            assert_eq!(qim.route(&q).unwrap().0, node_id);
+        }
     }
 
     #[test]

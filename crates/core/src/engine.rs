@@ -12,7 +12,8 @@
 //! Two guarantees:
 //!
 //! * **Session equivalence** — every engine step delegates to the same
-//!   [`TimeseriesAwareWrapper::step_with_buffer`] a session uses, so an
+//!   [`TimeseriesAwareWrapper::step_with_buffer`] a session uses (and
+//!   thereby to the same compiled [`tauw_dtree::FlatTree`] lookups), so an
 //!   engine serving N streams produces bit-identical estimates to N
 //!   sequential sessions (asserted by `tests/determinism.rs`).
 //! * **Batch-order semantics** — a batch behaves exactly as if its steps

@@ -15,7 +15,9 @@
 //! * [`engine`] — the **multi-stream inference engine**: one trained
 //!   wrapper serving many concurrent series via batched `step_many`.
 //! * [`calibration`] — calibrated quality impact models (prune to a
-//!   minimum calibration count, bound each leaf at high confidence).
+//!   minimum calibration count, bound each leaf at high confidence); the
+//!   serving path is a compiled [`tauw_dtree::FlatTree`] plus a leaf-ID →
+//!   bound lookup table, bit-identical to the pointer tree.
 //! * [`scope`] — boundary-check scope compliance.
 //! * [`monitor`] — a simplex-style runtime gate over the estimates.
 //! * [`persist`] — versioned JSON artifacts: train offline, deploy frozen.

@@ -16,7 +16,12 @@ use std::path::Path;
 
 /// Current artifact format version. Bumped on breaking model-layout
 /// changes; loading rejects mismatches instead of misinterpreting fields.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 carried pointer-tree models only; v2 adds the compiled
+/// [`tauw_dtree::FlatTree`] serving form and the leaf-ID-indexed bound
+/// table inside every calibrated QIM, so a deployed artifact round-trips
+/// the exact flat representation it serves with.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Kind tag inside the envelope, so a stateless wrapper cannot be loaded
 /// where a timeseries-aware one is expected.
@@ -35,6 +40,16 @@ struct Envelope<T> {
     model: T,
 }
 
+/// Header-only view of an envelope: deserializing it never touches the
+/// model payload, so version/kind mismatches are reported as such instead
+/// of surfacing as missing-field errors from a model layout the running
+/// version no longer understands.
+#[derive(Debug, Deserialize)]
+struct EnvelopeHeader {
+    format_version: u32,
+    kind: ArtifactKind,
+}
+
 fn to_json<T: Serialize>(kind: ArtifactKind, model: &T) -> Result<String, CoreError> {
     serde_json::to_string_pretty(&Envelope {
         format_version: FORMAT_VERSION,
@@ -47,26 +62,30 @@ fn to_json<T: Serialize>(kind: ArtifactKind, model: &T) -> Result<String, CoreEr
 }
 
 fn from_json<T: DeserializeOwned>(kind: ArtifactKind, json: &str) -> Result<T, CoreError> {
+    let header: EnvelopeHeader =
+        serde_json::from_str(json).map_err(|e| CoreError::InvalidInput {
+            reason: format!("deserialization failed: {e}"),
+        })?;
+    if header.format_version != FORMAT_VERSION {
+        return Err(CoreError::InvalidInput {
+            reason: format!(
+                "artifact format version {} is not supported (expected {FORMAT_VERSION})",
+                header.format_version
+            ),
+        });
+    }
+    if header.kind != kind {
+        return Err(CoreError::InvalidInput {
+            reason: format!(
+                "artifact kind {:?} does not match expected {kind:?}",
+                header.kind
+            ),
+        });
+    }
     let envelope: Envelope<T> =
         serde_json::from_str(json).map_err(|e| CoreError::InvalidInput {
             reason: format!("deserialization failed: {e}"),
         })?;
-    if envelope.format_version != FORMAT_VERSION {
-        return Err(CoreError::InvalidInput {
-            reason: format!(
-                "artifact format version {} is not supported (expected {FORMAT_VERSION})",
-                envelope.format_version
-            ),
-        });
-    }
-    if envelope.kind != kind {
-        return Err(CoreError::InvalidInput {
-            reason: format!(
-                "artifact kind {:?} does not match expected {kind:?}",
-                envelope.kind
-            ),
-        });
-    }
     Ok(envelope.model)
 }
 
@@ -87,9 +106,12 @@ impl UncertaintyWrapper {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidInput`] on malformed JSON, a format
-    /// version mismatch, or a wrong artifact kind.
+    /// version mismatch, a wrong artifact kind, or an internally
+    /// inconsistent model (e.g. a hand-edited bound table).
     pub fn from_artifact_json(json: &str) -> Result<Self, CoreError> {
-        from_json(ArtifactKind::StatelessWrapper, json)
+        let model: Self = from_json(ArtifactKind::StatelessWrapper, json)?;
+        model.validate()?;
+        Ok(model)
     }
 
     /// Writes the artifact to a file.
@@ -134,9 +156,12 @@ impl TimeseriesAwareWrapper {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidInput`] on malformed JSON, a format
-    /// version mismatch, or a wrong artifact kind.
+    /// version mismatch, a wrong artifact kind, or an internally
+    /// inconsistent model (e.g. a hand-edited bound table).
     pub fn from_artifact_json(json: &str) -> Result<Self, CoreError> {
-        from_json(ArtifactKind::TimeseriesAwareWrapper, json)
+        let model: Self = from_json(ArtifactKind::TimeseriesAwareWrapper, json)?;
+        model.validate()?;
+        Ok(model)
     }
 
     /// Writes the artifact to a file.
@@ -240,6 +265,24 @@ mod tests {
     }
 
     #[test]
+    fn artifact_roundtrips_the_flat_form_bit_for_bit() {
+        use tauw_dtree::FlatTree;
+        let tauw = fitted();
+        let json = tauw.to_artifact_json().unwrap();
+        let back = TimeseriesAwareWrapper::from_artifact_json(&json).unwrap();
+        // The flat serving form is stored in the artifact, not re-derived;
+        // it must come back identical and consistent with its pointer tree.
+        for (qim, qim_back) in [
+            (tauw.stateless().qim(), back.stateless().qim()),
+            (tauw.taqim(), back.taqim()),
+        ] {
+            assert_eq!(qim.flat(), qim_back.flat());
+            assert_eq!(qim.leaf_bounds(), qim_back.leaf_bounds());
+            assert_eq!(qim_back.flat(), &FlatTree::from_tree(qim_back.tree()));
+        }
+    }
+
+    #[test]
     fn kind_mismatch_is_rejected() {
         let tauw = fitted();
         let json = tauw.to_artifact_json().unwrap();
@@ -250,10 +293,11 @@ mod tests {
     #[test]
     fn version_mismatch_is_rejected() {
         let tauw = fitted();
-        let json = tauw
-            .to_artifact_json()
-            .unwrap()
-            .replace("\"format_version\": 1", "\"format_version\": 999");
+        let json = tauw.to_artifact_json().unwrap().replace(
+            &format!("\"format_version\": {FORMAT_VERSION}"),
+            "\"format_version\": 999",
+        );
+        assert!(json.contains("\"format_version\": 999"), "replace must hit");
         let err = TimeseriesAwareWrapper::from_artifact_json(&json);
         assert!(matches!(err, Err(CoreError::InvalidInput { .. })));
     }
@@ -262,6 +306,45 @@ mod tests {
     fn garbage_is_rejected() {
         assert!(TimeseriesAwareWrapper::from_artifact_json("not json").is_err());
         assert!(TimeseriesAwareWrapper::from_artifact_json("{}").is_err());
+    }
+
+    #[test]
+    fn old_format_version_is_rejected_as_such() {
+        // A v1 artifact (pre-flat-form model layout) must be refused with
+        // the version message, not with a missing-field error from the
+        // model payload — the header is checked before the model is read.
+        let v1 = r#"{"format_version": 1, "kind": "TimeseriesAwareWrapper", "model": {}}"#;
+        match TimeseriesAwareWrapper::from_artifact_json(v1) {
+            Err(CoreError::InvalidInput { reason }) => {
+                assert!(
+                    reason.contains("format version 1 is not supported"),
+                    "unexpected reason: {reason}"
+                );
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_bound_table_is_rejected_at_load() {
+        // The artifact format is deliberately reviewable/editable JSON;
+        // an edit that desynchronizes the leaf-ID bound table from the
+        // calibrated leaves must fail at load, not panic mid-serving.
+        let tauw = fitted();
+        let json = tauw.to_artifact_json().unwrap();
+        // Splice one extra entry into the (last) leaf_bounds array so it no
+        // longer matches the flat tree's leaf count.
+        let field = json.rfind("\"leaf_bounds\"").expect("field present");
+        let bracket = field + json[field..].find('[').expect("array opens");
+        let mut tampered = json.clone();
+        tampered.insert_str(bracket + 1, " 0.123456789,");
+        assert_ne!(tampered, json, "tamper edit must hit the artifact");
+        match TimeseriesAwareWrapper::from_artifact_json(&tampered) {
+            Err(CoreError::InvalidInput { reason }) => {
+                assert!(reason.contains("calibrated QIM"), "reason: {reason}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
     }
 
     #[test]

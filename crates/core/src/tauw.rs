@@ -315,6 +315,18 @@ impl TimeseriesAwareWrapper {
         &self.taqim
     }
 
+    /// Checks the internal consistency of both calibrated models (see
+    /// [`CalibratedQim::validate`]); called by the persistence layer on
+    /// every load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on an inconsistent model.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.stateless.validate()?;
+        self.taqim.validate()
+    }
+
     /// Which taQFs the taQIM consumes.
     pub fn taqf_set(&self) -> TaqfSet {
         self.taqf_set
@@ -334,7 +346,9 @@ impl TimeseriesAwareWrapper {
     /// Processes one timestep against an externally owned buffer. This is
     /// **the** per-step computation: [`TauwSession::step`] and the
     /// multi-stream [`crate::engine::TauwEngine`] both delegate here, so a
-    /// batched engine step is exactly a session step by construction.
+    /// batched engine step is exactly a session step by construction. Both
+    /// tree lookups run on the compiled [`tauw_dtree::FlatTree`] serving
+    /// form: one flat traversal plus one bound-array index per model.
     ///
     /// # Errors
     ///
@@ -351,9 +365,7 @@ impl TimeseriesAwareWrapper {
             .fuse(&buffer.outcomes(), &buffer.certainties())
             .expect("buffer is non-empty after push");
         let taqf = TaqfVector::compute(buffer, fused).expect("buffer is non-empty");
-        let mut features = quality_factors.to_vec();
-        features.extend(self.taqf_set.select(&taqf));
-        let uncertainty = self.taqim.uncertainty(&features)?;
+        let uncertainty = self.ta_uncertainty(quality_factors, &taqf)?;
         Ok(TauwStep {
             fused_outcome: fused,
             uncertainty,
@@ -361,6 +373,25 @@ impl TimeseriesAwareWrapper {
             taqf,
             series_length: buffer.len(),
         })
+    }
+
+    /// The taQIM lookup for one step: assembles `[stateless QFs ‖ selected
+    /// taQFs]` and routes it through the flat taQIM. Exposed so callers
+    /// that already hold a [`TaqfVector`] (diagnostics, verification
+    /// harnesses) query exactly the routine the serving path uses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn ta_uncertainty(
+        &self,
+        quality_factors: &[f64],
+        taqf: &TaqfVector,
+    ) -> Result<f64, CoreError> {
+        let mut features = Vec::with_capacity(quality_factors.len() + self.taqf_set.len());
+        features.extend_from_slice(quality_factors);
+        features.extend(self.taqf_set.select(taqf));
+        self.taqim.uncertainty(&features)
     }
 }
 

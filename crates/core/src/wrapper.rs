@@ -10,7 +10,7 @@ use crate::calibration::{CalibratedQim, CalibrationOptions};
 use crate::error::CoreError;
 use crate::scope::{ScopeComplianceModel, ScopeVerdict};
 use serde::{Deserialize, Serialize};
-use tauw_dtree::{Dataset, NodeId, SplitCriterion, Splitter, TreeBuilder};
+use tauw_dtree::{Dataset, LeafId, NodeId, SplitCriterion, Splitter, TreeBuilder};
 
 /// A complete uncertainty estimate for one input.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -30,6 +30,9 @@ pub struct UncertaintyEstimate {
 pub struct Explanation {
     /// Leaf the input routed to.
     pub leaf_id: NodeId,
+    /// The same leaf as a dense, stable [`LeafId`] in the compiled serving
+    /// form — the index into [`crate::calibration::CalibratedQim::leaf_bounds`].
+    pub flat_leaf_id: LeafId,
     /// Calibration failures observed in the leaf.
     pub leaf_failures: u64,
     /// Calibration samples in the leaf.
@@ -236,7 +239,11 @@ impl UncertaintyWrapper {
     ///
     /// Returns [`CoreError`] on feature-arity mismatch.
     pub fn explain(&self, quality_factors: &[f64]) -> Result<Explanation, CoreError> {
-        let (leaf_id, leaf) = self.qim.route(quality_factors)?;
+        let (flat_leaf_id, leaf_id) = self.qim.route_ids(quality_factors)?;
+        let leaf = self
+            .qim
+            .calibrated_leaf(leaf_id)
+            .expect("every reachable leaf was calibrated");
         let path = self.qim.tree().decision_path(quality_factors)?;
         let scope = match &self.scope {
             Some(model) => Some(model.check(quality_factors)?),
@@ -244,6 +251,7 @@ impl UncertaintyWrapper {
         };
         Ok(Explanation {
             leaf_id,
+            flat_leaf_id,
             leaf_failures: leaf.failures,
             leaf_total: leaf.total,
             path,
@@ -254,6 +262,17 @@ impl UncertaintyWrapper {
     /// The calibrated quality impact model.
     pub fn qim(&self) -> &CalibratedQim {
         &self.qim
+    }
+
+    /// Checks the internal consistency of the model representations (see
+    /// [`CalibratedQim::validate`]); called by the persistence layer on
+    /// every load.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on an inconsistent model.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        self.qim.validate()
     }
 
     /// The attached scope model, if any.
@@ -342,6 +361,11 @@ mod tests {
         assert!(ex.leaf_total >= 200, "calibration minimum respected");
         assert_eq!(*ex.path.first().unwrap(), 0, "path starts at the root");
         assert_eq!(*ex.path.last().unwrap(), ex.leaf_id);
+        assert_eq!(
+            w.qim().flat().leaf(ex.flat_leaf_id).node_id,
+            ex.leaf_id,
+            "flat leaf id names the same leaf"
+        );
         assert!(ex.scope.is_none());
     }
 

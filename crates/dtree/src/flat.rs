@@ -1,0 +1,506 @@
+//! Flattened struct-of-arrays inference representation.
+//!
+//! A trained [`DecisionTree`] is a pointer-style arena: every routing step
+//! loads a whole [`crate::tree::Node`] (statistics included) just to read a
+//! feature index and a threshold. This module lowers a tree into a
+//! [`FlatTree`]: contiguous per-node arrays (feature index, threshold,
+//! child offsets) plus a dense table of leaf payloads, so the per-sample
+//! hot path touches only the three small arrays it actually needs.
+//!
+//! Two properties make the flat form the serving representation:
+//!
+//! * **Stable leaf IDs.** Reachable leaves are numbered `0..n_leaves` in
+//!   depth-first (left-before-right) order — the same order
+//!   [`DecisionTree::leaf_ids`] reports. A [`LeafId`] is therefore a dense
+//!   array index, which lets callers attach per-leaf metadata (calibrated
+//!   uncertainty bounds, routing counters) as plain `Vec`s instead of
+//!   node-indexed option tables. Leaf identity — not just the leaf's
+//!   probability — is the semantic unit of a tree-backed uncertainty
+//!   estimate, so it gets a first-class, cheap representation.
+//! * **Bit-identical routing.** [`FlatTree::predict_leaf_id`] reproduces
+//!   [`DecisionTree::leaf_id`] exactly, including the `<=`-goes-left
+//!   boundary rule and NaN queries routing right. [`FlatTree::predict`]
+//!   and [`FlatTree::predict_proba`] recompute the leaf payload with the
+//!   same arithmetic as the pointer tree, so every flat prediction is
+//!   bit-for-bit equal to its pointer counterpart (asserted by the
+//!   determinism suite and by proptests over random trees).
+
+use crate::error::DtreeError;
+use crate::tree::{DecisionTree, NodeId, NodeKind};
+use serde::{Deserialize, Serialize};
+
+/// Dense, stable identifier of a reachable leaf: its position in the
+/// depth-first (left-before-right) leaf order, i.e. `flat.leaf(k).node_id
+/// == tree.leaf_ids()[k]`.
+pub type LeafId = u32;
+
+/// Sentinel in the `feature` array marking a leaf node.
+const LEAF_SENTINEL: u32 = u32::MAX;
+
+/// Payload of one reachable leaf, retained for transparency and for
+/// recomputing class predictions exactly as the pointer tree does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatLeaf {
+    /// Arena id of this leaf in the source [`DecisionTree`].
+    pub node_id: NodeId,
+    /// Number of training samples that reached this leaf.
+    pub n: u64,
+    /// Per-class training sample counts at this leaf.
+    pub counts: Vec<u64>,
+    /// Majority class (ties broken by the lowest class id, matching
+    /// [`DecisionTree::predict`]).
+    pub class: u32,
+}
+
+impl FlatLeaf {
+    /// Class probabilities at this leaf — training-count proportions,
+    /// computed exactly like [`DecisionTree::predict_proba`].
+    pub fn proba(&self) -> Vec<f64> {
+        let total = self.n.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+}
+
+/// A compiled, struct-of-arrays lowering of a trained [`DecisionTree`].
+///
+/// Nodes are renumbered in depth-first pre-order (left before right),
+/// dropping any arena entries unreachable from the root, and split into
+/// parallel arrays: `feature[i]` (or a leaf sentinel), `threshold[i]`, and
+/// a 2-wide `children` table indexed by the branch direction. Routing is a
+/// tight loop of one comparison and one indexed load per level.
+///
+/// # Examples
+///
+/// ```
+/// use tauw_dtree::flat::FlatTree;
+/// use tauw_dtree::{Dataset, TreeBuilder};
+///
+/// let mut ds = Dataset::new(vec!["x".into()], 2)?;
+/// for i in 0..100 {
+///     ds.push_row(&[i as f64], u32::from(i >= 50))?;
+/// }
+/// let tree = TreeBuilder::new().max_depth(3).fit(&ds)?;
+/// let flat = FlatTree::from_tree(&tree);
+///
+/// // Same routing, same prediction, leaf identity exposed as a dense id.
+/// let leaf = flat.predict_leaf_id(&[10.0])?;
+/// assert_eq!(flat.leaf(leaf).node_id, tree.leaf_id(&[10.0])?);
+/// assert_eq!(flat.predict(&[10.0])?, tree.predict(&[10.0])?);
+/// assert_eq!(flat.n_leaves(), tree.n_leaves());
+/// # Ok::<(), tauw_dtree::DtreeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlatTree {
+    /// Per-node split feature; `LEAF_SENTINEL` marks a leaf.
+    feature: Vec<u32>,
+    /// Per-node split threshold (`<=` goes left); unused for leaves.
+    threshold: Vec<f64>,
+    /// Per-node `[left, right]` child offsets, indexed by the branch
+    /// direction bit. For a leaf, both entries hold the [`LeafId`] instead.
+    children: Vec<[u32; 2]>,
+    /// Leaf payloads indexed by [`LeafId`].
+    leaves: Vec<FlatLeaf>,
+    n_features: usize,
+    n_classes: u32,
+}
+
+impl FlatTree {
+    /// Lowers a trained tree into the flat form. Only nodes reachable from
+    /// the root are emitted; leaf ids follow the depth-first order of
+    /// [`DecisionTree::leaf_ids`].
+    pub fn from_tree(tree: &DecisionTree) -> Self {
+        let mut flat = FlatTree {
+            feature: Vec::with_capacity(tree.n_nodes()),
+            threshold: Vec::with_capacity(tree.n_nodes()),
+            children: Vec::with_capacity(tree.n_nodes()),
+            leaves: Vec::new(),
+            n_features: tree.n_features(),
+            n_classes: tree.n_classes(),
+        };
+        flat.lower(tree, 0);
+        flat
+    }
+
+    /// Emits the subtree rooted at arena node `id`, returning its flat
+    /// offset. Pre-order, left before right — the same order
+    /// [`DecisionTree::compact`] uses, so flat offsets are stable and
+    /// readable.
+    fn lower(&mut self, tree: &DecisionTree, id: NodeId) -> u32 {
+        let slot = self.feature.len();
+        self.feature.push(LEAF_SENTINEL);
+        self.threshold.push(0.0);
+        self.children.push([0, 0]);
+        match tree.node(id).kind {
+            NodeKind::Leaf => {
+                let info = &tree.node(id).info;
+                let leaf_id = self.leaves.len() as u32;
+                // Majority class with ties to the lowest id — the exact
+                // argmax loop of `DecisionTree::predict`.
+                let mut class = 0u32;
+                let mut best_count = 0u64;
+                for (c, &count) in info.counts.iter().enumerate() {
+                    if count > best_count {
+                        class = c as u32;
+                        best_count = count;
+                    }
+                }
+                self.leaves.push(FlatLeaf {
+                    node_id: id,
+                    n: info.n,
+                    counts: info.counts.clone(),
+                    class,
+                });
+                self.children[slot] = [leaf_id, leaf_id];
+            }
+            NodeKind::Internal {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                self.feature[slot] = feature as u32;
+                self.threshold[slot] = threshold;
+                let flat_left = self.lower(tree, left);
+                let flat_right = self.lower(tree, right);
+                self.children[slot] = [flat_left, flat_right];
+            }
+        }
+        slot as u32
+    }
+
+    /// Number of features the source tree was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> u32 {
+        self.n_classes
+    }
+
+    /// Number of nodes in the flat form (reachable nodes only).
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Number of leaves, i.e. the exclusive upper bound of the dense
+    /// [`LeafId`] range.
+    pub fn n_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Payload of a leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn leaf(&self, id: LeafId) -> &FlatLeaf {
+        &self.leaves[id as usize]
+    }
+
+    /// All leaf payloads, indexed by [`LeafId`].
+    pub fn leaves(&self) -> &[FlatLeaf] {
+        &self.leaves
+    }
+
+    /// Routes a feature vector to its leaf: one comparison and one indexed
+    /// load per level. This is the single traversal routine behind every
+    /// flat prediction (and, via `tauw-core`, behind every wrapper/session/
+    /// engine step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtreeError::PredictArityMismatch`] if `x` has the wrong
+    /// number of features.
+    pub fn predict_leaf_id(&self, x: &[f64]) -> Result<LeafId, DtreeError> {
+        self.check_arity(x.len())?;
+        Ok(self.route(x))
+    }
+
+    /// Majority-class prediction at the leaf reached by `x` — bit-identical
+    /// to [`DecisionTree::predict`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FlatTree::predict_leaf_id`].
+    pub fn predict(&self, x: &[f64]) -> Result<u32, DtreeError> {
+        Ok(self.leaf(self.predict_leaf_id(x)?).class)
+    }
+
+    /// Class probabilities at the leaf reached by `x` — bit-identical to
+    /// [`DecisionTree::predict_proba`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FlatTree::predict_leaf_id`].
+    pub fn predict_proba(&self, x: &[f64]) -> Result<Vec<f64>, DtreeError> {
+        Ok(self.leaf(self.predict_leaf_id(x)?).proba())
+    }
+
+    /// Batched leaf routing: appends one [`LeafId`] per row to `out`, in
+    /// input order, fanning the rows out over up to `threads` workers (the
+    /// deterministic chunking of [`parallel::par_map`], so the result is
+    /// identical for every thread budget).
+    ///
+    /// The whole batch is validated up front; on error `out` is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtreeError::PredictArityMismatch`] if any row has the
+    /// wrong number of features.
+    pub fn predict_leaf_ids_into<R>(
+        &self,
+        threads: usize,
+        rows: &[R],
+        out: &mut Vec<LeafId>,
+    ) -> Result<(), DtreeError>
+    where
+        R: AsRef<[f64]> + Sync,
+    {
+        for row in rows {
+            self.check_arity(row.as_ref().len())?;
+        }
+        out.reserve(rows.len());
+        out.extend(parallel::par_map(threads, rows, |row| {
+            self.route(row.as_ref())
+        }));
+        Ok(())
+    }
+
+    /// Allocating convenience around [`FlatTree::predict_leaf_ids_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtreeError::PredictArityMismatch`] if any row has the
+    /// wrong number of features.
+    pub fn predict_leaf_ids<R>(&self, threads: usize, rows: &[R]) -> Result<Vec<LeafId>, DtreeError>
+    where
+        R: AsRef<[f64]> + Sync,
+    {
+        let mut out = Vec::with_capacity(rows.len());
+        self.predict_leaf_ids_into(threads, rows, &mut out)?;
+        Ok(out)
+    }
+
+    /// The branch-light traversal core. `x` must have the right arity.
+    ///
+    /// The direction bit mirrors the pointer tree exactly: `x[f] <= t`
+    /// goes left, everything else — including NaN — goes right.
+    fn route(&self, x: &[f64]) -> LeafId {
+        let mut node = 0usize;
+        let mut feature = self.feature[0];
+        while feature != LEAF_SENTINEL {
+            let go_left = x[feature as usize] <= self.threshold[node];
+            node = self.children[node][usize::from(!go_left)] as usize;
+            feature = self.feature[node];
+        }
+        self.children[node][0]
+    }
+
+    fn check_arity(&self, actual: usize) -> Result<(), DtreeError> {
+        if actual != self.n_features {
+            return Err(DtreeError::PredictArityMismatch {
+                expected: self.n_features,
+                actual,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+    use crate::data::Dataset;
+    use crate::tree::{Node, NodeInfo};
+
+    /// The same hand-made tree as the `tree` module tests:
+    ///
+    /// ```text
+    ///        [0] f0 <= 1.0
+    ///        /          \
+    ///   [1] leaf     [2] f1 <= 5.0
+    ///                 /        \
+    ///            [3] leaf   [4] leaf
+    /// ```
+    fn toy_tree() -> DecisionTree {
+        let mk_info = |n: u64, counts: Vec<u64>, depth: usize| NodeInfo {
+            n,
+            counts,
+            impurity: 0.5,
+            depth,
+        };
+        let nodes = vec![
+            Node {
+                info: mk_info(10, vec![5, 5], 0),
+                kind: NodeKind::Internal {
+                    feature: 0,
+                    threshold: 1.0,
+                    left: 1,
+                    right: 2,
+                },
+            },
+            Node {
+                info: mk_info(4, vec![4, 0], 1),
+                kind: NodeKind::Leaf,
+            },
+            Node {
+                info: mk_info(6, vec![1, 5], 1),
+                kind: NodeKind::Internal {
+                    feature: 1,
+                    threshold: 5.0,
+                    left: 3,
+                    right: 4,
+                },
+            },
+            Node {
+                info: mk_info(3, vec![1, 2], 2),
+                kind: NodeKind::Leaf,
+            },
+            Node {
+                info: mk_info(3, vec![0, 3], 2),
+                kind: NodeKind::Leaf,
+            },
+        ];
+        DecisionTree::from_parts(nodes, 2, 2, vec!["f0".into(), "f1".into()]).unwrap()
+    }
+
+    #[test]
+    fn leaf_ids_are_dense_and_depth_first() {
+        let tree = toy_tree();
+        let flat = FlatTree::from_tree(&tree);
+        assert_eq!(flat.n_nodes(), 5);
+        assert_eq!(flat.n_leaves(), 3);
+        let node_ids: Vec<NodeId> = flat.leaves().iter().map(|l| l.node_id).collect();
+        assert_eq!(node_ids, tree.leaf_ids(), "leaf order matches the DFS");
+        assert_eq!(flat.leaf(0).node_id, 1);
+        assert_eq!(flat.leaf(1).node_id, 3);
+        assert_eq!(flat.leaf(2).node_id, 4);
+    }
+
+    #[test]
+    fn routing_matches_the_pointer_tree_including_boundaries() {
+        let tree = toy_tree();
+        let flat = FlatTree::from_tree(&tree);
+        for q in [
+            [0.5, 0.0],
+            [1.0, 0.0], // <= goes left at the boundary
+            [2.0, 4.0],
+            [2.0, 5.0],
+            [2.0, 6.0],
+            [f64::NAN, 6.0], // NaN routes right, like the pointer tree
+            [2.0, f64::NAN],
+        ] {
+            let lid = flat.predict_leaf_id(&q).unwrap();
+            assert_eq!(flat.leaf(lid).node_id, tree.leaf_id(&q).unwrap(), "{q:?}");
+            assert_eq!(flat.predict(&q).unwrap(), tree.predict(&q).unwrap());
+            let fp = flat.predict_proba(&q).unwrap();
+            let tp = tree.predict_proba(&q).unwrap();
+            assert_eq!(fp.len(), tp.len());
+            for (a, b) in fp.iter().zip(&tp) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_single_leaf_tree_flattens() {
+        let mut ds = Dataset::new(vec!["x".into()], 2).unwrap();
+        ds.push_row(&[1.0], 1).unwrap();
+        let tree = TreeBuilder::new().fit(&ds).unwrap();
+        let flat = FlatTree::from_tree(&tree);
+        assert_eq!(flat.n_nodes(), 1);
+        assert_eq!(flat.n_leaves(), 1);
+        assert_eq!(flat.predict_leaf_id(&[123.0]).unwrap(), 0);
+        assert_eq!(flat.predict(&[-5.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn unreachable_arena_nodes_are_dropped() {
+        let mut tree = toy_tree();
+        tree.collapse_to_leaf(2); // nodes 3 and 4 become unreachable
+        let flat = FlatTree::from_tree(&tree);
+        assert_eq!(flat.n_nodes(), 3, "only reachable nodes are lowered");
+        assert_eq!(flat.n_leaves(), 2);
+        assert_eq!(flat.leaf(1).node_id, 2);
+        assert_eq!(
+            flat.leaf(flat.predict_leaf_id(&[2.0, 6.0]).unwrap())
+                .node_id,
+            tree.leaf_id(&[2.0, 6.0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn batched_routing_is_order_preserving_for_every_thread_budget() {
+        let tree = toy_tree();
+        let flat = FlatTree::from_tree(&tree);
+        let rows: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![(i % 5) as f64, (i % 11) as f64])
+            .collect();
+        let serial = flat.predict_leaf_ids(1, &rows).unwrap();
+        assert_eq!(serial.len(), rows.len());
+        for (row, &lid) in rows.iter().zip(&serial) {
+            assert_eq!(flat.leaf(lid).node_id, tree.leaf_id(row).unwrap());
+        }
+        for threads in [2usize, 4, 8] {
+            assert_eq!(flat.predict_leaf_ids(threads, &rows).unwrap(), serial);
+        }
+        // `_into` appends without clobbering.
+        let mut out = vec![99u32];
+        flat.predict_leaf_ids_into(4, &rows, &mut out).unwrap();
+        assert_eq!(out[0], 99);
+        assert_eq!(&out[1..], serial.as_slice());
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected_before_any_work() {
+        let flat = FlatTree::from_tree(&toy_tree());
+        assert!(matches!(
+            flat.predict_leaf_id(&[1.0]),
+            Err(DtreeError::PredictArityMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
+        let rows = vec![vec![1.0, 2.0], vec![1.0]];
+        let mut out = Vec::new();
+        assert!(flat.predict_leaf_ids_into(4, &rows, &mut out).is_err());
+        assert!(out.is_empty(), "failed batch must not write partial output");
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_routing() {
+        let tree = toy_tree();
+        let flat = FlatTree::from_tree(&tree);
+        let json = serde_json::to_string(&flat).unwrap();
+        let back: FlatTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(flat, back);
+        for q in [[0.0, 0.0], [2.0, 4.0], [2.0, 9.0]] {
+            assert_eq!(
+                flat.predict_leaf_id(&q).unwrap(),
+                back.predict_leaf_id(&q).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn trained_tree_agrees_everywhere_on_a_grid() {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()], 3).unwrap();
+        for i in 0..300 {
+            let a = (i % 17) as f64 / 17.0;
+            let b = (i % 13) as f64 / 13.0;
+            ds.push_row(&[a, b], (i % 3) as u32).unwrap();
+        }
+        let tree = TreeBuilder::new().max_depth(6).fit(&ds).unwrap();
+        let flat = FlatTree::from_tree(&tree);
+        for i in 0..40 {
+            for j in 0..40 {
+                let q = [i as f64 / 39.0, j as f64 / 39.0];
+                let lid = flat.predict_leaf_id(&q).unwrap();
+                assert_eq!(flat.leaf(lid).node_id, tree.leaf_id(&q).unwrap());
+                assert_eq!(flat.predict(&q).unwrap(), tree.predict(&q).unwrap());
+            }
+        }
+    }
+}

@@ -14,6 +14,9 @@
 //!   classic stopping controls.
 //! * [`tree::DecisionTree`] — the arena-based tree: prediction, decision
 //!   paths, per-node routing counts, collapse/compact editing.
+//! * [`flat::FlatTree`] — the compiled struct-of-arrays serving form:
+//!   branch-light routing to dense, stable leaf IDs, single-sample and
+//!   batched (thread-fanned) prediction, bit-identical to the pointer tree.
 //! * [`prune`] — calibration-driven bottom-up pruning.
 //! * [`export`] — text / DOT / JSON rendering for expert review.
 //! * [`importance`] — mean-decrease-in-impurity feature importances.
@@ -44,6 +47,7 @@ pub mod criterion;
 pub mod data;
 pub mod error;
 pub mod export;
+pub mod flat;
 pub mod importance;
 pub mod prune;
 pub mod splitter;
@@ -53,5 +57,6 @@ pub use builder::TreeBuilder;
 pub use criterion::SplitCriterion;
 pub use data::Dataset;
 pub use error::DtreeError;
+pub use flat::{FlatLeaf, FlatTree, LeafId};
 pub use splitter::Splitter;
 pub use tree::{DecisionTree, Node, NodeId, NodeInfo, NodeKind};

@@ -4,8 +4,11 @@
 //! The replay runs on the multi-stream [`TauwEngine`]: every test window is
 //! a stream, and each wave of the window advances all streams through one
 //! batched [`TauwEngine::step_many`] call — the same inference path a
-//! production deployment would use. Results are bit-identical to replaying
-//! each series through its own [`tauw_core::tauw::TauwSession`].
+//! production deployment would use. Every per-step estimate routes through
+//! the compiled [`tauw_dtree::FlatTree`] serving form (one SoA traversal
+//! plus a leaf-ID bound lookup per model). Results are bit-identical to
+//! replaying each series through its own [`tauw_core::tauw::TauwSession`],
+//! and — by the determinism suite — to the pointer-tree reference path.
 
 use tauw_core::engine::TauwEngine;
 use tauw_core::tauw::TimeseriesAwareWrapper;

@@ -66,9 +66,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let test = convert(&data.test);
+    // The models serve through the compiled flat form: per step, each
+    // lookup is one SoA traversal plus one leaf-ID-indexed bound read.
+    let (stateless_flat, ta_flat) = (tauw.stateless().qim().flat(), tauw.taqim().flat());
     println!(
-        "serving {} test windows on a {COHORT_STREAMS}-stream engine\n",
+        "serving {} test windows on a {COHORT_STREAMS}-stream engine",
         test.len()
+    );
+    println!(
+        "flat serving forms: stateless QIM {} nodes / {} leaf IDs, taQIM {} nodes / {} leaf IDs\n",
+        stateless_flat.n_nodes(),
+        stateless_flat.n_leaves(),
+        ta_flat.n_nodes(),
+        ta_flat.n_leaves()
     );
     println!("uncertainty budget | channel      | availability | accepted-outcome error rate");
     println!("-------------------+--------------+--------------+----------------------------");

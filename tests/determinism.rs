@@ -183,6 +183,155 @@ fn parallel_fit_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn flat_tree_is_bit_identical_to_pointer_tree_across_thread_counts() {
+    // The compiled SoA form must be a *lowering*, not a reinterpretation:
+    // same leaves, same routing, same predictions, for every thread budget
+    // of the batched path — proven via leaf-id mapping, bitwise prediction
+    // equality, and byte-identical serde of the flat form after use.
+    use tauw_suite::dtree::{Dataset, FlatTree, Splitter, TreeBuilder};
+    let mut state = 0xF1A7u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut ds = Dataset::with_anonymous_features(6, 3).unwrap();
+    for _ in 0..6000 {
+        let row: Vec<f64> = (0..6).map(|_| next()).collect();
+        let label = ((row[0] * 2.0 + row[3]) as u32).min(2);
+        ds.push_row(&row, label).unwrap();
+    }
+    let queries: Vec<Vec<f64>> = (0..2000)
+        .map(|_| (0..6).map(|_| next()).collect())
+        .collect();
+    for splitter in [Splitter::Exact, Splitter::Histogram { bins: 32 }] {
+        let tree = TreeBuilder::new()
+            .splitter(splitter)
+            .max_depth(8)
+            .fit(&ds)
+            .unwrap();
+        let flat = FlatTree::from_tree(&tree);
+        let flat_json = serde_json::to_string(&flat).unwrap();
+        let text = tauw_suite::dtree::export::to_text(&tree);
+        assert_eq!(
+            text.lines().count(),
+            flat.n_nodes(),
+            "{splitter:?}: flat form must carry exactly the exported nodes"
+        );
+        assert_eq!(
+            flat.leaves().iter().map(|l| l.node_id).collect::<Vec<_>>(),
+            tree.leaf_ids(),
+            "{splitter:?}: leaf ids must follow the depth-first leaf order"
+        );
+
+        // Single-sample fast path vs the pointer tree, bit for bit.
+        let serial: Vec<u32> = queries
+            .iter()
+            .map(|q| flat.predict_leaf_id(q).unwrap())
+            .collect();
+        for (q, &lid) in queries.iter().zip(&serial) {
+            assert_eq!(flat.leaf(lid).node_id, tree.leaf_id(q).unwrap());
+            assert_eq!(flat.predict(q).unwrap(), tree.predict(q).unwrap());
+            let fp = flat.predict_proba(q).unwrap();
+            let tp = tree.predict_proba(q).unwrap();
+            assert_eq!(fp.len(), tp.len());
+            for (a, b) in fp.iter().zip(&tp) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{splitter:?}");
+            }
+        }
+
+        // Batched fan-out across thread budgets, in input order.
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                flat.predict_leaf_ids(threads, &queries).unwrap(),
+                serial,
+                "{splitter:?} threads={threads}"
+            );
+        }
+
+        // The flat form itself is unchanged by serving and round-trips.
+        assert_eq!(serde_json::to_string(&flat).unwrap(), flat_json);
+        let back: FlatTree = serde_json::from_str(&flat_json).unwrap();
+        assert_eq!(back, flat);
+    }
+}
+
+#[test]
+fn tauw_flat_serving_matches_pointer_reference_paths() {
+    // The engine/session serve estimates through the flat form; the
+    // pointer trees stay aboard as the reference. Recompute every estimate
+    // through the reference path and demand bitwise equality, across
+    // engine thread budgets 1/2/8.
+    use tauw_suite::core::engine::{StreamId, StreamStep, TauwEngine};
+
+    let config = SimConfig::scaled(0.04);
+    let data = DatasetBuilder::new(config, 31).unwrap().build();
+    let mut wb = WrapperBuilder::new();
+    wb.max_depth(6).calibration(CalibrationOptions {
+        min_samples_per_leaf: 50,
+        confidence: 0.99,
+        ..Default::default()
+    });
+    let mut builder = TauwBuilder::new();
+    builder.wrapper(wb);
+    let tauw = builder
+        .fit(
+            QualityObservation::feature_names(),
+            &convert(&data.train),
+            &convert(&data.calib),
+        )
+        .unwrap();
+
+    let streams: Vec<_> = convert(&data.test).into_iter().take(24).collect();
+    let window_len = streams.iter().map(|s| s.steps.len()).max().unwrap();
+    let mut compared = 0usize;
+    for threads in [1usize, 2, 8] {
+        let mut engine = TauwEngine::new(tauw.clone());
+        engine.threads(threads);
+        for j in 0..window_len {
+            let mut positions = Vec::new();
+            let mut batch = Vec::new();
+            for (s, series) in streams.iter().enumerate() {
+                if let Some(step) = series.steps.get(j) {
+                    positions.push(s);
+                    batch.push(StreamStep::new(
+                        StreamId(s as u64),
+                        step.quality_factors.clone(),
+                        step.outcome,
+                    ));
+                }
+            }
+            for (&s, out) in positions.iter().zip(engine.step_many(&batch).unwrap()) {
+                let qf = &streams[s].steps[j].quality_factors;
+                // Stateless QIM: flat-served value vs pointer reference.
+                let stateless_ref = tauw.stateless().qim().uncertainty_reference(qf).unwrap();
+                assert_eq!(
+                    out.stateless_uncertainty.to_bits(),
+                    stateless_ref.to_bits(),
+                    "stateless stream {s} step {j} threads={threads}"
+                );
+                // taQIM: rebuild the feature vector the step used and run
+                // it through the pointer reference.
+                let mut features = qf.clone();
+                features.extend(tauw.taqf_set().select(&out.taqf));
+                let ta_ref = tauw.taqim().uncertainty_reference(&features).unwrap();
+                assert_eq!(
+                    out.uncertainty.to_bits(),
+                    ta_ref.to_bits(),
+                    "taQIM stream {s} step {j} threads={threads}"
+                );
+                // And the shared per-step routine reproduces it exactly.
+                let again = tauw.ta_uncertainty(qf, &out.taqf).unwrap();
+                assert_eq!(out.uncertainty.to_bits(), again.to_bits());
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared > 300, "covered only {compared} comparisons");
+}
+
+#[test]
 fn engine_step_many_matches_sequential_single_stream_wrappers() {
     use tauw_suite::core::engine::{StreamId, StreamStep, TauwEngine};
 

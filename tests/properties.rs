@@ -372,6 +372,63 @@ proptest! {
     }
 
     #[test]
+    fn flat_tree_matches_pointer_tree_on_random_trees(
+        // Row counts start at 1 so degenerate trees (a single row, or a
+        // pure root) flatten to a single-leaf FlatTree and still agree.
+        rows in prop::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0u32..3),
+            1..200,
+        ),
+        queries in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..30),
+        depth in 1usize..7,
+        min_leaf in 1usize..10,
+    ) {
+        use tauw_suite::dtree::{Dataset, FlatTree, TreeBuilder};
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()], 3).unwrap();
+        for (a, b, label) in &rows {
+            ds.push_row(&[*a, *b], *label).unwrap();
+        }
+        let tree = TreeBuilder::new()
+            .max_depth(depth)
+            .min_samples_leaf(min_leaf)
+            .fit(&ds)
+            .unwrap();
+        let flat = FlatTree::from_tree(&tree);
+
+        // Structure: dense depth-first leaf ids covering exactly the
+        // pointer tree's reachable leaves.
+        prop_assert_eq!(flat.n_leaves(), tree.n_leaves());
+        prop_assert_eq!(
+            flat.leaves().iter().map(|l| l.node_id).collect::<Vec<_>>(),
+            tree.leaf_ids()
+        );
+
+        // Per-query bit-identity: routing, class, probabilities.
+        let query_rows: Vec<Vec<f64>> = queries.iter().map(|(a, b)| vec![*a, *b]).collect();
+        let mut serial = Vec::new();
+        for q in &query_rows {
+            let lid = flat.predict_leaf_id(q).unwrap();
+            serial.push(lid);
+            prop_assert_eq!(flat.leaf(lid).node_id, tree.leaf_id(q).unwrap());
+            prop_assert_eq!(flat.predict(q).unwrap(), tree.predict(q).unwrap());
+            let fp = flat.predict_proba(q).unwrap();
+            let tp = tree.predict_proba(q).unwrap();
+            prop_assert_eq!(fp.len(), tp.len());
+            for (x, y) in fp.iter().zip(&tp) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        // Batched fan-out: input order, identical for every thread budget.
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(
+                flat.predict_leaf_ids(threads, &query_rows).unwrap(),
+                serial.clone()
+            );
+        }
+    }
+
+    #[test]
     fn tree_routing_agrees_with_decision_path(
         rows in prop::collection::vec((0.0f64..1.0, 0u32..2), 30..120),
         queries in prop::collection::vec(0.0f64..1.0, 1..20),
