@@ -1,0 +1,68 @@
+//! Benchmarks the per-step timeseries-buffer primitives that sit on every
+//! serving step: ring push + incremental majority vote + O(1) taQF lookup,
+//! against the O(window) full-recompute reference, at several window sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tauw_core::buffer::TimeseriesBuffer;
+use tauw_core::taqf::TaqfVector;
+use tauw_stats::bootstrap::SplitMix64;
+
+/// Deterministic (outcome, uncertainty) traffic over a 3-class alphabet.
+fn traffic(n: usize) -> Vec<(u32, f64)> {
+    let mut rng = SplitMix64::new(0xB0FF);
+    (0..n)
+        .map(|_| (rng.next_index(3) as u32, rng.next_f64()))
+        .collect()
+}
+
+/// A bounded buffer pre-filled to its window size.
+fn filled(window: usize) -> TimeseriesBuffer {
+    let mut buf = TimeseriesBuffer::bounded(window);
+    for (o, u) in traffic(window) {
+        buf.push(o, u);
+    }
+    buf
+}
+
+fn bench_step(c: &mut Criterion) {
+    for window in [10usize, 100, 1000] {
+        let steps = traffic(256);
+        let mut group = c.benchmark_group(format!("buffer_step_window_{window}"));
+        group.bench_function("incremental", |b| {
+            let mut buf = filled(window);
+            let mut i = 0usize;
+            b.iter(|| {
+                let (o, u) = steps[i % steps.len()];
+                i += 1;
+                buf.push(o, u);
+                let fused = buf.fused_outcome().expect("non-empty");
+                black_box(TaqfVector::compute(&buf, fused).expect("non-empty"))
+            });
+        });
+        group.bench_function("recompute_reference", |b| {
+            let mut buf = filled(window);
+            let mut i = 0usize;
+            b.iter(|| {
+                let (o, u) = steps[i % steps.len()];
+                i += 1;
+                buf.push(o, u);
+                let fused = buf.fused_outcome_reference().expect("non-empty");
+                black_box(TaqfVector::compute_reference(&buf, fused).expect("non-empty"))
+            });
+        });
+        group.finish();
+    }
+}
+
+fn bench_snapshot_roundtrip(c: &mut Criterion) {
+    let buf = filled(100);
+    c.bench_function("buffer_snapshot_roundtrip_window_100", |b| {
+        b.iter(|| {
+            let json = buf.to_artifact_json().expect("serializes");
+            black_box(TimeseriesBuffer::from_artifact_json(&json).expect("loads"))
+        });
+    });
+}
+
+criterion_group!(benches, bench_step, bench_snapshot_roundtrip);
+criterion_main!(benches);

@@ -25,7 +25,9 @@
 
 use serde::Serialize;
 use std::time::Instant;
+use tauw_core::buffer::TimeseriesBuffer;
 use tauw_core::engine::TauwEngine;
+use tauw_core::taqf::TaqfVector;
 use tauw_core::tauw::replay_with_threads;
 use tauw_dtree::{Dataset, FlatTree, Splitter, TreeBuilder};
 use tauw_experiments::ExperimentContext;
@@ -34,7 +36,10 @@ use tauw_stats::bootstrap::SplitMix64;
 /// Schema tag so CI can detect malformed or stale baseline files.
 /// v2: rows carry explicit `baseline_label` / `contender_label` columns so
 /// pointer-vs-flat rows coexist with serial-vs-parallel rows.
-const SCHEMA: &str = "tauw-bench-baseline/v2";
+/// v3: adds the per-step taQF rows `taqf_step_window_{10,100,10000}`
+/// (full-recompute vs incremental-aggregate serving) so the O(1)-in-window
+/// per-step cost is measured and locked in.
+const SCHEMA: &str = "tauw-bench-baseline/v3";
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -401,6 +406,60 @@ fn bench_pipeline(opts: &Options) {
         identical,
     ));
     results.last().expect("just pushed").print();
+
+    // Per-step taQF + fusion cost over a sliding window: the seed path
+    // recomputed everything from the buffer each step (O(window)); serving
+    // now reads running aggregates (O(1) in the window). Both paths run
+    // the same deterministic traffic; the committed rows across window
+    // sizes 10/100/10k are the lock-in — the incremental side must stay
+    // flat in the window size while the recompute side degrades.
+    let taqf_steps = if opts.smoke { 2_000 } else { 20_000 };
+    let mut traffic_rng = SplitMix64::new(0x7A9F);
+    let traffic: Vec<(u32, f64)> = (0..taqf_steps)
+        .map(|_| (traffic_rng.next_index(3) as u32, traffic_rng.next_f64()))
+        .collect();
+    for window in [10usize, 100, 10_000] {
+        let run_incremental = || {
+            let mut buf = TimeseriesBuffer::bounded(window);
+            let mut out = Vec::with_capacity(traffic.len());
+            for &(outcome, u) in &traffic {
+                buf.push(outcome, u);
+                let fused = buf.fused_outcome().expect("non-empty");
+                let taqf = TaqfVector::compute(&buf, fused).expect("non-empty");
+                out.push((fused, taqf));
+            }
+            out
+        };
+        let run_recompute = || {
+            let mut buf = TimeseriesBuffer::bounded(window);
+            let mut out = Vec::with_capacity(traffic.len());
+            for &(outcome, u) in &traffic {
+                buf.push(outcome, u);
+                let fused = buf.fused_outcome_reference().expect("non-empty");
+                let taqf = TaqfVector::compute_reference(&buf, fused).expect("non-empty");
+                out.push((fused, taqf));
+            }
+            out
+        };
+        let (recompute_s, recompute_out) = time_best(opts.repetitions, run_recompute);
+        let (incremental_s, incremental_out) = time_best(opts.repetitions, run_incremental);
+        let identical = recompute_out.len() == incremental_out.len()
+            && recompute_out.iter().zip(&incremental_out).all(|(a, b)| {
+                a.0 == b.0
+                    && a.1.ratio.to_bits() == b.1.ratio.to_bits()
+                    && a.1.length.to_bits() == b.1.length.to_bits()
+                    && a.1.unique_outcomes.to_bits() == b.1.unique_outcomes.to_bits()
+                    && a.1.cumulative_certainty.to_bits() == b.1.cumulative_certainty.to_bits()
+            });
+        results.push(Comparison::new(
+            &format!("taqf_step_window_{window}"),
+            taqf_steps as u64,
+            ("recompute", recompute_s),
+            ("incremental", incremental_s),
+            identical,
+        ));
+        results.last().expect("just pushed").print();
+    }
 
     write_report(opts, "BENCH_pipeline.json", "pipeline", results);
 }

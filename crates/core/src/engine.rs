@@ -19,6 +19,11 @@
 //! * **Batch-order semantics** — a batch behaves exactly as if its steps
 //!   were applied one by one in batch order; steps of the *same* stream
 //!   within one batch see each other's effects in order.
+//!
+//! Per-step cost is O(1) in the series length: buffers are rings and the
+//! taQF/fusion terms are running aggregates (see [`crate::buffer`]), so a
+//! stream that has been alive for a million steps costs the same to step
+//! as a fresh one — with or without a window bound.
 
 use crate::buffer::TimeseriesBuffer;
 use crate::error::CoreError;
@@ -168,9 +173,18 @@ impl TauwEngine {
         self.streams.keys().copied().collect()
     }
 
-    /// Steps buffered for a stream, or `None` if the stream is unknown.
+    /// Steps currently buffered for a stream (the window occupancy for
+    /// bounded buffers), or `None` if the stream is unknown. See
+    /// [`TauwEngine::stream_total_steps`] for the lifetime series length.
     pub fn stream_len(&self, stream: StreamId) -> Option<usize> {
         self.streams.get(&stream).map(TimeseriesBuffer::len)
+    }
+
+    /// Lifetime steps of the stream's current series (`i + 1`, which
+    /// window eviction does not shrink), or `None` if the stream is
+    /// unknown.
+    pub fn stream_total_steps(&self, stream: StreamId) -> Option<u64> {
+        self.streams.get(&stream).map(TimeseriesBuffer::total_steps)
     }
 
     /// Read access to a stream's buffer (diagnostics).
@@ -594,9 +608,21 @@ mod tests {
             engine.stream_buffer(StreamId(0)).unwrap().capacity(),
             Some(2)
         );
-        // The sliding window caps taQF length at the capacity.
+        // The sliding window bounds memory, but taQF2 stays the paper's
+        // lifetime series length `i + 1` (it used to be capped at the
+        // window size — the windowed-semantics bugfix).
         let out = engine.step(StreamId(0), &[0.2], 7).unwrap();
-        assert_eq!(out.taqf.length, 2.0);
+        assert_eq!(out.taqf.length, 6.0);
+        assert_eq!(out.series_length, 6);
+        assert_eq!(engine.stream_total_steps(StreamId(0)), Some(6));
+        assert_eq!(engine.stream_len(StreamId(0)), Some(2));
+        // taQF1/3/4 in contrast are windowed: 2 agreeing steps of the
+        // window, one distinct class.
+        assert_eq!(out.taqf.ratio, 1.0);
+        assert_eq!(out.taqf.unique_outcomes, 1.0);
+        assert!(out.taqf.cumulative_certainty <= 2.0);
+        engine.begin_series(StreamId(0));
+        assert_eq!(engine.stream_total_steps(StreamId(0)), Some(0));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! paper makes for decision trees extends to the calibrated bounds a
 //! safety assessor has to sign off on.
 
+use crate::buffer::TimeseriesBuffer;
 use crate::error::CoreError;
 use crate::tauw::TimeseriesAwareWrapper;
 use crate::wrapper::UncertaintyWrapper;
@@ -31,6 +32,9 @@ enum ArtifactKind {
     StatelessWrapper,
     /// A [`TimeseriesAwareWrapper`].
     TimeseriesAwareWrapper,
+    /// A [`TimeseriesBuffer`] snapshot (per-stream runtime state, e.g. for
+    /// migrating a long-running stream between hosts).
+    TimeseriesBuffer,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -177,6 +181,62 @@ impl TimeseriesAwareWrapper {
     }
 
     /// Reads an artifact file written by [`TimeseriesAwareWrapper::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on I/O or format errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let json = std::fs::read_to_string(path.as_ref()).map_err(|e| CoreError::InvalidInput {
+            reason: format!("reading artifact failed: {e}"),
+        })?;
+        Self::from_artifact_json(&json)
+    }
+}
+
+impl TimeseriesBuffer {
+    /// Serializes the buffer (window contents in temporal order, bound,
+    /// lifetime step counter) to a versioned JSON artifact — a snapshot of
+    /// one stream's runtime state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if serialization fails.
+    pub fn to_artifact_json(&self) -> Result<String, CoreError> {
+        to_json(ArtifactKind::TimeseriesBuffer, self)
+    }
+
+    /// Loads a buffer snapshot produced by
+    /// [`TimeseriesBuffer::to_artifact_json`].
+    ///
+    /// Deserialization funnels through [`TimeseriesBuffer::from_parts`], so
+    /// every `push` invariant is re-established: a crafted artifact cannot
+    /// carry uncertainties outside `[0, 1]`, non-finite values, more
+    /// entries than its capacity bound, or a lifetime counter smaller than
+    /// the window — such artifacts are rejected, like tampered model
+    /// artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on malformed JSON, a format
+    /// version mismatch, a wrong artifact kind, or state that violates the
+    /// buffer invariants.
+    pub fn from_artifact_json(json: &str) -> Result<Self, CoreError> {
+        from_json(ArtifactKind::TimeseriesBuffer, json)
+    }
+
+    /// Writes the artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on serialization or I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let json = self.to_artifact_json()?;
+        std::fs::write(path.as_ref(), json).map_err(|e| CoreError::InvalidInput {
+            reason: format!("writing artifact failed: {e}"),
+        })
+    }
+
+    /// Reads an artifact file written by [`TimeseriesBuffer::save`].
     ///
     /// # Errors
     ///
@@ -345,6 +405,89 @@ mod tests {
             }
             other => panic!("expected InvalidInput, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn buffer_snapshot_roundtrips_mid_wrap_and_resumes_bit_identically() {
+        // A bounded buffer that has wrapped (ring head != 0) must reload
+        // into the same semantic state: same window, same lifetime counter,
+        // and bit-identical estimates for every future step.
+        let tauw = fitted();
+        let mut buffer = TimeseriesBuffer::bounded(3);
+        for (o, q) in [(0u32, 0.2), (1, 0.9), (0, 0.4), (1, 0.8), (0, 0.1)] {
+            tauw.step_with_buffer(&mut buffer, &[q], o).unwrap();
+        }
+        assert_eq!(buffer.total_steps(), 5);
+        let json = buffer.to_artifact_json().unwrap();
+        let mut back = TimeseriesBuffer::from_artifact_json(&json).unwrap();
+        assert_eq!(buffer, back);
+        assert_eq!(back.total_steps(), 5);
+        for (o, q) in [(1u32, 0.7), (0, 0.3), (1, 0.5)] {
+            let a = tauw.step_with_buffer(&mut buffer, &[q], o).unwrap();
+            let b = tauw.step_with_buffer(&mut back, &[q], o).unwrap();
+            assert_eq!(a.uncertainty.to_bits(), b.uncertainty.to_bits());
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn buffer_artifact_rejects_invariant_violations() {
+        let mut buffer = TimeseriesBuffer::bounded(2);
+        buffer.push(1, 0.25);
+        buffer.push(2, 0.75);
+        let json = buffer.to_artifact_json().unwrap();
+
+        // Out-of-range uncertainty: the deserializer must re-establish the
+        // push invariants, not trust the artifact.
+        let tampered = json.replace("0.25", "7.5");
+        assert_ne!(tampered, json, "tamper edit must hit");
+        match TimeseriesBuffer::from_artifact_json(&tampered) {
+            Err(CoreError::InvalidInput { reason }) => {
+                assert!(reason.contains("outside [0, 1]"), "reason: {reason}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+
+        // More entries than the capacity bound.
+        let tampered = json.replace("\"capacity\": 2", "\"capacity\": 1");
+        assert_ne!(tampered, json);
+        match TimeseriesBuffer::from_artifact_json(&tampered) {
+            Err(CoreError::InvalidInput { reason }) => {
+                assert!(reason.contains("capacity"), "reason: {reason}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+
+        // Lifetime counter smaller than the window.
+        let tampered = json.replace("\"total_steps\": 2", "\"total_steps\": 1");
+        assert_ne!(tampered, json);
+        assert!(TimeseriesBuffer::from_artifact_json(&tampered).is_err());
+
+        // Non-finite uncertainty (JSON null decodes to NaN).
+        let tampered = json.replace("0.75", "null");
+        assert_ne!(tampered, json);
+        assert!(TimeseriesBuffer::from_artifact_json(&tampered).is_err());
+
+        // Wrong artifact kind.
+        let wrapper_json = fitted().to_artifact_json().unwrap();
+        assert!(TimeseriesBuffer::from_artifact_json(&wrapper_json).is_err());
+
+        // The untampered artifact still loads.
+        assert!(TimeseriesBuffer::from_artifact_json(&json).is_ok());
+    }
+
+    #[test]
+    fn buffer_snapshot_save_and_load_file() {
+        let mut buffer = TimeseriesBuffer::new();
+        buffer.push(3, 0.5);
+        let path = std::env::temp_dir().join(format!(
+            "tauw_buffer_persist_test_{}.json",
+            std::process::id()
+        ));
+        buffer.save(&path).unwrap();
+        let back = TimeseriesBuffer::load(&path).unwrap();
+        assert_eq!(buffer, back);
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

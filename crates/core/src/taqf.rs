@@ -10,8 +10,24 @@
 //! * **taQF3 — size**: number of distinct outcomes so far,
 //! * **taQF4 — cumulative certainty**: sum of certainties `1 − u_j` of the
 //!   steps whose outcome agrees with the fused outcome (others count 0).
+//!
+//! # Window semantics
+//!
+//! Under an unbounded buffer (the paper's setting) all four factors see the
+//! whole series. Under a **bounded** buffer the factors deliberately split:
+//! taQF1/taQF3/taQF4 are computed over the sliding window (stale evidence
+//! ages out), while **taQF2 stays the lifetime series length `i + 1`** via
+//! the buffer's eviction-surviving step counter — a window must cap memory
+//! and cost, not rewind how long the object has been tracked.
+//!
+//! # Cost model
+//!
+//! [`TaqfVector::compute`] reads the buffer's running aggregates — O(1) in
+//! the window length (linear only in the distinct classes present). The
+//! O(window) scan is kept as [`TaqfVector::compute_reference`] and the two
+//! are asserted bit-identical by the proptest and determinism suites.
 
-use crate::buffer::TimeseriesBuffer;
+use crate::buffer::{certainty_units_to_f64, TimeseriesBuffer};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of one timeseries-aware quality factor.
@@ -99,20 +115,45 @@ impl TaqfVector {
         if buffer.is_empty() {
             return None;
         }
-        let n = buffer.len() as f64;
+        // O(1) in the window length: every term is a running aggregate the
+        // buffer maintains on push/evict/clear.
+        let window = buffer.len() as f64;
+        Some(TaqfVector {
+            ratio: buffer.agreement_count(fused_outcome) as f64 / window,
+            length: buffer.total_steps() as f64,
+            unique_outcomes: buffer.unique_outcomes() as f64,
+            cumulative_certainty: certainty_units_to_f64(buffer.certainty_units_sum(fused_outcome)),
+        })
+    }
+
+    /// Full-recompute reference for [`TaqfVector::compute`]: an O(window)
+    /// scan over the buffered entries, kept aboard (mirroring the
+    /// flat-vs-pointer tree pattern) so the incremental aggregates can be
+    /// verified. Certainty accumulation uses the same exact 2⁻⁵³-unit
+    /// integer arithmetic, so the result is **bit-identical** to the O(1)
+    /// path for every push/evict/clear history.
+    pub fn compute_reference(buffer: &TimeseriesBuffer, fused_outcome: u32) -> Option<TaqfVector> {
+        if buffer.is_empty() {
+            return None;
+        }
+        let window = buffer.len() as f64;
         let mut agree = 0usize;
-        let mut cumulative = 0.0;
-        for e in buffer.entries() {
+        let mut units: u128 = 0;
+        let mut seen: Vec<u32> = Vec::new();
+        for e in buffer.iter() {
             if e.outcome == fused_outcome {
                 agree += 1;
-                cumulative += e.certainty();
+                units += u128::from(e.certainty_units());
+            }
+            if !seen.contains(&e.outcome) {
+                seen.push(e.outcome);
             }
         }
         Some(TaqfVector {
-            ratio: agree as f64 / n,
-            length: n,
-            unique_outcomes: buffer.unique_outcomes() as f64,
-            cumulative_certainty: cumulative,
+            ratio: agree as f64 / window,
+            length: buffer.total_steps() as f64,
+            unique_outcomes: seen.len() as f64,
+            cumulative_certainty: certainty_units_to_f64(units),
         })
     }
 
@@ -231,7 +272,6 @@ pub mod extra {
     /// agreement count scattered across the series.
     pub fn trailing_agreement_streak(buffer: &TimeseriesBuffer, fused_outcome: u32) -> f64 {
         buffer
-            .entries()
             .iter()
             .rev()
             .take_while(|e| e.outcome == fused_outcome)
@@ -241,27 +281,47 @@ pub mod extra {
     /// Exponentially recency-weighted agreement ratio with decay `lambda`
     /// (0 < lambda ≤ 1; 1 recovers taQF1). Rationale: under drifting
     /// conditions, recent agreement should count more than stale agreement.
+    ///
+    /// A NaN `lambda` is rejected and falls back to the unweighted ratio
+    /// (`lambda = 1`) instead of propagating NaN through `clamp` (the one
+    /// input that used to poison the result); other out-of-range values
+    /// clamp into `[1e-6, 1]`. The weights are summed newest-first with a
+    /// multiplicative decay, which makes the denominator *structurally*
+    /// ≥ 1 — the newest step's weight is the first term, before any
+    /// underflow can occur — rather than relying on `powf(0.0) == 1.0`
+    /// somewhere mid-scan; the walk stops once the decayed weight
+    /// underflows to zero, so long series with a small `lambda` no longer
+    /// pay one `powf` per buffered step for entries that cannot move
+    /// either sum.
     pub fn recency_weighted_ratio(
         buffer: &TimeseriesBuffer,
         fused_outcome: u32,
         lambda: f64,
     ) -> f64 {
-        let entries = buffer.entries();
-        if entries.is_empty() {
+        if buffer.is_empty() {
             return 0.0;
         }
-        let lambda = lambda.clamp(1e-6, 1.0);
-        let n = entries.len();
+        let lambda = if lambda.is_nan() {
+            1.0
+        } else {
+            lambda.clamp(1e-6, 1.0)
+        };
         let mut weighted_agree = 0.0;
         let mut total_weight = 0.0;
-        for (j, e) in entries.iter().enumerate() {
-            let age = (n - 1 - j) as f64;
-            let w = lambda.powf(age);
+        let mut w = 1.0;
+        for e in buffer.iter().rev() {
+            if w == 0.0 {
+                // All remaining (older) weights underflowed: they cannot
+                // move either sum.
+                break;
+            }
             total_weight += w;
             if e.outcome == fused_outcome {
                 weighted_agree += w;
             }
+            w *= lambda;
         }
+        debug_assert!(total_weight >= 1.0, "the newest step always weighs 1");
         weighted_agree / total_weight
     }
 
@@ -312,6 +372,40 @@ pub mod extra {
                 recency_weighted_ratio(&fresh, 1, lambda)
                     > recency_weighted_ratio(&stale, 1, lambda)
             );
+        }
+
+        #[test]
+        fn recency_ratio_survives_weight_underflow_on_long_series() {
+            // With a small lambda and a long series, all but the newest few
+            // weights underflow to zero. The newest-first scan keeps the
+            // denominator structurally >= 1 and cuts off once the weight
+            // hits zero, so the ratio stays finite, exact, and cheap.
+            let mut b = TimeseriesBuffer::new();
+            for i in 0..100_000u32 {
+                b.push(if i % 3 == 0 { 1 } else { 2 }, 0.1);
+            }
+            for lambda in [1e-6, 1e-3, 0.5, f64::MIN_POSITIVE, 0.0, -4.0] {
+                for class in [1, 2, 9] {
+                    let r = recency_weighted_ratio(&b, class, lambda);
+                    assert!(r.is_finite(), "lambda={lambda} class={class}: {r}");
+                    assert!((0.0..=1.0).contains(&r));
+                }
+            }
+            // At lambda = 1e-6 only the most recent steps carry weight: the
+            // last outcome dominates the ratio.
+            let last = b.iter().next_back().unwrap().outcome;
+            assert!(recency_weighted_ratio(&b, last, 1e-6) > 0.999_998);
+        }
+
+        #[test]
+        fn nan_lambda_is_rejected_and_falls_back_to_the_plain_ratio() {
+            let b = buffer(&[(1, 0.1), (2, 0.1), (1, 0.1)]);
+            let nan = recency_weighted_ratio(&b, 1, f64::NAN);
+            assert!(!nan.is_nan(), "NaN lambda must not poison the ratio");
+            assert_eq!(nan, recency_weighted_ratio(&b, 1, 1.0));
+            // Infinities clamp into range instead of propagating.
+            assert!((0.0..=1.0).contains(&recency_weighted_ratio(&b, 1, f64::INFINITY)));
+            assert!((0.0..=1.0).contains(&recency_weighted_ratio(&b, 1, f64::NEG_INFINITY)));
         }
 
         #[test]
@@ -374,6 +468,61 @@ mod tests {
         let t = TaqfVector::compute(&b, 1).unwrap();
         assert_eq!(t.unique_outcomes, 3.0);
         assert_eq!(t.length, 4.0);
+    }
+
+    #[test]
+    fn incremental_compute_matches_reference_bitwise() {
+        let mut bounded = TimeseriesBuffer::bounded(3);
+        let mut unbounded = TimeseriesBuffer::new();
+        for (i, &(o, u)) in [
+            (1u32, 0.123),
+            (2, 0.456),
+            (1, 0.789),
+            (3, 0.0),
+            (1, 1.0),
+            (2, 0.333),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for b in [&mut bounded, &mut unbounded] {
+                b.push(o, u);
+                for fused in [1u32, 2, 3, 9] {
+                    let fast = TaqfVector::compute(b, fused).unwrap();
+                    let slow = TaqfVector::compute_reference(b, fused).unwrap();
+                    assert_eq!(fast.ratio.to_bits(), slow.ratio.to_bits(), "step {i}");
+                    assert_eq!(fast.length.to_bits(), slow.length.to_bits(), "step {i}");
+                    assert_eq!(
+                        fast.unique_outcomes.to_bits(),
+                        slow.unique_outcomes.to_bits(),
+                        "step {i}"
+                    );
+                    assert_eq!(
+                        fast.cumulative_certainty.to_bits(),
+                        slow.cumulative_certainty.to_bits(),
+                        "step {i}"
+                    );
+                }
+            }
+        }
+        assert!(TaqfVector::compute_reference(&TimeseriesBuffer::new(), 0).is_none());
+    }
+
+    #[test]
+    fn taqf2_survives_window_eviction() {
+        // Regression: a bounded buffer used to report the window size as
+        // taQF2; the paper's series length `i + 1` must keep growing.
+        let mut b = TimeseriesBuffer::bounded(2);
+        for i in 0..6u32 {
+            b.push(7, 0.1 * f64::from(i % 3));
+        }
+        let t = TaqfVector::compute(&b, 7).unwrap();
+        assert_eq!(t.length, 6.0, "lifetime length, not the window size");
+        assert_eq!(t.ratio, 1.0, "ratio stays windowed");
+        assert_eq!(t.unique_outcomes, 1.0);
+        b.clear();
+        b.push(7, 0.0);
+        assert_eq!(TaqfVector::compute(&b, 7).unwrap().length, 1.0);
     }
 
     #[test]

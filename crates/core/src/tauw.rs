@@ -18,7 +18,6 @@ use crate::training::{flatten_stateless, validate_series, TrainingSeries};
 use crate::wrapper::{UncertaintyWrapper, WrapperBuilder};
 use serde::{Deserialize, Serialize};
 use tauw_dtree::{Dataset, TreeBuilder};
-use tauw_fusion::info::{InformationFusion, MajorityVote};
 
 /// Output of one taUW timestep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -33,7 +32,9 @@ pub struct TauwStep {
     pub stateless_uncertainty: f64,
     /// The timeseries-aware quality factors computed this step.
     pub taqf: TaqfVector,
-    /// Steps in the current series so far (`i + 1`).
+    /// Steps in the current series so far (`i + 1`) — the lifetime count,
+    /// which a bounded buffer's eviction does not shrink (it equals
+    /// `taqf.length`).
     pub series_length: usize,
 }
 
@@ -242,14 +243,15 @@ fn replay_one(
     stateless: &UncertaintyWrapper,
     series: &TrainingSeries,
 ) -> Result<Vec<ReplayRow>, CoreError> {
-    let fusion = MajorityVote;
     let mut buffer = TimeseriesBuffer::with_capacity(series.len());
     let mut rows = Vec::with_capacity(series.len());
     for (step_idx, step) in series.steps.iter().enumerate() {
         let u = stateless.uncertainty(&step.quality_factors)?;
         buffer.push(step.outcome, u);
-        let fused = fusion
-            .fuse(&buffer.outcomes(), &buffer.certainties())
+        // Same incremental fusion + taQF aggregates as the serving path, so
+        // training rows and runtime estimates come from one routine.
+        let fused = buffer
+            .fused_outcome()
             .expect("buffer is non-empty after push");
         let taqf = TaqfVector::compute(&buffer, fused).expect("buffer is non-empty");
         rows.push(ReplayRow {
@@ -346,9 +348,17 @@ impl TimeseriesAwareWrapper {
     /// Processes one timestep against an externally owned buffer. This is
     /// **the** per-step computation: [`TauwSession::step`] and the
     /// multi-stream [`crate::engine::TauwEngine`] both delegate here, so a
-    /// batched engine step is exactly a session step by construction. Both
-    /// tree lookups run on the compiled [`tauw_dtree::FlatTree`] serving
-    /// form: one flat traversal plus one bound-array index per model.
+    /// batched engine step is exactly a session step by construction.
+    ///
+    /// Every stage is O(1) in the series length: both tree lookups run on
+    /// the compiled [`tauw_dtree::FlatTree`] serving form (one flat
+    /// traversal plus one bound-array index per model), the buffer push is
+    /// a ring write, and the fused outcome and taQF vector are reads of the
+    /// buffer's running aggregates
+    /// ([`TimeseriesBuffer::fused_outcome`], [`TaqfVector::compute`]). The
+    /// O(window) recompute survives as the verification reference
+    /// ([`TimeseriesBuffer::fused_outcome_reference`],
+    /// [`TaqfVector::compute_reference`]), bit-identical by construction.
     ///
     /// # Errors
     ///
@@ -361,8 +371,8 @@ impl TimeseriesAwareWrapper {
     ) -> Result<TauwStep, CoreError> {
         let stateless_uncertainty = self.stateless.uncertainty(quality_factors)?;
         buffer.push(outcome, stateless_uncertainty);
-        let fused = MajorityVote
-            .fuse(&buffer.outcomes(), &buffer.certainties())
+        let fused = buffer
+            .fused_outcome()
             .expect("buffer is non-empty after push");
         let taqf = TaqfVector::compute(buffer, fused).expect("buffer is non-empty");
         let uncertainty = self.ta_uncertainty(quality_factors, &taqf)?;
@@ -371,7 +381,9 @@ impl TimeseriesAwareWrapper {
             uncertainty,
             stateless_uncertainty,
             taqf,
-            series_length: buffer.len(),
+            // Saturate rather than wrap on targets where usize is narrower
+            // than the lifetime counter (a >2^32-step stream on 32 bits).
+            series_length: usize::try_from(buffer.total_steps()).unwrap_or(usize::MAX),
         })
     }
 
@@ -410,9 +422,10 @@ impl TauwSession<'_> {
         self.buffer.clear();
     }
 
-    /// Steps in the current series so far.
+    /// Steps in the current series so far (`i + 1`, lifetime — not capped
+    /// by a window bound; saturates if it outgrows `usize`).
     pub fn series_length(&self) -> usize {
-        self.buffer.len()
+        usize::try_from(self.buffer.total_steps()).unwrap_or(usize::MAX)
     }
 
     /// Read access to the buffer (for diagnostics).

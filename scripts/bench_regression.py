@@ -23,7 +23,7 @@ import json
 import os
 import sys
 
-SCHEMA = "tauw-bench-baseline/v2"
+SCHEMA = "tauw-bench-baseline/v3"
 REQUIRED_COLUMNS = (
     "name",
     "work_units",

@@ -332,6 +332,93 @@ fn tauw_flat_serving_matches_pointer_reference_paths() {
 }
 
 #[test]
+fn incremental_taqf_serving_matches_full_recompute_reference() {
+    // The serving path reads O(1) running aggregates (ring buffer stats);
+    // the O(window) scans stay aboard as the reference. Recompute every
+    // per-step estimate through the reference path — majority-vote scan,
+    // full taQF recompute, pointer-tree taQIM — and demand bitwise
+    // equality, across engine thread budgets 1/2/8 and for both unbounded
+    // and bounded (sliding-window) stream buffers.
+    use tauw_suite::core::engine::{StreamId, StreamStep, TauwEngine};
+    use tauw_suite::core::taqf::TaqfVector;
+
+    let config = SimConfig::scaled(0.04);
+    let data = DatasetBuilder::new(config, 31).unwrap().build();
+    let mut wb = WrapperBuilder::new();
+    wb.max_depth(6).calibration(CalibrationOptions {
+        min_samples_per_leaf: 50,
+        confidence: 0.99,
+        ..Default::default()
+    });
+    let mut builder = TauwBuilder::new();
+    builder.wrapper(wb);
+    let tauw = builder
+        .fit(
+            QualityObservation::feature_names(),
+            &convert(&data.train),
+            &convert(&data.calib),
+        )
+        .unwrap();
+
+    let streams: Vec<_> = convert(&data.test).into_iter().take(24).collect();
+    let window_len = streams.iter().map(|s| s.steps.len()).max().unwrap();
+    let mut compared = 0usize;
+    for capacity in [None, Some(4usize), Some(1)] {
+        for threads in [1usize, 2, 8] {
+            let mut engine = TauwEngine::new(tauw.clone());
+            engine.threads(threads);
+            if let Some(cap) = capacity {
+                engine.buffer_capacity(cap);
+            }
+            for j in 0..window_len {
+                let mut positions = Vec::new();
+                let mut batch = Vec::new();
+                for (s, series) in streams.iter().enumerate() {
+                    if let Some(step) = series.steps.get(j) {
+                        positions.push(s);
+                        batch.push(StreamStep::new(
+                            StreamId(s as u64),
+                            step.quality_factors.clone(),
+                            step.outcome,
+                        ));
+                    }
+                }
+                for (&s, out) in positions.iter().zip(engine.step_many(&batch).unwrap()) {
+                    let ctx = format!("stream {s} step {j} threads={threads} cap={capacity:?}");
+                    let buffer = engine.stream_buffer(StreamId(s as u64)).unwrap();
+                    // Fused outcome: O(1) argmax == O(window) vote scan.
+                    let fused_ref = buffer.fused_outcome_reference().unwrap();
+                    assert_eq!(out.fused_outcome, fused_ref, "{ctx}");
+                    // taQFs: running aggregates == full recompute, bitwise.
+                    let taqf_ref = TaqfVector::compute_reference(buffer, fused_ref).unwrap();
+                    for (fast, slow) in [
+                        (out.taqf.ratio, taqf_ref.ratio),
+                        (out.taqf.length, taqf_ref.length),
+                        (out.taqf.unique_outcomes, taqf_ref.unique_outcomes),
+                        (out.taqf.cumulative_certainty, taqf_ref.cumulative_certainty),
+                    ] {
+                        assert_eq!(fast.to_bits(), slow.to_bits(), "{ctx}");
+                    }
+                    // taQF2 reports the lifetime series length even when
+                    // the window has evicted steps.
+                    assert_eq!(out.taqf.length, (j + 1) as f64, "{ctx}");
+                    assert_eq!(out.series_length, j + 1, "{ctx}");
+                    // And the final estimate: reference features through
+                    // the pointer-tree taQIM reference lookup.
+                    let qf = &streams[s].steps[j].quality_factors;
+                    let mut features = qf.clone();
+                    features.extend(tauw.taqf_set().select(&taqf_ref));
+                    let u_ref = tauw.taqim().uncertainty_reference(&features).unwrap();
+                    assert_eq!(out.uncertainty.to_bits(), u_ref.to_bits(), "{ctx}");
+                    compared += 1;
+                }
+            }
+        }
+    }
+    assert!(compared > 1000, "covered only {compared} comparisons");
+}
+
+#[test]
 fn engine_step_many_matches_sequential_single_stream_wrappers() {
     use tauw_suite::core::engine::{StreamId, StreamStep, TauwEngine};
 

@@ -134,6 +134,79 @@ proptest! {
         }
     }
 
+    // --- timeseries buffer: incremental aggregates vs full recompute ---
+
+    #[test]
+    fn buffer_incremental_aggregates_match_full_recompute(
+        // op < 12 pushes (outcome, uncertainty); op == 12 clears — so
+        // arbitrary interleavings of push/evict/clear are covered.
+        // Uncertainties straddle [0, 1] to exercise the push clamping.
+        ops in prop::collection::vec(
+            (0u8..=12, 0u32..5, -0.2f64..=1.2),
+            1..100,
+        ),
+    ) {
+        // Bounded (incl. the degenerate capacity-1 window) and unbounded.
+        for capacity in [None, Some(1usize), Some(2), Some(5)] {
+            let mut buffer = match capacity {
+                Some(cap) => TimeseriesBuffer::bounded(cap),
+                None => TimeseriesBuffer::new(),
+            };
+            // Shadow model: a plain Vec of the whole series + a lifetime
+            // counter; the window is its suffix.
+            let mut model: Vec<(u32, f64)> = Vec::new();
+            for &(op, outcome, uncertainty) in &ops {
+                if op == 12 {
+                    buffer.clear();
+                    model.clear();
+                } else {
+                    buffer.push(outcome, uncertainty);
+                    model.push((outcome, uncertainty.clamp(0.0, 1.0)));
+                }
+                // Window contents and counters match the model.
+                let window: Vec<(u32, f64)> = match capacity {
+                    Some(cap) => model[model.len().saturating_sub(cap)..].to_vec(),
+                    None => model.clone(),
+                };
+                prop_assert_eq!(buffer.total_steps() as usize, model.len());
+                prop_assert_eq!(buffer.len(), window.len());
+                let zipped: Vec<(u32, f64)> =
+                    buffer.iter().map(|e| (e.outcome, e.uncertainty)).collect();
+                prop_assert_eq!(&zipped, &window);
+
+                if window.is_empty() {
+                    prop_assert!(buffer.fused_outcome().is_none());
+                    prop_assert!(TaqfVector::compute(&buffer, 0).is_none());
+                    continue;
+                }
+                // Incremental fusion == the O(window) majority-vote scan.
+                let fused = buffer.fused_outcome().unwrap();
+                prop_assert_eq!(Some(fused), buffer.fused_outcome_reference());
+                // Incremental taQFs == the O(window) recompute, bit for
+                // bit, for the fused outcome and for absent classes alike.
+                for probe in [fused, 0, 4, 99] {
+                    let fast = TaqfVector::compute(&buffer, probe).unwrap();
+                    let slow = TaqfVector::compute_reference(&buffer, probe).unwrap();
+                    prop_assert_eq!(fast.ratio.to_bits(), slow.ratio.to_bits());
+                    prop_assert_eq!(fast.length.to_bits(), slow.length.to_bits());
+                    prop_assert_eq!(
+                        fast.unique_outcomes.to_bits(),
+                        slow.unique_outcomes.to_bits()
+                    );
+                    prop_assert_eq!(
+                        fast.cumulative_certainty.to_bits(),
+                        slow.cumulative_certainty.to_bits()
+                    );
+                }
+                // taQF2 is the lifetime length; taQF1/3/4 are windowed.
+                let t = TaqfVector::compute(&buffer, fused).unwrap();
+                prop_assert_eq!(t.length, model.len() as f64);
+                let agree = window.iter().filter(|(o, _)| *o == fused).count();
+                prop_assert_eq!(t.ratio, agree as f64 / window.len() as f64);
+            }
+        }
+    }
+
     // --- binomial bounds ---
 
     #[test]
