@@ -39,7 +39,10 @@ use tauw_stats::bootstrap::SplitMix64;
 /// v3: adds the per-step taQF rows `taqf_step_window_{10,100,10000}`
 /// (full-recompute vs incremental-aggregate serving) so the O(1)-in-window
 /// per-step cost is measured and locked in.
-const SCHEMA: &str = "tauw-bench-baseline/v3";
+/// v4: adds the `qim_uncertainty_tree_vs_forest{4,16}` rows (single-tree
+/// taQIM vs boundary-smoothed K-member forest) so the K-traversal serving
+/// cost of the ensemble estimator is measured and locked in.
+const SCHEMA: &str = "tauw-bench-baseline/v4";
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -406,6 +409,55 @@ fn bench_pipeline(opts: &Options) {
         identical,
     ));
     results.last().expect("just pushed").print();
+
+    // The taQIM lookup across estimator families: the paper's single tree
+    // vs a boundary-smoothed bootstrap forest of K members. The forest
+    // pays exactly K flat traversals + K bound reads + one mean per step;
+    // these rows lock that multiplier in. `bit_identical` here verifies
+    // each side against its own pointer-representation reference recompute
+    // (the models legitimately differ from each other).
+    let taqf_set = ctx.tauw.taqf_set();
+    let ta_queries: Vec<Vec<f64>> = ctx
+        .calib_replay
+        .iter()
+        .map(|row| row.ta_features(taqf_set))
+        .collect();
+    let single_taqim = ctx.tauw.taqim();
+    const FOREST_PASSES: usize = 8;
+    let run_qim = |qim: &tauw_core::calibration::TaQim| {
+        let mut out = Vec::with_capacity(ta_queries.len());
+        for _ in 0..FOREST_PASSES {
+            out.clear();
+            out.extend(ta_queries.iter().map(|q| qim.uncertainty(q).expect("qim")));
+        }
+        out
+    };
+    let verified_against_reference = |qim: &tauw_core::calibration::TaQim, served: &[f64]| {
+        served.len() == ta_queries.len()
+            && ta_queries.iter().zip(served).all(|(q, &u)| {
+                qim.uncertainty_reference(q).expect("reference").to_bits() == u.to_bits()
+            })
+    };
+    // One tree-side measurement, shared by both comparison rows — the
+    // baseline workload is identical for every K.
+    let (tree_s, tree_u) = time_best(opts.repetitions, || run_qim(single_taqim));
+    let tree_verified = verified_against_reference(single_taqim, &tree_u);
+    for k in [4usize, 16] {
+        let forest_tauw = ctx
+            .tauw_forest_variant(k, 0xF0E57 + k as u64)
+            .expect("forest variant builds");
+        let forest_taqim = forest_tauw.taqim();
+        let (forest_s, forest_u) = time_best(opts.repetitions, || run_qim(forest_taqim));
+        let identical = tree_verified && verified_against_reference(forest_taqim, &forest_u);
+        results.push(Comparison::new(
+            &format!("qim_uncertainty_tree_vs_forest{k}"),
+            (ta_queries.len() * FOREST_PASSES) as u64,
+            ("tree", tree_s),
+            (&format!("forest{k}"), forest_s),
+            identical,
+        ));
+        results.last().expect("just pushed").print();
+    }
 
     // Per-step taQF + fusion cost over a sliding window: the seed path
     // recomputed everything from the buffer each step (O(window)); serving

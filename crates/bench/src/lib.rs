@@ -2,7 +2,7 @@
 //! scaled-down experiment context plus synthetic forecast/label sets.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use tauw_experiments::ExperimentContext;
 use tauw_stats::bootstrap::SplitMix64;

@@ -13,7 +13,7 @@
 //!   entry by overwriting one slot and advancing `head` — no `remove(0)`
 //!   shift, so `push` is O(1) in the window length;
 //! * every `push`/evict/`clear` maintains **running aggregates** — one
-//!   [`OutcomeStats`] per distinct outcome currently in the window (count,
+//!   `OutcomeStats` record per distinct outcome in the window (count,
 //!   exact certainty sum, last-seen step) plus a lifetime step counter —
 //!   so the taQF1–4 vector and the majority-vote fused outcome are O(1)
 //!   lookups in the window length (linear only in the number of *distinct

@@ -1,15 +1,24 @@
-//! Calibrated quality impact models: a decision tree whose leaves carry
-//! dependable (one-sided, high-confidence) failure-probability bounds.
+//! Calibrated quality impact models: decision trees (and bootstrap
+//! ensembles of them) whose leaves carry dependable (one-sided,
+//! high-confidence) failure-probability bounds.
 //!
 //! The paper's procedure (Section IV-C.2): train a CART tree on the
 //! training data, prune on the *calibration* set so every leaf keeps at
 //! least 200 calibration samples, then compute a statistical uncertainty
 //! guarantee per leaf at confidence 0.999.
+//!
+//! [`CalibratedQim`] is that single-tree model. [`CalibratedForestQim`]
+//! applies the identical per-tree procedure to every member of a
+//! bootstrap [`Forest`] and reports the **mean** of the members' bounds —
+//! the hard-boundary mitigation of Gerber, Jöckel & Kläs: one tree's
+//! estimate jumps discontinuously at its split thresholds, while an
+//! ensemble average steps through many small boundaries. [`TaQim`] is the
+//! closed set of quality-impact-model shapes a wrapper can serve.
 
 use crate::error::CoreError;
 use serde::{Deserialize, Serialize};
 use tauw_dtree::prune::prune_to_min_count;
-use tauw_dtree::{DecisionTree, FlatTree, LeafId, NodeId};
+use tauw_dtree::{DecisionTree, FlatForest, FlatTree, Forest, LeafId, NodeId};
 use tauw_stats::binomial::{upper_bound, BoundMethod};
 
 /// Calibration statistics and the resulting bound for one leaf.
@@ -95,7 +104,7 @@ impl CalibratedQim {
     /// Returns [`CoreError`] if the calibration set is empty, too small for
     /// even the root to satisfy the minimum, or rows have the wrong arity.
     pub fn calibrate(
-        mut tree: DecisionTree,
+        tree: DecisionTree,
         samples: &[(Vec<f64>, bool)],
         options: CalibrationOptions,
     ) -> Result<Self, CoreError> {
@@ -104,49 +113,13 @@ impl CalibratedQim {
                 reason: "calibration set is empty".into(),
             });
         }
-        // 1. Route calibration samples and prune.
-        let counts = tree.node_sample_counts(samples.iter().map(|(f, _)| f.as_slice()))?;
-        prune_to_min_count(&mut tree, &counts, options.min_samples_per_leaf)?;
-
-        // 2. Compile the pruned tree and re-route the calibration set on
-        // the flat form (batched, thread-fanned, input-order) to collect
-        // per-leaf failure stats keyed by the dense leaf id.
-        let flat = FlatTree::from_tree(&tree);
-        let rows: Vec<&[f64]> = samples.iter().map(|(f, _)| f.as_slice()).collect();
-        let routed = flat.predict_leaf_ids(parallel::max_threads(), &rows)?;
-        let mut failures = vec![0u64; flat.n_leaves()];
-        let mut totals = vec![0u64; flat.n_leaves()];
-        for (leaf, (_, failed)) in routed.into_iter().zip(samples) {
-            totals[leaf as usize] += 1;
-            if *failed {
-                failures[leaf as usize] += 1;
-            }
-        }
-
-        // 3. Bound per leaf, filling both the dense leaf-id array (serving
-        // path) and the node-indexed table (transparency path).
-        let mut leaf_bounds = vec![0.0; flat.n_leaves()];
-        let mut leaves = vec![None; tree.n_nodes()];
-        for (leaf_id, flat_leaf) in flat.leaves().iter().enumerate() {
-            let bound = upper_bound(
-                options.method,
-                failures[leaf_id],
-                totals[leaf_id],
-                options.confidence,
-            )?;
-            leaf_bounds[leaf_id] = bound;
-            leaves[flat_leaf.node_id] = Some(CalibratedLeaf {
-                failures: failures[leaf_id],
-                total: totals[leaf_id],
-                uncertainty_bound: bound,
-            });
-        }
+        let parts = calibrate_tree(tree, samples, options)?;
         Ok(CalibratedQim {
-            tree,
-            leaves,
+            tree: parts.tree,
+            leaves: parts.leaves,
             options,
-            flat,
-            leaf_bounds,
+            flat: parts.flat,
+            leaf_bounds: parts.leaf_bounds,
         })
     }
 
@@ -221,36 +194,13 @@ impl CalibratedQim {
     /// Returns [`CoreError::InvalidInput`] describing the first
     /// inconsistency found.
     pub fn validate(&self) -> Result<(), CoreError> {
-        if self.flat != FlatTree::from_tree(&self.tree) {
-            return Err(CoreError::InvalidInput {
-                reason: "calibrated QIM: flat form is not the lowering of its tree".into(),
-            });
-        }
-        if self.leaf_bounds.len() != self.flat.n_leaves() {
-            return Err(CoreError::InvalidInput {
-                reason: format!(
-                    "calibrated QIM: {} leaf bounds for {} leaves",
-                    self.leaf_bounds.len(),
-                    self.flat.n_leaves()
-                ),
-            });
-        }
-        for (leaf_id, flat_leaf) in self.flat.leaves().iter().enumerate() {
-            let Some(leaf) = self.calibrated_leaf(flat_leaf.node_id) else {
-                return Err(CoreError::InvalidInput {
-                    reason: format!(
-                        "calibrated QIM: leaf node {} carries no calibration record",
-                        flat_leaf.node_id
-                    ),
-                });
-            };
-            if leaf.uncertainty_bound.to_bits() != self.leaf_bounds[leaf_id].to_bits() {
-                return Err(CoreError::InvalidInput {
-                    reason: format!("calibrated QIM: bound table diverges at leaf id {leaf_id}"),
-                });
-            }
-        }
-        Ok(())
+        validate_parts(
+            &self.tree,
+            &self.leaves,
+            &self.flat,
+            &self.leaf_bounds,
+            "calibrated QIM",
+        )
     }
 
     /// The underlying (pruned) routing tree, for transparency/export.
@@ -295,6 +245,505 @@ impl CalibratedQim {
             .iter()
             .map(|(_, l)| l.uncertainty_bound)
             .fold(1.0, f64::min)
+    }
+}
+
+/// The artifacts calibrating one routing tree produces — the shared core
+/// of the single-tree and forest procedures.
+struct CalibratedTreeParts {
+    tree: DecisionTree,
+    leaves: Vec<Option<CalibratedLeaf>>,
+    flat: FlatTree,
+    leaf_bounds: Vec<f64>,
+}
+
+/// Prunes one tree against the calibration set, compiles it, and bounds
+/// every reachable leaf — the paper's per-tree calibration procedure,
+/// applied identically by [`CalibratedQim::calibrate`] (once) and
+/// [`CalibratedForestQim::calibrate`] (once per member).
+fn calibrate_tree(
+    mut tree: DecisionTree,
+    samples: &[(Vec<f64>, bool)],
+    options: CalibrationOptions,
+) -> Result<CalibratedTreeParts, CoreError> {
+    // 1. Route calibration samples and prune.
+    let counts = tree.node_sample_counts(samples.iter().map(|(f, _)| f.as_slice()))?;
+    prune_to_min_count(&mut tree, &counts, options.min_samples_per_leaf)?;
+
+    // 2. Compile the pruned tree and re-route the calibration set on
+    // the flat form (batched, thread-fanned, input-order) to collect
+    // per-leaf failure stats keyed by the dense leaf id.
+    let flat = FlatTree::from_tree(&tree);
+    let rows: Vec<&[f64]> = samples.iter().map(|(f, _)| f.as_slice()).collect();
+    let routed = flat.predict_leaf_ids(parallel::max_threads(), &rows)?;
+    let mut failures = vec![0u64; flat.n_leaves()];
+    let mut totals = vec![0u64; flat.n_leaves()];
+    for (leaf, (_, failed)) in routed.into_iter().zip(samples) {
+        totals[leaf as usize] += 1;
+        if *failed {
+            failures[leaf as usize] += 1;
+        }
+    }
+
+    // 3. Bound per leaf, filling both the dense leaf-id array (serving
+    // path) and the node-indexed table (transparency path).
+    let mut leaf_bounds = vec![0.0; flat.n_leaves()];
+    let mut leaves = vec![None; tree.n_nodes()];
+    for (leaf_id, flat_leaf) in flat.leaves().iter().enumerate() {
+        let bound = upper_bound(
+            options.method,
+            failures[leaf_id],
+            totals[leaf_id],
+            options.confidence,
+        )?;
+        leaf_bounds[leaf_id] = bound;
+        leaves[flat_leaf.node_id] = Some(CalibratedLeaf {
+            failures: failures[leaf_id],
+            total: totals[leaf_id],
+            uncertainty_bound: bound,
+        });
+    }
+    Ok(CalibratedTreeParts {
+        tree,
+        leaves,
+        flat,
+        leaf_bounds,
+    })
+}
+
+/// Checks that one (tree, calibrated leaves, flat form, bound table)
+/// quadruple is internally consistent; `context` labels error messages
+/// (e.g. `"calibrated QIM"`, `"calibrated forest QIM member 3"`).
+fn validate_parts(
+    tree: &DecisionTree,
+    leaves: &[Option<CalibratedLeaf>],
+    flat: &FlatTree,
+    leaf_bounds: &[f64],
+    context: &str,
+) -> Result<(), CoreError> {
+    if *flat != FlatTree::from_tree(tree) {
+        return Err(CoreError::InvalidInput {
+            reason: format!("{context}: flat form is not the lowering of its tree"),
+        });
+    }
+    if leaf_bounds.len() != flat.n_leaves() {
+        return Err(CoreError::InvalidInput {
+            reason: format!(
+                "{context}: {} leaf bounds for {} leaves",
+                leaf_bounds.len(),
+                flat.n_leaves()
+            ),
+        });
+    }
+    for (leaf_id, flat_leaf) in flat.leaves().iter().enumerate() {
+        let Some(leaf) = leaves.get(flat_leaf.node_id).copied().flatten() else {
+            return Err(CoreError::InvalidInput {
+                reason: format!(
+                    "{context}: leaf node {} carries no calibration record",
+                    flat_leaf.node_id
+                ),
+            });
+        };
+        if leaf.uncertainty_bound.to_bits() != leaf_bounds[leaf_id].to_bits() {
+            return Err(CoreError::InvalidInput {
+                reason: format!("{context}: bound table diverges at leaf id {leaf_id}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The canonical ordering key of one calibrated member: the serialized
+/// pruned tree. Members are stored (and summed) in ascending key order, so
+/// the assembled model — and therefore every served estimate, bit for bit
+/// — is independent of the order the trees were supplied in.
+fn member_key(tree: &DecisionTree) -> String {
+    serde_json::to_string(tree).expect("a decision tree always serializes")
+}
+
+/// A forest quality impact model after calibration: `K` routing trees,
+/// each pruned and bounded by the exact single-tree procedure, whose
+/// served uncertainty is the **mean of the members' calibrated leaf
+/// bounds**.
+///
+/// Why a forest: a single tree's bound jumps discontinuously at its split
+/// thresholds (the *hard boundary* problem — an input 1 mm either side of
+/// a threshold can see a very different guarantee). Averaging `K`
+/// bootstrap-trained members replaces the few large jumps with many small
+/// ones, smoothing the estimate while each member's bound keeps its
+/// per-leaf statistical pedigree.
+///
+/// Determinism contract, mirroring [`CalibratedQim`]:
+///
+/// * members are stored in a **canonical order** (sorted by serialized
+///   form at calibration), so the mean — summed left-to-right over that
+///   order — is bit-identical no matter how the input [`Forest`] ordered
+///   its trees;
+/// * at `K = 1` the mean degenerates to `bound / 1.0`, which is exactly
+///   the member's bound: a one-tree forest serves **bitwise** the value
+///   the equivalent [`CalibratedQim`] would (asserted by proptest);
+/// * serving reads the compiled [`FlatForest`] (`K` flat traversals plus
+///   `K` bound-array indexes, no allocation); the pointer members stay
+///   aboard as [`CalibratedForestQim::uncertainty_reference`].
+///
+/// # Examples
+///
+/// ```
+/// use tauw_core::calibration::{CalibratedForestQim, CalibrationOptions};
+/// use tauw_dtree::{Dataset, ForestBuilder, TreeBuilder};
+///
+/// // Failure iff x > 0.5; train a 4-member bootstrap forest on it.
+/// let mut ds = Dataset::new(vec!["x".into()], 2)?;
+/// for i in 0..400 {
+///     let x = i as f64 / 400.0;
+///     ds.push_row(&[x], u32::from(x > 0.5))?;
+/// }
+/// let mut builder = ForestBuilder::new(4, 7);
+/// builder.tree(TreeBuilder::new().max_depth(4).clone());
+/// let forest = builder.fit(&ds)?;
+///
+/// // Calibrate every member on held-out samples, then query the mean
+/// // of the per-member dependable bounds.
+/// let calib: Vec<(Vec<f64>, bool)> = (0..1000)
+///     .map(|i| {
+///         let x = (i as f64 + 0.5) / 1000.0;
+///         (vec![x], x > 0.5)
+///     })
+///     .collect();
+/// let qim = CalibratedForestQim::calibrate(
+///     forest,
+///     &calib,
+///     CalibrationOptions { min_samples_per_leaf: 100, ..Default::default() },
+/// )?;
+/// assert_eq!(qim.n_trees(), 4);
+/// let low = qim.uncertainty(&[0.1])?;
+/// let high = qim.uncertainty(&[0.9])?;
+/// assert!(low < 0.2 && high > 0.8, "low {low}, high {high}");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibratedForestQim {
+    /// Pruned pointer members in canonical order (transparency/reference).
+    trees: Vec<DecisionTree>,
+    /// Per-member [`NodeId`]-indexed calibration records.
+    leaves: Vec<Vec<Option<CalibratedLeaf>>>,
+    options: CalibrationOptions,
+    /// The compiled serving form: one flat tree per member.
+    flat: FlatForest,
+    /// Per-member uncertainty bounds indexed by [`LeafId`].
+    leaf_bounds: Vec<Vec<f64>>,
+}
+
+impl CalibratedForestQim {
+    /// Calibrates every member of a trained forest against a calibration
+    /// set — the single-tree procedure (route, prune to the per-leaf
+    /// minimum, bound at the configured confidence), applied per member —
+    /// and stores the members in canonical order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the calibration set is empty, too small
+    /// for any member's root to satisfy the minimum, or rows have the
+    /// wrong arity.
+    pub fn calibrate(
+        forest: Forest,
+        samples: &[(Vec<f64>, bool)],
+        options: CalibrationOptions,
+    ) -> Result<Self, CoreError> {
+        if samples.is_empty() {
+            return Err(CoreError::InvalidInput {
+                reason: "calibration set is empty".into(),
+            });
+        }
+        let mut parts = Vec::with_capacity(forest.n_trees());
+        for tree in forest.into_trees() {
+            let member = calibrate_tree(tree, samples, options)?;
+            parts.push((member_key(&member.tree), member));
+        }
+        // Canonical member order: ascending serialized-tree key. Equal keys
+        // are identical members (same tree, same calibration data, same
+        // bounds), so their relative order cannot affect the sum.
+        parts.sort_by(|(a, _), (b, _)| a.cmp(b));
+
+        let mut trees = Vec::with_capacity(parts.len());
+        let mut leaves = Vec::with_capacity(parts.len());
+        let mut flats = Vec::with_capacity(parts.len());
+        let mut leaf_bounds = Vec::with_capacity(parts.len());
+        for (_, member) in parts {
+            trees.push(member.tree);
+            leaves.push(member.leaves);
+            flats.push(member.flat);
+            leaf_bounds.push(member.leaf_bounds);
+        }
+        Ok(CalibratedForestQim {
+            trees,
+            leaves,
+            options,
+            flat: FlatForest::from_flat_trees(flats)?,
+            leaf_bounds,
+        })
+    }
+
+    /// Dependable uncertainty for a feature vector: `K` flat traversals,
+    /// `K` bound-array indexes, one left-to-right sum over the canonical
+    /// member order, one division. No allocation; bit-identical regardless
+    /// of the order the forest's trees were supplied in (the canonical
+    /// order is part of the model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn uncertainty(&self, features: &[f64]) -> Result<f64, CoreError> {
+        let mut sum = 0.0;
+        for (tree, bounds) in self.flat.trees().iter().zip(&self.leaf_bounds) {
+            sum += bounds[tree.predict_leaf_id(features)? as usize];
+        }
+        Ok(sum / self.flat.n_trees() as f64)
+    }
+
+    /// Reference implementation of [`CalibratedForestQim::uncertainty`]
+    /// over the pointer members: same member order, same summation, routed
+    /// through each member's arena tree. Kept for bit-identity
+    /// verification — not a serving path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn uncertainty_reference(&self, features: &[f64]) -> Result<f64, CoreError> {
+        let mut sum = 0.0;
+        for (tree, leaves) in self.trees.iter().zip(&self.leaves) {
+            let leaf = tree.leaf_id(features)?;
+            sum += leaves[leaf]
+                .as_ref()
+                .expect("every reachable leaf was calibrated")
+                .uncertainty_bound;
+        }
+        Ok(sum / self.trees.len() as f64)
+    }
+
+    /// Number of member trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Number of features the members route on.
+    pub fn n_features(&self) -> usize {
+        self.flat.n_features()
+    }
+
+    /// The pruned pointer members in canonical order, for
+    /// transparency/export.
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// The compiled serving form of the ensemble.
+    pub fn flat(&self) -> &FlatForest {
+        &self.flat
+    }
+
+    /// Per-member dependable bounds indexed by [`LeafId`] — the lookup
+    /// tables the serving path reads after routing.
+    pub fn leaf_bounds(&self) -> &[Vec<f64>] {
+        &self.leaf_bounds
+    }
+
+    /// Calibration options used (shared by every member).
+    pub fn options(&self) -> CalibrationOptions {
+        self.options
+    }
+
+    /// Calibration statistics of member `t`'s leaf at arena node `node`,
+    /// or `None` for internal/unknown nodes or an out-of-range member.
+    pub fn calibrated_leaf(&self, t: usize, node: NodeId) -> Option<CalibratedLeaf> {
+        self.leaves.get(t)?.get(node).copied().flatten()
+    }
+
+    /// A **lower bound** on the smallest uncertainty the ensemble can
+    /// report: the mean of the members' per-leaf minima. It is attained
+    /// only if a single input reaches every member's best leaf
+    /// simultaneously, so unlike [`CalibratedQim::min_uncertainty`] it may
+    /// undercut the best actually-achievable estimate.
+    pub fn min_uncertainty(&self) -> f64 {
+        let sum: f64 = self
+            .leaf_bounds
+            .iter()
+            .map(|bounds| bounds.iter().copied().fold(1.0, f64::min))
+            .sum();
+        sum / self.leaf_bounds.len() as f64
+    }
+
+    /// Checks the internal consistency of every member (see
+    /// [`CalibratedQim::validate`]) plus the ensemble-level invariants:
+    /// parallel tables of equal length, at least one member, and the
+    /// canonical member order — so a hand-edited artifact cannot smuggle
+    /// in a permutation that silently changes the served sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] describing the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.trees.is_empty() {
+            return Err(CoreError::InvalidInput {
+                reason: "calibrated forest QIM: no members".into(),
+            });
+        }
+        if self.leaves.len() != self.trees.len()
+            || self.flat.n_trees() != self.trees.len()
+            || self.leaf_bounds.len() != self.trees.len()
+        {
+            return Err(CoreError::InvalidInput {
+                reason: format!(
+                    "calibrated forest QIM: {} trees but {} leaf tables, {} flat members, \
+                     {} bound tables",
+                    self.trees.len(),
+                    self.leaves.len(),
+                    self.flat.n_trees(),
+                    self.leaf_bounds.len()
+                ),
+            });
+        }
+        let mut previous_key: Option<String> = None;
+        for (t, tree) in self.trees.iter().enumerate() {
+            // Members must agree on the routing shape; otherwise a loaded
+            // model would pass per-member checks yet fail (arity mismatch)
+            // on every serve call.
+            if tree.n_features() != self.trees[0].n_features()
+                || tree.n_classes() != self.trees[0].n_classes()
+            {
+                return Err(CoreError::InvalidInput {
+                    reason: format!(
+                        "calibrated forest QIM: member {t} routes on {} features / {} classes, \
+                         member 0 on {} / {}",
+                        tree.n_features(),
+                        tree.n_classes(),
+                        self.trees[0].n_features(),
+                        self.trees[0].n_classes()
+                    ),
+                });
+            }
+            validate_parts(
+                tree,
+                &self.leaves[t],
+                self.flat.tree(t),
+                &self.leaf_bounds[t],
+                &format!("calibrated forest QIM member {t}"),
+            )?;
+            let key = member_key(tree);
+            if previous_key.as_ref().is_some_and(|prev| *prev > key) {
+                return Err(CoreError::InvalidInput {
+                    reason: format!(
+                        "calibrated forest QIM: member {t} violates the canonical member order"
+                    ),
+                });
+            }
+            previous_key = Some(key);
+        }
+        Ok(())
+    }
+}
+
+/// The closed set of quality-impact-model shapes a timeseries-aware
+/// wrapper can serve: the paper's single calibrated tree, or a
+/// boundary-smoothing calibrated forest. Every serving, reference and
+/// validation entry point dispatches on the shape, so wrapper, session
+/// and engine code is shape-agnostic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaQim {
+    /// A single calibrated tree (the paper's taQIM).
+    Tree(CalibratedQim),
+    /// A calibrated bootstrap forest (mean of per-member bounds).
+    Forest(CalibratedForestQim),
+}
+
+impl TaQim {
+    /// Dependable uncertainty via the shape's flat serving form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn uncertainty(&self, features: &[f64]) -> Result<f64, CoreError> {
+        match self {
+            TaQim::Tree(qim) => qim.uncertainty(features),
+            TaQim::Forest(qim) => qim.uncertainty(features),
+        }
+    }
+
+    /// Pointer-representation recompute of [`TaQim::uncertainty`], for
+    /// bit-identity verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn uncertainty_reference(&self, features: &[f64]) -> Result<f64, CoreError> {
+        match self {
+            TaQim::Tree(qim) => qim.uncertainty_reference(features),
+            TaQim::Forest(qim) => qim.uncertainty_reference(features),
+        }
+    }
+
+    /// Internal-consistency check of the underlying model (see
+    /// [`CalibratedQim::validate`] / [`CalibratedForestQim::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on an inconsistent model.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        match self {
+            TaQim::Tree(qim) => qim.validate(),
+            TaQim::Forest(qim) => qim.validate(),
+        }
+    }
+
+    /// Number of routing trees (1 for the single-tree shape).
+    pub fn n_trees(&self) -> usize {
+        match self {
+            TaQim::Tree(_) => 1,
+            TaQim::Forest(qim) => qim.n_trees(),
+        }
+    }
+
+    /// Total reachable leaves across all routing trees.
+    pub fn n_leaves(&self) -> usize {
+        match self {
+            TaQim::Tree(qim) => qim.flat().n_leaves(),
+            TaQim::Forest(qim) => qim.flat().n_leaves_total(),
+        }
+    }
+
+    /// Number of features the model routes on.
+    pub fn n_features(&self) -> usize {
+        match self {
+            TaQim::Tree(qim) => qim.tree().n_features(),
+            TaQim::Forest(qim) => qim.n_features(),
+        }
+    }
+
+    /// The smallest uncertainty the model can report — exact for the
+    /// single-tree shape, a lower bound for forests (see
+    /// [`CalibratedForestQim::min_uncertainty`]).
+    pub fn min_uncertainty(&self) -> f64 {
+        match self {
+            TaQim::Tree(qim) => qim.min_uncertainty(),
+            TaQim::Forest(qim) => qim.min_uncertainty(),
+        }
+    }
+
+    /// The single-tree model, if this is the tree shape.
+    pub fn as_tree(&self) -> Option<&CalibratedQim> {
+        match self {
+            TaQim::Tree(qim) => Some(qim),
+            TaQim::Forest(_) => None,
+        }
+    }
+
+    /// The forest model, if this is the forest shape.
+    pub fn as_forest(&self) -> Option<&CalibratedForestQim> {
+        match self {
+            TaQim::Tree(_) => None,
+            TaQim::Forest(qim) => Some(qim),
+        }
     }
 }
 
@@ -445,6 +894,222 @@ mod tests {
             assert_eq!(qim.leaf_bounds()[leaf_id as usize], fast);
             assert_eq!(qim.route(&q).unwrap().0, node_id);
         }
+    }
+
+    /// A small bootstrap forest over the same toy world as the tree tests.
+    fn trained_forest(k: usize, seed: u64, n: usize) -> tauw_dtree::Forest {
+        let mut ds = Dataset::new(vec!["x".into()], 2).unwrap();
+        for i in 0..n {
+            let x = i as f64 / n as f64;
+            let noisy = i % 31 == 0;
+            ds.push_row(&[x], u32::from((x > 0.5) ^ noisy)).unwrap();
+        }
+        let mut builder = tauw_dtree::ForestBuilder::new(k, seed);
+        builder.tree(TreeBuilder::new().max_depth(4).clone());
+        builder.fit(&ds).unwrap()
+    }
+
+    #[test]
+    fn one_member_forest_is_bitwise_the_single_tree_path() {
+        let tree = trained_tree(400);
+        let calib = calib_samples(1000, |x| x > 0.5);
+        let single =
+            CalibratedQim::calibrate(tree.clone(), &calib, CalibrationOptions::default()).unwrap();
+        let forest = CalibratedForestQim::calibrate(
+            tauw_dtree::Forest::from_trees(vec![tree]).unwrap(),
+            &calib,
+            CalibrationOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(forest.n_trees(), 1);
+        for i in 0..200 {
+            let q = [i as f64 / 199.0];
+            assert_eq!(
+                forest.uncertainty(&q).unwrap().to_bits(),
+                single.uncertainty(&q).unwrap().to_bits(),
+                "x={}",
+                q[0]
+            );
+            assert_eq!(
+                forest.uncertainty_reference(&q).unwrap().to_bits(),
+                single.uncertainty_reference(&q).unwrap().to_bits()
+            );
+        }
+        assert_eq!(
+            forest.min_uncertainty().to_bits(),
+            single.min_uncertainty().to_bits()
+        );
+    }
+
+    #[test]
+    fn forest_calibration_is_permutation_invariant_in_tree_order() {
+        let forest = trained_forest(5, 3, 500);
+        let calib = calib_samples(2000, |x| x > 0.5);
+        let in_order = CalibratedForestQim::calibrate(
+            tauw_dtree::Forest::from_trees(forest.trees().to_vec()).unwrap(),
+            &calib,
+            CalibrationOptions::default(),
+        )
+        .unwrap();
+        let mut reversed_trees = forest.trees().to_vec();
+        reversed_trees.reverse();
+        let reversed = CalibratedForestQim::calibrate(
+            tauw_dtree::Forest::from_trees(reversed_trees).unwrap(),
+            &calib,
+            CalibrationOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(in_order, reversed, "canonical order erases input order");
+        for i in 0..100 {
+            let q = [i as f64 / 99.0];
+            assert_eq!(
+                in_order.uncertainty(&q).unwrap().to_bits(),
+                reversed.uncertainty(&q).unwrap().to_bits()
+            );
+        }
+        in_order.validate().unwrap();
+    }
+
+    #[test]
+    fn forest_serving_matches_pointer_reference_and_member_envelope() {
+        let forest = trained_forest(6, 9, 600);
+        let calib = calib_samples(3000, |x| x > 0.5);
+        let qim =
+            CalibratedForestQim::calibrate(forest, &calib, CalibrationOptions::default()).unwrap();
+        assert_eq!(qim.n_trees(), 6);
+        assert_eq!(qim.leaf_bounds().len(), 6);
+        for i in 0..200 {
+            let q = [i as f64 / 199.0];
+            let fast = qim.uncertainty(&q).unwrap();
+            let reference = qim.uncertainty_reference(&q).unwrap();
+            assert_eq!(fast.to_bits(), reference.to_bits(), "x={}", q[0]);
+            // The mean lies inside the envelope of the member bounds.
+            let member_bounds: Vec<f64> = (0..qim.n_trees())
+                .map(|t| {
+                    let leaf = qim.flat().tree(t).predict_leaf_id(&q).unwrap();
+                    qim.leaf_bounds()[t][leaf as usize]
+                })
+                .collect();
+            let lo = member_bounds.iter().copied().fold(1.0, f64::min);
+            let hi = member_bounds.iter().copied().fold(0.0, f64::max);
+            assert!(fast >= lo - 1e-15 && fast <= hi + 1e-15);
+        }
+        assert!(qim.min_uncertainty() > 0.0);
+        assert!(qim.min_uncertainty() <= qim.uncertainty(&[0.1]).unwrap());
+    }
+
+    #[test]
+    fn forest_rejects_empty_calibration_and_wrong_arity() {
+        let forest = trained_forest(2, 1, 200);
+        assert!(matches!(
+            CalibratedForestQim::calibrate(
+                tauw_dtree::Forest::from_trees(forest.trees().to_vec()).unwrap(),
+                &[],
+                CalibrationOptions::default()
+            ),
+            Err(CoreError::InvalidInput { .. })
+        ));
+        let calib = calib_samples(800, |x| x > 0.5);
+        let qim =
+            CalibratedForestQim::calibrate(forest, &calib, CalibrationOptions::default()).unwrap();
+        assert!(qim.uncertainty(&[0.5, 0.5]).is_err());
+        assert!(qim.uncertainty_reference(&[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn forest_validate_catches_tampering() {
+        let forest = trained_forest(3, 5, 400);
+        let calib = calib_samples(1500, |x| x > 0.5);
+        let qim =
+            CalibratedForestQim::calibrate(forest, &calib, CalibrationOptions::default()).unwrap();
+        qim.validate().unwrap();
+
+        // A permuted member order (all tables swapped consistently) must be
+        // rejected: the canonical order is part of the model.
+        let mut permuted = qim.clone();
+        permuted.trees.swap(0, qim.n_trees() - 1);
+        permuted.leaves.swap(0, qim.n_trees() - 1);
+        permuted.leaf_bounds.swap(0, qim.n_trees() - 1);
+        let mut flats = qim.flat.trees().to_vec();
+        flats.swap(0, qim.n_trees() - 1);
+        permuted.flat = FlatForest::from_flat_trees(flats).unwrap();
+        if permuted.trees != qim.trees {
+            let err = permuted.validate().unwrap_err();
+            let CoreError::InvalidInput { reason } = err else {
+                panic!("expected InvalidInput");
+            };
+            assert!(reason.contains("canonical member order"), "{reason}");
+        }
+
+        // A desynchronized bound table must be rejected by the per-member
+        // representation check.
+        let mut tampered = qim.clone();
+        tampered.leaf_bounds[1][0] += 0.25;
+        let err = tampered.validate().unwrap_err();
+        let CoreError::InvalidInput { reason } = err else {
+            panic!("expected InvalidInput");
+        };
+        assert!(
+            reason.contains("calibrated forest QIM member 1"),
+            "{reason}"
+        );
+
+        // A member routing on a different shape must be rejected before a
+        // serve call can hit the arity mismatch at runtime.
+        let mut two_features = Dataset::new(vec!["a".into(), "b".into()], 2).unwrap();
+        for i in 0..400 {
+            two_features
+                .push_row(&[i as f64 / 400.0, 0.0], u32::from(i >= 200))
+                .unwrap();
+        }
+        let alien = TreeBuilder::new().max_depth(2).fit(&two_features).unwrap();
+        let mut mismatched = qim.clone();
+        mismatched.trees[1] = alien;
+        let err = mismatched.validate().unwrap_err();
+        let CoreError::InvalidInput { reason } = err else {
+            panic!("expected InvalidInput");
+        };
+        assert!(reason.contains("member 1 routes on 2 features"), "{reason}");
+    }
+
+    #[test]
+    fn taqim_dispatch_matches_the_underlying_models() {
+        let tree = trained_tree(400);
+        let calib = calib_samples(1000, |x| x > 0.5);
+        let single =
+            CalibratedQim::calibrate(tree.clone(), &calib, CalibrationOptions::default()).unwrap();
+        let forest_qim = CalibratedForestQim::calibrate(
+            trained_forest(3, 2, 400),
+            &calib,
+            CalibrationOptions::default(),
+        )
+        .unwrap();
+        let as_tree = TaQim::Tree(single.clone());
+        let as_forest = TaQim::Forest(forest_qim.clone());
+        assert_eq!(as_tree.n_trees(), 1);
+        assert_eq!(as_forest.n_trees(), 3);
+        assert_eq!(as_tree.n_features(), 1);
+        assert_eq!(as_forest.n_leaves(), forest_qim.flat().n_leaves_total());
+        assert!(as_tree.as_tree().is_some() && as_tree.as_forest().is_none());
+        assert!(as_forest.as_forest().is_some() && as_forest.as_tree().is_none());
+        for q in [[0.1], [0.5], [0.9]] {
+            assert_eq!(
+                as_tree.uncertainty(&q).unwrap().to_bits(),
+                single.uncertainty(&q).unwrap().to_bits()
+            );
+            assert_eq!(
+                as_forest.uncertainty(&q).unwrap().to_bits(),
+                forest_qim.uncertainty(&q).unwrap().to_bits()
+            );
+            assert_eq!(
+                as_forest.uncertainty_reference(&q).unwrap().to_bits(),
+                forest_qim.uncertainty_reference(&q).unwrap().to_bits()
+            );
+        }
+        as_tree.validate().unwrap();
+        as_forest.validate().unwrap();
+        assert_eq!(as_tree.min_uncertainty(), single.min_uncertainty());
+        assert_eq!(as_forest.min_uncertainty(), forest_qim.min_uncertainty());
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * [`calibration`] — calibrated quality impact models (prune to a
 //!   minimum calibration count, bound each leaf at high confidence); the
 //!   serving path is a compiled [`tauw_dtree::FlatTree`] plus a leaf-ID →
-//!   bound lookup table, bit-identical to the pointer tree.
+//!   bound lookup table, bit-identical to the pointer tree. The taQIM can
+//!   also be a calibrated bootstrap **forest** (mean of per-member bounds,
+//!   served as `K` flat traversals) that smooths the hard split boundaries
+//!   of a single tree.
 //! * [`scope`] — boundary-check scope compliance.
 //! * [`monitor`] — a simplex-style runtime gate over the estimates.
 //! * [`persist`] — versioned JSON artifacts: train offline, deploy frozen.
@@ -65,7 +68,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod buffer;
 pub mod calibration;
@@ -80,7 +83,9 @@ pub mod training;
 pub mod wrapper;
 
 pub use buffer::{BufferEntry, TimeseriesBuffer};
-pub use calibration::{CalibratedLeaf, CalibratedQim, CalibrationOptions};
+pub use calibration::{
+    CalibratedForestQim, CalibratedLeaf, CalibratedQim, CalibrationOptions, TaQim,
+};
 pub use engine::{StreamId, StreamStep, TauwEngine};
 pub use error::CoreError;
 pub use monitor::{MonitorDecision, MonitorStats, UncertaintyMonitor};

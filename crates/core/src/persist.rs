@@ -8,6 +8,7 @@
 //! safety assessor has to sign off on.
 
 use crate::buffer::TimeseriesBuffer;
+use crate::calibration::CalibratedForestQim;
 use crate::error::CoreError;
 use crate::tauw::TimeseriesAwareWrapper;
 use crate::wrapper::UncertaintyWrapper;
@@ -18,11 +19,13 @@ use std::path::Path;
 /// Current artifact format version. Bumped on breaking model-layout
 /// changes; loading rejects mismatches instead of misinterpreting fields.
 ///
-/// History: v1 carried pointer-tree models only; v2 adds the compiled
+/// History: v1 carried pointer-tree models only; v2 added the compiled
 /// [`tauw_dtree::FlatTree`] serving form and the leaf-ID-indexed bound
 /// table inside every calibrated QIM, so a deployed artifact round-trips
-/// the exact flat representation it serves with.
-pub const FORMAT_VERSION: u32 = 2;
+/// the exact flat representation it serves with; v3 makes the wrapper's
+/// taQIM slot a tagged shape (single tree or calibrated forest) and adds
+/// the standalone `ForestQim` artifact kind.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Kind tag inside the envelope, so a stateless wrapper cannot be loaded
 /// where a timeseries-aware one is expected.
@@ -35,6 +38,9 @@ enum ArtifactKind {
     /// A [`TimeseriesBuffer`] snapshot (per-stream runtime state, e.g. for
     /// migrating a long-running stream between hosts).
     TimeseriesBuffer,
+    /// A standalone [`CalibratedForestQim`] (a boundary-smoothing forest
+    /// quality impact model, deployable without a surrounding wrapper).
+    ForestQim,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -71,10 +77,14 @@ fn from_json<T: DeserializeOwned>(kind: ArtifactKind, json: &str) -> Result<T, C
             reason: format!("deserialization failed: {e}"),
         })?;
     if header.format_version != FORMAT_VERSION {
+        // Name the kind being loaded, not just the version numbers: in a
+        // mixed-version deployment "version 2 is not supported" alone does
+        // not tell the operator *which* of their artifacts is stale.
         return Err(CoreError::InvalidInput {
             reason: format!(
-                "artifact format version {} is not supported (expected {FORMAT_VERSION})",
-                header.format_version
+                "artifact format version {} is not supported (expected {FORMAT_VERSION}) \
+                 while loading a {:?} artifact",
+                header.format_version, header.kind
             ),
         });
     }
@@ -181,6 +191,59 @@ impl TimeseriesAwareWrapper {
     }
 
     /// Reads an artifact file written by [`TimeseriesAwareWrapper::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on I/O or format errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let json = std::fs::read_to_string(path.as_ref()).map_err(|e| CoreError::InvalidInput {
+            reason: format!("reading artifact failed: {e}"),
+        })?;
+        Self::from_artifact_json(&json)
+    }
+}
+
+impl CalibratedForestQim {
+    /// Serializes the calibrated forest (pruned pointer members in
+    /// canonical order, compiled flat members, per-member bound tables) to
+    /// a versioned JSON artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if serialization fails.
+    pub fn to_artifact_json(&self) -> Result<String, CoreError> {
+        to_json(ArtifactKind::ForestQim, self)
+    }
+
+    /// Loads a calibrated forest from a JSON artifact produced by
+    /// [`CalibratedForestQim::to_artifact_json`], re-validating every
+    /// ensemble invariant (member consistency, canonical member order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on malformed JSON, a format
+    /// version mismatch, a wrong artifact kind, or an internally
+    /// inconsistent model (e.g. a hand-edited bound table or a permuted
+    /// member list).
+    pub fn from_artifact_json(json: &str) -> Result<Self, CoreError> {
+        let model: Self = from_json(ArtifactKind::ForestQim, json)?;
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Writes the artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on serialization or I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let json = self.to_artifact_json()?;
+        std::fs::write(path.as_ref(), json).map_err(|e| CoreError::InvalidInput {
+            reason: format!("writing artifact failed: {e}"),
+        })
+    }
+
+    /// Reads an artifact file written by [`CalibratedForestQim::save`].
     ///
     /// # Errors
     ///
@@ -332,14 +395,116 @@ mod tests {
         let back = TimeseriesAwareWrapper::from_artifact_json(&json).unwrap();
         // The flat serving form is stored in the artifact, not re-derived;
         // it must come back identical and consistent with its pointer tree.
+        let taqim = tauw.taqim().as_tree().expect("default taQIM is a tree");
+        let taqim_back = back.taqim().as_tree().expect("default taQIM is a tree");
         for (qim, qim_back) in [
             (tauw.stateless().qim(), back.stateless().qim()),
-            (tauw.taqim(), back.taqim()),
+            (taqim, taqim_back),
         ] {
             assert_eq!(qim.flat(), qim_back.flat());
             assert_eq!(qim.leaf_bounds(), qim_back.leaf_bounds());
             assert_eq!(qim_back.flat(), &FlatTree::from_tree(qim_back.tree()));
         }
+    }
+
+    fn fitted_forest() -> TimeseriesAwareWrapper {
+        let mut wb = WrapperBuilder::new();
+        wb.max_depth(3).calibration(CalibrationOptions {
+            min_samples_per_leaf: 50,
+            confidence: 0.99,
+            ..Default::default()
+        });
+        let mut b = TauwBuilder::new();
+        b.wrapper(wb).forest(3, 0xF0E);
+        b.fit(vec!["q".into()], &toy_series(200, 1), &toy_series(200, 2))
+            .unwrap()
+    }
+
+    #[test]
+    fn forest_wrapper_roundtrips_with_bit_identical_estimates() {
+        let tauw = fitted_forest();
+        assert_eq!(tauw.taqim().n_trees(), 3);
+        let json = tauw.to_artifact_json().unwrap();
+        let back = TimeseriesAwareWrapper::from_artifact_json(&json).unwrap();
+        assert_eq!(tauw, back);
+        let mut s1 = tauw.new_session();
+        let mut s2 = back.new_session();
+        for (qf, outcome) in [(0.1, 0u32), (0.9, 1), (0.9, 1), (0.5, 0)] {
+            let a = s1.step(&[qf], outcome).unwrap();
+            let b = s2.step(&[qf], outcome).unwrap();
+            assert_eq!(a.uncertainty.to_bits(), b.uncertainty.to_bits());
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn forest_qim_artifact_roundtrips_the_flat_form_bit_for_bit() {
+        use tauw_dtree::FlatTree;
+        let tauw = fitted_forest();
+        let qim = tauw.taqim().as_forest().unwrap();
+        let json = qim.to_artifact_json().unwrap();
+        let back = CalibratedForestQim::from_artifact_json(&json).unwrap();
+        assert_eq!(qim, &back);
+        // The flat members are stored, not re-derived, and each is exactly
+        // the lowering of its pointer member.
+        assert_eq!(qim.flat(), back.flat());
+        assert_eq!(qim.leaf_bounds(), back.leaf_bounds());
+        for (t, tree) in back.trees().iter().enumerate() {
+            assert_eq!(back.flat().tree(t), &FlatTree::from_tree(tree));
+        }
+        // taQIM features: [stateless QF ‖ ratio, length, size, certainty].
+        for q in [
+            [0.1, 1.0, 1.0, 1.0, 0.9],
+            [0.5, 0.6, 5.0, 2.0, 2.5],
+            [0.9, 0.3, 9.0, 3.0, 1.1],
+        ] {
+            assert_eq!(
+                qim.uncertainty(&q).unwrap().to_bits(),
+                back.uncertainty(&q).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn forest_qim_artifact_rejects_tampering() {
+        let tauw = fitted_forest();
+        let qim = tauw.taqim().as_forest().unwrap();
+        let json = qim.to_artifact_json().unwrap();
+
+        // Desynchronize the first member's bound table: one extra entry.
+        let field = json.find("\"leaf_bounds\"").expect("field present");
+        let bracket = field + json[field..].find('[').expect("outer array opens");
+        let inner = bracket + 1 + json[bracket + 1..].find('[').expect("member array opens");
+        let mut tampered = json.clone();
+        tampered.insert_str(inner + 1, " 0.123456789,");
+        assert_ne!(tampered, json, "tamper edit must hit the artifact");
+        match CalibratedForestQim::from_artifact_json(&tampered) {
+            Err(CoreError::InvalidInput { reason }) => {
+                assert!(reason.contains("calibrated forest QIM"), "reason: {reason}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+
+        // A wrapper artifact is not a standalone forest QIM.
+        let wrapper_json = tauw.to_artifact_json().unwrap();
+        assert!(CalibratedForestQim::from_artifact_json(&wrapper_json).is_err());
+
+        // The untampered artifact still loads.
+        assert!(CalibratedForestQim::from_artifact_json(&json).is_ok());
+    }
+
+    #[test]
+    fn forest_qim_save_and_load_file() {
+        let tauw = fitted_forest();
+        let qim = tauw.taqim().as_forest().unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "tauw_forest_qim_persist_test_{}.json",
+            std::process::id()
+        ));
+        qim.save(&path).unwrap();
+        let back = CalibratedForestQim::load(&path).unwrap();
+        assert_eq!(qim, &back);
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]
@@ -373,11 +538,30 @@ mod tests {
         // A v1 artifact (pre-flat-form model layout) must be refused with
         // the version message, not with a missing-field error from the
         // model payload — the header is checked before the model is read.
+        // The message also names the artifact kind being loaded, so a
+        // mixed-version deployment can tell *which* artifact is stale.
         let v1 = r#"{"format_version": 1, "kind": "TimeseriesAwareWrapper", "model": {}}"#;
         match TimeseriesAwareWrapper::from_artifact_json(v1) {
             Err(CoreError::InvalidInput { reason }) => {
                 assert!(
                     reason.contains("format version 1 is not supported"),
+                    "unexpected reason: {reason}"
+                );
+                assert!(
+                    reason.contains("TimeseriesAwareWrapper artifact"),
+                    "version error must name the artifact kind: {reason}"
+                );
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+        // Same for a stale buffer snapshot: the kind in the message follows
+        // the artifact, not the loader.
+        let v2 = r#"{"format_version": 2, "kind": "TimeseriesBuffer", "model": {}}"#;
+        match TimeseriesBuffer::from_artifact_json(v2) {
+            Err(CoreError::InvalidInput { reason }) => {
+                assert!(
+                    reason.contains("format version 2 is not supported")
+                        && reason.contains("TimeseriesBuffer artifact"),
                     "unexpected reason: {reason}"
                 );
             }

@@ -80,6 +80,27 @@ impl std::fmt::Display for TaqfKind {
 }
 
 /// The four factor values for one timestep.
+///
+/// # Window semantics
+///
+/// Under an unbounded buffer (the paper's setting) every factor sees the
+/// whole series. Under a **bounded** (sliding-window) buffer the factors
+/// deliberately split — a window caps memory and per-step cost, but must
+/// not rewind how long the object has been tracked:
+///
+/// | Factor | Field | Meaning | Bounded-buffer scope |
+/// |---|---|---|---|
+/// | taQF1 | [`ratio`](TaqfVector::ratio) | agreement with the fused outcome | window |
+/// | taQF2 | [`length`](TaqfVector::length) | series length `i + 1` | **lifetime** ([`TimeseriesBuffer::total_steps`], survives eviction) |
+/// | taQF3 | [`unique_outcomes`](TaqfVector::unique_outcomes) | distinct outcomes | window |
+/// | taQF4 | [`cumulative_certainty`](TaqfVector::cumulative_certainty) | cumulative agreeing certainty | window |
+///
+/// The majority vote that produces the fused outcome likewise fuses over
+/// the window. taQF2 once reported the window size on a full buffer; it
+/// now reports the paper's lifetime series length via the buffer's
+/// eviction-surviving step counter
+/// ([`crate::tauw::TauwStep::series_length`] follows the same
+/// convention).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TaqfVector {
     /// taQF1 in `[0, 1]`.

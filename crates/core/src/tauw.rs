@@ -11,13 +11,13 @@
 //! uncertainty for the *fused* outcome.
 
 use crate::buffer::TimeseriesBuffer;
-use crate::calibration::{CalibratedQim, CalibrationOptions};
+use crate::calibration::{CalibratedForestQim, CalibratedQim, CalibrationOptions, TaQim};
 use crate::error::CoreError;
 use crate::taqf::{TaqfSet, TaqfVector};
 use crate::training::{flatten_stateless, validate_series, TrainingSeries};
 use crate::wrapper::{UncertaintyWrapper, WrapperBuilder};
 use serde::{Deserialize, Serialize};
-use tauw_dtree::{Dataset, TreeBuilder};
+use tauw_dtree::{Dataset, ForestBuilder, TreeBuilder};
 
 /// Output of one taUW timestep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -38,11 +38,20 @@ pub struct TauwStep {
     pub series_length: usize,
 }
 
+/// Configuration of a forest taQIM: how many bootstrap members, resampled
+/// from which root seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ForestConfig {
+    n_trees: usize,
+    seed: u64,
+}
+
 /// Builder/trainer for [`TimeseriesAwareWrapper`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TauwBuilder {
     stateless: WrapperBuilder,
     taqf_set: TaqfSet,
+    forest: Option<ForestConfig>,
 }
 
 impl Default for TauwBuilder {
@@ -50,6 +59,7 @@ impl Default for TauwBuilder {
         TauwBuilder {
             stateless: WrapperBuilder::new(),
             taqf_set: TaqfSet::FULL,
+            forest: None,
         }
     }
 }
@@ -73,6 +83,65 @@ impl TauwBuilder {
     /// sweeps all 16 subsets).
     pub fn taqf_set(&mut self, set: TaqfSet) -> &mut Self {
         self.taqf_set = set;
+        self
+    }
+
+    /// Makes the taQIM a calibrated bootstrap **forest** of `n_trees`
+    /// members resampled deterministically from `seed`, instead of the
+    /// paper's single tree. The members share the wrapper's tree
+    /// hyper-parameters, train in parallel (bit-identical for every thread
+    /// budget), and the served uncertainty is the mean of the members'
+    /// calibrated leaf bounds — smoothing the hard split boundaries of a
+    /// single tree at a serving cost of `n_trees` flat traversals.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tauw_core::calibration::CalibrationOptions;
+    /// use tauw_core::tauw::TauwBuilder;
+    /// use tauw_core::training::{TrainingSeries, TrainingStep};
+    /// use tauw_core::wrapper::WrapperBuilder;
+    ///
+    /// let series = |q: f64, outcomes: &[u32]| TrainingSeries {
+    ///     true_outcome: 0,
+    ///     steps: outcomes
+    ///         .iter()
+    ///         .map(|&o| TrainingStep { quality_factors: vec![q], outcome: o })
+    ///         .collect(),
+    /// };
+    /// let mut train = Vec::new();
+    /// let mut calib = Vec::new();
+    /// for i in 0..120 {
+    ///     let q = (i % 12) as f64 / 12.0;
+    ///     let outcomes: Vec<u32> = (0..10).map(|j| u32::from(q > 0.6 && j % 3 == 0)).collect();
+    ///     train.push(series(q, &outcomes));
+    ///     calib.push(series(q, &outcomes));
+    /// }
+    /// let mut wb = WrapperBuilder::new();
+    /// wb.max_depth(3).calibration(CalibrationOptions {
+    ///     min_samples_per_leaf: 50,
+    ///     confidence: 0.99,
+    ///     ..Default::default()
+    /// });
+    /// let mut builder = TauwBuilder::new();
+    /// builder.wrapper(wb).forest(4, 42);
+    /// let tauw = builder.fit(vec!["q".into()], &train, &calib)?;
+    /// assert_eq!(tauw.taqim().n_trees(), 4);
+    ///
+    /// // Forests serve through the same session/engine step routine.
+    /// let mut session = tauw.new_session();
+    /// let step = session.step(&[0.1], 0)?;
+    /// assert!(step.uncertainty > 0.0 && step.uncertainty < 0.5);
+    /// # Ok::<(), tauw_core::CoreError>(())
+    /// ```
+    pub fn forest(&mut self, n_trees: usize, seed: u64) -> &mut Self {
+        self.forest = Some(ForestConfig { n_trees, seed });
+        self
+    }
+
+    /// Restores the default single-tree taQIM.
+    pub fn single_tree(&mut self) -> &mut Self {
+        self.forest = None;
         self
     }
 
@@ -150,12 +219,27 @@ impl TauwBuilder {
         for row in train_replay {
             ds.push_row(&row.ta_features(self.taqf_set), u32::from(row.fused_failed))?;
         }
-        let tree = clone_tree_builder(&self.stateless).fit(&ds)?;
         let calib_rows: Vec<(Vec<f64>, bool)> = calib_replay
             .iter()
             .map(|row| (row.ta_features(self.taqf_set), row.fused_failed))
             .collect();
-        let taqim = CalibratedQim::calibrate(tree, &calib_rows, self.calibration_options())?;
+        let options = self.calibration_options();
+        let taqim = match self.forest {
+            None => {
+                let tree = clone_tree_builder(&self.stateless).fit(&ds)?;
+                TaQim::Tree(CalibratedQim::calibrate(tree, &calib_rows, options)?)
+            }
+            Some(config) => {
+                let mut forest_builder = ForestBuilder::new(config.n_trees, config.seed);
+                forest_builder.tree(clone_tree_builder(&self.stateless));
+                let forest = forest_builder.fit(&ds)?;
+                TaQim::Forest(CalibratedForestQim::calibrate(
+                    forest,
+                    &calib_rows,
+                    options,
+                )?)
+            }
+        };
         Ok(TimeseriesAwareWrapper {
             stateless,
             taqim,
@@ -292,7 +376,7 @@ fn clone_tree_builder(wb: &WrapperBuilder) -> TreeBuilder {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimeseriesAwareWrapper {
     stateless: UncertaintyWrapper,
-    taqim: CalibratedQim,
+    taqim: TaQim,
     taqf_set: TaqfSet,
 }
 
@@ -312,8 +396,10 @@ impl TimeseriesAwareWrapper {
         &self.stateless
     }
 
-    /// The calibrated timeseries-aware quality impact model.
-    pub fn taqim(&self) -> &CalibratedQim {
+    /// The calibrated timeseries-aware quality impact model — a single
+    /// tree by default, a boundary-smoothing forest when trained with
+    /// [`TauwBuilder::forest`].
+    pub fn taqim(&self) -> &TaQim {
         &self.taqim
     }
 
@@ -334,8 +420,10 @@ impl TimeseriesAwareWrapper {
         self.taqf_set
     }
 
-    /// The smallest uncertainty the taQIM can guarantee (Fig. 5's "lowest
-    /// uncertainty").
+    /// The smallest uncertainty the taQIM can report (Fig. 5's "lowest
+    /// uncertainty"). Exact for the single-tree shape; for a forest taQIM
+    /// this is a **lower bound** that may be unattainable (see
+    /// [`crate::calibration::CalibratedForestQim::min_uncertainty`]).
     pub fn min_uncertainty(&self) -> f64 {
         self.taqim.min_uncertainty()
     }
@@ -596,7 +684,7 @@ mod tests {
         let mut b = small_builder();
         b.taqf_set(TaqfSet::from_kinds(&[crate::taqf::TaqfKind::Ratio]));
         let w = b.fit(vec!["q".into()], &train, &calib).unwrap();
-        assert_eq!(w.taqim().tree().n_features(), 2, "1 stateless QF + 1 taQF");
+        assert_eq!(w.taqim().n_features(), 2, "1 stateless QF + 1 taQF");
         assert_eq!(w.taqf_set().len(), 1);
         // Sessions still work.
         let mut s = w.new_session();
@@ -611,7 +699,7 @@ mod tests {
         let mut b = small_builder();
         b.taqf_set(TaqfSet::EMPTY);
         let w = b.fit(vec!["q".into()], &train, &calib).unwrap();
-        assert_eq!(w.taqim().tree().n_features(), 1);
+        assert_eq!(w.taqim().n_features(), 1);
     }
 
     #[test]
@@ -633,6 +721,57 @@ mod tests {
         let w = fitted();
         let mut s = w.new_session();
         assert!(s.step(&[0.1, 0.2], 7).is_err());
+    }
+
+    #[test]
+    fn forest_taqim_fits_and_serves_through_sessions() {
+        let train = make_series(300, 1, 10);
+        let calib = make_series(300, 2, 10);
+        let mut b = small_builder();
+        b.forest(4, 0xF0);
+        let w = b.fit(vec!["q".into()], &train, &calib).unwrap();
+        assert_eq!(w.taqim().n_trees(), 4);
+        assert!(w.taqim().as_forest().is_some());
+        w.validate().unwrap();
+        let mut s = w.new_session();
+        for i in 0..8 {
+            let out = s.step(&[0.3], if i % 4 == 0 { 3 } else { 7 }).unwrap();
+            assert!(out.uncertainty > 0.0 && out.uncertainty <= 1.0);
+            // The per-step estimate is the shared ta_uncertainty routine.
+            let again = w.ta_uncertainty(&[0.3], &out.taqf).unwrap();
+            assert_eq!(out.uncertainty.to_bits(), again.to_bits());
+            // And the pointer-member reference recompute agrees bitwise.
+            let mut features = vec![0.3];
+            features.extend(w.taqf_set().select(&out.taqf));
+            let reference = w.taqim().uncertainty_reference(&features).unwrap();
+            assert_eq!(out.uncertainty.to_bits(), reference.to_bits());
+        }
+        // `single_tree` restores the default shape.
+        let mut b2 = small_builder();
+        b2.forest(4, 0xF0).single_tree();
+        let w2 = b2.fit(vec!["q".into()], &train, &calib).unwrap();
+        assert_eq!(w2.taqim().n_trees(), 1);
+        assert!(w2.taqim().as_tree().is_some());
+    }
+
+    #[test]
+    fn forest_training_is_deterministic_per_seed() {
+        let train = make_series(200, 3, 10);
+        let calib = make_series(200, 4, 10);
+        let fit = |seed: u64| {
+            let mut b = small_builder();
+            b.forest(3, seed);
+            b.fit(vec!["q".into()], &train, &calib).unwrap()
+        };
+        let a = fit(7);
+        let b = fit(7);
+        assert_eq!(a, b, "same root seed must reproduce the forest");
+        let c = fit(8);
+        assert_ne!(
+            a.taqim(),
+            c.taqim(),
+            "a different root seed draws different bootstrap resamples"
+        );
     }
 
     #[test]

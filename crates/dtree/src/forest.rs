@@ -1,0 +1,681 @@
+//! Bootstrap tree ensembles: many CART trees, one smoother estimate.
+//!
+//! A single decision tree partitions the feature space with hard axis
+//! splits, so any estimate attached to its leaves jumps discontinuously at
+//! the split thresholds. Gerber, Jöckel & Kläs ("A Study on Mitigating
+//! Hard Boundaries of Decision-Tree-based Uncertainty Estimates for AI
+//! Models") show that *ensembles* of trees mitigate this: each member draws
+//! its thresholds from a different bootstrap resample, so the averaged
+//! estimate steps through many small boundaries instead of a few large
+//! ones.
+//!
+//! This module provides the ensemble machinery the calibrated forest
+//! quality impact model in `tauw-core` is built on:
+//!
+//! * [`ForestBuilder`] — trains `K` trees on **deterministic bootstrap
+//!   resamples**: every tree's resample indices come from a private
+//!   SplitMix64 stream seeded from `(root seed, tree index)`, and the
+//!   per-tree fits fan out over [`parallel::par_map`] with input-order
+//!   reduction, so the trained forest is **bit-identical for every thread
+//!   budget** (the same contract [`TreeBuilder::fit`] honours).
+//! * [`Forest`] — the trained pointer-tree ensemble (the transparent,
+//!   reviewable form).
+//! * [`FlatForest`] — the compiled serving form: one [`FlatTree`] per
+//!   member, with single-sample routing to `K` leaf ids and batched
+//!   per-tree [`FlatForest::predict_leaf_ids`] fanned over the thread
+//!   budget, mirroring the single-tree serving contract.
+
+use crate::builder::TreeBuilder;
+use crate::data::Dataset;
+use crate::error::DtreeError;
+use crate::flat::{FlatTree, LeafId};
+use crate::tree::DecisionTree;
+use serde::{Deserialize, Serialize};
+
+/// Minimal SplitMix64 PRNG (Steele et al. 2014), duplicated from
+/// `tauw-stats` so `tauw-dtree` stays a leaf crate. Deterministic and more
+/// than adequate for bootstrap index resampling; **not** cryptographic.
+#[derive(Debug, Clone, Copy)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `[0, n)` via Lemire's multiply-shift.
+    fn next_index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+/// Builder/trainer for [`Forest`]s: `K` trees on deterministic bootstrap
+/// resamples of the training data.
+///
+/// Per-tree hyper-parameters come from a [`TreeBuilder`] template; the
+/// forest fans the member fits out over the thread budget (each member fit
+/// runs serially — the parallelism is across trees), and the result is
+/// bit-identical for every budget because member seeds are derived up
+/// front and [`parallel::par_map`] reduces in input order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForestBuilder {
+    tree: TreeBuilder,
+    n_trees: usize,
+    seed: u64,
+    n_threads: Option<usize>,
+}
+
+impl ForestBuilder {
+    /// Creates a builder for `n_trees` members resampled from the root
+    /// `seed`, with default [`TreeBuilder`] hyper-parameters.
+    pub fn new(n_trees: usize, seed: u64) -> Self {
+        ForestBuilder {
+            tree: TreeBuilder::new(),
+            n_trees,
+            seed,
+            n_threads: None,
+        }
+    }
+
+    /// Sets the per-member tree hyper-parameters (criterion, splitter,
+    /// depth, leaf minimum). Any thread budget pinned on the template is
+    /// ignored: member fits run serially inside the forest fan-out.
+    pub fn tree(&mut self, builder: TreeBuilder) -> &mut Self {
+        self.tree = builder;
+        self
+    }
+
+    /// Pins the thread budget for [`ForestBuilder::fit`] (clamped to ≥ 1).
+    /// Unpinned builders use [`parallel::max_threads`]. The trained forest
+    /// is bit-identical for every budget; only wall time changes.
+    pub fn threads(&mut self, n: usize) -> &mut Self {
+        self.n_threads = Some(n.max(1));
+        self
+    }
+
+    /// Restores the default (process-wide) thread budget.
+    pub fn auto_threads(&mut self) -> &mut Self {
+        self.n_threads = None;
+        self
+    }
+
+    /// Trains the forest: member `t` fits on a bootstrap resample
+    /// (`data.n_samples()` draws with replacement) whose indices come from
+    /// a SplitMix64 stream seeded deterministically from `(seed, t)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtreeError::EmptyDataset`] if `data` has no samples and
+    /// [`DtreeError::InvalidHyperParameter`] if `n_trees` is zero.
+    pub fn fit(&self, data: &Dataset) -> Result<Forest, DtreeError> {
+        if self.n_trees == 0 {
+            return Err(DtreeError::InvalidHyperParameter {
+                constraint: "a forest needs at least one tree",
+            });
+        }
+        if data.n_samples() == 0 {
+            return Err(DtreeError::EmptyDataset);
+        }
+        // Derive every member's seed up front, serially, so the fan-out
+        // below cannot perturb the resamples regardless of scheduling.
+        let mut seeder = SplitMix64::new(self.seed);
+        let member_seeds: Vec<u64> = (0..self.n_trees).map(|_| seeder.next_u64()).collect();
+
+        let mut template = self.tree.clone();
+        template.threads(1); // parallelism lives across members, not within
+        let threads = self.n_threads.unwrap_or_else(parallel::max_threads).max(1);
+        let members: Vec<Result<DecisionTree, DtreeError>> =
+            parallel::par_map(threads, &member_seeds, |&member_seed| {
+                let resample = bootstrap_resample(data, member_seed)?;
+                template.fit(&resample)
+            });
+        let mut trees = Vec::with_capacity(self.n_trees);
+        for member in members {
+            trees.push(member?);
+        }
+        Ok(Forest { trees })
+    }
+}
+
+/// Draws `data.n_samples()` rows with replacement into a fresh dataset.
+fn bootstrap_resample(data: &Dataset, seed: u64) -> Result<Dataset, DtreeError> {
+    let n = data.n_samples();
+    let mut rng = SplitMix64::new(seed);
+    let mut resample = Dataset::new(data.feature_names().to_vec(), data.n_classes())?;
+    resample.reserve(n);
+    for _ in 0..n {
+        let i = rng.next_index(n);
+        resample.push_row(data.row(i), data.label(i))?;
+    }
+    Ok(resample)
+}
+
+/// A trained bootstrap ensemble of pointer trees — the transparent,
+/// reviewable form (each member exports/prints like any
+/// [`DecisionTree`]).
+///
+/// Deserialization funnels through [`Forest::from_trees`], so a crafted
+/// payload cannot bypass the non-empty / matching-shape invariants the
+/// constructor establishes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Forest {
+    trees: Vec<DecisionTree>,
+}
+
+impl Serialize for Forest {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Map(vec![("trees".to_string(), self.trees.serialize())])
+    }
+}
+
+impl Deserialize for Forest {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let map = serde::__expect_map(value, "Forest")?;
+        let trees = Vec::<DecisionTree>::deserialize(serde::__field(map, "trees", "Forest")?)?;
+        Forest::from_trees(trees).map_err(|e| serde::Error::custom(e.to_string()))
+    }
+}
+
+impl Forest {
+    /// Assembles a forest from already-trained trees, validating that the
+    /// members agree on feature arity and class count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtreeError::InvalidHyperParameter`] for an empty member
+    /// list or members trained on incompatible shapes.
+    pub fn from_trees(trees: Vec<DecisionTree>) -> Result<Self, DtreeError> {
+        let Some(first) = trees.first() else {
+            return Err(DtreeError::InvalidHyperParameter {
+                constraint: "a forest needs at least one tree",
+            });
+        };
+        for tree in &trees {
+            if tree.n_features() != first.n_features() || tree.n_classes() != first.n_classes() {
+                return Err(DtreeError::InvalidHyperParameter {
+                    constraint: "all forest members must share feature arity and class count",
+                });
+            }
+        }
+        Ok(Forest { trees })
+    }
+
+    /// Number of member trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// All member trees, in training order.
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// One member tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of bounds.
+    pub fn tree(&self, t: usize) -> &DecisionTree {
+        &self.trees[t]
+    }
+
+    /// Consumes the forest, returning the member trees.
+    pub fn into_trees(self) -> Vec<DecisionTree> {
+        self.trees
+    }
+
+    /// Number of features the members were trained on.
+    pub fn n_features(&self) -> usize {
+        self.trees[0].n_features()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> u32 {
+        self.trees[0].n_classes()
+    }
+}
+
+/// The compiled serving form of a [`Forest`]: one [`FlatTree`] per member.
+///
+/// Routing one sample costs exactly `K` flat traversals; per-member leaf
+/// ids index the members' dense leaf ranges, so callers attach per-leaf
+/// metadata (calibrated bounds) as one plain `Vec` per member — the same
+/// leaf-identity contract [`FlatTree`] established, `K` times over.
+///
+/// # Examples
+///
+/// ```
+/// use tauw_dtree::forest::{FlatForest, ForestBuilder};
+/// use tauw_dtree::{Dataset, TreeBuilder};
+///
+/// let mut ds = Dataset::new(vec!["x".into()], 2)?;
+/// for i in 0..200 {
+///     ds.push_row(&[i as f64], u32::from(i >= 100))?;
+/// }
+/// let mut builder = ForestBuilder::new(4, 7);
+/// builder.tree(TreeBuilder::new().max_depth(3).clone());
+/// let forest = builder.fit(&ds)?;
+/// let flat = FlatForest::from_forest(&forest);
+///
+/// // One sample routes to one leaf id per member tree...
+/// let leaves = flat.predict_leaf_ids_per_tree(&[10.0])?;
+/// assert_eq!(leaves.len(), 4);
+/// for (t, &leaf) in leaves.iter().enumerate() {
+///     assert!((leaf as usize) < flat.tree(t).n_leaves());
+/// }
+/// // ...and the ensemble prediction agrees with the members' majority.
+/// assert_eq!(flat.predict(&[10.0])?, 0);
+/// assert_eq!(flat.predict(&[190.0])?, 1);
+/// # Ok::<(), tauw_dtree::DtreeError>(())
+/// ```
+///
+/// Like [`Forest`], deserialization funnels through the validating
+/// [`FlatForest::from_flat_trees`] constructor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatForest {
+    trees: Vec<FlatTree>,
+}
+
+impl Serialize for FlatForest {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Map(vec![("trees".to_string(), self.trees.serialize())])
+    }
+}
+
+impl Deserialize for FlatForest {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let map = serde::__expect_map(value, "FlatForest")?;
+        let trees = Vec::<FlatTree>::deserialize(serde::__field(map, "trees", "FlatForest")?)?;
+        FlatForest::from_flat_trees(trees).map_err(|e| serde::Error::custom(e.to_string()))
+    }
+}
+
+impl FlatForest {
+    /// Lowers every member of a trained forest.
+    pub fn from_forest(forest: &Forest) -> Self {
+        FlatForest {
+            trees: forest.trees().iter().map(FlatTree::from_tree).collect(),
+        }
+    }
+
+    /// Assembles a flat forest from already-lowered members, validating
+    /// that they agree on feature arity and class count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtreeError::InvalidHyperParameter`] for an empty member
+    /// list or members of incompatible shapes.
+    pub fn from_flat_trees(trees: Vec<FlatTree>) -> Result<Self, DtreeError> {
+        let Some(first) = trees.first() else {
+            return Err(DtreeError::InvalidHyperParameter {
+                constraint: "a forest needs at least one tree",
+            });
+        };
+        for tree in &trees {
+            if tree.n_features() != first.n_features() || tree.n_classes() != first.n_classes() {
+                return Err(DtreeError::InvalidHyperParameter {
+                    constraint: "all forest members must share feature arity and class count",
+                });
+            }
+        }
+        Ok(FlatForest { trees })
+    }
+
+    /// Number of member trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// All compiled members, in member order.
+    pub fn trees(&self) -> &[FlatTree] {
+        &self.trees
+    }
+
+    /// One compiled member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of bounds.
+    pub fn tree(&self, t: usize) -> &FlatTree {
+        &self.trees[t]
+    }
+
+    /// Number of features the members were trained on.
+    pub fn n_features(&self) -> usize {
+        self.trees[0].n_features()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> u32 {
+        self.trees[0].n_classes()
+    }
+
+    /// Total leaves across all members (the size a per-leaf metadata table
+    /// spanning the whole ensemble would have).
+    pub fn n_leaves_total(&self) -> usize {
+        self.trees.iter().map(FlatTree::n_leaves).sum()
+    }
+
+    /// Routes one sample through every member, appending one [`LeafId`]
+    /// per member to `out` in member order — the ensemble's per-step
+    /// serving primitive (`K` flat traversals, no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtreeError::PredictArityMismatch`] if `x` has the wrong
+    /// number of features; `out` is untouched on error.
+    pub fn predict_leaf_ids_per_tree_into(
+        &self,
+        x: &[f64],
+        out: &mut Vec<LeafId>,
+    ) -> Result<(), DtreeError> {
+        // One up-front arity check covers every member (shapes agree by
+        // construction).
+        self.trees[0].predict_leaf_id(x).map(|first| {
+            out.reserve(self.trees.len());
+            out.push(first);
+            for tree in &self.trees[1..] {
+                out.push(
+                    tree.predict_leaf_id(x)
+                        .expect("members share the validated arity"),
+                );
+            }
+        })
+    }
+
+    /// Allocating convenience around
+    /// [`FlatForest::predict_leaf_ids_per_tree_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtreeError::PredictArityMismatch`] if `x` has the wrong
+    /// number of features.
+    pub fn predict_leaf_ids_per_tree(&self, x: &[f64]) -> Result<Vec<LeafId>, DtreeError> {
+        let mut out = Vec::with_capacity(self.trees.len());
+        self.predict_leaf_ids_per_tree_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Batched leaf routing, one member at a time: returns one
+    /// `Vec<LeafId>` per member (outer index = member, inner = row, in
+    /// input order), each member's batch fanned out over up to `threads`
+    /// workers via [`FlatTree::predict_leaf_ids`] — so the result is
+    /// identical for every thread budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtreeError::PredictArityMismatch`] if any row has the
+    /// wrong number of features.
+    pub fn predict_leaf_ids<R>(
+        &self,
+        threads: usize,
+        rows: &[R],
+    ) -> Result<Vec<Vec<LeafId>>, DtreeError>
+    where
+        R: AsRef<[f64]> + Sync,
+    {
+        self.trees
+            .iter()
+            .map(|tree| tree.predict_leaf_ids(threads, rows))
+            .collect()
+    }
+
+    /// Ensemble prediction: majority vote over the members' leaf classes,
+    /// ties broken by the lowest class id (the same tie rule every member
+    /// applies internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtreeError::PredictArityMismatch`] if `x` has the wrong
+    /// number of features.
+    pub fn predict(&self, x: &[f64]) -> Result<u32, DtreeError> {
+        let mut votes = vec![0u64; self.n_classes() as usize];
+        self.trees[0].predict(x).map(|first| {
+            votes[first as usize] += 1;
+            for tree in &self.trees[1..] {
+                let class = tree.predict(x).expect("members share the validated arity");
+                votes[class as usize] += 1;
+            }
+            let mut class = 0u32;
+            let mut best = 0u64;
+            for (c, &count) in votes.iter().enumerate() {
+                if count > best {
+                    class = c as u32;
+                    best = count;
+                }
+            }
+            class
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Failure iff x > 0.5, with a pinch of label noise so bootstrap
+    /// resamples actually produce distinct trees.
+    fn dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::new(vec!["x".into()], 2).unwrap();
+        for i in 0..n {
+            let x = i as f64 / n as f64;
+            let noisy = i % 37 == 0;
+            ds.push_row(&[x], u32::from((x > 0.5) ^ noisy)).unwrap();
+        }
+        ds
+    }
+
+    fn builder(k: usize, seed: u64) -> ForestBuilder {
+        let mut b = ForestBuilder::new(k, seed);
+        b.tree(TreeBuilder::new().max_depth(4).clone());
+        b
+    }
+
+    #[test]
+    fn forest_training_is_bit_identical_across_thread_budgets() {
+        let ds = dataset(400);
+        let serial = builder(8, 42).threads(1).fit(&ds).unwrap();
+        let serial_json = serde_json::to_string(&serial).unwrap();
+        for threads in [2usize, 4, 8] {
+            let par = builder(8, 42).threads(threads).fit(&ds).unwrap();
+            assert_eq!(serial, par, "threads={threads}");
+            assert_eq!(serial_json, serde_json::to_string(&par).unwrap());
+        }
+    }
+
+    #[test]
+    fn bootstrap_members_differ_but_seeds_reproduce() {
+        let ds = dataset(400);
+        let forest = builder(6, 1).fit(&ds).unwrap();
+        assert_eq!(forest.n_trees(), 6);
+        assert!(
+            forest.trees().windows(2).any(|w| w[0] != w[1]),
+            "distinct resamples should yield at least one distinct member"
+        );
+        let again = builder(6, 1).fit(&ds).unwrap();
+        assert_eq!(forest, again, "same root seed, same forest");
+        let other = builder(6, 2).fit(&ds).unwrap();
+        assert_ne!(forest, other, "different root seed, different resamples");
+    }
+
+    #[test]
+    fn flat_forest_routing_matches_members_bitwise() {
+        let ds = dataset(300);
+        let forest = builder(5, 9).fit(&ds).unwrap();
+        let flat = FlatForest::from_forest(&forest);
+        assert_eq!(flat.n_trees(), 5);
+        assert_eq!(flat.n_features(), 1);
+        assert_eq!(
+            flat.n_leaves_total(),
+            forest.trees().iter().map(DecisionTree::n_leaves).sum()
+        );
+        for i in 0..50 {
+            let q = [i as f64 / 49.0];
+            let per_tree = flat.predict_leaf_ids_per_tree(&q).unwrap();
+            assert_eq!(per_tree.len(), 5);
+            for (t, &leaf) in per_tree.iter().enumerate() {
+                assert_eq!(
+                    flat.tree(t).leaf(leaf).node_id,
+                    forest.tree(t).leaf_id(&q).unwrap(),
+                    "member {t} x={}",
+                    q[0]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_routing_is_input_order_for_every_thread_budget() {
+        let ds = dataset(300);
+        let flat = FlatForest::from_forest(&builder(3, 5).fit(&ds).unwrap());
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![(i % 13) as f64 / 13.0]).collect();
+        let serial = flat.predict_leaf_ids(1, &rows).unwrap();
+        assert_eq!(serial.len(), 3);
+        for (t, member_leaves) in serial.iter().enumerate() {
+            assert_eq!(member_leaves.len(), rows.len());
+            for (row, &leaf) in rows.iter().zip(member_leaves) {
+                assert_eq!(leaf, flat.tree(t).predict_leaf_id(row).unwrap());
+            }
+        }
+        for threads in [2usize, 4, 8] {
+            assert_eq!(flat.predict_leaf_ids(threads, &rows).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn ensemble_prediction_follows_the_majority() {
+        let ds = dataset(500);
+        let flat = FlatForest::from_forest(&builder(9, 3).fit(&ds).unwrap());
+        assert_eq!(flat.predict(&[0.05]).unwrap(), 0);
+        assert_eq!(flat.predict(&[0.95]).unwrap(), 1);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected_without_partial_output() {
+        let ds = dataset(100);
+        let flat = FlatForest::from_forest(&builder(2, 1).fit(&ds).unwrap());
+        let mut out = vec![7u32];
+        assert!(matches!(
+            flat.predict_leaf_ids_per_tree_into(&[0.1, 0.2], &mut out),
+            Err(DtreeError::PredictArityMismatch {
+                expected: 1,
+                actual: 2
+            })
+        ));
+        assert_eq!(out, vec![7], "failed routing must not write output");
+        assert!(flat.predict(&[0.1, 0.2]).is_err());
+        assert!(flat
+            .predict_leaf_ids(2, &[vec![0.1], vec![0.1, 0.2]])
+            .is_err());
+    }
+
+    #[test]
+    fn degenerate_configurations_are_rejected() {
+        let ds = dataset(50);
+        assert!(matches!(
+            ForestBuilder::new(0, 1).fit(&ds),
+            Err(DtreeError::InvalidHyperParameter { .. })
+        ));
+        let empty = Dataset::new(vec!["x".into()], 2).unwrap();
+        assert_eq!(
+            ForestBuilder::new(2, 1).fit(&empty),
+            Err(DtreeError::EmptyDataset)
+        );
+        assert!(matches!(
+            Forest::from_trees(Vec::new()),
+            Err(DtreeError::InvalidHyperParameter { .. })
+        ));
+        assert!(matches!(
+            FlatForest::from_flat_trees(Vec::new()),
+            Err(DtreeError::InvalidHyperParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn from_trees_rejects_mismatched_members() {
+        let one = TreeBuilder::new().fit(&dataset(80)).unwrap();
+        let mut two_features = Dataset::new(vec!["a".into(), "b".into()], 2).unwrap();
+        for i in 0..80 {
+            two_features
+                .push_row(&[i as f64, 0.0], u32::from(i >= 40))
+                .unwrap();
+        }
+        let other = TreeBuilder::new().fit(&two_features).unwrap();
+        assert!(matches!(
+            Forest::from_trees(vec![one.clone(), other.clone()]),
+            Err(DtreeError::InvalidHyperParameter { .. })
+        ));
+        assert!(matches!(
+            FlatForest::from_flat_trees(vec![
+                FlatTree::from_tree(&one),
+                FlatTree::from_tree(&other)
+            ]),
+            Err(DtreeError::InvalidHyperParameter { .. })
+        ));
+        // A single-member forest is the degenerate-but-valid case.
+        let single = Forest::from_trees(vec![one]).unwrap();
+        assert_eq!(single.n_trees(), 1);
+    }
+
+    #[test]
+    fn deserialization_cannot_bypass_constructor_invariants() {
+        // An empty member list panics on trees[0] everywhere; the manual
+        // Deserialize impls funnel through the validating constructors so
+        // a crafted payload is rejected up front (the same pattern the
+        // core TimeseriesBuffer uses for its snapshots).
+        assert!(serde_json::from_str::<Forest>(r#"{"trees": []}"#).is_err());
+        assert!(serde_json::from_str::<FlatForest>(r#"{"trees": []}"#).is_err());
+
+        // Mixed member shapes are rejected the same way.
+        let one = TreeBuilder::new().fit(&dataset(60)).unwrap();
+        let mut two_features = Dataset::new(vec!["a".into(), "b".into()], 2).unwrap();
+        for i in 0..60 {
+            two_features
+                .push_row(&[i as f64, 0.0], u32::from(i >= 30))
+                .unwrap();
+        }
+        let other = TreeBuilder::new().fit(&two_features).unwrap();
+        let mixed = format!(
+            r#"{{"trees": [{}, {}]}}"#,
+            serde_json::to_string(&one).unwrap(),
+            serde_json::to_string(&other).unwrap()
+        );
+        assert!(serde_json::from_str::<Forest>(&mixed).is_err());
+        let mixed_flat = format!(
+            r#"{{"trees": [{}, {}]}}"#,
+            serde_json::to_string(&FlatTree::from_tree(&one)).unwrap(),
+            serde_json::to_string(&FlatTree::from_tree(&other)).unwrap()
+        );
+        assert!(serde_json::from_str::<FlatForest>(&mixed_flat).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_routing() {
+        let ds = dataset(200);
+        let forest = builder(3, 11).fit(&ds).unwrap();
+        let flat = FlatForest::from_forest(&forest);
+        let forest_back: Forest =
+            serde_json::from_str(&serde_json::to_string(&forest).unwrap()).unwrap();
+        assert_eq!(forest, forest_back);
+        let flat_back: FlatForest =
+            serde_json::from_str(&serde_json::to_string(&flat).unwrap()).unwrap();
+        assert_eq!(flat, flat_back);
+        for q in [[0.1], [0.5], [0.9]] {
+            assert_eq!(
+                flat.predict_leaf_ids_per_tree(&q).unwrap(),
+                flat_back.predict_leaf_ids_per_tree(&q).unwrap()
+            );
+        }
+    }
+}

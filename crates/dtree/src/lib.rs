@@ -17,6 +17,10 @@
 //! * [`flat::FlatTree`] — the compiled struct-of-arrays serving form:
 //!   branch-light routing to dense, stable leaf IDs, single-sample and
 //!   batched (thread-fanned) prediction, bit-identical to the pointer tree.
+//! * [`forest`] — bootstrap tree ensembles: deterministic per-tree
+//!   resampling fanned over the thread budget, plus the [`forest::FlatForest`]
+//!   serving form (one flat traversal per member) that smooths the hard
+//!   split boundaries of a single tree.
 //! * [`prune`] — calibration-driven bottom-up pruning.
 //! * [`export`] — text / DOT / JSON rendering for expert review.
 //! * [`importance`] — mean-decrease-in-impurity feature importances.
@@ -40,7 +44,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod builder;
 pub mod criterion;
@@ -48,6 +52,7 @@ pub mod data;
 pub mod error;
 pub mod export;
 pub mod flat;
+pub mod forest;
 pub mod importance;
 pub mod prune;
 pub mod splitter;
@@ -58,5 +63,6 @@ pub use criterion::SplitCriterion;
 pub use data::Dataset;
 pub use error::DtreeError;
 pub use flat::{FlatLeaf, FlatTree, LeafId};
+pub use forest::{FlatForest, Forest, ForestBuilder};
 pub use splitter::Splitter;
 pub use tree::{DecisionTree, Node, NodeId, NodeInfo, NodeKind};

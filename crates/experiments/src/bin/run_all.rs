@@ -10,7 +10,7 @@ use std::process::Command;
 use tauw_experiments::report::section;
 use tauw_experiments::CliOptions;
 
-const BINARIES: [&str; 10] = [
+const BINARIES: [&str; 11] = [
     "fig4",
     "fig5",
     "table1",
@@ -21,6 +21,7 @@ const BINARIES: [&str; 10] = [
     "window_sweep",
     "extended_taqf",
     "if_ablation",
+    "forest_ablation",
 ];
 
 fn main() {

@@ -10,6 +10,16 @@ use tauw_core::wrapper::{UncertaintyWrapper, WrapperBuilder};
 use tauw_core::CoreError;
 use tauw_sim::{DatasetBuilder, QualityObservation, SimConfig};
 
+/// The context's canonical wrapper configuration (paper depth 8 + the
+/// scale-adjusted calibration options) — shared by the base build and by
+/// every variant, so an ablation differs only in the dimension under
+/// study.
+fn configured_wrapper_builder(calibration: CalibrationOptions) -> WrapperBuilder {
+    let mut wrapper_builder = WrapperBuilder::new();
+    wrapper_builder.max_depth(8).calibration(calibration);
+    wrapper_builder
+}
+
 /// Everything a figure/table binary needs, built deterministically from
 /// `(scale, seed)`.
 #[derive(Debug, Clone)]
@@ -83,8 +93,7 @@ impl ExperimentContext {
             confidence: 0.999,
             ..Default::default()
         };
-        let mut wrapper_builder = WrapperBuilder::new();
-        wrapper_builder.max_depth(8).calibration(calibration);
+        let wrapper_builder = configured_wrapper_builder(calibration);
 
         // Stateless wrapper.
         let stateless: UncertaintyWrapper = wrapper_builder.fit(
@@ -136,6 +145,31 @@ impl ExperimentContext {
         wrong as f64 / total.max(1) as f64
     }
 
+    /// Builds a taUW variant whose taQIM is a calibrated bootstrap
+    /// **forest** of `n_trees` members resampled from `seed`, reusing the
+    /// stateless wrapper and replay rows (the boundary-smoothing ablation
+    /// and the tree-vs-forest bench rows).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on infeasible calibration.
+    pub fn tauw_forest_variant(
+        &self,
+        n_trees: usize,
+        seed: u64,
+    ) -> Result<TimeseriesAwareWrapper, CoreError> {
+        let mut builder = TauwBuilder::new();
+        builder
+            .wrapper(configured_wrapper_builder(self.calibration))
+            .forest(n_trees, seed);
+        builder.fit_reusing_stateless(
+            self.tauw.stateless().clone(),
+            &self.feature_names,
+            &self.train_replay,
+            &self.calib_replay,
+        )
+    }
+
     /// Builds a taUW variant with a different taQF subset, reusing the
     /// stateless wrapper and replay rows (the Fig. 7 sweep).
     ///
@@ -146,10 +180,10 @@ impl ExperimentContext {
         &self,
         set: tauw_core::taqf::TaqfSet,
     ) -> Result<TimeseriesAwareWrapper, CoreError> {
-        let mut wrapper_builder = WrapperBuilder::new();
-        wrapper_builder.max_depth(8).calibration(self.calibration);
         let mut builder = TauwBuilder::new();
-        builder.wrapper(wrapper_builder).taqf_set(set);
+        builder
+            .wrapper(configured_wrapper_builder(self.calibration))
+            .taqf_set(set);
         builder.fit_reusing_stateless(
             self.tauw.stateless().clone(),
             &self.feature_names,
@@ -184,10 +218,17 @@ mod tests {
         let set = tauw_core::taqf::TaqfSet::from_kinds(&[tauw_core::taqf::TaqfKind::Ratio]);
         let variant = ctx.tauw_variant(set).unwrap();
         assert_eq!(variant.taqf_set(), set);
-        assert_eq!(
-            variant.taqim().tree().n_features(),
-            ctx.feature_names.len() + 1
-        );
+        assert_eq!(variant.taqim().n_features(), ctx.feature_names.len() + 1);
+    }
+
+    #[test]
+    fn forest_variant_builds_and_serves() {
+        let ctx = ExperimentContext::build(0.02, 7).unwrap();
+        let forest = ctx.tauw_forest_variant(4, 0xF0).unwrap();
+        assert_eq!(forest.taqim().n_trees(), 4);
+        assert_eq!(forest.taqim().n_features(), ctx.feature_names.len() + 4);
+        let again = ctx.tauw_forest_variant(4, 0xF0).unwrap();
+        assert_eq!(forest, again, "forest variant must be seed-deterministic");
     }
 
     #[test]

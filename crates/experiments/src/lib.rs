@@ -15,6 +15,7 @@
 //! | `window_sweep`    | future work    | fusion + taUW quality vs series length (paper: "no saturation") |
 //! | `extended_taqf`   | future work    | candidate features beyond taQF1-4 (paper RQ3 closing question) |
 //! | `if_ablation`     | §2 related wk  | majority vs weighted vs windowed vs latest-only fusion |
+//! | `forest_ablation` | related wk     | single-tree taQIM vs boundary-smoothed bootstrap forests (K=4, K=16): Brier, AUC, estimate granularity |
 //! | `run_all`         | —              | everything above in one run |
 //!
 //! All binaries accept `--scale <f>` (default 1.0 = paper-sized),
@@ -22,7 +23,7 @@
 //! `results/`). Runs are bit-deterministic for a given seed and scale.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod context;
 pub mod convert;

@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "taQIM: {} leaves, lowest guaranteed uncertainty {:.4}",
-        tauw.taqim().tree().n_leaves(),
+        tauw.taqim().n_leaves(),
         tauw.min_uncertainty()
     );
 

@@ -68,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let test = convert(&data.test);
     // The models serve through the compiled flat form: per step, each
     // lookup is one SoA traversal plus one leaf-ID-indexed bound read.
-    let (stateless_flat, ta_flat) = (tauw.stateless().qim().flat(), tauw.taqim().flat());
+    let ta_qim = tauw
+        .taqim()
+        .as_tree()
+        .expect("this example trains the default single-tree taQIM");
+    let (stateless_flat, ta_flat) = (tauw.stateless().qim().flat(), ta_qim.flat());
     println!(
         "serving {} test windows on a {COHORT_STREAMS}-stream engine",
         test.len()

@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let deployed = TimeseriesAwareWrapper::load(&artifact_path)?;
     println!(
         "loaded taUW: {} taQIM leaves, min uncertainty {:.4}",
-        deployed.taqim().tree().n_leaves(),
+        deployed.taqim().n_leaves(),
         deployed.min_uncertainty()
     );
 

@@ -23,7 +23,7 @@ import json
 import os
 import sys
 
-SCHEMA = "tauw-bench-baseline/v3"
+SCHEMA = "tauw-bench-baseline/v4"
 REQUIRED_COLUMNS = (
     "name",
     "work_units",

@@ -22,7 +22,7 @@
 //! shortest end-to-end pipeline.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use tauw_core as core;
 pub use tauw_dtree as dtree;

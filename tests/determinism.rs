@@ -419,6 +419,88 @@ fn incremental_taqf_serving_matches_full_recompute_reference() {
 }
 
 #[test]
+fn forest_engine_serving_is_bit_identical_across_thread_budgets_and_to_reference() {
+    // A forest taQIM (4 bootstrap members) served through the multi-stream
+    // engine: training must be a pure function of the seed (the per-member
+    // fits fan out over the thread budget), and every served estimate must
+    // be bit-identical across engine thread budgets 1/2/8 AND to the
+    // pointer-member reference recompute.
+    use tauw_suite::core::engine::{StreamId, StreamStep, TauwEngine};
+
+    let config = SimConfig::scaled(0.04);
+    let data = DatasetBuilder::new(config, 31).unwrap().build();
+    let mut wb = WrapperBuilder::new();
+    wb.max_depth(6).calibration(CalibrationOptions {
+        min_samples_per_leaf: 50,
+        confidence: 0.99,
+        ..Default::default()
+    });
+    let fit = || {
+        let mut builder = TauwBuilder::new();
+        builder.wrapper(wb.clone()).forest(4, 0xF0E57);
+        builder
+            .fit(
+                QualityObservation::feature_names(),
+                &convert(&data.train),
+                &convert(&data.calib),
+            )
+            .unwrap()
+    };
+    let tauw = fit();
+    assert_eq!(tauw.taqim().n_trees(), 4);
+    assert_eq!(
+        tauw,
+        fit(),
+        "forest training must be reproducible under the ambient thread budget"
+    );
+
+    let streams: Vec<_> = convert(&data.test).into_iter().take(24).collect();
+    let window_len = streams.iter().map(|s| s.steps.len()).max().unwrap();
+    let mut baseline: Option<Vec<tauw_suite::core::tauw::TauwStep>> = None;
+    let mut compared = 0usize;
+    for threads in [1usize, 2, 8] {
+        let mut engine = TauwEngine::new(tauw.clone());
+        engine.threads(threads);
+        let mut all = Vec::new();
+        for j in 0..window_len {
+            let mut positions = Vec::new();
+            let mut batch = Vec::new();
+            for (s, series) in streams.iter().enumerate() {
+                if let Some(step) = series.steps.get(j) {
+                    positions.push(s);
+                    batch.push(StreamStep::new(
+                        StreamId(s as u64),
+                        step.quality_factors.clone(),
+                        step.outcome,
+                    ));
+                }
+            }
+            for (&s, out) in positions.iter().zip(engine.step_many(&batch).unwrap()) {
+                let qf = &streams[s].steps[j].quality_factors;
+                // The forest's flat serving path (K traversals + mean in
+                // canonical member order) recomputed via the pointer
+                // members, bit for bit.
+                let mut features = qf.clone();
+                features.extend(tauw.taqf_set().select(&out.taqf));
+                let reference = tauw.taqim().uncertainty_reference(&features).unwrap();
+                assert_eq!(
+                    out.uncertainty.to_bits(),
+                    reference.to_bits(),
+                    "stream {s} step {j} threads={threads}"
+                );
+                compared += 1;
+                all.push(out);
+            }
+        }
+        match &baseline {
+            None => baseline = Some(all),
+            Some(expected) => assert_eq!(expected, &all, "threads={threads}"),
+        }
+    }
+    assert!(compared > 300, "covered only {compared} comparisons");
+}
+
+#[test]
 fn engine_step_many_matches_sequential_single_stream_wrappers() {
     use tauw_suite::core::engine::{StreamId, StreamStep, TauwEngine};
 

@@ -225,7 +225,12 @@ fn buffer_reset_isolates_series() {
 #[test]
 fn qim_trees_are_exportable_and_transparent() {
     let w = build_world(6);
-    let tree = w.tauw.taqim().tree();
+    let tree = w
+        .tauw
+        .taqim()
+        .as_tree()
+        .expect("default taQIM is a single tree")
+        .tree();
     let text = tauw_suite::dtree::export::to_text(tree);
     assert!(text.contains("leaf"));
     // taQF columns appear in the learned tree's export when they carry

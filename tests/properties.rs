@@ -502,6 +502,122 @@ proptest! {
     }
 
     #[test]
+    fn forest_qim_degenerates_to_the_single_tree_path_at_k1(
+        rows in prop::collection::vec((0.0f64..1.0, prop::bool::ANY), 60..200),
+        queries in prop::collection::vec(0.0f64..1.0, 1..20),
+        depth in 1usize..5,
+    ) {
+        use tauw_suite::core::calibration::{
+            CalibratedForestQim, CalibratedQim, CalibrationOptions,
+        };
+        use tauw_suite::dtree::{Dataset, Forest, TreeBuilder};
+        let mut ds = Dataset::new(vec!["x".into()], 2).unwrap();
+        for (x, failed) in &rows {
+            ds.push_row(&[*x], u32::from(*failed)).unwrap();
+        }
+        let tree = TreeBuilder::new().max_depth(depth).fit(&ds).unwrap();
+        let calib: Vec<(Vec<f64>, bool)> =
+            rows.iter().map(|(x, failed)| (vec![*x], *failed)).collect();
+        let options = CalibrationOptions {
+            min_samples_per_leaf: 20,
+            confidence: 0.95,
+            ..Default::default()
+        };
+        let single = CalibratedQim::calibrate(tree.clone(), &calib, options).unwrap();
+        let forest = CalibratedForestQim::calibrate(
+            Forest::from_trees(vec![tree]).unwrap(),
+            &calib,
+            options,
+        )
+        .unwrap();
+        // A one-member forest is the single-tree path, bit for bit: the
+        // mean of one bound is `bound / 1.0 == bound` exactly.
+        prop_assert_eq!(forest.n_trees(), 1);
+        for x in &queries {
+            let q = [*x];
+            prop_assert_eq!(
+                forest.uncertainty(&q).unwrap().to_bits(),
+                single.uncertainty(&q).unwrap().to_bits()
+            );
+            prop_assert_eq!(
+                forest.uncertainty_reference(&q).unwrap().to_bits(),
+                single.uncertainty_reference(&q).unwrap().to_bits()
+            );
+        }
+        prop_assert_eq!(
+            forest.min_uncertainty().to_bits(),
+            single.min_uncertainty().to_bits()
+        );
+    }
+
+    #[test]
+    fn forest_uncertainty_is_permutation_invariant_in_tree_order(
+        rows in prop::collection::vec((0.0f64..1.0, prop::bool::ANY), 60..200),
+        queries in prop::collection::vec(0.0f64..1.0, 1..20),
+        k in 2usize..6,
+        seed in 0u64..u64::MAX,
+        perm_seed in 0u64..u64::MAX,
+    ) {
+        use tauw_suite::core::calibration::{CalibratedForestQim, CalibrationOptions};
+        use tauw_suite::dtree::{Dataset, Forest, ForestBuilder, TreeBuilder};
+        let mut ds = Dataset::new(vec!["x".into()], 2).unwrap();
+        for (x, failed) in &rows {
+            ds.push_row(&[*x], u32::from(*failed)).unwrap();
+        }
+        let mut builder = ForestBuilder::new(k, seed);
+        builder.tree(TreeBuilder::new().max_depth(4).clone());
+        let forest = builder.fit(&ds).unwrap();
+
+        // Deterministic Fisher–Yates shuffle of the member order.
+        let mut permuted = forest.trees().to_vec();
+        let mut state = perm_seed | 1;
+        for i in (1..permuted.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            permuted.swap(i, j);
+        }
+
+        let calib: Vec<(Vec<f64>, bool)> =
+            rows.iter().map(|(x, failed)| (vec![*x], *failed)).collect();
+        let options = CalibrationOptions {
+            min_samples_per_leaf: 20,
+            confidence: 0.95,
+            ..Default::default()
+        };
+        let in_order = CalibratedForestQim::calibrate(
+            Forest::from_trees(forest.trees().to_vec()).unwrap(),
+            &calib,
+            options,
+        )
+        .unwrap();
+        let shuffled = CalibratedForestQim::calibrate(
+            Forest::from_trees(permuted).unwrap(),
+            &calib,
+            options,
+        )
+        .unwrap();
+        // The canonical member order makes the calibrated model — and
+        // therefore every served mean, bit for bit — independent of the
+        // order the trees were supplied in.
+        prop_assert_eq!(&in_order, &shuffled);
+        in_order.validate().unwrap();
+        for x in &queries {
+            let q = [*x];
+            let a = in_order.uncertainty(&q).unwrap();
+            let b = shuffled.uncertainty(&q).unwrap();
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+            // Serving path == pointer-member reference recompute.
+            prop_assert_eq!(
+                a.to_bits(),
+                in_order.uncertainty_reference(&q).unwrap().to_bits()
+            );
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
     fn tree_routing_agrees_with_decision_path(
         rows in prop::collection::vec((0.0f64..1.0, 0u32..2), 30..120),
         queries in prop::collection::vec(0.0f64..1.0, 1..20),

@@ -9,7 +9,7 @@
 //! later run under real criterion.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::time::{Duration, Instant};
 

@@ -10,7 +10,7 @@
 //! can assert bit-identical serial/parallel outputs by construction.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

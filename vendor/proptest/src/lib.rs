@@ -12,7 +12,7 @@
 //! tuple strategies up to arity 4.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod strategy {
     //! The [`Strategy`] trait and combinator implementations.

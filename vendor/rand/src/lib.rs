@@ -9,7 +9,7 @@
 //! codebase*, never on matching upstream streams.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 /// A source of randomness (the subset of `rand::Rng` the workspace uses).
 pub trait Rng {

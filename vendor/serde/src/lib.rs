@@ -19,7 +19,7 @@
 //! * `Option` → `null` / the value
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -13,7 +13,7 @@
 //! (&self) -> Value` and `Deserialize::deserialize(&Value) -> Result`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 

@@ -9,7 +9,7 @@
 //! save/load roundtrips are bit-identical for finite values.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use serde::de::DeserializeOwned;
 use serde::{Serialize, Value};
