@@ -42,7 +42,11 @@ use tauw_stats::bootstrap::SplitMix64;
 /// v4: adds the `qim_uncertainty_tree_vs_forest{4,16}` rows (single-tree
 /// taQIM vs boundary-smoothed K-member forest) so the K-traversal serving
 /// cost of the ensemble estimator is measured and locked in.
-const SCHEMA: &str = "tauw-bench-baseline/v4";
+/// v5: adds the `adaptive_step_window_{10,100,10000}` rows (coverage-stats
+/// recompute vs incremental-aggregate adaptive stepping) so the O(1)
+/// per-step cost of the adaptive calibration layer is measured and locked
+/// in.
+const SCHEMA: &str = "tauw-bench-baseline/v5";
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -507,6 +511,54 @@ fn bench_pipeline(opts: &Options) {
             &format!("taqf_step_window_{window}"),
             taqf_steps as u64,
             ("recompute", recompute_s),
+            ("incremental", incremental_s),
+            identical,
+        ));
+        results.last().expect("just pushed").print();
+    }
+
+    // Per-step adaptive-calibration cost over the coverage window: the
+    // reference path recomputes the coverage stats from the ring each step
+    // (O(window)); serving reads the buffer's running aggregates (O(1) in
+    // the window). Same lock-in shape as the taQF rows above: the
+    // incremental side must stay flat in the window size.
+    let adaptive_steps = if opts.smoke { 2_000 } else { 20_000 };
+    let mut adaptive_rng = SplitMix64::new(0xADA9);
+    let adaptive_traffic: Vec<(bool, f64)> = (0..adaptive_steps)
+        .map(|_| (adaptive_rng.next_f64() < 0.3, adaptive_rng.next_f64()))
+        .collect();
+    for window in [10usize, 100, 10_000] {
+        let config = tauw_core::adaptive::AdaptiveConfig {
+            window,
+            min_observations: (window / 4).max(1),
+            rate: 0.05,
+            ..Default::default()
+        };
+        let run_stepper = |observe: fn(&mut tauw_core::adaptive::AdaptiveState, f64, bool)| {
+            let mut state = tauw_core::adaptive::AdaptiveState::new(config).expect("valid config");
+            let mut out = Vec::with_capacity(adaptive_traffic.len());
+            for &(failed, bound) in &adaptive_traffic {
+                let served = state.adapted_bound(bound);
+                observe(&mut state, served, failed);
+                out.push((state.inflation_steps(), state.adapted_bound(0.37)));
+            }
+            out
+        };
+        let (reference_s, reference_out) = time_best(opts.repetitions, || {
+            run_stepper(tauw_core::adaptive::AdaptiveState::observe_reference)
+        });
+        let (incremental_s, incremental_out) = time_best(opts.repetitions, || {
+            run_stepper(tauw_core::adaptive::AdaptiveState::observe)
+        });
+        let identical = reference_out.len() == incremental_out.len()
+            && reference_out
+                .iter()
+                .zip(&incremental_out)
+                .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+        results.push(Comparison::new(
+            &format!("adaptive_step_window_{window}"),
+            adaptive_steps as u64,
+            ("recompute", reference_s),
             ("incremental", incremental_s),
             identical,
         ));

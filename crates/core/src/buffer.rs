@@ -76,6 +76,14 @@ pub fn certainty_units_to_f64(units: u128) -> f64 {
     (units as f64) / CERTAINTY_UNIT_SCALE
 }
 
+/// One full unit of probability mass (`1.0`) on the 2⁻⁵³ integer grid —
+/// the exact number of units a single entry with certainty `1.0`
+/// contributes. Consumers comparing *counts* against *certainty sums*
+/// (e.g. the adaptive coverage tracker testing `failures · 1.0 >
+/// Σ promised failure mass`) multiply by this constant so the comparison
+/// stays in exact integer arithmetic.
+pub const CERTAINTY_UNIT_ONE: u128 = 1u128 << 53;
+
 /// Running aggregates for one distinct outcome currently in the window.
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct OutcomeStats {

@@ -65,6 +65,31 @@ impl Default for CalibrationOptions {
     }
 }
 
+impl CalibrationOptions {
+    /// Checks the options are usable *before* calibration starts, so a
+    /// bad `confidence` fails at the entry point with an error naming the
+    /// field instead of surfacing deep inside the binomial bound
+    /// computation mid-calibration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] when `confidence` is
+    /// non-finite, ≤ 0, or ≥ 1 (a one-sided confidence level must lie
+    /// strictly inside the open unit interval).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if !self.confidence.is_finite() || self.confidence <= 0.0 || self.confidence >= 1.0 {
+            return Err(CoreError::InvalidInput {
+                reason: format!(
+                    "calibration options: `confidence` must be a finite value strictly between \
+                     0 and 1, got {}",
+                    self.confidence
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
 /// A quality impact model after calibration: routing tree + per-leaf
 /// dependable uncertainty bounds.
 ///
@@ -101,13 +126,16 @@ impl CalibratedQim {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError`] if the calibration set is empty, too small for
-    /// even the root to satisfy the minimum, or rows have the wrong arity.
+    /// Returns [`CoreError`] if the options are invalid (see
+    /// [`CalibrationOptions::validate`]), the calibration set is empty, too
+    /// small for even the root to satisfy the minimum, or rows have the
+    /// wrong arity.
     pub fn calibrate(
         tree: DecisionTree,
         samples: &[(Vec<f64>, bool)],
         options: CalibrationOptions,
     ) -> Result<Self, CoreError> {
+        options.validate()?;
         if samples.is_empty() {
             return Err(CoreError::InvalidInput {
                 reason: "calibration set is empty".into(),
@@ -179,6 +207,19 @@ impl CalibratedQim {
     /// for internal/unknown nodes.
     pub fn calibrated_leaf(&self, node: NodeId) -> Option<CalibratedLeaf> {
         self.leaves.get(node).copied().flatten()
+    }
+
+    /// How many calibration samples routed to the leaf this feature vector
+    /// lands in — the *calibration support* behind the served bound. The
+    /// adaptive layer reads this to tell a knowledge gap (thin support)
+    /// from plain noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn route_support(&self, features: &[f64]) -> Result<u64, CoreError> {
+        let (_, node) = self.route_ids(features)?;
+        Ok(self.calibrated_leaf(node).map_or(0, |l| l.total))
     }
 
     /// Checks the internal consistency of the two model representations:
@@ -432,6 +473,10 @@ pub struct CalibratedForestQim {
     flat: FlatForest,
     /// Per-member uncertainty bounds indexed by [`LeafId`].
     leaf_bounds: Vec<Vec<f64>>,
+    /// The smallest uncertainty the ensemble *actually served* over the
+    /// calibration set (min over calibration-sample routings) — the
+    /// attainable floor [`CalibratedForestQim::min_uncertainty`] reports.
+    min_served_bound: f64,
 }
 
 impl CalibratedForestQim {
@@ -442,14 +487,16 @@ impl CalibratedForestQim {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError`] if the calibration set is empty, too small
-    /// for any member's root to satisfy the minimum, or rows have the
+    /// Returns [`CoreError`] if the options are invalid (see
+    /// [`CalibrationOptions::validate`]), the calibration set is empty, too
+    /// small for any member's root to satisfy the minimum, or rows have the
     /// wrong arity.
     pub fn calibrate(
         forest: Forest,
         samples: &[(Vec<f64>, bool)],
         options: CalibrationOptions,
     ) -> Result<Self, CoreError> {
+        options.validate()?;
         if samples.is_empty() {
             return Err(CoreError::InvalidInput {
                 reason: "calibration set is empty".into(),
@@ -475,13 +522,25 @@ impl CalibratedForestQim {
             flats.push(member.flat);
             leaf_bounds.push(member.leaf_bounds);
         }
-        Ok(CalibratedForestQim {
+        let mut qim = CalibratedForestQim {
             trees,
             leaves,
             options,
             flat: FlatForest::from_flat_trees(flats)?,
             leaf_bounds,
-        })
+            min_served_bound: 1.0,
+        };
+        // The attainable serving floor: the smallest mean-of-member-bounds
+        // any *calibration sample* actually receives. Unlike the mean of
+        // per-member minima (which no single input generally attains —
+        // each member routes it to a different leaf), every value in this
+        // minimum is a real served estimate.
+        let mut min_served = 1.0f64;
+        for (features, _) in samples {
+            min_served = min_served.min(qim.uncertainty(features)?);
+        }
+        qim.min_served_bound = min_served;
+        Ok(qim)
     }
 
     /// Dependable uncertainty for a feature vector: `K` flat traversals,
@@ -559,18 +618,52 @@ impl CalibratedForestQim {
         self.leaves.get(t)?.get(node).copied().flatten()
     }
 
-    /// A **lower bound** on the smallest uncertainty the ensemble can
-    /// report: the mean of the members' per-leaf minima. It is attained
-    /// only if a single input reaches every member's best leaf
-    /// simultaneously, so unlike [`CalibratedQim::min_uncertainty`] it may
-    /// undercut the best actually-achievable estimate.
+    /// The smallest uncertainty the ensemble **actually serves**: the
+    /// minimum of `uncertainty(x)` over the calibration samples, computed
+    /// once at calibration time. Every value entering this minimum is a
+    /// real served estimate, so `min_uncertainty() <= uncertainty(x)`
+    /// holds for every calibration sample `x` — the attainability contract
+    /// [`CalibratedQim::min_uncertainty`] gives for a single tree.
+    ///
+    /// (The previous formulation — the mean of per-member minima, still
+    /// available as [`CalibratedForestQim::min_member_mean_bound`] — is
+    /// generally *unachievable*: no single feature vector routes every
+    /// member to its own best leaf at once, so it could undercut every
+    /// value the model can produce.)
     pub fn min_uncertainty(&self) -> f64 {
+        self.min_served_bound
+    }
+
+    /// The mean of the members' per-leaf minimum bounds — a **lower
+    /// bound** on [`CalibratedForestQim::min_uncertainty`] that is
+    /// generally not attained by any input (each member would have to
+    /// route it to that member's own best leaf simultaneously). Kept for
+    /// diagnostics; never served.
+    pub fn min_member_mean_bound(&self) -> f64 {
         let sum: f64 = self
             .leaf_bounds
             .iter()
             .map(|bounds| bounds.iter().copied().fold(1.0, f64::min))
             .sum();
         sum / self.leaf_bounds.len() as f64
+    }
+
+    /// Calibration support behind the served bound for this feature
+    /// vector: the **minimum** over members of the routed leaf's
+    /// calibration-sample count (the ensemble's estimate is only as
+    /// grounded as its least-supported member).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn route_support(&self, features: &[f64]) -> Result<u64, CoreError> {
+        let mut support = u64::MAX;
+        for (t, tree) in self.flat.trees().iter().enumerate() {
+            let leaf = tree.predict_leaf_id(features)?;
+            let node = tree.leaf(leaf).node_id;
+            support = support.min(self.calibrated_leaf(t, node).map_or(0, |l| l.total));
+        }
+        Ok(support)
     }
 
     /// Checks the internal consistency of every member (see
@@ -639,6 +732,27 @@ impl CalibratedForestQim {
                 });
             }
             previous_key = Some(key);
+        }
+        if !self.min_served_bound.is_finite() || !(0.0..=1.0).contains(&self.min_served_bound) {
+            return Err(CoreError::InvalidInput {
+                reason: format!(
+                    "calibrated forest QIM: served minimum bound {} lies outside [0, 1]",
+                    self.min_served_bound
+                ),
+            });
+        }
+        // Any served value is a mean of per-member bounds, each at least
+        // its member's minimum; f64 addition and division are monotone, so
+        // the mean of minima is a hard floor on every servable value.
+        if self.min_served_bound < self.min_member_mean_bound() {
+            return Err(CoreError::InvalidInput {
+                reason: format!(
+                    "calibrated forest QIM: served minimum bound {} undercuts the member-minima \
+                     floor {}",
+                    self.min_served_bound,
+                    self.min_member_mean_bound()
+                ),
+            });
         }
         Ok(())
     }
@@ -720,13 +834,28 @@ impl TaQim {
         }
     }
 
-    /// The smallest uncertainty the model can report — exact for the
-    /// single-tree shape, a lower bound for forests (see
+    /// The smallest uncertainty the model actually serves — the minimum
+    /// leaf bound for the single-tree shape, the minimum served mean over
+    /// the calibration set for forests (see
     /// [`CalibratedForestQim::min_uncertainty`]).
     pub fn min_uncertainty(&self) -> f64 {
         match self {
             TaQim::Tree(qim) => qim.min_uncertainty(),
             TaQim::Forest(qim) => qim.min_uncertainty(),
+        }
+    }
+
+    /// Calibration support behind the bound served for this feature
+    /// vector: the routed leaf's calibration-sample count (minimum over
+    /// members for a forest). See [`CalibratedQim::route_support`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn route_support(&self, features: &[f64]) -> Result<u64, CoreError> {
+        match self {
+            TaQim::Tree(qim) => qim.route_support(features),
+            TaQim::Forest(qim) => qim.route_support(features),
         }
     }
 
@@ -1122,5 +1251,124 @@ mod tests {
         for (_, leaf) in qim.calibrated_leaves() {
             assert!(leaf.uncertainty_bound > 0.98);
         }
+    }
+
+    /// Satellite regression test: the forest's reported minimum must be
+    /// *attainable* — `min_uncertainty() <= uncertainty(x)` for every
+    /// calibration sample, with equality at some sample. (The old mean of
+    /// per-member minima generally undercut every servable value.)
+    #[test]
+    fn forest_min_uncertainty_is_attained_on_a_calibration_sample() {
+        let forest = trained_forest(5, 11, 600);
+        let calib = calib_samples(2500, |x| x > 0.5);
+        let qim =
+            CalibratedForestQim::calibrate(forest, &calib, CalibrationOptions::default()).unwrap();
+        let mut attained = false;
+        for (features, _) in &calib {
+            let served = qim.uncertainty(features).unwrap();
+            assert!(
+                qim.min_uncertainty() <= served,
+                "min {} exceeds served {} at x={}",
+                qim.min_uncertainty(),
+                served,
+                features[0]
+            );
+            attained |= served.to_bits() == qim.min_uncertainty().to_bits();
+        }
+        assert!(attained, "the minimum must be a real served value");
+        // The old formulation survives as a documented diagnostic floor.
+        assert!(qim.min_member_mean_bound() <= qim.min_uncertainty());
+        qim.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_confidence_is_rejected_at_both_calibrate_entries() {
+        let assert_names_field = |err: CoreError| {
+            let CoreError::InvalidInput { reason } = err else {
+                panic!("expected InvalidInput");
+            };
+            assert!(reason.contains("`confidence`"), "{reason}");
+        };
+        let calib = calib_samples(1000, |x| x > 0.5);
+        for confidence in [0.0, -0.5, 1.0, 1.5, f64::NAN, f64::INFINITY] {
+            let opts = CalibrationOptions {
+                confidence,
+                ..Default::default()
+            };
+            assert_names_field(
+                CalibratedQim::calibrate(trained_tree(400), &calib, opts).unwrap_err(),
+            );
+            assert_names_field(
+                CalibratedForestQim::calibrate(trained_forest(2, 1, 400), &calib, opts)
+                    .unwrap_err(),
+            );
+        }
+    }
+
+    #[test]
+    fn route_support_reports_calibration_sample_counts() {
+        let calib = calib_samples(1000, |x| x > 0.5);
+        let single =
+            CalibratedQim::calibrate(trained_tree(400), &calib, CalibrationOptions::default())
+                .unwrap();
+        // Single tree: support is exactly the routed leaf's total.
+        for q in [[0.1], [0.5], [0.9]] {
+            let (_, leaf) = single.route(&q).unwrap();
+            assert_eq!(single.route_support(&q).unwrap(), leaf.total);
+            assert!(leaf.total >= 200, "pruning floor guarantees support");
+        }
+
+        // Forest: support is the min over members' routed-leaf totals.
+        let qim = CalibratedForestQim::calibrate(
+            trained_forest(4, 3, 500),
+            &calib,
+            CalibrationOptions::default(),
+        )
+        .unwrap();
+        for q in [[0.1], [0.5], [0.9]] {
+            let expected = (0..qim.n_trees())
+                .map(|t| {
+                    let leaf = qim.flat().tree(t).predict_leaf_id(&q).unwrap();
+                    let node = qim.flat().tree(t).leaf(leaf).node_id;
+                    qim.calibrated_leaf(t, node).unwrap().total
+                })
+                .min()
+                .unwrap();
+            assert_eq!(qim.route_support(&q).unwrap(), expected);
+        }
+
+        // Dispatch agrees with the underlying shapes.
+        assert_eq!(
+            TaQim::Tree(single.clone()).route_support(&[0.3]).unwrap(),
+            single.route_support(&[0.3]).unwrap()
+        );
+        assert_eq!(
+            TaQim::Forest(qim.clone()).route_support(&[0.3]).unwrap(),
+            qim.route_support(&[0.3]).unwrap()
+        );
+        // Arity mismatches surface as errors, not panics.
+        assert!(single.route_support(&[0.1, 0.2]).is_err());
+        assert!(qim.route_support(&[0.1, 0.2]).is_err());
+    }
+
+    #[test]
+    fn forest_validate_rejects_an_undercutting_served_minimum() {
+        let forest = trained_forest(3, 5, 400);
+        let calib = calib_samples(1500, |x| x > 0.5);
+        let qim =
+            CalibratedForestQim::calibrate(forest, &calib, CalibrationOptions::default()).unwrap();
+        // Below the member-minima floor: provably unservable.
+        let mut tampered = qim.clone();
+        tampered.min_served_bound = qim.min_member_mean_bound() / 2.0;
+        let err = tampered.validate().unwrap_err();
+        let CoreError::InvalidInput { reason } = err else {
+            panic!("expected InvalidInput");
+        };
+        assert!(reason.contains("calibrated forest QIM"), "{reason}");
+        assert!(reason.contains("undercuts"), "{reason}");
+        // Outside [0, 1] entirely.
+        let mut tampered = qim.clone();
+        tampered.min_served_bound = f64::NAN;
+        assert!(tampered.validate().is_err());
     }
 }

@@ -25,6 +25,7 @@
 //! stream that has been alive for a million steps costs the same to step
 //! as a fresh one — with or without a window bound.
 
+use crate::adaptive::{adaptive_step_with_parts, AdaptiveConfig, AdaptiveState, DriftSignal};
 use crate::buffer::TimeseriesBuffer;
 use crate::error::CoreError;
 use crate::tauw::{TauwStep, TimeseriesAwareWrapper};
@@ -63,6 +64,34 @@ impl StreamStep {
             stream,
             quality_factors,
             outcome,
+        }
+    }
+}
+
+/// One unit of batched work for [`TauwEngine::step_many_adaptive`]: a
+/// [`StreamStep`] plus the step's realized ground truth, which feeds the
+/// stream's coverage window *after* its adapted bound is served.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveStreamStep {
+    /// Target stream (created on first use).
+    pub stream: StreamId,
+    /// Stateless quality factors of this step.
+    pub quality_factors: Vec<f64>,
+    /// DDM outcome (class id) of this step.
+    pub outcome: u32,
+    /// Whether the DDM's reading was actually wrong at this step (the
+    /// realized outcome the served bound promised to cover).
+    pub failed: bool,
+}
+
+impl AdaptiveStreamStep {
+    /// Convenience constructor.
+    pub fn new(stream: StreamId, quality_factors: Vec<f64>, outcome: u32, failed: bool) -> Self {
+        AdaptiveStreamStep {
+            stream,
+            quality_factors,
+            outcome,
+            failed,
         }
     }
 }
@@ -122,6 +151,10 @@ impl StreamStep {
 pub struct TauwEngine {
     wrapper: TimeseriesAwareWrapper,
     streams: BTreeMap<StreamId, TimeseriesBuffer>,
+    /// Per-stream adaptive calibration state, populated lazily once
+    /// [`TauwEngine::enable_adaptation`] was called.
+    adaptive: BTreeMap<StreamId, AdaptiveState>,
+    adaptive_config: Option<AdaptiveConfig>,
     buffer_capacity: Option<usize>,
     n_threads: Option<usize>,
 }
@@ -132,6 +165,8 @@ impl TauwEngine {
         TauwEngine {
             wrapper,
             streams: BTreeMap::new(),
+            adaptive: BTreeMap::new(),
+            adaptive_config: None,
             buffer_capacity: None,
             n_threads: None,
         }
@@ -194,6 +229,14 @@ impl TauwEngine {
 
     /// Clears a stream's buffer (tracking reported a new physical object on
     /// that stream), creating the stream if it does not exist yet.
+    ///
+    /// This resets the fusion window **and** the lifetime step counter:
+    /// afterwards [`TauwEngine::stream_total_steps`] reads `Some(0)` and
+    /// the next step's `series_length` (and taQF2) restarts at 1 — exactly
+    /// the semantics of [`crate::tauw::TauwSession::begin_series`] on the
+    /// single-stream path (the regression suite pins both). Adaptive
+    /// calibration state, if enabled, deliberately survives: drift is a
+    /// property of the stream, not of the tracked object.
     pub fn begin_series(&mut self, stream: StreamId) {
         let capacity = self.buffer_capacity;
         self.streams
@@ -203,14 +246,17 @@ impl TauwEngine {
     }
 
     /// Removes a stream and its buffer entirely (the object left the scene
-    /// / the user disconnected). Returns whether the stream existed.
+    /// / the user disconnected), including any adaptive state. Returns
+    /// whether the stream existed.
     pub fn end_stream(&mut self, stream: StreamId) -> bool {
+        self.adaptive.remove(&stream);
         self.streams.remove(&stream).is_some()
     }
 
-    /// Removes all streams.
+    /// Removes all streams (including their adaptive state).
     pub fn clear_streams(&mut self) {
         self.streams.clear();
+        self.adaptive.clear();
     }
 
     /// Processes one timestep on one stream (created on first use).
@@ -328,6 +374,190 @@ impl TauwEngine {
         let mut first_err: Option<CoreError> = None;
         for ((stream, positions, buffer), stream_results) in work.into_iter().zip(per_stream) {
             self.streams.insert(stream, buffer);
+            match stream_results {
+                Ok(steps) => {
+                    for (&i, step) in positions.iter().zip(steps) {
+                        results[i] = Some(step);
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("every batch position produced a result"))
+            .collect())
+    }
+
+    /// Turns on online adaptive calibration (see [`crate::adaptive`]):
+    /// every stream gets its own coverage window and bound-correction
+    /// state, created lazily on its first adaptive step. Serving via
+    /// [`TauwEngine::step_adaptive`] / [`TauwEngine::step_many_adaptive`]
+    /// then returns adapted bounds and drift signals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] when the config is invalid
+    /// (see [`AdaptiveConfig::validate`]).
+    pub fn enable_adaptation(&mut self, config: AdaptiveConfig) -> Result<(), CoreError> {
+        config.validate()?;
+        self.adaptive_config = Some(config);
+        Ok(())
+    }
+
+    /// The adaptive configuration, if adaptation is enabled.
+    pub fn adaptive_config(&self) -> Option<AdaptiveConfig> {
+        self.adaptive_config
+    }
+
+    /// A stream's adaptive state (diagnostics, persistence), or `None` if
+    /// the stream has no adaptive state yet.
+    pub fn adaptive_state(&self, stream: StreamId) -> Option<&AdaptiveState> {
+        self.adaptive.get(&stream)
+    }
+
+    /// The drift classification of a stream's most recent adaptive step,
+    /// or `None` if the stream has no adaptive state.
+    pub fn stream_drift(&self, stream: StreamId) -> Option<DriftSignal> {
+        self.adaptive.get(&stream).map(AdaptiveState::last_drift)
+    }
+
+    /// Installs persisted adaptive state for a stream (resuming a serving
+    /// process from an [`AdaptiveState`] artifact). Replaces any existing
+    /// state; the state's own config governs that stream from here on.
+    pub fn import_adaptive_state(&mut self, stream: StreamId, state: AdaptiveState) {
+        self.adaptive.insert(stream, state);
+    }
+
+    fn require_adaptive_config(&self) -> Result<AdaptiveConfig, CoreError> {
+        self.adaptive_config.ok_or_else(|| CoreError::InvalidInput {
+            reason: "adaptive serving is not enabled — call `TauwEngine::enable_adaptation` first"
+                .into(),
+        })
+    }
+
+    /// Processes one adaptive timestep on one stream (created on first
+    /// use). Equivalent to [`crate::adaptive::AdaptiveTauwSession::step`]
+    /// on that stream's dedicated adaptive session: serve the adapted
+    /// bound, classify drift, then feed `failed` into the coverage window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] when adaptation is not enabled,
+    /// or [`CoreError`] on feature-arity mismatch — in either case no
+    /// stream state is created or modified.
+    pub fn step_adaptive(
+        &mut self,
+        stream: StreamId,
+        quality_factors: &[f64],
+        outcome: u32,
+        failed: bool,
+    ) -> Result<TauwStep, CoreError> {
+        let config = self.require_adaptive_config()?;
+        self.check_arity(quality_factors.len())?;
+        let capacity = self.buffer_capacity;
+        let buffer = self
+            .streams
+            .entry(stream)
+            .or_insert_with(|| new_buffer(capacity));
+        let state = match self.adaptive.entry(stream) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => e.insert(AdaptiveState::new(config)?),
+        };
+        adaptive_step_with_parts(
+            &self.wrapper,
+            buffer,
+            state,
+            quality_factors,
+            outcome,
+            failed,
+        )
+    }
+
+    /// Adaptive variant of [`TauwEngine::step_many`]: a batch of
+    /// (step, realized outcome) pairs spanning any number of streams,
+    /// returning one [`TauwStep`] per input **in batch order** with
+    /// [`TauwStep::adapted_uncertainty`] and [`TauwStep::drift`] filled by
+    /// each stream's own coverage loop.
+    ///
+    /// Independent streams fan out over the engine's thread budget; steps
+    /// of the same stream apply in batch order within one worker, each
+    /// stream's (buffer, adaptive state) pair evolving exactly as its
+    /// dedicated [`crate::adaptive::AdaptiveTauwSession`] would — so the
+    /// results are bit-identical to N sequential adaptive sessions for
+    /// every thread budget (asserted by `tests/determinism.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] when adaptation is not enabled,
+    /// or [`CoreError`] on feature-arity mismatch of **any** batch entry;
+    /// the batch is validated up front, so on error no stream state has
+    /// been modified.
+    pub fn step_many_adaptive(
+        &mut self,
+        batch: &[AdaptiveStreamStep],
+    ) -> Result<Vec<TauwStep>, CoreError> {
+        let config = self.require_adaptive_config()?;
+        for step in batch {
+            self.check_arity(step.quality_factors.len())?;
+        }
+
+        // Group batch positions by stream, preserving batch order within
+        // each stream (same scheme as `step_many_impl`).
+        let mut by_stream: BTreeMap<StreamId, Vec<usize>> = BTreeMap::new();
+        for (i, step) in batch.iter().enumerate() {
+            by_stream.entry(step.stream).or_default().push(i);
+        }
+
+        // Detach each touched stream's (buffer, adaptive state) pair so a
+        // worker owns the complete per-stream serving state.
+        let capacity = self.buffer_capacity;
+        let mut work: Vec<(StreamId, Vec<usize>, TimeseriesBuffer, AdaptiveState)> = Vec::new();
+        for (stream, positions) in by_stream {
+            let buffer = self
+                .streams
+                .remove(&stream)
+                .unwrap_or_else(|| new_buffer(capacity));
+            let state = match self.adaptive.remove(&stream) {
+                Some(state) => state,
+                None => AdaptiveState::new(config)?,
+            };
+            work.push((stream, positions, buffer, state));
+        }
+
+        let threads = self.n_threads.unwrap_or_else(parallel::max_threads).max(1);
+        let wrapper = &self.wrapper;
+        let per_stream: Vec<Result<Vec<TauwStep>, CoreError>> =
+            parallel::par_map_mut(threads, &mut work, |(_, positions, buffer, state)| {
+                positions
+                    .iter()
+                    .map(|&i| {
+                        let entry = &batch[i];
+                        adaptive_step_with_parts(
+                            wrapper,
+                            buffer,
+                            state,
+                            &entry.quality_factors,
+                            entry.outcome,
+                            entry.failed,
+                        )
+                    })
+                    .collect()
+            });
+
+        // Reattach every pair (even on error), then scatter results back
+        // into batch order.
+        let mut results: Vec<Option<TauwStep>> = vec![None; batch.len()];
+        let mut first_err: Option<CoreError> = None;
+        for ((stream, positions, buffer, state), stream_results) in work.into_iter().zip(per_stream)
+        {
+            self.streams.insert(stream, buffer);
+            self.adaptive.insert(stream, state);
             match stream_results {
                 Ok(steps) => {
                     for (&i, step) in positions.iter().zip(steps) {
@@ -681,5 +911,133 @@ mod tests {
     fn stream_id_formats_readably() {
         assert_eq!(StreamId(42).to_string(), "stream#42");
         assert!(StreamId(1) < StreamId(2));
+    }
+
+    /// Satellite regression test: `begin_series` resets the lifetime step
+    /// counter (and with it taQF2's `i + 1` semantics) identically on the
+    /// session and engine paths.
+    #[test]
+    fn begin_series_resets_the_lifetime_counter_on_both_paths() {
+        let tauw = fitted();
+
+        let mut session = tauw.new_session();
+        for _ in 0..4 {
+            session.step(&[0.2], 7).unwrap();
+        }
+        assert_eq!(session.series_length(), 4);
+        session.begin_series();
+        assert_eq!(session.series_length(), 0);
+        let from_session = session.step(&[0.2], 7).unwrap();
+        assert_eq!(from_session.series_length, 1);
+        assert_eq!(from_session.taqf.length, 1.0);
+
+        let mut engine = tauw.into_engine();
+        for _ in 0..4 {
+            engine.step(StreamId(0), &[0.2], 7).unwrap();
+        }
+        assert_eq!(engine.stream_total_steps(StreamId(0)), Some(4));
+        engine.begin_series(StreamId(0));
+        assert_eq!(engine.stream_total_steps(StreamId(0)), Some(0));
+        let from_engine = engine.step(StreamId(0), &[0.2], 7).unwrap();
+        assert_eq!(from_engine, from_session, "both paths restart at step 1");
+    }
+
+    #[test]
+    fn step_adaptive_requires_enable_adaptation() {
+        let mut engine = fitted().into_engine();
+        let err = engine
+            .step_adaptive(StreamId(0), &[0.2], 7, false)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("enable_adaptation"), "{err}");
+        assert_eq!(engine.n_streams(), 0, "failed step must not create state");
+        assert!(engine
+            .step_many_adaptive(&[AdaptiveStreamStep::new(StreamId(0), vec![0.2], 7, false)])
+            .is_err());
+    }
+
+    #[test]
+    fn engine_adaptive_step_matches_adaptive_session_exactly() {
+        let tauw = fitted();
+        let config = AdaptiveConfig {
+            window: 6,
+            min_observations: 3,
+            ..Default::default()
+        };
+        let mut engine = tauw.clone().into_engine();
+        engine.enable_adaptation(config).unwrap();
+        let mut session = tauw.new_adaptive_session(config).unwrap();
+        // Quiet first half, then a burst of failures the frozen bounds
+        // never promised: the adaptive path must inflate identically.
+        for (i, &(q, o)) in [
+            (0.1, 7),
+            (0.1, 7),
+            (0.2, 7),
+            (0.9, 3),
+            (0.9, 3),
+            (0.9, 3),
+            (0.9, 3),
+            (0.8, 3),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let failed = o != 7;
+            let from_engine = engine.step_adaptive(StreamId(0), &[q], o, failed).unwrap();
+            let from_session = session.step(&[q], o, failed).unwrap();
+            assert_eq!(from_engine, from_session, "step {i}");
+        }
+        assert_eq!(
+            engine.adaptive_state(StreamId(0)).unwrap(),
+            session.adaptive_state()
+        );
+        assert_eq!(engine.stream_drift(StreamId(0)), Some(session.drift()));
+        assert!(
+            engine
+                .adaptive_state(StreamId(0))
+                .unwrap()
+                .inflation_steps()
+                > 0,
+            "the failure burst must have engaged adaptation"
+        );
+    }
+
+    #[test]
+    fn end_stream_and_clear_streams_drop_adaptive_state() {
+        let mut engine = fitted().into_engine();
+        engine.enable_adaptation(AdaptiveConfig::default()).unwrap();
+        engine.step_adaptive(StreamId(1), &[0.2], 7, false).unwrap();
+        engine.step_adaptive(StreamId(2), &[0.2], 7, false).unwrap();
+        assert!(engine.adaptive_state(StreamId(1)).is_some());
+        engine.end_stream(StreamId(1));
+        assert!(engine.adaptive_state(StreamId(1)).is_none());
+        engine.clear_streams();
+        assert!(engine.adaptive_state(StreamId(2)).is_none());
+        assert_eq!(engine.stream_drift(StreamId(2)), None);
+    }
+
+    #[test]
+    fn import_adaptive_state_resumes_a_persisted_stream() {
+        let tauw = fitted();
+        let config = AdaptiveConfig {
+            window: 4,
+            min_observations: 2,
+            ..Default::default()
+        };
+        // Build some adaptation in a session, move it into an engine.
+        let mut session = tauw.new_adaptive_session(config).unwrap();
+        for _ in 0..5 {
+            session.step(&[0.9], 3, true).unwrap();
+        }
+        let exported = session.adaptive_state().clone();
+        assert!(exported.inflation_steps() > 0);
+
+        let mut engine = tauw.into_engine();
+        engine.enable_adaptation(config).unwrap();
+        engine.import_adaptive_state(StreamId(7), exported.clone());
+        assert_eq!(engine.adaptive_state(StreamId(7)), Some(&exported));
+        // The resumed stream keeps adapting from the imported notch.
+        let step = engine.step_adaptive(StreamId(7), &[0.9], 3, true).unwrap();
+        assert!(step.adapted_uncertainty > step.uncertainty);
     }
 }

@@ -14,6 +14,10 @@
 //!   information fusion + taQIM, exposed as a runtime session.
 //! * [`engine`] — the **multi-stream inference engine**: one trained
 //!   wrapper serving many concurrent series via batched `step_many`.
+//! * [`adaptive`] — **online adaptive calibration**: a per-stream coverage
+//!   window over the served bounds, bounded multiplicative bound
+//!   adaptation when empirical coverage diverges, and an
+//!   epistemic-vs-aleatoric drift signal.
 //! * [`calibration`] — calibrated quality impact models (prune to a
 //!   minimum calibration count, bound each leaf at high confidence); the
 //!   serving path is a compiled [`tauw_dtree::FlatTree`] plus a leaf-ID →
@@ -70,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod adaptive;
 pub mod buffer;
 pub mod calibration;
 pub mod engine;
@@ -82,6 +87,9 @@ pub mod tauw;
 pub mod training;
 pub mod wrapper;
 
+pub use adaptive::{
+    AdaptiveConfig, AdaptiveState, AdaptiveTauwSession, CoverageStats, DriftSignal,
+};
 pub use buffer::{BufferEntry, TimeseriesBuffer};
 pub use calibration::{
     CalibratedForestQim, CalibratedLeaf, CalibratedQim, CalibrationOptions, TaQim,

@@ -24,8 +24,11 @@ use std::path::Path;
 /// table inside every calibrated QIM, so a deployed artifact round-trips
 /// the exact flat representation it serves with; v3 makes the wrapper's
 /// taQIM slot a tagged shape (single tree or calibrated forest) and adds
-/// the standalone `ForestQim` artifact kind.
-pub const FORMAT_VERSION: u32 = 3;
+/// the standalone `ForestQim` artifact kind; v4 adds the served-minimum
+/// bound to forest QIMs and the `AdaptiveState` artifact kind (per-stream
+/// online-calibration state, so a serving process restarts without losing
+/// adaptation).
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Kind tag inside the envelope, so a stateless wrapper cannot be loaded
 /// where a timeseries-aware one is expected.
@@ -41,6 +44,10 @@ enum ArtifactKind {
     /// A standalone [`CalibratedForestQim`] (a boundary-smoothing forest
     /// quality impact model, deployable without a surrounding wrapper).
     ForestQim,
+    /// An [`crate::adaptive::AdaptiveState`] snapshot (one stream's online
+    /// calibration state: coverage window, correction notch, last drift
+    /// signal).
+    AdaptiveState,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -300,6 +307,64 @@ impl TimeseriesBuffer {
     }
 
     /// Reads an artifact file written by [`TimeseriesBuffer::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on I/O or format errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let json = std::fs::read_to_string(path.as_ref()).map_err(|e| CoreError::InvalidInput {
+            reason: format!("reading artifact failed: {e}"),
+        })?;
+        Self::from_artifact_json(&json)
+    }
+}
+
+impl crate::adaptive::AdaptiveState {
+    /// Serializes one stream's adaptive calibration state (config,
+    /// coverage window in temporal order, correction notch, last drift
+    /// signal) to a versioned JSON artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if serialization fails.
+    pub fn to_artifact_json(&self) -> Result<String, CoreError> {
+        to_json(ArtifactKind::AdaptiveState, self)
+    }
+
+    /// Loads adaptive state produced by
+    /// [`crate::adaptive::AdaptiveState::to_artifact_json`].
+    ///
+    /// Deserialization funnels through
+    /// [`crate::adaptive::AdaptiveState::from_parts`], so every invariant
+    /// is re-established: a crafted artifact cannot carry an invalid
+    /// config, a coverage window whose capacity disagrees with the config,
+    /// non-binary coverage outcomes, or a correction notch above the
+    /// configured cap — such artifacts are rejected, like tampered model
+    /// artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on malformed JSON, a format
+    /// version mismatch, a wrong artifact kind, or state that violates the
+    /// adaptive invariants.
+    pub fn from_artifact_json(json: &str) -> Result<Self, CoreError> {
+        from_json(ArtifactKind::AdaptiveState, json)
+    }
+
+    /// Writes the artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on serialization or I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let json = self.to_artifact_json()?;
+        std::fs::write(path.as_ref(), json).map_err(|e| CoreError::InvalidInput {
+            reason: format!("writing artifact failed: {e}"),
+        })
+    }
+
+    /// Reads an artifact file written by
+    /// [`crate::adaptive::AdaptiveState::save`].
     ///
     /// # Errors
     ///
@@ -689,5 +754,123 @@ mod tests {
     fn missing_file_errors_cleanly() {
         let err = TimeseriesAwareWrapper::load("/nonexistent/path/tauw.json");
         assert!(matches!(err, Err(CoreError::InvalidInput { .. })));
+    }
+
+    use crate::adaptive::{AdaptiveConfig, AdaptiveState, DriftSignal};
+
+    fn adapted_state() -> AdaptiveState {
+        let mut state = AdaptiveState::new(AdaptiveConfig {
+            window: 6,
+            min_observations: 3,
+            ..Default::default()
+        })
+        .unwrap();
+        // A mix of successes and failures, enough to ratchet the notch.
+        for i in 0..9 {
+            let served = state.adapted_bound(0.1 + 0.05 * (i % 4) as f64);
+            state.observe(served, i % 2 == 0);
+        }
+        state
+    }
+
+    #[test]
+    fn adaptive_state_roundtrips_byte_for_byte() {
+        let state = adapted_state();
+        let json = state.to_artifact_json().unwrap();
+        let back = AdaptiveState::from_artifact_json(&json).unwrap();
+        assert_eq!(state, back);
+        // Byte-for-byte: re-serializing the loaded state reproduces the
+        // artifact exactly (canonical layout, no representation drift).
+        assert_eq!(json, back.to_artifact_json().unwrap());
+        // Behavioural equality: both copies adapt identically from here.
+        let mut a = state;
+        let mut b = back;
+        for i in 0..12 {
+            let ua = a.adapted_bound(0.2);
+            let ub = b.adapted_bound(0.2);
+            assert_eq!(ua.to_bits(), ub.to_bits());
+            a.observe(ua, i % 3 == 0);
+            b.observe(ub, i % 3 == 0);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_state_artifact_rejects_tampering() {
+        let state = adapted_state();
+        let json = state.to_artifact_json().unwrap();
+
+        // Correction notch above the configured cap.
+        let needle = format!("\"inflation_steps\": {}", state.inflation_steps());
+        let tampered = json.replace(
+            &needle,
+            &format!(
+                "\"inflation_steps\": {}",
+                state.config().max_inflation_steps + 1
+            ),
+        );
+        assert_ne!(tampered, json, "tamper edit must hit the artifact");
+        match AdaptiveState::from_artifact_json(&tampered) {
+            Err(CoreError::InvalidInput { reason }) => {
+                assert!(reason.contains("inflation step count"), "reason: {reason}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+
+        // A non-binary coverage outcome (the ring stores 0/1 only).
+        let tampered = json.replace("\"outcome\": 1", "\"outcome\": 3");
+        assert_ne!(tampered, json);
+        match AdaptiveState::from_artifact_json(&tampered) {
+            Err(CoreError::InvalidInput { reason }) => {
+                assert!(reason.contains("outcome 3"), "reason: {reason}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+
+        // Coverage capacity desynchronized from the configured window.
+        let tampered = json.replace("\"capacity\": 6", "\"capacity\": 7");
+        assert_ne!(tampered, json);
+        match AdaptiveState::from_artifact_json(&tampered) {
+            Err(CoreError::InvalidInput { reason }) => {
+                assert!(
+                    reason.contains("coverage window capacity"),
+                    "reason: {reason}"
+                );
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+
+        // Wrong artifact kind and stale format version.
+        let buffer_json = TimeseriesBuffer::new().to_artifact_json().unwrap();
+        assert!(AdaptiveState::from_artifact_json(&buffer_json).is_err());
+        let stale = r#"{"format_version": 3, "kind": "AdaptiveState", "model": {}}"#;
+        match AdaptiveState::from_artifact_json(stale) {
+            Err(CoreError::InvalidInput { reason }) => {
+                assert!(
+                    reason.contains("format version 3 is not supported")
+                        && reason.contains("AdaptiveState artifact"),
+                    "reason: {reason}"
+                );
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+
+        // The untampered artifact still loads.
+        assert!(AdaptiveState::from_artifact_json(&json).is_ok());
+    }
+
+    #[test]
+    fn adaptive_state_save_and_load_file() {
+        let mut state = adapted_state();
+        state.record_drift(DriftSignal::Drifting { epistemic: true });
+        let path = std::env::temp_dir().join(format!(
+            "tauw_adaptive_persist_test_{}.json",
+            std::process::id()
+        ));
+        state.save(&path).unwrap();
+        let back = AdaptiveState::load(&path).unwrap();
+        assert_eq!(state, back);
+        assert_eq!(back.last_drift(), DriftSignal::Drifting { epistemic: true });
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -36,6 +36,14 @@ pub struct TauwStep {
     /// which a bounded buffer's eviction does not shrink (it equals
     /// `taqf.length`).
     pub series_length: usize,
+    /// The uncertainty actually served after online adaptation (see
+    /// [`crate::adaptive`]). On the non-adaptive paths this equals
+    /// [`TauwStep::uncertainty`] bit-identically.
+    pub adapted_uncertainty: f64,
+    /// Per-stream drift/regime classification from the adaptive coverage
+    /// loop. Always [`crate::adaptive::DriftSignal::Stable`] on the
+    /// non-adaptive paths.
+    pub drift: crate::adaptive::DriftSignal,
 }
 
 /// Configuration of a forest taQIM: how many bootstrap members, resampled
@@ -420,9 +428,10 @@ impl TimeseriesAwareWrapper {
         self.taqf_set
     }
 
-    /// The smallest uncertainty the taQIM can report (Fig. 5's "lowest
-    /// uncertainty"). Exact for the single-tree shape; for a forest taQIM
-    /// this is a **lower bound** that may be unattainable (see
+    /// The smallest uncertainty the taQIM actually serves (Fig. 5's
+    /// "lowest uncertainty"): the minimum leaf bound for the single-tree
+    /// shape, the minimum served mean over the calibration set for a
+    /// forest (see
     /// [`crate::calibration::CalibratedForestQim::min_uncertainty`]).
     pub fn min_uncertainty(&self) -> f64 {
         self.taqim.min_uncertainty()
@@ -472,6 +481,8 @@ impl TimeseriesAwareWrapper {
             // Saturate rather than wrap on targets where usize is narrower
             // than the lifetime counter (a >2^32-step stream on 32 bits).
             series_length: usize::try_from(buffer.total_steps()).unwrap_or(usize::MAX),
+            adapted_uncertainty: uncertainty,
+            drift: crate::adaptive::DriftSignal::Stable,
         })
     }
 
@@ -493,6 +504,27 @@ impl TimeseriesAwareWrapper {
         features.extend(self.taqf_set.select(taqf));
         self.taqim.uncertainty(&features)
     }
+
+    /// How many calibration samples routed to the leaf combination the
+    /// taQIM serves for this step's `[stateless QFs ‖ selected taQFs]`
+    /// feature vector (minimum over members for a forest). The adaptive
+    /// layer uses this to separate epistemic drift (thin calibration
+    /// support) from aleatoric noise — see
+    /// [`crate::adaptive::AdaptiveState::classify`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn route_support(
+        &self,
+        quality_factors: &[f64],
+        taqf: &TaqfVector,
+    ) -> Result<u64, CoreError> {
+        let mut features = Vec::with_capacity(quality_factors.len() + self.taqf_set.len());
+        features.extend_from_slice(quality_factors);
+        features.extend(self.taqf_set.select(taqf));
+        self.taqim.route_support(&features)
+    }
 }
 
 /// Mutable runtime state: the timeseries buffer plus a reference to the
@@ -505,7 +537,11 @@ pub struct TauwSession<'w> {
 
 impl TauwSession<'_> {
     /// Clears the buffer at the onset of a new timeseries (new physical
-    /// object reported by tracking).
+    /// object reported by tracking). This resets the fusion window **and**
+    /// the lifetime step counter — the next step's `series_length` (and
+    /// taQF2) restarts at 1, exactly like
+    /// [`crate::engine::TauwEngine::begin_series`] on the multi-stream
+    /// path (the regression suite pins both).
     pub fn begin_series(&mut self) {
         self.buffer.clear();
     }

@@ -10,7 +10,7 @@ use std::process::Command;
 use tauw_experiments::report::section;
 use tauw_experiments::CliOptions;
 
-const BINARIES: [&str; 11] = [
+const BINARIES: [&str; 12] = [
     "fig4",
     "fig5",
     "table1",
@@ -22,6 +22,7 @@ const BINARIES: [&str; 11] = [
     "extended_taqf",
     "if_ablation",
     "forest_ablation",
+    "drift_adaptation",
 ];
 
 fn main() {

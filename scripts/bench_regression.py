@@ -11,19 +11,26 @@ Fails (exit 1) on:
     reference);
   * throughput collapse — a live row's throughput falls below
     ``BENCH_TOLERANCE`` times the committed throughput on either side of
-    the comparison.
+    the comparison;
+  * parallel slowdown — a live serial-vs-parallel row (contender label
+    ``parallel(N)``) whose speedup is at or below ``BENCH_SPEEDUP_FLOOR``.
+    This check is host-aware: when the live run's ``host_parallelism`` is
+    1, parallel rows measure scheduling overhead rather than scaling, so
+    the expectation is skipped with a notice instead of failing.
 
 ``BENCH_TOLERANCE`` defaults to 0.2: CI runners differ from the host that
 produced the committed baseline (the committed files come from a 1-CPU
 container; see the ``note`` field), so only a ~5x collapse — a real
 regression, not scheduler noise — fails the build.
+``BENCH_SPEEDUP_FLOOR`` defaults to 1.0 (parallel must not lose to serial
+on a genuinely multicore host).
 """
 
 import json
 import os
 import sys
 
-SCHEMA = "tauw-bench-baseline/v4"
+SCHEMA = "tauw-bench-baseline/v5"
 REQUIRED_COLUMNS = (
     "name",
     "work_units",
@@ -89,6 +96,8 @@ def main() -> None:
             f"{live.get('threads_parallel')} (rerun without --threads overrides)"
         )
 
+    speedup_floor = float(os.environ.get("BENCH_SPEEDUP_FLOOR", "1.0"))
+    live_cores = int(live.get("host_parallelism", 1))
     worst = 1e9
     for name, want in committed_rows.items():
         got = live_rows[name]
@@ -97,6 +106,19 @@ def main() -> None:
                 fail(
                     f"{name}: {label_col} drift — committed "
                     f"{want[label_col]!r} vs live {got[label_col]!r}"
+                )
+        if "parallel(" in got["contender_label"]:
+            if live_cores <= 1:
+                print(
+                    f"  {name}: skipping speedup floor (live host has "
+                    f"{live_cores} hardware thread(s); parallel rows measure "
+                    f"overhead, not scaling)"
+                )
+            elif got["speedup"] <= speedup_floor:
+                fail(
+                    f"{name}: parallel speedup {got['speedup']:.2f} is at or "
+                    f"below the floor {speedup_floor} on a {live_cores}-thread "
+                    f"host"
                 )
         for side in ("baseline_per_s", "contender_per_s"):
             if want[side] <= 0:

@@ -578,6 +578,136 @@ fn engine_step_many_matches_sequential_single_stream_wrappers() {
 }
 
 #[test]
+fn adaptive_engine_matches_sequential_adaptive_sessions_across_thread_budgets() {
+    use tauw_suite::core::adaptive::{AdaptiveConfig, DriftSignal};
+    use tauw_suite::core::engine::{AdaptiveStreamStep, StreamId, TauwEngine};
+
+    let config = SimConfig::scaled(0.04);
+    let data = DatasetBuilder::new(config, 31).unwrap().build();
+    let mut wb = WrapperBuilder::new();
+    wb.max_depth(6).calibration(CalibrationOptions {
+        min_samples_per_leaf: 50,
+        confidence: 0.99,
+        ..Default::default()
+    });
+    let mut builder = TauwBuilder::new();
+    builder.wrapper(wb);
+    let tauw = builder
+        .fit(
+            QualityObservation::feature_names(),
+            &convert(&data.train),
+            &convert(&data.calib),
+        )
+        .unwrap();
+
+    // Inject a regime switch: in the second half of every stream, every
+    // other step flips to an unmodeled outcome so the wrapper's promised
+    // bounds undercover and the adaptive layer has real work to do.
+    let streams: Vec<_> = convert(&data.test)
+        .into_iter()
+        .take(24)
+        .map(|mut series| {
+            let half = series.steps.len() / 2;
+            let truth = series.true_outcome;
+            for (j, step) in series.steps.iter_mut().enumerate() {
+                if j >= half && j % 2 == 0 {
+                    step.outcome = truth + 1;
+                }
+            }
+            series
+        })
+        .collect();
+
+    let adaptive = AdaptiveConfig {
+        window: 8,
+        min_observations: 4,
+        rate: 0.05,
+        max_inflation_steps: 32,
+        ..Default::default()
+    };
+
+    // Reference: one dedicated adaptive session per stream, sequential.
+    let mut expected: Vec<Vec<tauw_suite::core::tauw::TauwStep>> = Vec::new();
+    for series in &streams {
+        let mut session = tauw.new_adaptive_session(adaptive).unwrap();
+        session.begin_series();
+        expected.push(
+            series
+                .steps
+                .iter()
+                .map(|s| {
+                    session
+                        .step(
+                            &s.quality_factors,
+                            s.outcome,
+                            s.outcome != series.true_outcome,
+                        )
+                        .unwrap()
+                })
+                .collect(),
+        );
+    }
+
+    // Non-vacuity: the regime switch must actually trigger adaptation.
+    let flat: Vec<_> = expected.iter().flatten().collect();
+    assert!(
+        flat.iter().any(|s| s.adapted_uncertainty > s.uncertainty),
+        "regime switch should inflate at least one served bound"
+    );
+    assert!(
+        flat.iter().any(|s| s.drift != DriftSignal::Stable),
+        "regime switch should surface at least one drift signal"
+    );
+
+    // Engine: all streams advance together in batched waves, across
+    // several thread budgets; every step must be bit-identical.
+    for threads in [1usize, 2, 8] {
+        let mut engine = TauwEngine::new(tauw.clone());
+        engine.threads(threads);
+        engine.enable_adaptation(adaptive).unwrap();
+        let window_len = streams.iter().map(|s| s.steps.len()).max().unwrap();
+        let mut got: Vec<Vec<tauw_suite::core::tauw::TauwStep>> = vec![Vec::new(); streams.len()];
+        for j in 0..window_len {
+            let mut positions = Vec::new();
+            let mut batch = Vec::new();
+            for (s, series) in streams.iter().enumerate() {
+                if let Some(step) = series.steps.get(j) {
+                    positions.push(s);
+                    batch.push(AdaptiveStreamStep::new(
+                        StreamId(s as u64),
+                        step.quality_factors.clone(),
+                        step.outcome,
+                        step.outcome != series.true_outcome,
+                    ));
+                }
+            }
+            for (&s, out) in positions
+                .iter()
+                .zip(engine.step_many_adaptive(&batch).unwrap())
+            {
+                got[s].push(out);
+            }
+        }
+        assert_eq!(expected.len(), got.len());
+        for (s, (want, have)) in expected.iter().zip(&got).enumerate() {
+            assert_eq!(want.len(), have.len(), "stream {s} length");
+            for (k, (w, h)) in want.iter().zip(have).enumerate() {
+                assert_eq!(
+                    w.adapted_uncertainty.to_bits(),
+                    h.adapted_uncertainty.to_bits(),
+                    "stream {s} step {k} threads={threads} adapted bound"
+                );
+                assert_eq!(
+                    w.drift, h.drift,
+                    "stream {s} step {k} threads={threads} drift"
+                );
+                assert_eq!(w, h, "stream {s} step {k} threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
 fn dataset_generation_is_order_independent_per_series() {
     // Each series derives its RNG stream from (master seed, series index),
     // so regenerating the same world twice yields identical series even

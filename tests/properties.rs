@@ -207,6 +207,68 @@ proptest! {
         }
     }
 
+    // --- adaptive calibration: incremental coverage vs full recompute ---
+
+    #[test]
+    fn adaptive_incremental_coverage_matches_reference_recompute(
+        // op < 12 observes (failed?, served bound); op == 12 resets the
+        // adaptation — so arbitrary interleavings of observe/evict/reset
+        // (including mid-run regime switches, since `failed` is free per
+        // op) are covered. Served bounds straddle [0, 1] to exercise the
+        // coverage ring's push clamping.
+        ops in prop::collection::vec(
+            (0u8..=12, prop::bool::ANY, -0.2f64..=1.2),
+            1..120,
+        ),
+        window in 1usize..8,
+        rate_millis in 1u32..=1000,
+    ) {
+        use tauw_suite::core::adaptive::{AdaptiveConfig, AdaptiveState};
+
+        let config = AdaptiveConfig {
+            window,
+            min_observations: (window / 2).max(1),
+            rate: f64::from(rate_millis) / 1000.0,
+            ..Default::default()
+        };
+        // Twin states: one driven by the O(1) incremental aggregates, one
+        // by the O(window) reference recompute. They must stay bitwise
+        // identical through every interleaving.
+        let mut fast = AdaptiveState::new(config).unwrap();
+        let mut slow = AdaptiveState::new(config).unwrap();
+        for &(op, failed, bound) in &ops {
+            if op == 12 {
+                fast.reset();
+                slow.reset();
+            } else {
+                fast.observe(bound, failed);
+                slow.observe_reference(bound, failed);
+            }
+            let a = fast.coverage();
+            let b = fast.coverage_reference();
+            prop_assert_eq!(a.observations, b.observations);
+            prop_assert_eq!(a.failures, b.failures);
+            prop_assert_eq!(a.promised_failure_units, b.promised_failure_units);
+            prop_assert_eq!(slow.coverage(), slow.coverage_reference());
+            prop_assert_eq!(fast.inflation_steps(), slow.inflation_steps());
+            prop_assert_eq!(
+                fast.adapted_bound(0.37).to_bits(),
+                slow.adapted_bound(0.37).to_bits()
+            );
+            prop_assert_eq!(&fast, &slow);
+            // The exact-integer coverage invariants hold along the way.
+            prop_assert!(a.observations <= window);
+            prop_assert!(a.failures <= a.observations);
+            prop_assert!(
+                a.promised_failure_units
+                    <= (a.observations as u128) << 53
+            );
+            prop_assert!(
+                fast.inflation_steps() <= config.max_inflation_steps
+            );
+        }
+    }
+
     // --- binomial bounds ---
 
     #[test]
