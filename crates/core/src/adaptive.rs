@@ -31,6 +31,7 @@
 //! noise ([`DriftSignal::Noisy`]).
 
 use crate::buffer::{certainty_units_to_f64, TimeseriesBuffer, CERTAINTY_UNIT_ONE};
+use crate::calibration::ServingScratch;
 use crate::error::CoreError;
 use crate::tauw::{TauwStep, TimeseriesAwareWrapper};
 use serde::{Deserialize, Serialize};
@@ -466,10 +467,13 @@ impl Deserialize for AdaptiveState {
     }
 }
 
-/// Runs one adaptive step against externally owned fusion-buffer and
-/// adaptive state: the shared core [`AdaptiveTauwSession::step`] and
-/// [`crate::engine::TauwEngine::step_adaptive`] both delegate to, so a
+/// Runs one adaptive step against externally owned fusion-buffer, adaptive
+/// state and serving scratch: the shared core [`AdaptiveTauwSession::step`]
+/// and [`crate::engine::TauwEngine::step_adaptive`] both delegate to, so a
 /// batched adaptive engine step is exactly a session step by construction.
+/// With a bounded buffer and warmed scratch the steady state performs no
+/// heap allocation (both taQIM lookups assemble their feature row in
+/// `scratch.features`, and the coverage window is a ring).
 ///
 /// Order matters and is fixed here once: **serve, then observe**. The
 /// adapted bound is computed from the state *before* this step's outcome
@@ -479,13 +483,14 @@ pub(crate) fn adaptive_step_with_parts(
     wrapper: &TimeseriesAwareWrapper,
     buffer: &mut TimeseriesBuffer,
     state: &mut AdaptiveState,
+    scratch: &mut ServingScratch,
     quality_factors: &[f64],
     outcome: u32,
     failed: bool,
 ) -> Result<TauwStep, CoreError> {
-    let mut step = wrapper.step_with_buffer(buffer, quality_factors, outcome)?;
+    let mut step = wrapper.step_with_parts(buffer, scratch, quality_factors, outcome)?;
     step.adapted_uncertainty = state.adapted_bound(step.uncertainty);
-    let support = wrapper.route_support(quality_factors, &step.taqf)?;
+    let support = wrapper.route_support_with_scratch(scratch, quality_factors, &step.taqf)?;
     step.drift = state.classify(support);
     state.record_drift(step.drift);
     state.observe(step.adapted_uncertainty, failed);
@@ -501,6 +506,7 @@ pub struct AdaptiveTauwSession<'w> {
     wrapper: &'w TimeseriesAwareWrapper,
     buffer: TimeseriesBuffer,
     state: AdaptiveState,
+    scratch: ServingScratch,
 }
 
 impl TimeseriesAwareWrapper {
@@ -518,6 +524,7 @@ impl TimeseriesAwareWrapper {
             wrapper: self,
             buffer: TimeseriesBuffer::with_capacity(32),
             state: AdaptiveState::new(config)?,
+            scratch: ServingScratch::new(),
         })
     }
 }
@@ -578,6 +585,7 @@ impl AdaptiveTauwSession<'_> {
             self.wrapper,
             &mut self.buffer,
             &mut self.state,
+            &mut self.scratch,
             quality_factors,
             outcome,
             failed,

@@ -90,6 +90,35 @@ impl CalibrationOptions {
     }
 }
 
+/// Caller-owned reusable buffers for the serving hot path.
+///
+/// The per-step routines assemble a `[stateless QFs ‖ selected taQFs]`
+/// feature row, and the batched routines hold a row-major table of routed
+/// leaf ids. Keeping both in a `ServingScratch` that outlives the step
+/// loop makes the steady-state serving path allocation-free: each buffer
+/// grows to its working size on the first step and is reused verbatim
+/// afterwards.
+///
+/// A fresh (default) scratch is always valid — every routine clears the
+/// buffers it reads before filling them, so no state leaks between steps,
+/// sessions, or models. Sessions and engine wave slots own one scratch
+/// each; standalone callers create one next to their step loop.
+#[derive(Debug, Clone, Default)]
+pub struct ServingScratch {
+    /// The assembled taQIM feature row `[stateless QFs ‖ selected taQFs]`.
+    pub(crate) features: Vec<f64>,
+    /// Routed leaf ids, row-major (`row · n_trees + member` for forests).
+    pub(crate) leaf_ids: Vec<LeafId>,
+}
+
+impl ServingScratch {
+    /// Creates an empty scratch; the buffers grow on first use and are
+    /// reused from then on.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A quality impact model after calibration: routing tree + per-leaf
 /// dependable uncertainty bounds.
 ///
@@ -160,6 +189,41 @@ impl CalibratedQim {
     /// Returns [`CoreError`] on feature-arity mismatch.
     pub fn uncertainty(&self, features: &[f64]) -> Result<f64, CoreError> {
         Ok(self.leaf_bounds[self.flat.predict_leaf_id(features)? as usize])
+    }
+
+    /// Batched [`CalibratedQim::uncertainty`]: routes the whole batch
+    /// through the level-synchronous wave traversal
+    /// ([`FlatTree::predict_leaf_ids_into`]) fanned over `threads`, then
+    /// appends one bound per row to `out` in input order. Routed leaf ids
+    /// stage in `scratch.leaf_ids`, so a warmed scratch makes the only
+    /// allocation the growth of the caller-owned `out`. Bit-identical to
+    /// calling [`CalibratedQim::uncertainty`] per row, for every thread
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch of **any** row;
+    /// `out` is untouched on error.
+    pub fn uncertainty_batch_into<R>(
+        &self,
+        threads: usize,
+        rows: &[R],
+        scratch: &mut ServingScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CoreError>
+    where
+        R: AsRef<[f64]> + Sync,
+    {
+        scratch.leaf_ids.clear();
+        self.flat
+            .predict_leaf_ids_into(threads, rows, &mut scratch.leaf_ids)?;
+        out.extend(
+            scratch
+                .leaf_ids
+                .iter()
+                .map(|&leaf| self.leaf_bounds[leaf as usize]),
+        );
+        Ok(())
     }
 
     /// Reference implementation of [`CalibratedQim::uncertainty`] over the
@@ -560,6 +624,43 @@ impl CalibratedForestQim {
         Ok(sum / self.flat.n_trees() as f64)
     }
 
+    /// Batched [`CalibratedForestQim::uncertainty`]: one forest-interleaved
+    /// pass over the batch ([`FlatForest::predict_leaf_ids_into`], row-major
+    /// `row · K + member`) fanned over `threads`, then one bound per row
+    /// appended to `out` in input order — summed left-to-right over the
+    /// canonical member order, exactly like the per-sample form, so results
+    /// are bit-identical to it for every thread budget. Routed leaf ids
+    /// stage in `scratch.leaf_ids`; a warmed scratch makes the only
+    /// allocation the growth of the caller-owned `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch of **any** row;
+    /// `out` is untouched on error.
+    pub fn uncertainty_batch_into<R>(
+        &self,
+        threads: usize,
+        rows: &[R],
+        scratch: &mut ServingScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CoreError>
+    where
+        R: AsRef<[f64]> + Sync,
+    {
+        let k = self.flat.n_trees();
+        scratch.leaf_ids.clear();
+        self.flat
+            .predict_leaf_ids_into(threads, rows, &mut scratch.leaf_ids)?;
+        for row in scratch.leaf_ids.chunks_exact(k) {
+            let mut sum = 0.0;
+            for (bounds, &leaf) in self.leaf_bounds.iter().zip(row) {
+                sum += bounds[leaf as usize];
+            }
+            out.push(sum / k as f64);
+        }
+        Ok(())
+    }
+
     /// Reference implementation of [`CalibratedForestQim::uncertainty`]
     /// over the pointer members: same member order, same summation, routed
     /// through each member's arena tree. Kept for bit-identity
@@ -781,6 +882,32 @@ impl TaQim {
         match self {
             TaQim::Tree(qim) => qim.uncertainty(features),
             TaQim::Forest(qim) => qim.uncertainty(features),
+        }
+    }
+
+    /// Batched [`TaQim::uncertainty`] via the shape's batch-major wave
+    /// traversal (see [`CalibratedQim::uncertainty_batch_into`] /
+    /// [`CalibratedForestQim::uncertainty_batch_into`]): one bound per row
+    /// appended to `out` in input order, bit-identical to the per-sample
+    /// form for every thread budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch of **any** row;
+    /// `out` is untouched on error.
+    pub fn uncertainty_batch_into<R>(
+        &self,
+        threads: usize,
+        rows: &[R],
+        scratch: &mut ServingScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CoreError>
+    where
+        R: AsRef<[f64]> + Sync,
+    {
+        match self {
+            TaQim::Tree(qim) => qim.uncertainty_batch_into(threads, rows, scratch, out),
+            TaQim::Forest(qim) => qim.uncertainty_batch_into(threads, rows, scratch, out),
         }
     }
 
@@ -1370,5 +1497,65 @@ mod tests {
         let mut tampered = qim.clone();
         tampered.min_served_bound = f64::NAN;
         assert!(tampered.validate().is_err());
+    }
+
+    #[test]
+    fn batched_uncertainty_matches_per_sample_bitwise() {
+        let calib = calib_samples(1500, |x| x > 0.5);
+        let single =
+            CalibratedQim::calibrate(trained_tree(400), &calib, CalibrationOptions::default())
+                .unwrap();
+        let forest = CalibratedForestQim::calibrate(
+            trained_forest(4, 3, 500),
+            &calib,
+            CalibrationOptions::default(),
+        )
+        .unwrap();
+        let rows: Vec<[f64; 1]> = (0..97).map(|i| [i as f64 / 96.0]).collect();
+        let mut scratch = ServingScratch::new();
+        for threads in [1usize, 2, 8] {
+            // Single tree: appends in input order, preserving prior content.
+            let mut out = vec![9.0];
+            single
+                .uncertainty_batch_into(threads, &rows, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(out[0], 9.0);
+            assert_eq!(out.len(), rows.len() + 1);
+            for (row, &got) in rows.iter().zip(&out[1..]) {
+                assert_eq!(got.to_bits(), single.uncertainty(row).unwrap().to_bits());
+            }
+            // Forest: one interleaved pass, same member-order summation.
+            let mut out = Vec::new();
+            forest
+                .uncertainty_batch_into(threads, &rows, &mut scratch, &mut out)
+                .unwrap();
+            for (row, &got) in rows.iter().zip(&out) {
+                assert_eq!(got.to_bits(), forest.uncertainty(row).unwrap().to_bits());
+            }
+            // TaQim dispatch agrees with the underlying shapes.
+            for taqim in [TaQim::Tree(single.clone()), TaQim::Forest(forest.clone())] {
+                let mut via_dispatch = Vec::new();
+                taqim
+                    .uncertainty_batch_into(threads, &rows, &mut scratch, &mut via_dispatch)
+                    .unwrap();
+                for (row, &got) in rows.iter().zip(&via_dispatch) {
+                    assert_eq!(got.to_bits(), taqim.uncertainty(row).unwrap().to_bits());
+                }
+            }
+        }
+        // Empty batches are fine; arity mismatches leave `out` untouched.
+        let mut out = vec![0.5];
+        let empty: [[f64; 1]; 0] = [];
+        single
+            .uncertainty_batch_into(2, &empty, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out, vec![0.5]);
+        assert!(single
+            .uncertainty_batch_into(2, &[[0.1, 0.2]], &mut scratch, &mut out)
+            .is_err());
+        assert!(forest
+            .uncertainty_batch_into(2, &[[0.1, 0.2]], &mut scratch, &mut out)
+            .is_err());
+        assert_eq!(out, vec![0.5], "failed batches must not leak output");
     }
 }

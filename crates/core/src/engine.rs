@@ -27,6 +27,7 @@
 
 use crate::adaptive::{adaptive_step_with_parts, AdaptiveConfig, AdaptiveState, DriftSignal};
 use crate::buffer::TimeseriesBuffer;
+use crate::calibration::ServingScratch;
 use crate::error::CoreError;
 use crate::tauw::{TauwStep, TimeseriesAwareWrapper};
 use crate::training::TrainingSeries;
@@ -157,6 +158,55 @@ pub struct TauwEngine {
     adaptive_config: Option<AdaptiveConfig>,
     buffer_capacity: Option<usize>,
     n_threads: Option<usize>,
+    /// Reusable per-wave scaffolding for the batched step paths (slot
+    /// pool, grouping order, scatter table) — hoisted onto the engine so
+    /// steady-state waves stop churning the allocator.
+    wave: WaveScratch,
+}
+
+/// One reusable unit of per-stream wave state. While a batch is in flight
+/// the slot owns the stream's detached fusion buffer (and adaptive state on
+/// the adaptive path), the batch positions assigned to the stream, the
+/// worker's [`ServingScratch`], and the output staging area. Slots persist
+/// on the engine across calls, so steady-state waves reuse every one of
+/// these allocations.
+#[derive(Debug, Clone)]
+struct WaveSlot {
+    stream: StreamId,
+    /// Batch positions assigned to this stream, in batch order.
+    positions: Vec<usize>,
+    /// The stream's fusion buffer, detached for the duration of the wave.
+    buffer: TimeseriesBuffer,
+    /// The stream's adaptive state (adaptive waves only; `None` otherwise).
+    state: Option<AdaptiveState>,
+    /// The worker's reusable serving scratch.
+    scratch: ServingScratch,
+    /// Results in `positions` order, staged before the batch-order scatter.
+    output: Vec<TauwStep>,
+}
+
+impl WaveSlot {
+    fn empty() -> Self {
+        WaveSlot {
+            stream: StreamId(0),
+            positions: Vec::new(),
+            buffer: TimeseriesBuffer::with_capacity(0),
+            state: None,
+            scratch: ServingScratch::new(),
+            output: Vec::new(),
+        }
+    }
+}
+
+/// The engine's reusable wave scaffolding (see [`WaveSlot`]).
+#[derive(Debug, Clone, Default)]
+struct WaveScratch {
+    /// Slot pool; the first `n_slots` entries of the current wave are live.
+    slots: Vec<WaveSlot>,
+    /// `(stream, batch position)` pairs, sorted to group by stream.
+    order: Vec<(StreamId, usize)>,
+    /// Batch-order scatter table.
+    results: Vec<Option<TauwStep>>,
 }
 
 impl TauwEngine {
@@ -169,6 +219,7 @@ impl TauwEngine {
             adaptive_config: None,
             buffer_capacity: None,
             n_threads: None,
+            wave: WaveScratch::default(),
         }
     }
 
@@ -330,26 +381,7 @@ impl TauwEngine {
         for i in 0..n {
             self.check_arity(get(i).1.len())?;
         }
-
-        // Group batch positions by stream, preserving batch order within
-        // each stream. BTreeMap keeps the work list deterministic.
-        let mut by_stream: BTreeMap<StreamId, Vec<usize>> = BTreeMap::new();
-        for i in 0..n {
-            by_stream.entry(get(i).0).or_default().push(i);
-        }
-
-        // Detach the touched buffers so each worker owns its stream state.
-        let capacity = self.buffer_capacity;
-        let mut work: Vec<(StreamId, Vec<usize>, TimeseriesBuffer)> = by_stream
-            .into_iter()
-            .map(|(stream, positions)| {
-                let buffer = self
-                    .streams
-                    .remove(&stream)
-                    .unwrap_or_else(|| new_buffer(capacity));
-                (stream, positions, buffer)
-            })
-            .collect();
+        let n_slots = self.build_wave_slots(n, |i| get(i).0);
 
         let threads = self.n_threads.unwrap_or_else(parallel::max_threads).max(1);
         let wrapper = &self.wrapper;
@@ -357,26 +389,85 @@ impl TauwEngine {
         // precheck makes failure unreachable for well-formed wrappers, but
         // an internally inconsistent model (e.g. a tampered persisted
         // artifact) must surface as `Err`, not abort the process.
-        let per_stream: Vec<Result<Vec<TauwStep>, CoreError>> =
-            parallel::par_map_mut(threads, &mut work, |(_, positions, buffer)| {
-                positions
-                    .iter()
-                    .map(|&i| {
-                        let (_, quality_factors, outcome) = get(i);
-                        wrapper.step_with_buffer(buffer, quality_factors, outcome)
-                    })
-                    .collect()
+        let per_slot: Vec<Result<(), CoreError>> =
+            parallel::par_map_mut(threads, &mut self.wave.slots[..n_slots], |slot| {
+                for &i in &slot.positions {
+                    let (_, quality_factors, outcome) = get(i);
+                    let step = wrapper.step_with_parts(
+                        &mut slot.buffer,
+                        &mut slot.scratch,
+                        quality_factors,
+                        outcome,
+                    )?;
+                    slot.output.push(step);
+                }
+                Ok(())
             });
+        self.finish_wave(n, n_slots, per_slot)
+    }
 
-        // Reattach every buffer (even on error), then scatter results back
-        // into batch order. Errors report the lowest affected stream id.
-        let mut results: Vec<Option<TauwStep>> = vec![None; n];
+    /// Groups a batch by stream into the reusable wave slots: the `order`
+    /// buffer collects `(stream, batch position)` pairs and sorts them
+    /// (positions are unique, so the unstable sort is deterministic,
+    /// preserves batch order within each stream via the position component,
+    /// and visits streams in ascending id order — exactly the old per-call
+    /// `BTreeMap` grouping, without its allocations). One slot per distinct
+    /// stream then detaches that stream's fusion buffer so a wave worker
+    /// owns its stream state. Returns the number of live slots.
+    fn build_wave_slots(&mut self, n: usize, stream_of: impl Fn(usize) -> StreamId) -> usize {
+        let order = &mut self.wave.order;
+        order.clear();
+        order.extend((0..n).map(|i| (stream_of(i), i)));
+        order.sort_unstable();
+
+        let capacity = self.buffer_capacity;
+        let slots = &mut self.wave.slots;
+        let mut n_slots = 0;
+        for &(stream, position) in order.iter() {
+            if n_slots == 0 || slots[n_slots - 1].stream != stream {
+                if n_slots == slots.len() {
+                    slots.push(WaveSlot::empty());
+                }
+                let slot = &mut slots[n_slots];
+                slot.stream = stream;
+                slot.positions.clear();
+                slot.output.clear();
+                slot.state = None;
+                slot.buffer = self
+                    .streams
+                    .remove(&stream)
+                    .unwrap_or_else(|| new_buffer(capacity));
+                n_slots += 1;
+            }
+            slots[n_slots - 1].positions.push(position);
+        }
+        n_slots
+    }
+
+    /// Reattaches every live slot's stream state (even on error), then
+    /// scatters the staged outputs back into batch order through the
+    /// reusable `results` table. Errors report the lowest affected stream
+    /// id (slots are in ascending stream order). The returned `Vec` is the
+    /// one allocation inherent to the `step_many` API.
+    fn finish_wave(
+        &mut self,
+        n: usize,
+        n_slots: usize,
+        per_slot: Vec<Result<(), CoreError>>,
+    ) -> Result<Vec<TauwStep>, CoreError> {
+        let results = &mut self.wave.results;
+        results.clear();
+        results.resize(n, None);
         let mut first_err: Option<CoreError> = None;
-        for ((stream, positions, buffer), stream_results) in work.into_iter().zip(per_stream) {
-            self.streams.insert(stream, buffer);
-            match stream_results {
-                Ok(steps) => {
-                    for (&i, step) in positions.iter().zip(steps) {
+        for (slot, outcome) in self.wave.slots[..n_slots].iter_mut().zip(per_slot) {
+            let buffer = std::mem::replace(&mut slot.buffer, TimeseriesBuffer::with_capacity(0));
+            self.streams.insert(slot.stream, buffer);
+            if let Some(state) = slot.state.take() {
+                self.adaptive.insert(slot.stream, state);
+            }
+            match outcome {
+                Ok(()) => {
+                    for (&i, &step) in slot.positions.iter().zip(&slot.output) {
                         results[i] = Some(step);
                     }
                 }
@@ -389,8 +480,8 @@ impl TauwEngine {
             return Err(e);
         }
         Ok(results
-            .into_iter()
-            .map(|r| r.expect("every batch position produced a result"))
+            .iter_mut()
+            .map(|r| r.take().expect("every batch position produced a result"))
             .collect())
     }
 
@@ -473,6 +564,7 @@ impl TauwEngine {
             &self.wrapper,
             buffer,
             state,
+            &mut ServingScratch::new(),
             quality_factors,
             outcome,
             failed,
@@ -506,76 +598,41 @@ impl TauwEngine {
         for step in batch {
             self.check_arity(step.quality_factors.len())?;
         }
+        let n_slots = self.build_wave_slots(batch.len(), |i| batch[i].stream);
 
-        // Group batch positions by stream, preserving batch order within
-        // each stream (same scheme as `step_many_impl`).
-        let mut by_stream: BTreeMap<StreamId, Vec<usize>> = BTreeMap::new();
-        for (i, step) in batch.iter().enumerate() {
-            by_stream.entry(step.stream).or_default().push(i);
-        }
-
-        // Detach each touched stream's (buffer, adaptive state) pair so a
-        // worker owns the complete per-stream serving state.
-        let capacity = self.buffer_capacity;
-        let mut work: Vec<(StreamId, Vec<usize>, TimeseriesBuffer, AdaptiveState)> = Vec::new();
-        for (stream, positions) in by_stream {
-            let buffer = self
-                .streams
-                .remove(&stream)
-                .unwrap_or_else(|| new_buffer(capacity));
-            let state = match self.adaptive.remove(&stream) {
+        // Detach each touched stream's adaptive state too, so a worker
+        // owns the complete per-stream serving state.
+        for slot in &mut self.wave.slots[..n_slots] {
+            slot.state = Some(match self.adaptive.remove(&slot.stream) {
                 Some(state) => state,
                 None => AdaptiveState::new(config)?,
-            };
-            work.push((stream, positions, buffer, state));
+            });
         }
 
         let threads = self.n_threads.unwrap_or_else(parallel::max_threads).max(1);
         let wrapper = &self.wrapper;
-        let per_stream: Vec<Result<Vec<TauwStep>, CoreError>> =
-            parallel::par_map_mut(threads, &mut work, |(_, positions, buffer, state)| {
-                positions
-                    .iter()
-                    .map(|&i| {
-                        let entry = &batch[i];
-                        adaptive_step_with_parts(
-                            wrapper,
-                            buffer,
-                            state,
-                            &entry.quality_factors,
-                            entry.outcome,
-                            entry.failed,
-                        )
-                    })
-                    .collect()
+        let per_slot: Vec<Result<(), CoreError>> =
+            parallel::par_map_mut(threads, &mut self.wave.slots[..n_slots], |slot| {
+                let state = slot
+                    .state
+                    .as_mut()
+                    .expect("adaptive wave slots carry state");
+                for &i in &slot.positions {
+                    let entry = &batch[i];
+                    let step = adaptive_step_with_parts(
+                        wrapper,
+                        &mut slot.buffer,
+                        state,
+                        &mut slot.scratch,
+                        &entry.quality_factors,
+                        entry.outcome,
+                        entry.failed,
+                    )?;
+                    slot.output.push(step);
+                }
+                Ok(())
             });
-
-        // Reattach every pair (even on error), then scatter results back
-        // into batch order.
-        let mut results: Vec<Option<TauwStep>> = vec![None; batch.len()];
-        let mut first_err: Option<CoreError> = None;
-        for ((stream, positions, buffer, state), stream_results) in work.into_iter().zip(per_stream)
-        {
-            self.streams.insert(stream, buffer);
-            self.adaptive.insert(stream, state);
-            match stream_results {
-                Ok(steps) => {
-                    for (&i, step) in positions.iter().zip(steps) {
-                        results[i] = Some(step);
-                    }
-                }
-                Err(e) => {
-                    first_err.get_or_insert(e);
-                }
-            }
-        }
-        if let Some(e) = first_err {
-            return Err(e);
-        }
-        Ok(results
-            .into_iter()
-            .map(|r| r.expect("every batch position produced a result"))
-            .collect())
+        self.finish_wave(batch.len(), n_slots, per_slot)
     }
 
     /// Replays a batch of series as concurrent streams: series `s` becomes
@@ -1039,5 +1096,124 @@ mod tests {
         // The resumed stream keeps adapting from the imported notch.
         let step = engine.step_adaptive(StreamId(7), &[0.9], 3, true).unwrap();
         assert!(step.adapted_uncertainty > step.uncertainty);
+    }
+
+    #[test]
+    fn wave_scratch_is_reused_across_steady_state_waves() {
+        let tauw = fitted();
+        let config = AdaptiveConfig {
+            window: 6,
+            min_observations: 3,
+            ..Default::default()
+        };
+        let mut engine = tauw.clone().into_engine();
+        engine.threads(1);
+        engine.enable_adaptation(config).unwrap();
+
+        let wave = |round: usize| -> Vec<AdaptiveStreamStep> {
+            (0..3u64)
+                .map(|s| {
+                    let q = 0.1 + 0.2 * s as f64 + 0.01 * (round % 5) as f64;
+                    let failed = (round + s as usize) % 4 == 0;
+                    AdaptiveStreamStep::new(
+                        StreamId(s),
+                        vec![q],
+                        if failed { 3 } else { 7 },
+                        failed,
+                    )
+                })
+                .collect()
+        };
+
+        // Twin dedicated sessions serve as the reference trajectory.
+        let mut sessions: Vec<_> = (0..3)
+            .map(|_| tauw.new_adaptive_session(config).unwrap())
+            .collect();
+        let reference = |sessions: &mut Vec<crate::adaptive::AdaptiveTauwSession>,
+                         batch: &[AdaptiveStreamStep]| {
+            batch
+                .iter()
+                .map(|e| {
+                    sessions[e.stream.0 as usize]
+                        .step(&e.quality_factors, e.outcome, e.failed)
+                        .unwrap()
+                })
+                .collect::<Vec<_>>()
+        };
+
+        // Warm-up waves size every reusable buffer, then capture the
+        // scratch fingerprints: same pointers afterwards means the
+        // steady-state waves stopped touching the allocator.
+        for round in 0..4 {
+            let batch = wave(round);
+            assert_eq!(
+                engine.step_many_adaptive(&batch).unwrap(),
+                reference(&mut sessions, &batch),
+                "warm-up round {round}"
+            );
+        }
+        let n_slots_warm = engine.wave.slots.len();
+        let fingerprints: Vec<(*const usize, *const f64, usize, usize)> = engine
+            .wave
+            .slots
+            .iter()
+            .map(|slot| {
+                (
+                    slot.positions.as_ptr(),
+                    slot.scratch.features.as_ptr(),
+                    slot.scratch.features.capacity(),
+                    slot.output.capacity(),
+                )
+            })
+            .collect();
+        let results_ptr = engine.wave.results.as_ptr();
+        let order_ptr = engine.wave.order.as_ptr();
+
+        for round in 4..40 {
+            let batch = wave(round);
+            assert_eq!(
+                engine.step_many_adaptive(&batch).unwrap(),
+                reference(&mut sessions, &batch),
+                "steady-state round {round}"
+            );
+        }
+
+        assert_eq!(engine.wave.slots.len(), n_slots_warm, "slot pool regrew");
+        assert_eq!(engine.wave.results.as_ptr(), results_ptr);
+        assert_eq!(engine.wave.order.as_ptr(), order_ptr);
+        for (slot, &(positions, features, features_cap, output_cap)) in
+            engine.wave.slots.iter().zip(&fingerprints)
+        {
+            assert_eq!(slot.positions.as_ptr(), positions, "positions reallocated");
+            assert_eq!(
+                slot.scratch.features.as_ptr(),
+                features,
+                "scratch reallocated"
+            );
+            assert_eq!(slot.scratch.features.capacity(), features_cap);
+            assert_eq!(slot.output.capacity(), output_cap, "output staging regrew");
+        }
+
+        // The plain (non-adaptive) wave path shares the same scaffolding.
+        let plain: Vec<StreamStep> = (0..3u64)
+            .map(|s| StreamStep::new(StreamId(s), vec![0.4], 7))
+            .collect();
+        engine.step_many(&plain).unwrap();
+        let plain_fingerprints: Vec<*const f64> = engine
+            .wave
+            .slots
+            .iter()
+            .map(|slot| slot.scratch.features.as_ptr())
+            .collect();
+        for _ in 0..20 {
+            engine.step_many(&plain).unwrap();
+        }
+        let after: Vec<*const f64> = engine
+            .wave
+            .slots
+            .iter()
+            .map(|slot| slot.scratch.features.as_ptr())
+            .collect();
+        assert_eq!(after, plain_fingerprints, "plain waves must reuse scratch");
     }
 }

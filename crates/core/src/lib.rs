@@ -92,7 +92,7 @@ pub use adaptive::{
 };
 pub use buffer::{BufferEntry, TimeseriesBuffer};
 pub use calibration::{
-    CalibratedForestQim, CalibratedLeaf, CalibratedQim, CalibrationOptions, TaQim,
+    CalibratedForestQim, CalibratedLeaf, CalibratedQim, CalibrationOptions, ServingScratch, TaQim,
 };
 pub use engine::{StreamId, StreamStep, TauwEngine};
 pub use error::CoreError;

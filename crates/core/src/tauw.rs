@@ -11,7 +11,9 @@
 //! uncertainty for the *fused* outcome.
 
 use crate::buffer::TimeseriesBuffer;
-use crate::calibration::{CalibratedForestQim, CalibratedQim, CalibrationOptions, TaQim};
+use crate::calibration::{
+    CalibratedForestQim, CalibratedQim, CalibrationOptions, ServingScratch, TaQim,
+};
 use crate::error::CoreError;
 use crate::taqf::{TaqfSet, TaqfVector};
 use crate::training::{flatten_stateless, validate_series, TrainingSeries};
@@ -396,6 +398,7 @@ impl TimeseriesAwareWrapper {
         TauwSession {
             wrapper: self,
             buffer: TimeseriesBuffer::with_capacity(32),
+            scratch: ServingScratch::new(),
         }
     }
 
@@ -442,9 +445,29 @@ impl TimeseriesAwareWrapper {
         crate::engine::TauwEngine::new(self)
     }
 
-    /// Processes one timestep against an externally owned buffer. This is
-    /// **the** per-step computation: [`TauwSession::step`] and the
-    /// multi-stream [`crate::engine::TauwEngine`] both delegate here, so a
+    /// Processes one timestep against an externally owned buffer — the
+    /// convenience form of [`TimeseriesAwareWrapper::step_with_parts`]
+    /// with a throwaway [`ServingScratch`]. Results are bit-identical to
+    /// the scratch-reusing form; hot loops (sessions, engine waves) hold a
+    /// scratch and call `step_with_parts` directly so the steady state
+    /// performs no per-step allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn step_with_buffer(
+        &self,
+        buffer: &mut TimeseriesBuffer,
+        quality_factors: &[f64],
+        outcome: u32,
+    ) -> Result<TauwStep, CoreError> {
+        self.step_with_parts(buffer, &mut ServingScratch::new(), quality_factors, outcome)
+    }
+
+    /// Processes one timestep against an externally owned buffer and
+    /// serving scratch. This is **the** per-step computation:
+    /// [`TauwSession::step`] and the multi-stream
+    /// [`crate::engine::TauwEngine`] wave workers all delegate here, so a
     /// batched engine step is exactly a session step by construction.
     ///
     /// Every stage is O(1) in the series length: both tree lookups run on
@@ -457,12 +480,18 @@ impl TimeseriesAwareWrapper {
     /// ([`TimeseriesBuffer::fused_outcome_reference`],
     /// [`TaqfVector::compute_reference`]), bit-identical by construction.
     ///
+    /// With a bounded `buffer` and a warmed `scratch` the steady state
+    /// performs **no heap allocation**: the taQIM feature row assembles in
+    /// `scratch.features` (cleared and refilled in place), and both model
+    /// shapes route without allocating.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError`] on feature-arity mismatch.
-    pub fn step_with_buffer(
+    pub fn step_with_parts(
         &self,
         buffer: &mut TimeseriesBuffer,
+        scratch: &mut ServingScratch,
         quality_factors: &[f64],
         outcome: u32,
     ) -> Result<TauwStep, CoreError> {
@@ -472,7 +501,7 @@ impl TimeseriesAwareWrapper {
             .fused_outcome()
             .expect("buffer is non-empty after push");
         let taqf = TaqfVector::compute(buffer, fused).expect("buffer is non-empty");
-        let uncertainty = self.ta_uncertainty(quality_factors, &taqf)?;
+        let uncertainty = self.ta_uncertainty_with_scratch(scratch, quality_factors, &taqf)?;
         Ok(TauwStep {
             fused_outcome: fused,
             uncertainty,
@@ -499,10 +528,27 @@ impl TimeseriesAwareWrapper {
         quality_factors: &[f64],
         taqf: &TaqfVector,
     ) -> Result<f64, CoreError> {
-        let mut features = Vec::with_capacity(quality_factors.len() + self.taqf_set.len());
-        features.extend_from_slice(quality_factors);
-        features.extend(self.taqf_set.select(taqf));
-        self.taqim.uncertainty(&features)
+        self.ta_uncertainty_with_scratch(&mut ServingScratch::new(), quality_factors, taqf)
+    }
+
+    /// [`TimeseriesAwareWrapper::ta_uncertainty`] against caller-owned
+    /// scratch: the feature row assembles in `scratch.features` (cleared
+    /// and refilled in place), so a warmed scratch makes the lookup
+    /// allocation-free. Bit-identical to the allocating form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn ta_uncertainty_with_scratch(
+        &self,
+        scratch: &mut ServingScratch,
+        quality_factors: &[f64],
+        taqf: &TaqfVector,
+    ) -> Result<f64, CoreError> {
+        scratch.features.clear();
+        scratch.features.extend_from_slice(quality_factors);
+        scratch.features.extend(self.taqf_set.select(taqf));
+        self.taqim.uncertainty(&scratch.features)
     }
 
     /// How many calibration samples routed to the leaf combination the
@@ -520,19 +566,39 @@ impl TimeseriesAwareWrapper {
         quality_factors: &[f64],
         taqf: &TaqfVector,
     ) -> Result<u64, CoreError> {
-        let mut features = Vec::with_capacity(quality_factors.len() + self.taqf_set.len());
-        features.extend_from_slice(quality_factors);
-        features.extend(self.taqf_set.select(taqf));
-        self.taqim.route_support(&features)
+        self.route_support_with_scratch(&mut ServingScratch::new(), quality_factors, taqf)
+    }
+
+    /// [`TimeseriesAwareWrapper::route_support`] against caller-owned
+    /// scratch (same contract as
+    /// [`TimeseriesAwareWrapper::ta_uncertainty_with_scratch`]): the
+    /// feature row assembles in `scratch.features`, so a warmed scratch
+    /// makes the lookup allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    pub fn route_support_with_scratch(
+        &self,
+        scratch: &mut ServingScratch,
+        quality_factors: &[f64],
+        taqf: &TaqfVector,
+    ) -> Result<u64, CoreError> {
+        scratch.features.clear();
+        scratch.features.extend_from_slice(quality_factors);
+        scratch.features.extend(self.taqf_set.select(taqf));
+        self.taqim.route_support(&scratch.features)
     }
 }
 
 /// Mutable runtime state: the timeseries buffer plus a reference to the
-/// trained models.
+/// trained models, and a reusable [`ServingScratch`] so steady-state
+/// stepping performs no per-step allocation.
 #[derive(Debug, Clone)]
 pub struct TauwSession<'w> {
     wrapper: &'w TimeseriesAwareWrapper,
     buffer: TimeseriesBuffer,
+    scratch: ServingScratch,
 }
 
 impl TauwSession<'_> {
@@ -564,8 +630,12 @@ impl TauwSession<'_> {
     ///
     /// Returns [`CoreError`] on feature-arity mismatch.
     pub fn step(&mut self, quality_factors: &[f64], outcome: u32) -> Result<TauwStep, CoreError> {
-        self.wrapper
-            .step_with_buffer(&mut self.buffer, quality_factors, outcome)
+        self.wrapper.step_with_parts(
+            &mut self.buffer,
+            &mut self.scratch,
+            quality_factors,
+            outcome,
+        )
     }
 }
 
@@ -808,6 +878,52 @@ mod tests {
             c.taqim(),
             "a different root seed draws different bootstrap resamples"
         );
+    }
+
+    /// Acceptance pin: steady-state stepping performs no per-step heap
+    /// allocation on either taQIM shape. With a bounded (ring) buffer and a
+    /// warmed scratch, the only growable buffer on the step path is
+    /// `scratch.features` — asserting its pointer and capacity stay fixed
+    /// across hundreds of steps proves it is reused in place rather than
+    /// reallocated, while a twin session on the allocating convenience path
+    /// pins bit-identical results.
+    #[test]
+    fn step_with_parts_reuses_scratch_without_reallocating() {
+        let train = make_series(300, 1, 10);
+        let calib = make_series(300, 2, 10);
+        let tree_wrapper = fitted();
+        let mut forest_builder = small_builder();
+        forest_builder.forest(4, 0xF0);
+        let forest_wrapper = forest_builder
+            .fit(vec!["q".into()], &train, &calib)
+            .unwrap();
+        for w in [&tree_wrapper, &forest_wrapper] {
+            let mut buffer = TimeseriesBuffer::bounded(8);
+            let mut twin = TimeseriesBuffer::bounded(8);
+            let mut scratch = ServingScratch::new();
+            // Warm-up: the feature row grows to its working size once.
+            w.step_with_parts(&mut buffer, &mut scratch, &[0.3], 7)
+                .unwrap();
+            w.step_with_buffer(&mut twin, &[0.3], 7).unwrap();
+            let ptr = scratch.features.as_ptr();
+            let capacity = scratch.features.capacity();
+            assert!(capacity > 0, "warm-up must size the feature row");
+            for i in 0..300 {
+                let outcome = if i % 3 == 0 { 3 } else { 7 };
+                let q = [0.1 + 0.8 * ((i % 7) as f64 / 7.0)];
+                let fast = w
+                    .step_with_parts(&mut buffer, &mut scratch, &q, outcome)
+                    .unwrap();
+                let reference = w.step_with_buffer(&mut twin, &q, outcome).unwrap();
+                assert_eq!(fast, reference, "step {i}");
+            }
+            assert_eq!(
+                scratch.features.as_ptr(),
+                ptr,
+                "the feature row must be reused in place, never reallocated"
+            );
+            assert_eq!(scratch.features.capacity(), capacity);
+        }
     }
 
     #[test]

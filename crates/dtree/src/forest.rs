@@ -21,9 +21,11 @@
 //! * [`Forest`] — the trained pointer-tree ensemble (the transparent,
 //!   reviewable form).
 //! * [`FlatForest`] — the compiled serving form: one [`FlatTree`] per
-//!   member, with single-sample routing to `K` leaf ids and batched
-//!   per-tree [`FlatForest::predict_leaf_ids`] fanned over the thread
-//!   budget, mirroring the single-tree serving contract.
+//!   member, with single-sample routing to `K` leaf ids and a
+//!   forest-interleaved batch pass ([`FlatForest::predict_leaf_ids`],
+//!   row-major `out[row * K + member]`) in which all `K` members share one
+//!   walk over the batch, fanned over the thread budget — mirroring the
+//!   single-tree serving contract.
 
 use crate::builder::TreeBuilder;
 use crate::data::Dataset;
@@ -407,28 +409,99 @@ impl FlatForest {
         Ok(out)
     }
 
-    /// Batched leaf routing, one member at a time: returns one
-    /// `Vec<LeafId>` per member (outer index = member, inner = row, in
-    /// input order), each member's batch fanned out over up to `threads`
-    /// workers via [`FlatTree::predict_leaf_ids`] — so the result is
-    /// identical for every thread budget.
+    /// Forest-interleaved batch routing: all `K` members share **one pass
+    /// over the batch**, writing row `i`'s member-`t` leaf id to
+    /// `out[i * K + t]` (row-major). Within the pass rows are outer and
+    /// members inner, so each row's features are loaded once and pushed
+    /// through every member while still hot — instead of `K` independent
+    /// re-walks of the whole batch.
+    ///
+    /// Arity is validated once per row (members share their shape by
+    /// construction), and each member routes with exactly the per-sample
+    /// comparisons of [`FlatTree::predict_leaf_id`], so the output is
+    /// bit-identical to routing each row through each member individually.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtreeError::PredictArityMismatch`] on the first row (in
+    /// input order) with the wrong number of features; `out` contents are
+    /// unspecified after an error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != rows.len() * self.n_trees()`.
+    pub fn route_batch_into<R>(&self, rows: &[R], out: &mut [LeafId]) -> Result<(), DtreeError>
+    where
+        R: AsRef<[f64]>,
+    {
+        let k = self.trees.len();
+        assert_eq!(
+            out.len(),
+            rows.len() * k,
+            "route_batch_into: out must hold n_trees LeafIds per row"
+        );
+        for (row, slots) in rows.iter().zip(out.chunks_mut(k)) {
+            let x = row.as_ref();
+            self.trees[0].check_arity(x.len())?;
+            for (tree, slot) in self.trees.iter().zip(slots.iter_mut()) {
+                *slot = tree.route(x);
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched leaf routing: appends `rows.len() · K` [`LeafId`]s to `out`
+    /// in **row-major** order (`out[row * K + member]`), fanning contiguous
+    /// row chunks out over up to `threads` workers via
+    /// [`parallel::par_zip_chunks_mut`] — so the result is identical for
+    /// every thread budget. Each chunk runs the forest-interleaved
+    /// [`FlatForest::route_batch_into`] pass, writing straight into `out`.
+    ///
+    /// On error `out` is untouched (the appended region is rolled back
+    /// before returning), and the reported error is the first offending
+    /// row in input order.
     ///
     /// # Errors
     ///
     /// Returns [`DtreeError::PredictArityMismatch`] if any row has the
     /// wrong number of features.
-    pub fn predict_leaf_ids<R>(
+    pub fn predict_leaf_ids_into<R>(
         &self,
         threads: usize,
         rows: &[R],
-    ) -> Result<Vec<Vec<LeafId>>, DtreeError>
+        out: &mut Vec<LeafId>,
+    ) -> Result<(), DtreeError>
     where
         R: AsRef<[f64]> + Sync,
     {
-        self.trees
-            .iter()
-            .map(|tree| tree.predict_leaf_ids(threads, rows))
-            .collect()
+        let k = self.trees.len();
+        let start = out.len();
+        out.resize(start + rows.len() * k, 0);
+        let chunk_results =
+            parallel::par_zip_chunks_mut(threads, rows, &mut out[start..], k, |chunk, slots| {
+                self.route_batch_into(chunk, slots)
+            });
+        if let Some(err) = chunk_results.into_iter().find_map(Result::err) {
+            out.truncate(start);
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Allocating convenience around [`FlatForest::predict_leaf_ids_into`]:
+    /// returns the row-major `rows.len() · K` leaf-id table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtreeError::PredictArityMismatch`] if any row has the
+    /// wrong number of features.
+    pub fn predict_leaf_ids<R>(&self, threads: usize, rows: &[R]) -> Result<Vec<LeafId>, DtreeError>
+    where
+        R: AsRef<[f64]> + Sync,
+    {
+        let mut out = Vec::with_capacity(rows.len() * self.trees.len());
+        self.predict_leaf_ids_into(threads, rows, &mut out)?;
+        Ok(out)
     }
 
     /// Ensemble prediction: majority vote over the members' leaf classes,
@@ -539,17 +612,56 @@ mod tests {
     fn batched_routing_is_input_order_for_every_thread_budget() {
         let ds = dataset(300);
         let flat = FlatForest::from_forest(&builder(3, 5).fit(&ds).unwrap());
+        let k = flat.n_trees();
         let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![(i % 13) as f64 / 13.0]).collect();
         let serial = flat.predict_leaf_ids(1, &rows).unwrap();
-        assert_eq!(serial.len(), 3);
-        for (t, member_leaves) in serial.iter().enumerate() {
-            assert_eq!(member_leaves.len(), rows.len());
-            for (row, &leaf) in rows.iter().zip(member_leaves) {
-                assert_eq!(leaf, flat.tree(t).predict_leaf_id(row).unwrap());
+        assert_eq!(serial.len(), rows.len() * k, "row-major: K entries per row");
+        for (i, row) in rows.iter().enumerate() {
+            for t in 0..k {
+                assert_eq!(
+                    serial[i * k + t],
+                    flat.tree(t).predict_leaf_id(row).unwrap(),
+                    "row {i} member {t}"
+                );
             }
         }
         for threads in [2usize, 4, 8] {
             assert_eq!(flat.predict_leaf_ids(threads, &rows).unwrap(), serial);
+        }
+        // `_into` appends without clobbering, and the interleaved wave
+        // agrees with the per-sample per-tree form row by row.
+        let mut out = vec![123u32];
+        flat.predict_leaf_ids_into(4, &rows, &mut out).unwrap();
+        assert_eq!(out[0], 123);
+        assert_eq!(&out[1..], serial.as_slice());
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(
+                &serial[i * k..(i + 1) * k],
+                flat.predict_leaf_ids_per_tree(row).unwrap().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_routing_handles_degenerate_and_ragged_batches() {
+        let ds = dataset(200);
+        let flat = FlatForest::from_forest(&builder(4, 2).fit(&ds).unwrap());
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert_eq!(
+            flat.predict_leaf_ids(4, &empty).unwrap(),
+            Vec::<LeafId>::new()
+        );
+        let one = vec![vec![0.25]];
+        let routed = flat.predict_leaf_ids(4, &one).unwrap();
+        assert_eq!(routed, flat.predict_leaf_ids_per_tree(&one[0]).unwrap());
+        // NaN rows route right in every member, same as per-sample routing.
+        let nan_rows = vec![vec![f64::NAN], vec![0.75]];
+        let routed = flat.predict_leaf_ids(2, &nan_rows).unwrap();
+        for (i, row) in nan_rows.iter().enumerate() {
+            assert_eq!(
+                &routed[i * 4..(i + 1) * 4],
+                flat.predict_leaf_ids_per_tree(row).unwrap().as_slice()
+            );
         }
     }
 

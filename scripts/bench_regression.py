@@ -16,7 +16,12 @@ Fails (exit 1) on:
     ``parallel(N)``) whose speedup is at or below ``BENCH_SPEEDUP_FLOOR``.
     This check is host-aware: when the live run's ``host_parallelism`` is
     1, parallel rows measure scheduling overhead rather than scaling, so
-    the expectation is skipped with a notice instead of failing.
+    the expectation is skipped with a notice instead of failing;
+  * flat trailing pointer — the ``qim_uncertainty_pointer_vs_flat`` row's
+    flat (batch-major) side must not lose to the per-sample pointer walk
+    (speedup >= ``BENCH_FLAT_FLOOR``, default 1.0). Host-aware like the
+    parallel floor: skipped with a notice on 1-thread hosts, where the
+    batched path cannot fan out.
 
 ``BENCH_TOLERANCE`` defaults to 0.2: CI runners differ from the host that
 produced the committed baseline (the committed files come from a 1-CPU
@@ -30,7 +35,12 @@ import json
 import os
 import sys
 
-SCHEMA = "tauw-bench-baseline/v5"
+SCHEMA = "tauw-bench-baseline/v6"
+
+# Rows whose contender is the batch-major flat serving path and whose
+# baseline is the per-sample pointer walk: flat must not trail pointer on
+# a host where the batched fan-out can actually engage.
+FLAT_FLOOR_ROWS = ("qim_uncertainty_pointer_vs_flat",)
 REQUIRED_COLUMNS = (
     "name",
     "work_units",
@@ -119,6 +129,20 @@ def main() -> None:
                     f"{name}: parallel speedup {got['speedup']:.2f} is at or "
                     f"below the floor {speedup_floor} on a {live_cores}-thread "
                     f"host"
+                )
+        if name in FLAT_FLOOR_ROWS:
+            flat_floor = float(os.environ.get("BENCH_FLAT_FLOOR", "1.0"))
+            if live_cores <= 1:
+                print(
+                    f"  {name}: skipping flat-vs-pointer floor (live host has "
+                    f"{live_cores} hardware thread(s); the batch-major path "
+                    f"cannot fan out)"
+                )
+            elif got["speedup"] < flat_floor:
+                fail(
+                    f"{name}: flat (batch-major) speedup {got['speedup']:.2f} "
+                    f"trails the pointer baseline floor {flat_floor} on a "
+                    f"{live_cores}-thread host"
                 )
         for side in ("baseline_per_s", "contender_per_s"):
             if want[side] <= 0:

@@ -708,6 +708,113 @@ fn adaptive_engine_matches_sequential_adaptive_sessions_across_thread_budgets() 
 }
 
 #[test]
+fn warmed_engine_wave_scratch_replays_bit_identically() {
+    // The engine reuses per-wave scaffolding (slot pool, grouping order,
+    // scratch feature rows) across calls. Replaying the same workload
+    // through an already-warmed engine — where every reusable buffer
+    // carries values from the previous pass — must reproduce the cold
+    // pass bit for bit, for the plain and the adaptive wave path alike.
+    use tauw_suite::core::adaptive::AdaptiveConfig;
+    use tauw_suite::core::engine::{AdaptiveStreamStep, StreamId, TauwEngine};
+
+    let config = SimConfig::scaled(0.04);
+    let data = DatasetBuilder::new(config, 31).unwrap().build();
+    let mut wb = WrapperBuilder::new();
+    wb.max_depth(6).calibration(CalibrationOptions {
+        min_samples_per_leaf: 50,
+        confidence: 0.99,
+        ..Default::default()
+    });
+    let mut builder = TauwBuilder::new();
+    builder.wrapper(wb);
+    let tauw = builder
+        .fit(
+            QualityObservation::feature_names(),
+            &convert(&data.train),
+            &convert(&data.calib),
+        )
+        .unwrap();
+
+    let streams: Vec<_> = convert(&data.test).into_iter().take(16).collect();
+    let window_len = streams.iter().map(|s| s.steps.len()).max().unwrap();
+    let adaptive = AdaptiveConfig {
+        window: 8,
+        min_observations: 4,
+        rate: 0.05,
+        ..Default::default()
+    };
+
+    let mut engine = TauwEngine::new(tauw.clone());
+    engine.threads(2);
+    engine.enable_adaptation(adaptive).unwrap();
+
+    let run = |engine: &mut TauwEngine| {
+        let mut all = Vec::new();
+        for j in 0..window_len {
+            let batch: Vec<AdaptiveStreamStep> = streams
+                .iter()
+                .enumerate()
+                .filter_map(|(s, series)| {
+                    series.steps.get(j).map(|step| {
+                        AdaptiveStreamStep::new(
+                            StreamId(s as u64),
+                            step.quality_factors.clone(),
+                            step.outcome,
+                            step.outcome != streams[s].true_outcome,
+                        )
+                    })
+                })
+                .collect();
+            all.extend(engine.step_many_adaptive(&batch).unwrap());
+        }
+        all
+    };
+
+    let cold = run(&mut engine);
+    // Drop all stream state (buffers AND adaptive notches) but keep the
+    // engine — and with it the warmed wave scaffolding — alive.
+    engine.clear_streams();
+    let warm = run(&mut engine);
+    assert_eq!(cold.len(), warm.len());
+    for (k, (c, w)) in cold.iter().zip(&warm).enumerate() {
+        assert_eq!(
+            c.uncertainty.to_bits(),
+            w.uncertainty.to_bits(),
+            "step {k}: warmed wave scratch changed a served bound"
+        );
+        assert_eq!(c, w, "step {k}");
+    }
+
+    // Same replay property for the plain (non-adaptive) wave path.
+    use tauw_suite::core::engine::StreamStep;
+    let run_plain = |engine: &mut TauwEngine| {
+        let mut all = Vec::new();
+        for j in 0..window_len {
+            let batch: Vec<StreamStep> = streams
+                .iter()
+                .enumerate()
+                .filter_map(|(s, series)| {
+                    series.steps.get(j).map(|step| {
+                        StreamStep::new(
+                            StreamId(s as u64),
+                            step.quality_factors.clone(),
+                            step.outcome,
+                        )
+                    })
+                })
+                .collect();
+            all.extend(engine.step_many(&batch).unwrap());
+        }
+        all
+    };
+    engine.clear_streams();
+    let plain_cold = run_plain(&mut engine);
+    engine.clear_streams();
+    let plain_warm = run_plain(&mut engine);
+    assert_eq!(plain_cold, plain_warm);
+}
+
+#[test]
 fn dataset_generation_is_order_independent_per_series() {
     // Each series derives its RNG stream from (master seed, series index),
     // so regenerating the same world twice yields identical series even

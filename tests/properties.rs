@@ -564,6 +564,88 @@ proptest! {
     }
 
     #[test]
+    fn batch_major_routing_matches_per_sample_routing_bitwise(
+        // Row counts start at 1 so degenerate single-leaf trees are
+        // covered; the query mask injects NaN features (bit 0 poisons
+        // `a`, bit 1 poisons `b`) to exercise the route-right rule along
+        // the wave traversal exactly as per-sample routing applies it.
+        rows in prop::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0u32..3),
+            1..150,
+        ),
+        queries in prop::collection::vec(
+            (0.0f64..1.0, 0.0f64..1.0, 0u8..4),
+            1..40,
+        ),
+        depth in 1usize..7,
+        k in 1usize..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        use tauw_suite::dtree::{
+            Dataset, FlatForest, FlatTree, ForestBuilder, LeafId, TreeBuilder,
+        };
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()], 3).unwrap();
+        for (a, b, label) in &rows {
+            ds.push_row(&[*a, *b], *label).unwrap();
+        }
+        let flat = FlatTree::from_tree(
+            &TreeBuilder::new().max_depth(depth).fit(&ds).unwrap(),
+        );
+        let mut builder = ForestBuilder::new(k, seed);
+        builder.tree(TreeBuilder::new().max_depth(depth).clone());
+        let flat_forest = FlatForest::from_forest(&builder.fit(&ds).unwrap());
+
+        let query_rows: Vec<Vec<f64>> = queries
+            .iter()
+            .map(|(a, b, mask)| {
+                vec![
+                    if mask & 1 != 0 { f64::NAN } else { *a },
+                    if mask & 2 != 0 { f64::NAN } else { *b },
+                ]
+            })
+            .collect();
+
+        // Per-sample references: the pointer-free single-query routines.
+        let tree_serial: Vec<LeafId> = query_rows
+            .iter()
+            .map(|q| flat.predict_leaf_id(q).unwrap())
+            .collect();
+        let forest_serial: Vec<LeafId> = query_rows
+            .iter()
+            .flat_map(|q| flat_forest.predict_leaf_ids_per_tree(q).unwrap())
+            .collect();
+
+        // The level-synchronous wave kernels on the exact-size slices.
+        let mut wave = vec![0 as LeafId; query_rows.len()];
+        flat.route_batch_into(&query_rows, &mut wave).unwrap();
+        prop_assert_eq!(&wave, &tree_serial);
+        let mut forest_wave = vec![0 as LeafId; query_rows.len() * k];
+        flat_forest
+            .route_batch_into(&query_rows, &mut forest_wave)
+            .unwrap();
+        prop_assert_eq!(&forest_wave, &forest_serial);
+
+        // Ragged batches (empty / single row / full) through the threaded
+        // fan-out, identical for every thread budget, appending after a
+        // sentinel that must survive untouched.
+        for threads in [1usize, 2, 8] {
+            for split in [0usize, 1.min(query_rows.len()), query_rows.len()] {
+                let batch = &query_rows[..split];
+                let mut out = vec![LeafId::MAX];
+                flat.predict_leaf_ids_into(threads, batch, &mut out).unwrap();
+                prop_assert_eq!(&out[..1], &[LeafId::MAX][..]);
+                prop_assert_eq!(&out[1..], &tree_serial[..split]);
+                let mut out = vec![LeafId::MAX];
+                flat_forest
+                    .predict_leaf_ids_into(threads, batch, &mut out)
+                    .unwrap();
+                prop_assert_eq!(&out[..1], &[LeafId::MAX][..]);
+                prop_assert_eq!(&out[1..], &forest_serial[..split * k]);
+            }
+        }
+    }
+
+    #[test]
     fn forest_qim_degenerates_to_the_single_tree_path_at_k1(
         rows in prop::collection::vec((0.0f64..1.0, prop::bool::ANY), 60..200),
         queries in prop::collection::vec(0.0f64..1.0, 1..20),

@@ -150,6 +150,96 @@ where
     })
 }
 
+/// Splits `items` and `outs` into *matching* contiguous chunks and runs
+/// `f(item_chunk, out_chunk)` on each with up to `threads` workers,
+/// returning one result per chunk **in chunk order**. The pairing contract
+/// is positional: `outs` must be exactly `out_stride` entries per item, and
+/// chunk `c` covers items `[c·L, (c+1)·L)` alongside outs
+/// `[c·L·out_stride, (c+1)·L·out_stride)`.
+///
+/// This is the write-in-place sibling of [`par_map`]: workers write results
+/// directly into their slice of a caller-sized output buffer, so batched
+/// kernels (e.g. routing a wave of rows through a tree) need no
+/// intermediate per-chunk `Vec`s. Because chunks are contiguous and chunk
+/// results are reported in chunk order, the first `Err`-like result in the
+/// returned `Vec` corresponds to the earliest failing item for any
+/// per-chunk routine that itself scans left-to-right.
+///
+/// An empty `items` returns an empty result vector without invoking `f`.
+///
+/// Unlike [`par_map`], per-item work here is assumed to be tiny (a few
+/// array reads per row), so batches below a 4096-item floor run on the
+/// caller thread in one chunk: a thread spawn costs tens of microseconds
+/// and would dwarf the work it offloads.
+///
+/// # Panics
+///
+/// Panics if `outs.len() != items.len() * out_stride` or `out_stride == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let items = [1u32, 2, 3, 4, 5];
+/// let mut outs = [0u32; 5];
+/// let chunk_sums = parallel::par_zip_chunks_mut(2, &items, &mut outs, 1, |xs, ys| {
+///     let mut sum = 0;
+///     for (x, y) in xs.iter().zip(ys.iter_mut()) {
+///         *y = x * x;
+///         sum += *y;
+///     }
+///     sum
+/// });
+/// assert_eq!(outs, [1, 4, 9, 16, 25]);
+/// assert_eq!(chunk_sums.iter().sum::<u32>(), 55);
+/// ```
+pub fn par_zip_chunks_mut<T, U, R, F>(
+    threads: usize,
+    items: &[T],
+    outs: &mut [U],
+    out_stride: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    U: Send,
+    R: Send,
+    F: Fn(&[T], &mut [U]) -> R + Sync,
+{
+    assert!(out_stride > 0, "par_zip_chunks_mut: out_stride must be > 0");
+    assert_eq!(
+        outs.len(),
+        items.len() * out_stride,
+        "par_zip_chunks_mut: outs must hold exactly out_stride entries per item"
+    );
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunk_len = match zip_chunk_len(threads, items.len()) {
+        Some(len) => len,
+        None => return vec![f(items, outs)],
+    };
+    std::thread::scope(|scope| {
+        let mut item_chunks = items.chunks(chunk_len);
+        let mut out_chunks = outs.chunks_mut(chunk_len * out_stride);
+        let first_items = item_chunks.next().expect("non-empty input");
+        let first_outs = out_chunks.next().expect("non-empty output");
+        let handles: Vec<_> = item_chunks
+            .zip(out_chunks)
+            .map(|(ic, oc)| scope.spawn(|| f(ic, oc)))
+            .collect();
+        let mut results = Vec::with_capacity(handles.len() + 1);
+        results.push(f(first_items, first_outs));
+        for handle in handles {
+            results.push(
+                handle
+                    .join()
+                    .expect("parallel::par_zip_chunks_mut worker panicked"),
+            );
+        }
+        results
+    })
+}
+
 /// Chunk length for fanning `n` items out over `threads`, or `None` when
 /// the serial path should be used.
 fn chunk_len(threads: usize, n: usize) -> Option<usize> {
@@ -157,6 +247,23 @@ fn chunk_len(threads: usize, n: usize) -> Option<usize> {
         return None;
     }
     Some(n.div_ceil(threads.min(n)))
+}
+
+/// Minimum items a [`par_zip_chunks_mut`] worker must carry to pay for its
+/// own spawn: row-level kernel work is tens of nanoseconds per item while
+/// a scoped-thread spawn is tens of microseconds, so small batches lose by
+/// fanning out no matter how many cores the host has.
+const MIN_ZIP_CHUNK: usize = 4096;
+
+/// Chunk length for the row-kernel fan-out of [`par_zip_chunks_mut`]:
+/// like [`chunk_len`], but clamped so every chunk holds at least
+/// [`MIN_ZIP_CHUNK`] items (the whole batch stays on the caller thread
+/// below that threshold).
+fn zip_chunk_len(threads: usize, n: usize) -> Option<usize> {
+    match chunk_len(threads, n) {
+        Some(len) if n > MIN_ZIP_CHUNK => Some(len.max(MIN_ZIP_CHUNK)),
+        _ => None,
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +305,76 @@ mod tests {
             assert_eq!(out, vec![1; 100]);
             assert_eq!(items, vec![1; 100]);
         }
+    }
+
+    #[test]
+    fn par_zip_chunks_mut_matches_serial_for_all_budgets() {
+        let items: Vec<u64> = (0..997).collect();
+        let mut serial = vec![0u64; items.len()];
+        let serial_sums = par_zip_chunks_mut(1, &items, &mut serial, 1, |xs, ys| {
+            let mut sum = 0u64;
+            for (x, y) in xs.iter().zip(ys.iter_mut()) {
+                *y = x.wrapping_mul(*x);
+                sum = sum.wrapping_add(*y);
+            }
+            sum
+        });
+        assert_eq!(serial_sums.len(), 1);
+        for threads in [2, 3, 8, 64, 2000] {
+            let mut out = vec![0u64; items.len()];
+            let sums = par_zip_chunks_mut(threads, &items, &mut out, 1, |xs, ys| {
+                let mut sum = 0u64;
+                for (x, y) in xs.iter().zip(ys.iter_mut()) {
+                    *y = x.wrapping_mul(*x);
+                    sum = sum.wrapping_add(*y);
+                }
+                sum
+            });
+            assert_eq!(out, serial, "threads={threads}");
+            assert_eq!(
+                sums.iter().copied().reduce(u64::wrapping_add),
+                serial_sums.iter().copied().reduce(u64::wrapping_add),
+            );
+        }
+    }
+
+    #[test]
+    fn par_zip_chunks_mut_pairs_strided_outputs() {
+        let items: Vec<u32> = (0..13).collect();
+        for threads in [1, 2, 4, 16] {
+            let mut out = vec![0u32; items.len() * 3];
+            par_zip_chunks_mut(threads, &items, &mut out, 3, |xs, ys| {
+                for (x, slot) in xs.iter().zip(ys.chunks_mut(3)) {
+                    slot[0] = *x;
+                    slot[1] = x + 1;
+                    slot[2] = x + 2;
+                }
+            });
+            for (i, x) in items.iter().enumerate() {
+                assert_eq!(&out[i * 3..i * 3 + 3], &[*x, x + 1, x + 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn par_zip_chunks_mut_handles_tiny_inputs() {
+        let mut empty: [u8; 0] = [];
+        let none: Vec<()> = par_zip_chunks_mut(8, &[] as &[u8], &mut empty, 1, |_, _| ());
+        assert!(none.is_empty());
+        let mut one = [0u8];
+        let results = par_zip_chunks_mut(8, &[7u8], &mut one, 1, |xs, ys| {
+            ys[0] = xs[0] + 1;
+            true
+        });
+        assert_eq!(results, vec![true]);
+        assert_eq!(one, [8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out_stride entries per item")]
+    fn par_zip_chunks_mut_rejects_mismatched_lengths() {
+        let mut out = [0u8; 3];
+        par_zip_chunks_mut(2, &[1u8, 2], &mut out, 1, |_, _| ());
     }
 
     #[test]
