@@ -54,7 +54,11 @@ use tauw_stats::bootstrap::SplitMix64;
 /// `route_batch_major_vs_per_sample` / `route_forest_interleaved_vs_per_member`
 /// rows lock in the level-synchronous wave kernels against one-query-at-a-
 /// time routing.
-const SCHEMA: &str = "tauw-bench-baseline/v6";
+/// v7: adds the `qim_uncertainty_tree_vs_conformal` row (single-tree taQIM
+/// vs the leafless split-conformal backend behind the `QimBackend` seam) so
+/// the table-lookup serving cost of the distribution-free estimator is
+/// measured and locked in.
+const SCHEMA: &str = "tauw-bench-baseline/v7";
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -533,6 +537,26 @@ fn bench_pipeline(opts: &Options) {
         ));
         results.last().expect("just pushed").print();
     }
+
+    // The taQIM lookup across the backend seam: the paper's single tree vs
+    // the leafless split-conformal backend (histogram scorer + quantile
+    // shift — table indexes instead of a traversal). Same wave, same
+    // batched path, same per-side reference verification as the forest
+    // rows above.
+    let conformal_tauw = ctx
+        .tauw_conformal_variant(tauw_core::conformal::ConformalOptions::default(), 0.9)
+        .expect("conformal variant builds");
+    let conformal_taqim = conformal_tauw.taqim();
+    let (conformal_s, conformal_u) = time_best(opts.repetitions, || run_qim(conformal_taqim));
+    let identical = tree_verified && verified_against_reference(conformal_taqim, &conformal_u);
+    results.push(Comparison::new(
+        "qim_uncertainty_tree_vs_conformal",
+        (ta_queries.len() * FOREST_PASSES) as u64,
+        ("tree", tree_s),
+        ("conformal", conformal_s),
+        identical,
+    ));
+    results.last().expect("just pushed").print();
 
     // Per-step taQF + fusion cost over a sliding window: the seed path
     // recomputed everything from the buffer each step (O(window)); serving

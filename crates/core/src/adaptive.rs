@@ -28,10 +28,13 @@
 //! [`DriftSignal`]: undercoverage on a leaf combination that calibration
 //! barely populated is flagged epistemic (the model has not seen this
 //! regime), while undercoverage on well-supported leaves is aleatoric
-//! noise ([`DriftSignal::Noisy`]).
+//! noise ([`DriftSignal::Noisy`]). A leafless backend reports
+//! [`crate::calibration::RouteSupport::Unsupported`], and the split
+//! degrades to the explicit [`DriftSignal::SupportUnavailable`] instead of
+//! silently defaulting to either side.
 
 use crate::buffer::{certainty_units_to_f64, TimeseriesBuffer, CERTAINTY_UNIT_ONE};
-use crate::calibration::ServingScratch;
+use crate::calibration::{RouteSupport, ServingScratch};
 use crate::error::CoreError;
 use crate::tauw::{TauwStep, TimeseriesAwareWrapper};
 use serde::{Deserialize, Serialize};
@@ -63,6 +66,12 @@ pub enum DriftSignal {
     /// densely calibrated, so the divergence is aleatoric — the world got
     /// noisier, not the model blinder.
     Noisy,
+    /// Coverage diverges but the backend cannot report calibration support
+    /// ([`crate::calibration::RouteSupport::Unsupported`], e.g. the
+    /// leafless conformal model), so the epistemic-vs-aleatoric split is
+    /// undecidable — reported explicitly instead of defaulting to either
+    /// side.
+    SupportUnavailable,
 }
 
 /// Windowed coverage aggregates read from the coverage ring in O(1).
@@ -397,17 +406,23 @@ impl AdaptiveState {
 
     /// Classifies the stream's current regime given the calibration
     /// support of the leaves the current step routed to (see
-    /// [`crate::calibration::TaQim::route_support`]).
-    pub fn classify(&self, support: u64) -> DriftSignal {
+    /// [`crate::calibration::TaQim::route_support`]). When the backend
+    /// cannot report support ([`RouteSupport::Unsupported`]) and the
+    /// window is undercovered, the epistemic-vs-aleatoric split is
+    /// undecidable and the explicit [`DriftSignal::SupportUnavailable`]
+    /// is returned.
+    pub fn classify(&self, support: RouteSupport) -> DriftSignal {
         let stats = self.coverage();
         if stats.observations < self.config.min_observations {
             return DriftSignal::Stable;
         }
         if stats.undercovered() {
-            if support < self.config.thin_support {
-                DriftSignal::Drifting { epistemic: true }
-            } else {
-                DriftSignal::Noisy
+            match support {
+                RouteSupport::Samples(n) if n < self.config.thin_support => {
+                    DriftSignal::Drifting { epistemic: true }
+                }
+                RouteSupport::Samples(_) => DriftSignal::Noisy,
+                RouteSupport::Unsupported => DriftSignal::SupportUnavailable,
             }
         } else if self.inflation_steps > 0 {
             DriftSignal::Drifting { epistemic: false }
@@ -664,7 +679,10 @@ mod tests {
         for _ in 0..4 {
             state.observe(0.0, true);
             assert_eq!(state.inflation_steps(), 0);
-            assert_eq!(state.classify(0), DriftSignal::Stable);
+            assert_eq!(
+                state.classify(RouteSupport::Samples(0)),
+                DriftSignal::Stable
+            );
         }
         state.observe(0.0, true);
         assert_eq!(state.inflation_steps(), 1);
@@ -684,10 +702,19 @@ mod tests {
         }
         assert!(state.coverage().undercovered());
         assert_eq!(
-            state.classify(10),
+            state.classify(RouteSupport::Samples(10)),
             DriftSignal::Drifting { epistemic: true }
         );
-        assert_eq!(state.classify(500), DriftSignal::Noisy);
+        assert_eq!(
+            state.classify(RouteSupport::Samples(500)),
+            DriftSignal::Noisy
+        );
+        // A leafless backend can't feed the split: the outcome is the
+        // explicit SupportUnavailable, not a silent default.
+        assert_eq!(
+            state.classify(RouteSupport::Unsupported),
+            DriftSignal::SupportUnavailable
+        );
         // Recover: plenty of successes; residual inflation → non-epistemic drift.
         for _ in 0..4 {
             state.observe(1.0, false);
@@ -695,7 +722,13 @@ mod tests {
         assert!(!state.coverage().undercovered());
         assert!(state.inflation_steps() > 0);
         assert_eq!(
-            state.classify(500),
+            state.classify(RouteSupport::Samples(500)),
+            DriftSignal::Drifting { epistemic: false }
+        );
+        // Outside the undercovered window the split never consults
+        // support, so Unsupported stays a quiet non-event.
+        assert_eq!(
+            state.classify(RouteSupport::Unsupported),
             DriftSignal::Drifting { epistemic: false }
         );
     }
@@ -824,6 +857,7 @@ mod tests {
             DriftSignal::Noisy,
             DriftSignal::Drifting { epistemic: true },
             DriftSignal::Drifting { epistemic: false },
+            DriftSignal::SupportUnavailable,
         ] {
             let back = DriftSignal::deserialize(&signal.serialize()).unwrap();
             assert_eq!(back, signal);

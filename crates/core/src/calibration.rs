@@ -12,9 +12,19 @@
 //! bootstrap [`Forest`] and reports the **mean** of the members' bounds —
 //! the hard-boundary mitigation of Gerber, Jöckel & Kläs: one tree's
 //! estimate jumps discontinuously at its split thresholds, while an
-//! ensemble average steps through many small boundaries. [`TaQim`] is the
-//! closed set of quality-impact-model shapes a wrapper can serve.
+//! ensemble average steps through many small boundaries.
+//!
+//! **The backend seam.** [`QimBackend`] is the one serving contract every
+//! quality-impact-model backend implements: per-sample and batch-major
+//! uncertainty, a bitwise reference recompute, structural validation,
+//! [`RouteSupport`]-style calibration-support introspection, and a
+//! persistence kind tag. [`TaQim`] is the sealed closed set of backend
+//! shapes a wrapper actually serves — a plain enum, so the hot path stays
+//! statically dispatched — and itself implements the contract by
+//! delegation. The split-conformal backend ([`ConformalQim`]) is the first
+//! non-tree member of the set; see `crate::conformal` for adding more.
 
+use crate::conformal::ConformalQim;
 use crate::error::CoreError;
 use serde::{Deserialize, Serialize};
 use tauw_dtree::prune::prune_to_min_count;
@@ -116,6 +126,36 @@ impl ServingScratch {
     /// reused from then on.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+/// Calibration support behind a served bound, as reported through the
+/// [`QimBackend`] seam.
+///
+/// Tree-shaped backends know exactly how many calibration samples routed
+/// to the leaf that produced a bound and report
+/// [`RouteSupport::Samples`]. Leafless backends (e.g. the split-conformal
+/// model, whose quantile is a property of the whole calibration split)
+/// have no per-region figure to report and say so **explicitly** with
+/// [`RouteSupport::Unsupported`] — the adaptive layer then classifies
+/// undercoverage as
+/// [`DriftSignal::SupportUnavailable`](crate::adaptive::DriftSignal)
+/// instead of silently defaulting the epistemic/aleatoric split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteSupport {
+    /// The routed region's calibration-sample count.
+    Samples(u64),
+    /// The backend keeps no per-region calibration counts.
+    Unsupported,
+}
+
+impl RouteSupport {
+    /// The sample count, or `None` for [`RouteSupport::Unsupported`].
+    pub fn samples(self) -> Option<u64> {
+        match self {
+            RouteSupport::Samples(n) => Some(n),
+            RouteSupport::Unsupported => None,
+        }
     }
 }
 
@@ -860,16 +900,22 @@ impl CalibratedForestQim {
 }
 
 /// The closed set of quality-impact-model shapes a timeseries-aware
-/// wrapper can serve: the paper's single calibrated tree, or a
-/// boundary-smoothing calibrated forest. Every serving, reference and
-/// validation entry point dispatches on the shape, so wrapper, session
-/// and engine code is shape-agnostic.
+/// wrapper can serve: the paper's single calibrated tree, a
+/// boundary-smoothing calibrated forest, or a leafless split-conformal
+/// model. Every serving, reference and validation entry point dispatches
+/// on the shape — a plain `match`, so the hot path stays statically
+/// dispatched — and wrapper, session and engine code is shape-agnostic.
+/// The enum is the sealed half of the [`QimBackend`] seam: every variant's
+/// payload implements the trait, and so does `TaQim` itself (by
+/// delegation).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TaQim {
     /// A single calibrated tree (the paper's taQIM).
     Tree(CalibratedQim),
     /// A calibrated bootstrap forest (mean of per-member bounds).
     Forest(CalibratedForestQim),
+    /// A split-conformal model (distribution-free one-sided bounds).
+    Conformal(ConformalQim),
 }
 
 impl TaQim {
@@ -882,6 +928,7 @@ impl TaQim {
         match self {
             TaQim::Tree(qim) => qim.uncertainty(features),
             TaQim::Forest(qim) => qim.uncertainty(features),
+            TaQim::Conformal(qim) => qim.uncertainty(features),
         }
     }
 
@@ -908,6 +955,7 @@ impl TaQim {
         match self {
             TaQim::Tree(qim) => qim.uncertainty_batch_into(threads, rows, scratch, out),
             TaQim::Forest(qim) => qim.uncertainty_batch_into(threads, rows, scratch, out),
+            TaQim::Conformal(qim) => qim.uncertainty_batch_into(threads, rows, scratch, out),
         }
     }
 
@@ -921,6 +969,7 @@ impl TaQim {
         match self {
             TaQim::Tree(qim) => qim.uncertainty_reference(features),
             TaQim::Forest(qim) => qim.uncertainty_reference(features),
+            TaQim::Conformal(qim) => qim.uncertainty_reference(features),
         }
     }
 
@@ -934,30 +983,36 @@ impl TaQim {
         match self {
             TaQim::Tree(qim) => qim.validate(),
             TaQim::Forest(qim) => qim.validate(),
+            TaQim::Conformal(qim) => qim.validate(),
         }
     }
 
-    /// Number of routing trees (1 for the single-tree shape).
+    /// Number of routing trees (1 for the single-tree shape, 0 for
+    /// leafless backends).
     pub fn n_trees(&self) -> usize {
         match self {
             TaQim::Tree(_) => 1,
             TaQim::Forest(qim) => qim.n_trees(),
+            TaQim::Conformal(_) => 0,
         }
     }
 
-    /// Total reachable leaves across all routing trees.
+    /// Total reachable leaves across all routing trees (0 for leafless
+    /// backends).
     pub fn n_leaves(&self) -> usize {
         match self {
             TaQim::Tree(qim) => qim.flat().n_leaves(),
             TaQim::Forest(qim) => qim.flat().n_leaves_total(),
+            TaQim::Conformal(_) => 0,
         }
     }
 
-    /// Number of features the model routes on.
+    /// Number of features the model reads.
     pub fn n_features(&self) -> usize {
         match self {
             TaQim::Tree(qim) => qim.tree().n_features(),
             TaQim::Forest(qim) => qim.n_features(),
+            TaQim::Conformal(qim) => qim.n_features(),
         }
     }
 
@@ -969,20 +1024,28 @@ impl TaQim {
         match self {
             TaQim::Tree(qim) => qim.min_uncertainty(),
             TaQim::Forest(qim) => qim.min_uncertainty(),
+            TaQim::Conformal(qim) => qim.min_uncertainty(),
         }
     }
 
     /// Calibration support behind the bound served for this feature
     /// vector: the routed leaf's calibration-sample count (minimum over
-    /// members for a forest). See [`CalibratedQim::route_support`].
+    /// members for a forest), or [`RouteSupport::Unsupported`] for a
+    /// leafless backend. See [`CalibratedQim::route_support`].
     ///
     /// # Errors
     ///
     /// Returns [`CoreError`] on feature-arity mismatch.
-    pub fn route_support(&self, features: &[f64]) -> Result<u64, CoreError> {
+    pub fn route_support(&self, features: &[f64]) -> Result<RouteSupport, CoreError> {
         match self {
-            TaQim::Tree(qim) => qim.route_support(features),
-            TaQim::Forest(qim) => qim.route_support(features),
+            TaQim::Tree(qim) => Ok(RouteSupport::Samples(qim.route_support(features)?)),
+            TaQim::Forest(qim) => Ok(RouteSupport::Samples(qim.route_support(features)?)),
+            TaQim::Conformal(qim) => {
+                // Leafless: validate the query like every other entry
+                // point, then say explicitly that no figure exists.
+                qim.uncertainty(features)?;
+                Ok(RouteSupport::Unsupported)
+            }
         }
     }
 
@@ -990,15 +1053,308 @@ impl TaQim {
     pub fn as_tree(&self) -> Option<&CalibratedQim> {
         match self {
             TaQim::Tree(qim) => Some(qim),
-            TaQim::Forest(_) => None,
+            _ => None,
         }
     }
 
     /// The forest model, if this is the forest shape.
     pub fn as_forest(&self) -> Option<&CalibratedForestQim> {
         match self {
-            TaQim::Tree(_) => None,
             TaQim::Forest(qim) => Some(qim),
+            _ => None,
+        }
+    }
+
+    /// The split-conformal model, if this is the conformal shape.
+    pub fn as_conformal(&self) -> Option<&ConformalQim> {
+        match self {
+            TaQim::Conformal(qim) => Some(qim),
+            _ => None,
+        }
+    }
+}
+
+mod sealed {
+    /// Seals [`super::QimBackend`]: the set of backends is closed over the
+    /// [`super::TaQim`] variants (plus the enum itself), so the serving
+    /// contract can evolve with the codebase without breaking downstream
+    /// implementors that could not be dispatched anyway.
+    pub trait Sealed {}
+    impl Sealed for super::CalibratedQim {}
+    impl Sealed for super::CalibratedForestQim {}
+    impl Sealed for crate::conformal::ConformalQim {}
+    impl Sealed for super::TaQim {}
+}
+
+/// The one serving contract every quality-impact-model backend fulfils —
+/// the seam wrapper, session and engine code is written against.
+///
+/// The trait is **sealed** over the [`TaQim`] variants (and `TaQim`
+/// itself, which implements it by delegation): serving stays a statically
+/// dispatched `match` on the enum, while this contract pins down, in one
+/// place, what a backend must provide and with which invariants.
+///
+/// # The contract
+///
+/// * [`uncertainty`](QimBackend::uncertainty) — the per-step serving
+///   routine; [`uncertainty_batch_into`](QimBackend::uncertainty_batch_into)
+///   — the scratch-threaded batch-major wave form, **bit-identical** to
+///   the per-sample form for every thread budget, appending to `out` in
+///   input order and leaving `out` untouched on error;
+/// * [`uncertainty_reference`](QimBackend::uncertainty_reference) — an
+///   independent recompute over a second model representation, asserted
+///   bitwise against serving by the determinism suite;
+/// * [`validate`](QimBackend::validate) — structural consistency of all
+///   stored representations (the persistence layer calls it on load);
+/// * [`route_support`](QimBackend::route_support) — calibration-support
+///   introspection with an explicit [`RouteSupport::Unsupported`] for
+///   leafless backends, so drift detection degrades gracefully;
+/// * [`artifact_kind_name`](QimBackend::artifact_kind_name) — the
+///   persistence kind tag under which the backend's standalone artifact
+///   envelope is registered (see `crate::persist`).
+///
+/// # Adding a backend
+///
+/// Implement the model type with the methods above (plus a deterministic
+/// `calibrate` constructor), add a [`TaQim`] variant and dispatch arms, a
+/// `BackendSpec` variant in `crate::tauw`, an `ArtifactKind` in
+/// `crate::persist` with round-trip/tamper/version tests, and extend the
+/// seam-generic proptest in `tests/properties.rs`. The engine and session
+/// layers need no changes — they only speak this contract.
+pub trait QimBackend: sealed::Sealed {
+    /// Dependable uncertainty for one feature vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    fn uncertainty(&self, features: &[f64]) -> Result<f64, CoreError>;
+
+    /// Batch-major [`QimBackend::uncertainty`]: one bound per row appended
+    /// to `out` in input order, staged through the caller-owned `scratch`,
+    /// bit-identical to the per-sample form for every thread budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch of **any** row;
+    /// `out` is untouched on error.
+    fn uncertainty_batch_into<R>(
+        &self,
+        threads: usize,
+        rows: &[R],
+        scratch: &mut ServingScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CoreError>
+    where
+        R: AsRef<[f64]> + Sync;
+
+    /// Independent recompute of [`QimBackend::uncertainty`] over a second
+    /// model representation, for bitwise verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    fn uncertainty_reference(&self, features: &[f64]) -> Result<f64, CoreError>;
+
+    /// Structural consistency of every stored representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on an inconsistent model.
+    fn validate(&self) -> Result<(), CoreError>;
+
+    /// Calibration support behind the bound this feature vector receives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on feature-arity mismatch.
+    fn route_support(&self, features: &[f64]) -> Result<RouteSupport, CoreError>;
+
+    /// Number of features the backend reads.
+    fn n_features(&self) -> usize;
+
+    /// The smallest uncertainty the backend actually serves.
+    fn min_uncertainty(&self) -> f64;
+
+    /// The persistence kind tag of the backend's standalone artifact
+    /// envelope (see `crate::persist`).
+    fn artifact_kind_name(&self) -> &'static str;
+}
+
+impl QimBackend for CalibratedQim {
+    fn uncertainty(&self, features: &[f64]) -> Result<f64, CoreError> {
+        self.uncertainty(features)
+    }
+
+    fn uncertainty_batch_into<R>(
+        &self,
+        threads: usize,
+        rows: &[R],
+        scratch: &mut ServingScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CoreError>
+    where
+        R: AsRef<[f64]> + Sync,
+    {
+        self.uncertainty_batch_into(threads, rows, scratch, out)
+    }
+
+    fn uncertainty_reference(&self, features: &[f64]) -> Result<f64, CoreError> {
+        self.uncertainty_reference(features)
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        self.validate()
+    }
+
+    fn route_support(&self, features: &[f64]) -> Result<RouteSupport, CoreError> {
+        Ok(RouteSupport::Samples(self.route_support(features)?))
+    }
+
+    fn n_features(&self) -> usize {
+        self.tree().n_features()
+    }
+
+    fn min_uncertainty(&self) -> f64 {
+        self.min_uncertainty()
+    }
+
+    fn artifact_kind_name(&self) -> &'static str {
+        "TreeQim"
+    }
+}
+
+impl QimBackend for CalibratedForestQim {
+    fn uncertainty(&self, features: &[f64]) -> Result<f64, CoreError> {
+        self.uncertainty(features)
+    }
+
+    fn uncertainty_batch_into<R>(
+        &self,
+        threads: usize,
+        rows: &[R],
+        scratch: &mut ServingScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CoreError>
+    where
+        R: AsRef<[f64]> + Sync,
+    {
+        self.uncertainty_batch_into(threads, rows, scratch, out)
+    }
+
+    fn uncertainty_reference(&self, features: &[f64]) -> Result<f64, CoreError> {
+        self.uncertainty_reference(features)
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        self.validate()
+    }
+
+    fn route_support(&self, features: &[f64]) -> Result<RouteSupport, CoreError> {
+        Ok(RouteSupport::Samples(self.route_support(features)?))
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features()
+    }
+
+    fn min_uncertainty(&self) -> f64 {
+        self.min_uncertainty()
+    }
+
+    fn artifact_kind_name(&self) -> &'static str {
+        "ForestQim"
+    }
+}
+
+impl QimBackend for ConformalQim {
+    fn uncertainty(&self, features: &[f64]) -> Result<f64, CoreError> {
+        self.uncertainty(features)
+    }
+
+    fn uncertainty_batch_into<R>(
+        &self,
+        threads: usize,
+        rows: &[R],
+        scratch: &mut ServingScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CoreError>
+    where
+        R: AsRef<[f64]> + Sync,
+    {
+        self.uncertainty_batch_into(threads, rows, scratch, out)
+    }
+
+    fn uncertainty_reference(&self, features: &[f64]) -> Result<f64, CoreError> {
+        self.uncertainty_reference(features)
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        self.validate()
+    }
+
+    fn route_support(&self, features: &[f64]) -> Result<RouteSupport, CoreError> {
+        // Leafless: validate the query, then report the absence of a
+        // per-region figure explicitly.
+        self.uncertainty(features)?;
+        Ok(RouteSupport::Unsupported)
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features()
+    }
+
+    fn min_uncertainty(&self) -> f64 {
+        self.min_uncertainty()
+    }
+
+    fn artifact_kind_name(&self) -> &'static str {
+        "ConformalQim"
+    }
+}
+
+impl QimBackend for TaQim {
+    fn uncertainty(&self, features: &[f64]) -> Result<f64, CoreError> {
+        self.uncertainty(features)
+    }
+
+    fn uncertainty_batch_into<R>(
+        &self,
+        threads: usize,
+        rows: &[R],
+        scratch: &mut ServingScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CoreError>
+    where
+        R: AsRef<[f64]> + Sync,
+    {
+        self.uncertainty_batch_into(threads, rows, scratch, out)
+    }
+
+    fn uncertainty_reference(&self, features: &[f64]) -> Result<f64, CoreError> {
+        self.uncertainty_reference(features)
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        self.validate()
+    }
+
+    fn route_support(&self, features: &[f64]) -> Result<RouteSupport, CoreError> {
+        self.route_support(features)
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features()
+    }
+
+    fn min_uncertainty(&self) -> f64 {
+        self.min_uncertainty()
+    }
+
+    fn artifact_kind_name(&self) -> &'static str {
+        match self {
+            TaQim::Tree(qim) => QimBackend::artifact_kind_name(qim),
+            TaQim::Forest(qim) => QimBackend::artifact_kind_name(qim),
+            TaQim::Conformal(qim) => QimBackend::artifact_kind_name(qim),
         }
     }
 }
@@ -1366,6 +1722,98 @@ mod tests {
         as_forest.validate().unwrap();
         assert_eq!(as_tree.min_uncertainty(), single.min_uncertainty());
         assert_eq!(as_forest.min_uncertainty(), forest_qim.min_uncertainty());
+
+        // The leafless backend dispatches through the same arms.
+        let conformal = crate::conformal::ConformalQim::calibrate(
+            &calib_samples(600, |x| x > 0.5),
+            &calib,
+            CalibrationOptions::default(),
+            crate::conformal::ConformalOptions::default(),
+        )
+        .unwrap();
+        let as_conf = TaQim::Conformal(conformal.clone());
+        assert_eq!(as_conf.n_trees(), 0);
+        assert_eq!(as_conf.n_leaves(), 0);
+        assert_eq!(as_conf.n_features(), 1);
+        assert!(as_conf.as_conformal().is_some());
+        assert!(as_conf.as_tree().is_none() && as_conf.as_forest().is_none());
+        assert!(as_tree.as_conformal().is_none() && as_forest.as_conformal().is_none());
+        for q in [[0.1], [0.5], [0.9]] {
+            assert_eq!(
+                as_conf.uncertainty(&q).unwrap().to_bits(),
+                conformal.uncertainty(&q).unwrap().to_bits()
+            );
+            assert_eq!(
+                as_conf.uncertainty_reference(&q).unwrap().to_bits(),
+                conformal.uncertainty_reference(&q).unwrap().to_bits()
+            );
+        }
+        as_conf.validate().unwrap();
+        assert_eq!(as_conf.min_uncertainty(), conformal.min_uncertainty());
+        assert_eq!(
+            as_conf.route_support(&[0.3]).unwrap(),
+            RouteSupport::Unsupported
+        );
+        assert!(as_conf.route_support(&[0.1, 0.2]).is_err());
+    }
+
+    /// Drives every backend through the sealed [`QimBackend`] contract via
+    /// a generic helper, so the trait surface itself is exercised (not
+    /// just the inherent methods it shadows).
+    #[test]
+    fn qim_backend_trait_agrees_with_inherent_dispatch() {
+        fn exercise<B: QimBackend>(backend: &B, expected_kind: &str) {
+            assert_eq!(backend.artifact_kind_name(), expected_kind);
+            assert_eq!(QimBackend::n_features(backend), 1);
+            backend.validate().unwrap();
+            let mut scratch = ServingScratch::default();
+            let rows = [vec![0.1], vec![0.5], vec![0.9]];
+            let mut out = Vec::new();
+            backend
+                .uncertainty_batch_into(1, &rows, &mut scratch, &mut out)
+                .unwrap();
+            for (row, served) in rows.iter().zip(&out) {
+                assert_eq!(
+                    served.to_bits(),
+                    QimBackend::uncertainty(backend, row).unwrap().to_bits()
+                );
+                assert_eq!(
+                    served.to_bits(),
+                    backend.uncertainty_reference(row).unwrap().to_bits()
+                );
+            }
+            let support = QimBackend::route_support(backend, &rows[0]).unwrap();
+            match support {
+                RouteSupport::Samples(n) => assert!(n >= 1),
+                RouteSupport::Unsupported => {}
+            }
+            assert!(QimBackend::min_uncertainty(backend) <= out[0]);
+            assert!(QimBackend::route_support(backend, &[0.1, 0.2]).is_err());
+        }
+
+        let calib = calib_samples(1000, |x| x > 0.5);
+        let single =
+            CalibratedQim::calibrate(trained_tree(400), &calib, CalibrationOptions::default())
+                .unwrap();
+        let forest_qim = CalibratedForestQim::calibrate(
+            trained_forest(3, 2, 400),
+            &calib,
+            CalibrationOptions::default(),
+        )
+        .unwrap();
+        let conformal = crate::conformal::ConformalQim::calibrate(
+            &calib_samples(600, |x| x > 0.5),
+            &calib,
+            CalibrationOptions::default(),
+            crate::conformal::ConformalOptions::default(),
+        )
+        .unwrap();
+        exercise(&single, "TreeQim");
+        exercise(&forest_qim, "ForestQim");
+        exercise(&conformal, "ConformalQim");
+        exercise(&TaQim::Tree(single), "TreeQim");
+        exercise(&TaQim::Forest(forest_qim), "ForestQim");
+        exercise(&TaQim::Conformal(conformal), "ConformalQim");
     }
 
     #[test]
@@ -1464,15 +1912,23 @@ mod tests {
             assert_eq!(qim.route_support(&q).unwrap(), expected);
         }
 
-        // Dispatch agrees with the underlying shapes.
+        // Dispatch wraps the per-leaf counts in `RouteSupport::Samples`.
         assert_eq!(
             TaQim::Tree(single.clone()).route_support(&[0.3]).unwrap(),
-            single.route_support(&[0.3]).unwrap()
+            RouteSupport::Samples(single.route_support(&[0.3]).unwrap())
         );
         assert_eq!(
             TaQim::Forest(qim.clone()).route_support(&[0.3]).unwrap(),
-            qim.route_support(&[0.3]).unwrap()
+            RouteSupport::Samples(qim.route_support(&[0.3]).unwrap())
         );
+        assert_eq!(
+            TaQim::Tree(single.clone())
+                .route_support(&[0.3])
+                .unwrap()
+                .samples(),
+            Some(single.route_support(&[0.3]).unwrap())
+        );
+        assert_eq!(RouteSupport::Unsupported.samples(), None);
         // Arity mismatches surface as errors, not panics.
         assert!(single.route_support(&[0.1, 0.2]).is_err());
         assert!(qim.route_support(&[0.1, 0.2]).is_err());

@@ -24,7 +24,11 @@
 //!   bound lookup table, bit-identical to the pointer tree. The taQIM can
 //!   also be a calibrated bootstrap **forest** (mean of per-member bounds,
 //!   served as `K` flat traversals) that smooths the hard split boundaries
-//!   of a single tree.
+//!   of a single tree. All taQIM backends plug into one sealed
+//!   [`calibration::QimBackend`] serving contract.
+//! * [`conformal`] — the first leafless taQIM backend: a **split-conformal**
+//!   model serving distribution-free bounds from a histogram base scorer
+//!   plus a one-sided conformal quantile shift.
 //! * [`scope`] — boundary-check scope compliance.
 //! * [`monitor`] — a simplex-style runtime gate over the estimates.
 //! * [`persist`] — versioned JSON artifacts: train offline, deploy frozen.
@@ -77,6 +81,7 @@
 pub mod adaptive;
 pub mod buffer;
 pub mod calibration;
+pub mod conformal;
 pub mod engine;
 pub mod error;
 pub mod monitor;
@@ -92,13 +97,17 @@ pub use adaptive::{
 };
 pub use buffer::{BufferEntry, TimeseriesBuffer};
 pub use calibration::{
-    CalibratedForestQim, CalibratedLeaf, CalibratedQim, CalibrationOptions, ServingScratch, TaQim,
+    CalibratedForestQim, CalibratedLeaf, CalibratedQim, CalibrationOptions, QimBackend,
+    RouteSupport, ServingScratch, TaQim,
 };
+pub use conformal::{ConformalOptions, ConformalQim};
 pub use engine::{StreamId, StreamStep, TauwEngine};
 pub use error::CoreError;
 pub use monitor::{MonitorDecision, MonitorStats, UncertaintyMonitor};
 pub use scope::{ScopeComplianceModel, ScopeVerdict};
 pub use taqf::{TaqfKind, TaqfSet, TaqfVector};
-pub use tauw::{replay, ReplayRow, TauwBuilder, TauwSession, TauwStep, TimeseriesAwareWrapper};
+pub use tauw::{
+    replay, BackendSpec, ReplayRow, TauwBuilder, TauwSession, TauwStep, TimeseriesAwareWrapper,
+};
 pub use training::{TrainingSeries, TrainingStep};
 pub use wrapper::{Explanation, UncertaintyEstimate, UncertaintyWrapper, WrapperBuilder};

@@ -8,7 +8,8 @@
 //! safety assessor has to sign off on.
 
 use crate::buffer::TimeseriesBuffer;
-use crate::calibration::CalibratedForestQim;
+use crate::calibration::{CalibratedForestQim, CalibratedQim};
+use crate::conformal::ConformalQim;
 use crate::error::CoreError;
 use crate::tauw::TimeseriesAwareWrapper;
 use crate::wrapper::UncertaintyWrapper;
@@ -27,8 +28,11 @@ use std::path::Path;
 /// the standalone `ForestQim` artifact kind; v4 adds the served-minimum
 /// bound to forest QIMs and the `AdaptiveState` artifact kind (per-stream
 /// online-calibration state, so a serving process restarts without losing
-/// adaptation).
-pub const FORMAT_VERSION: u32 = 4;
+/// adaptation); v5 adds the `Conformal` taQIM shape behind the
+/// [`crate::calibration::QimBackend`] seam plus the standalone `TreeQim`
+/// and `ConformalQim` artifact kinds, so every backend has its own
+/// deployable envelope.
+pub const FORMAT_VERSION: u32 = 5;
 
 /// Kind tag inside the envelope, so a stateless wrapper cannot be loaded
 /// where a timeseries-aware one is expected.
@@ -44,6 +48,12 @@ enum ArtifactKind {
     /// A standalone [`CalibratedForestQim`] (a boundary-smoothing forest
     /// quality impact model, deployable without a surrounding wrapper).
     ForestQim,
+    /// A standalone [`CalibratedQim`] (single calibrated tree quality
+    /// impact model, deployable without a surrounding wrapper).
+    TreeQim,
+    /// A standalone [`ConformalQim`] (leafless split-conformal quality
+    /// impact model, deployable without a surrounding wrapper).
+    ConformalQim,
     /// An [`crate::adaptive::AdaptiveState`] snapshot (one stream's online
     /// calibration state: coverage window, correction notch, last drift
     /// signal).
@@ -263,6 +273,112 @@ impl CalibratedForestQim {
     }
 }
 
+impl CalibratedQim {
+    /// Serializes the calibrated tree QIM (pruned pointer tree, compiled
+    /// flat serving form, leaf-ID-indexed bound table) to a versioned JSON
+    /// artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if serialization fails.
+    pub fn to_artifact_json(&self) -> Result<String, CoreError> {
+        to_json(ArtifactKind::TreeQim, self)
+    }
+
+    /// Loads a calibrated tree QIM from a JSON artifact produced by
+    /// [`CalibratedQim::to_artifact_json`], re-validating every invariant
+    /// (flat form consistent with the pointer tree, bound table aligned
+    /// with the leaves).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on malformed JSON, a format
+    /// version mismatch, a wrong artifact kind, or an internally
+    /// inconsistent model (e.g. a hand-edited bound table).
+    pub fn from_artifact_json(json: &str) -> Result<Self, CoreError> {
+        let model: Self = from_json(ArtifactKind::TreeQim, json)?;
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Writes the artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on serialization or I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let json = self.to_artifact_json()?;
+        std::fs::write(path.as_ref(), json).map_err(|e| CoreError::InvalidInput {
+            reason: format!("writing artifact failed: {e}"),
+        })
+    }
+
+    /// Reads an artifact file written by [`CalibratedQim::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on I/O or format errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let json = std::fs::read_to_string(path.as_ref()).map_err(|e| CoreError::InvalidInput {
+            reason: format!("reading artifact failed: {e}"),
+        })?;
+        Self::from_artifact_json(&json)
+    }
+}
+
+impl ConformalQim {
+    /// Serializes the split-conformal QIM (histogram ranges, nested and
+    /// flat rate tables, conformal quantile shift) to a versioned JSON
+    /// artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if serialization fails.
+    pub fn to_artifact_json(&self) -> Result<String, CoreError> {
+        to_json(ArtifactKind::ConformalQim, self)
+    }
+
+    /// Loads a split-conformal QIM from a JSON artifact produced by
+    /// [`ConformalQim::to_artifact_json`], re-validating every invariant
+    /// (flat table bitwise consistent with the nested one, rates and
+    /// shift in range, served minimum attainable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on malformed JSON, a format
+    /// version mismatch, a wrong artifact kind, or an internally
+    /// inconsistent model (e.g. a hand-edited rate table).
+    pub fn from_artifact_json(json: &str) -> Result<Self, CoreError> {
+        let model: Self = from_json(ArtifactKind::ConformalQim, json)?;
+        model.validate()?;
+        Ok(model)
+    }
+
+    /// Writes the artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on serialization or I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let json = self.to_artifact_json()?;
+        std::fs::write(path.as_ref(), json).map_err(|e| CoreError::InvalidInput {
+            reason: format!("writing artifact failed: {e}"),
+        })
+    }
+
+    /// Reads an artifact file written by [`ConformalQim::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on I/O or format errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let json = std::fs::read_to_string(path.as_ref()).map_err(|e| CoreError::InvalidInput {
+            reason: format!("reading artifact failed: {e}"),
+        })?;
+        Self::from_artifact_json(&json)
+    }
+}
+
 impl TimeseriesBuffer {
     /// Serializes the buffer (window contents in temporal order, bound,
     /// lifetime step counter) to a versioned JSON artifact — a snapshot of
@@ -381,7 +497,8 @@ impl crate::adaptive::AdaptiveState {
 mod tests {
     use super::*;
     use crate::calibration::CalibrationOptions;
-    use crate::tauw::TauwBuilder;
+    use crate::conformal::ConformalOptions;
+    use crate::tauw::{BackendSpec, TauwBuilder};
     use crate::training::{TrainingSeries, TrainingStep};
     use crate::wrapper::WrapperBuilder;
 
@@ -480,7 +597,24 @@ mod tests {
             ..Default::default()
         });
         let mut b = TauwBuilder::new();
-        b.wrapper(wb).forest(3, 0xF0E);
+        b.wrapper(wb).backend(BackendSpec::Forest {
+            n_trees: 3,
+            seed: 0xF0E,
+        });
+        b.fit(vec!["q".into()], &toy_series(200, 1), &toy_series(200, 2))
+            .unwrap()
+    }
+
+    fn fitted_conformal() -> TimeseriesAwareWrapper {
+        let mut wb = WrapperBuilder::new();
+        wb.max_depth(3).calibration(CalibrationOptions {
+            min_samples_per_leaf: 50,
+            confidence: 0.99,
+            ..Default::default()
+        });
+        let mut b = TauwBuilder::new();
+        b.wrapper(wb)
+            .backend(BackendSpec::Conformal(ConformalOptions::default()));
         b.fit(vec!["q".into()], &toy_series(200, 1), &toy_series(200, 2))
             .unwrap()
     }
@@ -568,6 +702,129 @@ mod tests {
         ));
         qim.save(&path).unwrap();
         let back = CalibratedForestQim::load(&path).unwrap();
+        assert_eq!(qim, &back);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn tree_qim_artifact_roundtrips_byte_for_byte() {
+        // Satellite of the backend seam: the single tree gets its own
+        // standalone envelope like every other backend.
+        let tauw = fitted();
+        let qim = tauw.taqim().as_tree().unwrap();
+        let json = qim.to_artifact_json().unwrap();
+        let back = crate::calibration::CalibratedQim::from_artifact_json(&json).unwrap();
+        assert_eq!(qim, &back);
+        assert_eq!(json, back.to_artifact_json().unwrap());
+        for q in [
+            [0.1, 1.0, 1.0, 1.0, 0.9],
+            [0.5, 0.6, 5.0, 2.0, 2.5],
+            [0.9, 0.3, 9.0, 3.0, 1.1],
+        ] {
+            assert_eq!(
+                qim.uncertainty(&q).unwrap().to_bits(),
+                back.uncertainty(&q).unwrap().to_bits()
+            );
+        }
+        // A tree envelope is not a forest or conformal one.
+        assert!(CalibratedForestQim::from_artifact_json(&json).is_err());
+        assert!(ConformalQim::from_artifact_json(&json).is_err());
+    }
+
+    #[test]
+    fn conformal_wrapper_roundtrips_with_bit_identical_estimates() {
+        let tauw = fitted_conformal();
+        assert!(tauw.taqim().as_conformal().is_some());
+        let json = tauw.to_artifact_json().unwrap();
+        let back = TimeseriesAwareWrapper::from_artifact_json(&json).unwrap();
+        assert_eq!(tauw, back);
+        // Byte-for-byte: re-serializing the loaded wrapper reproduces the
+        // artifact exactly (canonical layout, no representation drift).
+        assert_eq!(json, back.to_artifact_json().unwrap());
+        let mut s1 = tauw.new_session();
+        let mut s2 = back.new_session();
+        for (qf, outcome) in [(0.1, 0u32), (0.9, 1), (0.9, 1), (0.5, 0)] {
+            let a = s1.step(&[qf], outcome).unwrap();
+            let b = s2.step(&[qf], outcome).unwrap();
+            assert_eq!(a.uncertainty.to_bits(), b.uncertainty.to_bits());
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn conformal_qim_artifact_roundtrips_byte_for_byte() {
+        let tauw = fitted_conformal();
+        let qim = tauw.taqim().as_conformal().unwrap();
+        let json = qim.to_artifact_json().unwrap();
+        let back = ConformalQim::from_artifact_json(&json).unwrap();
+        assert_eq!(qim, &back);
+        assert_eq!(json, back.to_artifact_json().unwrap());
+        for q in [
+            [0.1, 1.0, 1.0, 1.0, 0.9],
+            [0.5, 0.6, 5.0, 2.0, 2.5],
+            [0.9, 0.3, 9.0, 3.0, 1.1],
+        ] {
+            assert_eq!(
+                qim.uncertainty(&q).unwrap().to_bits(),
+                back.uncertainty(&q).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn conformal_qim_artifact_rejects_tampering_and_stale_versions() {
+        let tauw = fitted_conformal();
+        let qim = tauw.taqim().as_conformal().unwrap();
+        let json = qim.to_artifact_json().unwrap();
+
+        // Desynchronize the flat rate table from the nested one: splice an
+        // extra entry into the flat array.
+        let field = json.find("\"flat_rates\"").expect("field present");
+        let bracket = field + json[field..].find('[').expect("array opens");
+        let mut tampered = json.clone();
+        tampered.insert_str(bracket + 1, " 0.123456789,");
+        assert_ne!(tampered, json, "tamper edit must hit the artifact");
+        match ConformalQim::from_artifact_json(&tampered) {
+            Err(CoreError::InvalidInput { reason }) => {
+                // The splice desynchronizes the table length, which the
+                // shape check reports before the bitwise comparison runs.
+                assert!(reason.contains("flat rate"), "reason: {reason}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+
+        // A wrapper artifact is not a standalone conformal QIM.
+        let wrapper_json = tauw.to_artifact_json().unwrap();
+        assert!(ConformalQim::from_artifact_json(&wrapper_json).is_err());
+
+        // Stale format version: refused with the version message naming
+        // the kind, before any model payload is read.
+        let stale = r#"{"format_version": 4, "kind": "ConformalQim", "model": {}}"#;
+        match ConformalQim::from_artifact_json(stale) {
+            Err(CoreError::InvalidInput { reason }) => {
+                assert!(
+                    reason.contains("format version 4 is not supported")
+                        && reason.contains("ConformalQim artifact"),
+                    "reason: {reason}"
+                );
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+
+        // The untampered artifact still loads.
+        assert!(ConformalQim::from_artifact_json(&json).is_ok());
+    }
+
+    #[test]
+    fn conformal_qim_save_and_load_file() {
+        let tauw = fitted_conformal();
+        let qim = tauw.taqim().as_conformal().unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "tauw_conformal_qim_persist_test_{}.json",
+            std::process::id()
+        ));
+        qim.save(&path).unwrap();
+        let back = ConformalQim::load(&path).unwrap();
         assert_eq!(qim, &back);
         let _ = std::fs::remove_file(path);
     }

@@ -12,8 +12,9 @@
 
 use crate::buffer::TimeseriesBuffer;
 use crate::calibration::{
-    CalibratedForestQim, CalibratedQim, CalibrationOptions, ServingScratch, TaQim,
+    CalibratedForestQim, CalibratedQim, CalibrationOptions, RouteSupport, ServingScratch, TaQim,
 };
+use crate::conformal::{ConformalOptions, ConformalQim};
 use crate::error::CoreError;
 use crate::taqf::{TaqfSet, TaqfVector};
 use crate::training::{flatten_stateless, validate_series, TrainingSeries};
@@ -48,12 +49,29 @@ pub struct TauwStep {
     pub drift: crate::adaptive::DriftSignal,
 }
 
-/// Configuration of a forest taQIM: how many bootstrap members, resampled
-/// from which root seed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ForestConfig {
-    n_trees: usize,
-    seed: u64,
+/// Which taQIM backend [`TauwBuilder::fit`] trains behind the
+/// [`crate::calibration::QimBackend`] seam.
+///
+/// Every variant trains deterministically and serves through the same
+/// session/engine wave path; see the trait docs for the full contract.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum BackendSpec {
+    /// The paper's single calibrated CART tree (the default).
+    #[default]
+    Tree,
+    /// A calibrated bootstrap forest: `n_trees` members resampled
+    /// deterministically from `seed`, serving the mean of per-member
+    /// bounds (smooths the hard split boundaries of a single tree).
+    Forest {
+        /// Number of bootstrap members.
+        n_trees: usize,
+        /// Root seed the member resamples derive from.
+        seed: u64,
+    },
+    /// A leafless split-conformal model: histogram base scorer fit on the
+    /// training replay, one-sided conformal quantile shift calibrated on
+    /// the calibration replay (see [`crate::conformal::ConformalQim`]).
+    Conformal(ConformalOptions),
 }
 
 /// Builder/trainer for [`TimeseriesAwareWrapper`].
@@ -61,7 +79,7 @@ struct ForestConfig {
 pub struct TauwBuilder {
     stateless: WrapperBuilder,
     taqf_set: TaqfSet,
-    forest: Option<ForestConfig>,
+    backend: BackendSpec,
 }
 
 impl Default for TauwBuilder {
@@ -69,7 +87,7 @@ impl Default for TauwBuilder {
         TauwBuilder {
             stateless: WrapperBuilder::new(),
             taqf_set: TaqfSet::FULL,
-            forest: None,
+            backend: BackendSpec::Tree,
         }
     }
 }
@@ -96,19 +114,18 @@ impl TauwBuilder {
         self
     }
 
-    /// Makes the taQIM a calibrated bootstrap **forest** of `n_trees`
-    /// members resampled deterministically from `seed`, instead of the
-    /// paper's single tree. The members share the wrapper's tree
-    /// hyper-parameters, train in parallel (bit-identical for every thread
-    /// budget), and the served uncertainty is the mean of the members'
-    /// calibrated leaf bounds — smoothing the hard split boundaries of a
-    /// single tree at a serving cost of `n_trees` flat traversals.
+    /// Selects the taQIM backend trained behind the
+    /// [`crate::calibration::QimBackend`] seam: the paper's single tree
+    /// (the default), a boundary-smoothing bootstrap forest, or the
+    /// leafless split-conformal model. Every choice trains
+    /// deterministically and serves through the same session/engine step
+    /// routine.
     ///
     /// # Examples
     ///
     /// ```
     /// use tauw_core::calibration::CalibrationOptions;
-    /// use tauw_core::tauw::TauwBuilder;
+    /// use tauw_core::tauw::{BackendSpec, TauwBuilder};
     /// use tauw_core::training::{TrainingSeries, TrainingStep};
     /// use tauw_core::wrapper::WrapperBuilder;
     ///
@@ -134,7 +151,7 @@ impl TauwBuilder {
     ///     ..Default::default()
     /// });
     /// let mut builder = TauwBuilder::new();
-    /// builder.wrapper(wb).forest(4, 42);
+    /// builder.wrapper(wb).backend(BackendSpec::Forest { n_trees: 4, seed: 42 });
     /// let tauw = builder.fit(vec!["q".into()], &train, &calib)?;
     /// assert_eq!(tauw.taqim().n_trees(), 4);
     ///
@@ -144,15 +161,23 @@ impl TauwBuilder {
     /// assert!(step.uncertainty > 0.0 && step.uncertainty < 0.5);
     /// # Ok::<(), tauw_core::CoreError>(())
     /// ```
-    pub fn forest(&mut self, n_trees: usize, seed: u64) -> &mut Self {
-        self.forest = Some(ForestConfig { n_trees, seed });
+    pub fn backend(&mut self, spec: BackendSpec) -> &mut Self {
+        self.backend = spec;
         self
     }
 
-    /// Restores the default single-tree taQIM.
+    /// Deprecated shim for [`TauwBuilder::backend`] with
+    /// [`BackendSpec::Forest`].
+    #[deprecated(since = "0.8.0", note = "use `backend(BackendSpec::Forest { .. })`")]
+    pub fn forest(&mut self, n_trees: usize, seed: u64) -> &mut Self {
+        self.backend(BackendSpec::Forest { n_trees, seed })
+    }
+
+    /// Deprecated shim for [`TauwBuilder::backend`] with
+    /// [`BackendSpec::Tree`].
+    #[deprecated(since = "0.8.0", note = "use `backend(BackendSpec::Tree)`")]
     pub fn single_tree(&mut self) -> &mut Self {
-        self.forest = None;
-        self
+        self.backend(BackendSpec::Tree)
     }
 
     /// Trains the full taUW pipeline:
@@ -223,24 +248,20 @@ impl TauwBuilder {
                 reason: "replay rows are empty".into(),
             });
         }
-        let ta_names = ta_feature_names(feature_names, self.taqf_set);
-        let mut ds = Dataset::new(ta_names, 2)?;
-        ds.reserve(train_replay.len());
-        for row in train_replay {
-            ds.push_row(&row.ta_features(self.taqf_set), u32::from(row.fused_failed))?;
-        }
         let calib_rows: Vec<(Vec<f64>, bool)> = calib_replay
             .iter()
             .map(|row| (row.ta_features(self.taqf_set), row.fused_failed))
             .collect();
         let options = self.calibration_options();
-        let taqim = match self.forest {
-            None => {
+        let taqim = match self.backend {
+            BackendSpec::Tree => {
+                let ds = self.ta_dataset(feature_names, train_replay)?;
                 let tree = clone_tree_builder(&self.stateless).fit(&ds)?;
                 TaQim::Tree(CalibratedQim::calibrate(tree, &calib_rows, options)?)
             }
-            Some(config) => {
-                let mut forest_builder = ForestBuilder::new(config.n_trees, config.seed);
+            BackendSpec::Forest { n_trees, seed } => {
+                let ds = self.ta_dataset(feature_names, train_replay)?;
+                let mut forest_builder = ForestBuilder::new(n_trees, seed);
                 forest_builder.tree(clone_tree_builder(&self.stateless));
                 let forest = forest_builder.fit(&ds)?;
                 TaQim::Forest(CalibratedForestQim::calibrate(
@@ -249,12 +270,42 @@ impl TauwBuilder {
                     options,
                 )?)
             }
+            BackendSpec::Conformal(conformal) => {
+                // The leafless backend consumes labelled rows directly —
+                // no tree dataset is built.
+                let train_rows: Vec<(Vec<f64>, bool)> = train_replay
+                    .iter()
+                    .map(|row| (row.ta_features(self.taqf_set), row.fused_failed))
+                    .collect();
+                TaQim::Conformal(ConformalQim::calibrate(
+                    &train_rows,
+                    &calib_rows,
+                    options,
+                    conformal,
+                )?)
+            }
         };
         Ok(TimeseriesAwareWrapper {
             stateless,
             taqim,
             taqf_set: self.taqf_set,
         })
+    }
+
+    /// Assembles the taQIM training dataset `[stateless QFs ‖ selected
+    /// taQFs] → fused-failure label` for the tree-shaped backends.
+    fn ta_dataset(
+        &self,
+        feature_names: &[String],
+        train_replay: &[ReplayRow],
+    ) -> Result<Dataset, CoreError> {
+        let ta_names = ta_feature_names(feature_names, self.taqf_set);
+        let mut ds = Dataset::new(ta_names, 2)?;
+        ds.reserve(train_replay.len());
+        for row in train_replay {
+            ds.push_row(&row.ta_features(self.taqf_set), u32::from(row.fused_failed))?;
+        }
+        Ok(ds)
     }
 
     fn calibration_options(&self) -> CalibrationOptions {
@@ -408,8 +459,8 @@ impl TimeseriesAwareWrapper {
     }
 
     /// The calibrated timeseries-aware quality impact model — a single
-    /// tree by default, a boundary-smoothing forest when trained with
-    /// [`TauwBuilder::forest`].
+    /// tree by default; see [`TauwBuilder::backend`] and [`BackendSpec`]
+    /// for the other shapes.
     pub fn taqim(&self) -> &TaQim {
         &self.taqim
     }
@@ -553,7 +604,8 @@ impl TimeseriesAwareWrapper {
 
     /// How many calibration samples routed to the leaf combination the
     /// taQIM serves for this step's `[stateless QFs ‖ selected taQFs]`
-    /// feature vector (minimum over members for a forest). The adaptive
+    /// feature vector (minimum over members for a forest), or
+    /// [`RouteSupport::Unsupported`] for a leafless backend. The adaptive
     /// layer uses this to separate epistemic drift (thin calibration
     /// support) from aleatoric noise — see
     /// [`crate::adaptive::AdaptiveState::classify`].
@@ -565,7 +617,7 @@ impl TimeseriesAwareWrapper {
         &self,
         quality_factors: &[f64],
         taqf: &TaqfVector,
-    ) -> Result<u64, CoreError> {
+    ) -> Result<RouteSupport, CoreError> {
         self.route_support_with_scratch(&mut ServingScratch::new(), quality_factors, taqf)
     }
 
@@ -583,7 +635,7 @@ impl TimeseriesAwareWrapper {
         scratch: &mut ServingScratch,
         quality_factors: &[f64],
         taqf: &TaqfVector,
-    ) -> Result<u64, CoreError> {
+    ) -> Result<RouteSupport, CoreError> {
         scratch.features.clear();
         scratch.features.extend_from_slice(quality_factors);
         scratch.features.extend(self.taqf_set.select(taqf));
@@ -834,7 +886,10 @@ mod tests {
         let train = make_series(300, 1, 10);
         let calib = make_series(300, 2, 10);
         let mut b = small_builder();
-        b.forest(4, 0xF0);
+        b.backend(BackendSpec::Forest {
+            n_trees: 4,
+            seed: 0xF0,
+        });
         let w = b.fit(vec!["q".into()], &train, &calib).unwrap();
         assert_eq!(w.taqim().n_trees(), 4);
         assert!(w.taqim().as_forest().is_some());
@@ -852,12 +907,64 @@ mod tests {
             let reference = w.taqim().uncertainty_reference(&features).unwrap();
             assert_eq!(out.uncertainty.to_bits(), reference.to_bits());
         }
-        // `single_tree` restores the default shape.
+        // `backend(BackendSpec::Tree)` restores the default shape.
         let mut b2 = small_builder();
-        b2.forest(4, 0xF0).single_tree();
+        b2.backend(BackendSpec::Forest {
+            n_trees: 4,
+            seed: 0xF0,
+        })
+        .backend(BackendSpec::Tree);
         let w2 = b2.fit(vec!["q".into()], &train, &calib).unwrap();
         assert_eq!(w2.taqim().n_trees(), 1);
         assert!(w2.taqim().as_tree().is_some());
+    }
+
+    /// The deprecated builder shims must keep steering the new
+    /// `BackendSpec` field so downstream callers migrate incrementally.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_map_onto_backend_spec() {
+        let mut b = small_builder();
+        b.forest(4, 0xF0);
+        assert_eq!(
+            b.backend,
+            BackendSpec::Forest {
+                n_trees: 4,
+                seed: 0xF0
+            }
+        );
+        b.single_tree();
+        assert_eq!(b.backend, BackendSpec::Tree);
+    }
+
+    #[test]
+    fn conformal_taqim_fits_and_serves_through_sessions() {
+        let train = make_series(300, 1, 10);
+        let calib = make_series(300, 2, 10);
+        let mut b = small_builder();
+        b.backend(BackendSpec::Conformal(ConformalOptions::default()));
+        let w = b.fit(vec!["q".into()], &train, &calib).unwrap();
+        assert_eq!(w.taqim().n_trees(), 0, "leafless backend");
+        assert!(w.taqim().as_conformal().is_some());
+        w.validate().unwrap();
+        let mut s = w.new_session();
+        for i in 0..8 {
+            let out = s.step(&[0.3], if i % 4 == 0 { 3 } else { 7 }).unwrap();
+            assert!(out.uncertainty > 0.0 && out.uncertainty <= 1.0);
+            // The per-step estimate is the shared ta_uncertainty routine.
+            let again = w.ta_uncertainty(&[0.3], &out.taqf).unwrap();
+            assert_eq!(out.uncertainty.to_bits(), again.to_bits());
+            // And the nested-table reference recompute agrees bitwise.
+            let mut features = vec![0.3];
+            features.extend(w.taqf_set().select(&out.taqf));
+            let reference = w.taqim().uncertainty_reference(&features).unwrap();
+            assert_eq!(out.uncertainty.to_bits(), reference.to_bits());
+            // Leafless: support introspection degrades explicitly.
+            assert_eq!(
+                w.route_support(&[0.3], &out.taqf).unwrap(),
+                RouteSupport::Unsupported
+            );
+        }
     }
 
     #[test]
@@ -866,7 +973,7 @@ mod tests {
         let calib = make_series(200, 4, 10);
         let fit = |seed: u64| {
             let mut b = small_builder();
-            b.forest(3, seed);
+            b.backend(BackendSpec::Forest { n_trees: 3, seed });
             b.fit(vec!["q".into()], &train, &calib).unwrap()
         };
         let a = fit(7);
@@ -881,7 +988,7 @@ mod tests {
     }
 
     /// Acceptance pin: steady-state stepping performs no per-step heap
-    /// allocation on either taQIM shape. With a bounded (ring) buffer and a
+    /// allocation on any taQIM shape. With a bounded (ring) buffer and a
     /// warmed scratch, the only growable buffer on the step path is
     /// `scratch.features` — asserting its pointer and capacity stay fixed
     /// across hundreds of steps proves it is reused in place rather than
@@ -893,11 +1000,19 @@ mod tests {
         let calib = make_series(300, 2, 10);
         let tree_wrapper = fitted();
         let mut forest_builder = small_builder();
-        forest_builder.forest(4, 0xF0);
+        forest_builder.backend(BackendSpec::Forest {
+            n_trees: 4,
+            seed: 0xF0,
+        });
         let forest_wrapper = forest_builder
             .fit(vec!["q".into()], &train, &calib)
             .unwrap();
-        for w in [&tree_wrapper, &forest_wrapper] {
+        let mut conformal_builder = small_builder();
+        conformal_builder.backend(BackendSpec::Conformal(ConformalOptions::default()));
+        let conformal_wrapper = conformal_builder
+            .fit(vec!["q".into()], &train, &calib)
+            .unwrap();
+        for w in [&tree_wrapper, &forest_wrapper, &conformal_wrapper] {
             let mut buffer = TimeseriesBuffer::bounded(8);
             let mut twin = TimeseriesBuffer::bounded(8);
             let mut scratch = ServingScratch::new();

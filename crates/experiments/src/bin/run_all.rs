@@ -10,7 +10,7 @@ use std::process::Command;
 use tauw_experiments::report::section;
 use tauw_experiments::CliOptions;
 
-const BINARIES: [&str; 12] = [
+const BINARIES: [&str; 13] = [
     "fig4",
     "fig5",
     "table1",
@@ -22,6 +22,7 @@ const BINARIES: [&str; 12] = [
     "extended_taqf",
     "if_ablation",
     "forest_ablation",
+    "conformal_head_to_head",
     "drift_adaptation",
 ];
 

@@ -4,7 +4,8 @@
 
 use crate::convert::to_training_series;
 use tauw_core::calibration::CalibrationOptions;
-use tauw_core::tauw::{replay, ReplayRow, TauwBuilder, TimeseriesAwareWrapper};
+use tauw_core::conformal::ConformalOptions;
+use tauw_core::tauw::{replay, BackendSpec, ReplayRow, TauwBuilder, TimeseriesAwareWrapper};
 use tauw_core::training::{flatten_stateless, TrainingSeries};
 use tauw_core::wrapper::{UncertaintyWrapper, WrapperBuilder};
 use tauw_core::CoreError;
@@ -161,7 +162,36 @@ impl ExperimentContext {
         let mut builder = TauwBuilder::new();
         builder
             .wrapper(configured_wrapper_builder(self.calibration))
-            .forest(n_trees, seed);
+            .backend(BackendSpec::Forest { n_trees, seed });
+        builder.fit_reusing_stateless(
+            self.tauw.stateless().clone(),
+            &self.feature_names,
+            &self.train_replay,
+            &self.calib_replay,
+        )
+    }
+
+    /// Builds a taUW variant whose taQIM is the leafless **split-conformal**
+    /// backend, calibrated at `confidence = 1 − α`, reusing the stateless
+    /// wrapper and replay rows (the distribution-free head-to-head and the
+    /// tree-vs-conformal bench row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on an invalid configuration or empty splits.
+    pub fn tauw_conformal_variant(
+        &self,
+        options: ConformalOptions,
+        confidence: f64,
+    ) -> Result<TimeseriesAwareWrapper, CoreError> {
+        let calibration = CalibrationOptions {
+            confidence,
+            ..self.calibration
+        };
+        let mut builder = TauwBuilder::new();
+        builder
+            .wrapper(configured_wrapper_builder(calibration))
+            .backend(BackendSpec::Conformal(options));
         builder.fit_reusing_stateless(
             self.tauw.stateless().clone(),
             &self.feature_names,
@@ -229,6 +259,28 @@ mod tests {
         assert_eq!(forest.taqim().n_features(), ctx.feature_names.len() + 4);
         let again = ctx.tauw_forest_variant(4, 0xF0).unwrap();
         assert_eq!(forest, again, "forest variant must be seed-deterministic");
+    }
+
+    #[test]
+    fn conformal_variant_builds_and_serves() {
+        let ctx = ExperimentContext::build(0.02, 7).unwrap();
+        let conformal = ctx
+            .tauw_conformal_variant(ConformalOptions::default(), 0.9)
+            .unwrap();
+        assert!(conformal.taqim().as_conformal().is_some());
+        assert_eq!(
+            conformal.taqim().n_features(),
+            ctx.feature_names.len() + 4,
+            "stateless QFs + all four taQFs"
+        );
+        let again = ctx
+            .tauw_conformal_variant(ConformalOptions::default(), 0.9)
+            .unwrap();
+        assert_eq!(conformal, again, "conformal variant must be deterministic");
+        // Serves through an ordinary session.
+        let mut s = conformal.new_session();
+        let step = s.step(&vec![0.5; ctx.feature_names.len()], 0).unwrap();
+        assert!(step.uncertainty > 0.0 && step.uncertainty <= 1.0);
     }
 
     #[test]

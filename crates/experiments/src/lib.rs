@@ -16,6 +16,7 @@
 //! | `extended_taqf`   | future work    | candidate features beyond taQF1-4 (paper RQ3 closing question) |
 //! | `if_ablation`     | §2 related wk  | majority vs weighted vs windowed vs latest-only fusion |
 //! | `forest_ablation` | related wk     | single-tree taQIM vs boundary-smoothed bootstrap forests (K=4, K=16): Brier, AUC, estimate granularity |
+//! | `conformal_head_to_head` | related wk | split-conformal backend vs tree and forest16: Brier, AUC, distinct levels, empirical coverage vs nominal |
 //! | `drift_adaptation`| future work    | mid-stream regime switch: adaptive coverage-tracked bounds vs the paper's frozen bounds |
 //! | `run_all`         | —              | everything above in one run |
 //!

@@ -35,7 +35,7 @@ import json
 import os
 import sys
 
-SCHEMA = "tauw-bench-baseline/v6"
+SCHEMA = "tauw-bench-baseline/v7"
 
 # Rows whose contender is the batch-major flat serving path and whose
 # baseline is the per-sample pointer walk: flat must not trail pointer on

@@ -2,7 +2,7 @@
 //! calibration, runtime estimates — is a pure function of (config, seed).
 
 use tauw_suite::core::calibration::CalibrationOptions;
-use tauw_suite::core::tauw::TauwBuilder;
+use tauw_suite::core::tauw::{BackendSpec, TauwBuilder};
 use tauw_suite::core::training::{TrainingSeries, TrainingStep};
 use tauw_suite::core::wrapper::WrapperBuilder;
 use tauw_suite::sim::{DatasetBuilder, QualityObservation, SeriesRecord, SimConfig};
@@ -437,7 +437,10 @@ fn forest_engine_serving_is_bit_identical_across_thread_budgets_and_to_reference
     });
     let fit = || {
         let mut builder = TauwBuilder::new();
-        builder.wrapper(wb.clone()).forest(4, 0xF0E57);
+        builder.wrapper(wb.clone()).backend(BackendSpec::Forest {
+            n_trees: 4,
+            seed: 0xF0E57,
+        });
         builder
             .fit(
                 QualityObservation::feature_names(),

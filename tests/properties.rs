@@ -762,6 +762,102 @@ proptest! {
     }
 
     #[test]
+    fn backend_seam_batch_per_sample_and_reference_agree_bitwise(
+        // The seam contract, checked generically for every registered
+        // backend (tree, forest, conformal — bare and TaQim-wrapped): the
+        // batch-major `uncertainty_batch_into` wave, the per-sample
+        // `uncertainty` path, and the `uncertainty_reference` recompute
+        // are bitwise identical, under NaN-injected queries (bit 0 of the
+        // mask poisons the feature) and every thread budget.
+        rows in prop::collection::vec((0.0f64..1.0, prop::bool::ANY), 60..200),
+        queries in prop::collection::vec((0.0f64..1.0, 0u8..2), 1..30),
+        depth in 1usize..5,
+        k in 1usize..4,
+        bins in 2usize..24,
+        seed in 0u64..u64::MAX,
+    ) {
+        use tauw_suite::core::calibration::{
+            CalibratedForestQim, CalibratedQim, CalibrationOptions, QimBackend,
+            ServingScratch, TaQim,
+        };
+        use tauw_suite::core::conformal::{ConformalOptions, ConformalQim};
+        use tauw_suite::dtree::{Dataset, ForestBuilder, TreeBuilder};
+
+        /// One backend through the whole contract: bounds in [0, 1],
+        /// serving == reference bitwise, batch == per-sample bitwise for
+        /// threads 1/2/8 (appended after a sentinel that must survive).
+        fn exercise<B: QimBackend>(
+            backend: &B,
+            query_rows: &[Vec<f64>],
+        ) -> Result<(), TestCaseError> {
+            backend.validate().unwrap();
+            let serial: Vec<f64> = query_rows
+                .iter()
+                .map(|q| backend.uncertainty(q).unwrap())
+                .collect();
+            for (q, &u) in query_rows.iter().zip(&serial) {
+                prop_assert!((0.0..=1.0).contains(&u));
+                prop_assert_eq!(
+                    u.to_bits(),
+                    backend.uncertainty_reference(q).unwrap().to_bits()
+                );
+            }
+            let mut scratch = ServingScratch::new();
+            for threads in [1usize, 2, 8] {
+                let mut out = vec![f64::NEG_INFINITY];
+                backend
+                    .uncertainty_batch_into(threads, query_rows, &mut scratch, &mut out)
+                    .unwrap();
+                prop_assert_eq!(out[0], f64::NEG_INFINITY);
+                prop_assert_eq!(out.len(), 1 + query_rows.len());
+                for (&got, &want) in out[1..].iter().zip(&serial) {
+                    prop_assert_eq!(got.to_bits(), want.to_bits());
+                }
+            }
+            Ok(())
+        }
+
+        let mut ds = Dataset::new(vec!["x".into()], 2).unwrap();
+        for (x, failed) in &rows {
+            ds.push_row(&[*x], u32::from(*failed)).unwrap();
+        }
+        let calib: Vec<(Vec<f64>, bool)> =
+            rows.iter().map(|(x, failed)| (vec![*x], *failed)).collect();
+        let options = CalibrationOptions {
+            min_samples_per_leaf: 20,
+            confidence: 0.95,
+            ..Default::default()
+        };
+
+        let tree = CalibratedQim::calibrate(
+            TreeBuilder::new().max_depth(depth).fit(&ds).unwrap(),
+            &calib,
+            options,
+        )
+        .unwrap();
+        let mut builder = ForestBuilder::new(k, seed);
+        builder.tree(TreeBuilder::new().max_depth(depth).clone());
+        let forest =
+            CalibratedForestQim::calibrate(builder.fit(&ds).unwrap(), &calib, options)
+                .unwrap();
+        let conformal =
+            ConformalQim::calibrate(&calib, &calib, options, ConformalOptions { bins })
+                .unwrap();
+
+        let query_rows: Vec<Vec<f64>> = queries
+            .iter()
+            .map(|(x, mask)| vec![if mask & 1 != 0 { f64::NAN } else { *x }])
+            .collect();
+
+        exercise(&tree, &query_rows)?;
+        exercise(&forest, &query_rows)?;
+        exercise(&conformal, &query_rows)?;
+        exercise(&TaQim::Tree(tree), &query_rows)?;
+        exercise(&TaQim::Forest(forest), &query_rows)?;
+        exercise(&TaQim::Conformal(conformal), &query_rows)?;
+    }
+
+    #[test]
     fn tree_routing_agrees_with_decision_path(
         rows in prop::collection::vec((0.0f64..1.0, 0u32..2), 30..120),
         queries in prop::collection::vec(0.0f64..1.0, 1..20),
