@@ -9,7 +9,11 @@
 //!   (training fan-out, series replay, batched engine waves);
 //! * **pointer vs flat** — the arena [`tauw_dtree::DecisionTree`] against
 //!   the compiled [`tauw_dtree::FlatTree`] serving form, on raw leaf
-//!   routing and on the calibrated QIM lookup.
+//!   routing and on the calibrated QIM lookup;
+//! * **engine vs sharded** — the plain multi-stream engine against the
+//!   sharded serving front end replaying a simulated stream cohort
+//!   (steps/s + p99 wave latency; see the `soak` binary for the
+//!   full-scale harness).
 //!
 //! Every row records whether the two sides produced bit-identical outputs;
 //! the CI `bench-regression` job fails the build on any `false`, on schema
@@ -23,8 +27,9 @@
 //!
 //! `--smoke` runs a heavily scaled-down variant for CI schema validation.
 
-use serde::Serialize;
 use std::time::Instant;
+use tauw_bench::report::{write_report, Comparison};
+use tauw_bench::soak;
 use tauw_core::buffer::TimeseriesBuffer;
 use tauw_core::calibration::ServingScratch;
 use tauw_core::engine::TauwEngine;
@@ -33,32 +38,6 @@ use tauw_core::tauw::replay_with_threads;
 use tauw_dtree::{Dataset, FlatForest, FlatTree, ForestBuilder, Splitter, TreeBuilder};
 use tauw_experiments::ExperimentContext;
 use tauw_stats::bootstrap::SplitMix64;
-
-/// Schema tag so CI can detect malformed or stale baseline files.
-/// v2: rows carry explicit `baseline_label` / `contender_label` columns so
-/// pointer-vs-flat rows coexist with serial-vs-parallel rows.
-/// v3: adds the per-step taQF rows `taqf_step_window_{10,100,10000}`
-/// (full-recompute vs incremental-aggregate serving) so the O(1)-in-window
-/// per-step cost is measured and locked in.
-/// v4: adds the `qim_uncertainty_tree_vs_forest{4,16}` rows (single-tree
-/// taQIM vs boundary-smoothed K-member forest) so the K-traversal serving
-/// cost of the ensemble estimator is measured and locked in.
-/// v5: adds the `adaptive_step_window_{10,100,10000}` rows (coverage-stats
-/// recompute vs incremental-aggregate adaptive stepping) so the O(1)
-/// per-step cost of the adaptive calibration layer is measured and locked
-/// in.
-/// v6: the flat side of `qim_uncertainty_pointer_vs_flat` serves through
-/// the batch-major `uncertainty_batch_into` path (the deployed serving
-/// shape), the tree-vs-forest rows serve both estimators through the same
-/// batched path (amortizing the K-member fan-out per wave), and the new
-/// `route_batch_major_vs_per_sample` / `route_forest_interleaved_vs_per_member`
-/// rows lock in the level-synchronous wave kernels against one-query-at-a-
-/// time routing.
-/// v7: adds the `qim_uncertainty_tree_vs_conformal` row (single-tree taQIM
-/// vs the leafless split-conformal backend behind the `QimBackend` seam) so
-/// the table-lookup serving cost of the distribution-free estimator is
-/// measured and locked in.
-const SCHEMA: &str = "tauw-bench-baseline/v7";
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -121,110 +100,16 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, last.expect("at least one repetition"))
 }
 
-/// One timed comparison row: a baseline implementation against a
-/// contender, with throughput on both sides and a bit-identity verdict.
-#[derive(Debug, Serialize)]
-struct Comparison {
-    name: String,
-    /// Work units processed per run (rows for training, routed samples or
-    /// steps for inference) — the numerator of the throughput columns.
-    work_units: u64,
-    /// What the `baseline_*` columns measure (e.g. "serial", "pointer").
-    baseline_label: String,
-    /// What the `contender_*` columns measure (e.g. "parallel(4)", "flat").
-    contender_label: String,
-    baseline_ms: f64,
-    contender_ms: f64,
-    /// `baseline / contender` wall time; > 1 means the contender is faster.
-    speedup: f64,
-    baseline_per_s: f64,
-    contender_per_s: f64,
-    /// Whether both sides produced verified bit-identical outputs.
-    bit_identical: bool,
-}
-
-impl Comparison {
-    fn new(
-        name: &str,
-        work_units: u64,
-        (baseline_label, baseline_s): (&str, f64),
-        (contender_label, contender_s): (&str, f64),
-        bit_identical: bool,
-    ) -> Self {
-        Comparison {
-            name: name.to_string(),
-            work_units,
-            baseline_label: baseline_label.to_string(),
-            contender_label: contender_label.to_string(),
-            baseline_ms: baseline_s * 1e3,
-            contender_ms: contender_s * 1e3,
-            speedup: baseline_s / contender_s,
-            baseline_per_s: work_units as f64 / baseline_s,
-            contender_per_s: work_units as f64 / contender_s,
-            bit_identical,
-        }
-    }
-
-    fn print(&self) {
-        println!(
-            "{}: {} {:.2} ms vs {} {:.2} ms ({:.2}x, identical={})",
-            self.name,
-            self.baseline_label,
-            self.baseline_ms,
-            self.contender_label,
-            self.contender_ms,
-            self.speedup,
-            self.bit_identical,
-        );
-    }
-}
-
-#[derive(Debug, Serialize)]
-struct Report {
-    schema: String,
-    bench: String,
-    smoke: bool,
-    threads_parallel: usize,
-    repetitions: usize,
-    host_parallelism: usize,
-    /// Host description plus how to read the speedup columns, composed
-    /// programmatically from the environment the run actually saw.
-    note: String,
-    results: Vec<Comparison>,
-}
-
-fn write_report(opts: &Options, file: &str, bench: &str, results: Vec<Comparison>) {
-    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let reading_guide = if host_parallelism < opts.threads {
-        format!(
-            "host exposes fewer hardware threads than the {}-thread budget: \
-             parallel rows measure scheduling overhead, not speedup; \
-             regenerate on a multicore host to measure scaling",
-            opts.threads
-        )
-    } else {
-        "speedup = baseline / contender wall time; > 1 means the contender wins".to_string()
-    };
-    let note = format!(
-        "host: {host_parallelism} hardware thread(s), {}-{}; {reading_guide}",
-        std::env::consts::OS,
-        std::env::consts::ARCH,
-    );
-    let report = Report {
-        schema: SCHEMA.to_string(),
-        bench: bench.to_string(),
-        smoke: opts.smoke,
-        threads_parallel: opts.threads,
-        repetitions: opts.repetitions,
-        host_parallelism,
-        note,
+fn finish_report(opts: &Options, file: &str, bench: &str, results: Vec<Comparison>) {
+    write_report(
+        &opts.out_dir,
+        file,
+        bench,
+        opts.smoke,
+        opts.threads,
+        opts.repetitions,
         results,
-    };
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    let path = std::path::Path::new(&opts.out_dir).join(file);
-    std::fs::create_dir_all(&opts.out_dir).expect("create out dir");
-    std::fs::write(&path, json + "\n").expect("write report");
-    println!("wrote {}", path.display());
+    );
 }
 
 /// Synthetic training dataset matching `bench_dtree`'s shape.
@@ -389,7 +274,7 @@ fn bench_dtree(opts: &Options) {
     ));
     results.last().expect("just pushed").print();
 
-    write_report(opts, "BENCH_dtree.json", "dtree", results);
+    finish_report(opts, "BENCH_dtree.json", "dtree", results);
 }
 
 fn bench_pipeline(opts: &Options) {
@@ -660,7 +545,35 @@ fn bench_pipeline(opts: &Options) {
         results.last().expect("just pushed").print();
     }
 
-    write_report(opts, "BENCH_pipeline.json", "pipeline", results);
+    // Service-soak row: the sharded front end replaying a simulated stream
+    // cohort against the plain multi-stream engine on the same traffic —
+    // the schema-v8 lock-in for throughput (steps/s) and p99 wave latency
+    // of the serving tier. One replay per side (a soak, not a best-of-N
+    // microbenchmark); the full-scale harness is the `soak` binary.
+    let soak_cfg = soak::SoakConfig {
+        streams: if opts.smoke { 2_000 } else { 20_000 },
+        waves: if opts.smoke { 50 } else { 100 },
+        shards: 8,
+        threads: opts.threads.min(parallel::max_threads()),
+        seed: 0x50AC,
+    };
+    let outcome = soak::run(&soak_cfg);
+    results.push(
+        Comparison::new(
+            "soak_engine_vs_sharded",
+            outcome.steps,
+            ("engine", outcome.engine.total_s),
+            (
+                &format!("sharded({})", soak_cfg.shards),
+                outcome.sharded.total_s,
+            ),
+            outcome.bit_identical,
+        )
+        .with_p99(outcome.engine.p99_wave_ms, outcome.sharded.p99_wave_ms),
+    );
+    results.last().expect("just pushed").print();
+
+    finish_report(opts, "BENCH_pipeline.json", "pipeline", results);
 }
 
 fn main() {

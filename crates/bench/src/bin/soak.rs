@@ -1,0 +1,129 @@
+//! Service-soak harness at arbitrary cohort scale: replays a simulated
+//! stream cohort through the plain multi-stream engine and the sharded
+//! front end, and writes a `BENCH_soak.json` report (bench schema v8:
+//! steps/s throughput, p99 per-wave latency, bit-identity verdict).
+//!
+//! The CI soak-smoke job runs the scaled-down `--smoke` shape (2k streams
+//! × 50 waves). The service-grade 1M-stream configuration documented in
+//! `docs/ARCHITECTURE.md` is
+//!
+//! ```text
+//! cargo run --release -p tauw-bench --bin soak -- \
+//!     --streams 1000000 --waves 20 --shards 64 --out /tmp
+//! ```
+//!
+//! Traffic is derived per `(stream, wave)` from a SplitMix64 hash, so the
+//! 1M-stream cohort needs no stored series; memory is bounded by the
+//! engines' sliding-window stream buffers (`tauw_bench::soak::BUFFER_WINDOW`
+//! steps per stream).
+
+use tauw_bench::report::{write_report, Comparison};
+use tauw_bench::soak::{run, SoakConfig};
+
+#[derive(Debug, Clone)]
+struct Options {
+    out_dir: String,
+    smoke: bool,
+    config: SoakConfig,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            out_dir: ".".to_string(),
+            smoke: false,
+            config: SoakConfig {
+                streams: 50_000,
+                waves: 40,
+                shards: 8,
+                threads: parallel::max_threads(),
+                seed: 0x50AC,
+            },
+        }
+    }
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    let count = |args: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
+        let v = args
+            .next()
+            .unwrap_or_else(|| usage(&format!("{flag} needs a value")));
+        v.parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| usage(&format!("bad {flag} value: {v}")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => opts.out_dir = args.next().unwrap_or_else(|| usage("--out needs a value")),
+            "--smoke" => {
+                opts.smoke = true;
+                opts.config.streams = 2_000;
+                opts.config.waves = 50;
+            }
+            "--streams" => opts.config.streams = count(&mut args, "--streams"),
+            "--waves" => opts.config.waves = count(&mut args, "--waves"),
+            "--shards" => opts.config.shards = count(&mut args, "--shards"),
+            "--threads" => opts.config.threads = count(&mut args, "--threads"),
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    opts
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "usage: soak [--out dir] [--streams n] [--waves n] [--shards k] [--threads n] [--smoke]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let opts = parse_args();
+    let cfg = opts.config;
+    println!(
+        "soak: streams={}, waves={}, shards={}, threads={}, smoke={}, host parallelism={}",
+        cfg.streams,
+        cfg.waves,
+        cfg.shards,
+        cfg.threads,
+        opts.smoke,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+    let outcome = run(&cfg);
+    let row = Comparison::new(
+        "soak_engine_vs_sharded",
+        outcome.steps,
+        ("engine", outcome.engine.total_s),
+        (&format!("sharded({})", cfg.shards), outcome.sharded.total_s),
+        outcome.bit_identical,
+    )
+    .with_p99(outcome.engine.p99_wave_ms, outcome.sharded.p99_wave_ms);
+    row.print();
+    println!(
+        "  engine   {:>12.0} steps/s, p99 wave {:.3} ms",
+        outcome.steps as f64 / outcome.engine.total_s,
+        outcome.engine.p99_wave_ms,
+    );
+    println!(
+        "  sharded  {:>12.0} steps/s, p99 wave {:.3} ms",
+        outcome.steps as f64 / outcome.sharded.total_s,
+        outcome.sharded.p99_wave_ms,
+    );
+    if !outcome.bit_identical {
+        eprintln!("soak: FAIL: sharded output diverged from the plain engine");
+        std::process::exit(1);
+    }
+    write_report(
+        &opts.out_dir,
+        "BENCH_soak.json",
+        "soak",
+        opts.smoke,
+        cfg.threads,
+        1,
+        vec![row],
+    );
+}

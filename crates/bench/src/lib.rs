@@ -1,8 +1,14 @@
 //! Shared fixtures for the taUW criterion benches: a deterministic
-//! scaled-down experiment context plus synthetic forecast/label sets.
+//! scaled-down experiment context plus synthetic forecast/label sets,
+//! the machine-readable baseline [`report`] schema shared by the
+//! `baseline` and `soak` binaries, and the sharded-serving [`soak`]
+//! harness itself.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+
+pub mod report;
+pub mod soak;
 
 use tauw_experiments::ExperimentContext;
 use tauw_stats::bootstrap::SplitMix64;

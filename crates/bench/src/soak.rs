@@ -1,0 +1,305 @@
+//! Service-soak harness for the sharded serving front end: replays a
+//! large simulated stream cohort through the plain multi-stream
+//! [`TauwEngine`] and the sharded [`ShardedEngine`], recording throughput
+//! (steps/s), p99 per-wave latency, and a bit-identity verdict between
+//! the two sides.
+//!
+//! Traffic is derived per `(stream, wave)` from a [`SplitMix64`] hash of
+//! the two ids, so a 1M-stream cohort needs no stored series — memory is
+//! bounded by the engines' own per-stream buffers, which the harness
+//! bounds to a [`BUFFER_WINDOW`]-step sliding window so cohort memory
+//! stays flat in the wave count.
+//!
+//! The identity verdict compares an order-sensitive FNV-1a fingerprint
+//! folded over the raw bits of every served output field on each side;
+//! the exhaustive per-step bitwise guarantees live in the core sharded
+//! tests and the workspace determinism/property suites — the soak verdict
+//! is the always-on end-to-end check at cohort scale.
+
+use std::time::Instant;
+use tauw_core::calibration::CalibrationOptions;
+use tauw_core::engine::{StreamId, TauwEngine};
+use tauw_core::error::CoreError;
+use tauw_core::sharded::ShardedEngine;
+use tauw_core::tauw::{TauwBuilder, TauwStep, TimeseriesAwareWrapper};
+use tauw_core::training::{TrainingSeries, TrainingStep};
+use tauw_core::wrapper::WrapperBuilder;
+use tauw_stats::bootstrap::SplitMix64;
+
+/// Sliding-window bound applied to every stream buffer so cohort memory
+/// is `O(streams × window)`, independent of the wave count.
+pub const BUFFER_WINDOW: usize = 64;
+
+/// Cohort shape for one soak run. All counts are clamped to ≥ 1.
+#[derive(Debug, Clone, Copy)]
+pub struct SoakConfig {
+    /// Concurrent streams in the cohort (one step per stream per wave).
+    pub streams: usize,
+    /// Waves replayed.
+    pub waves: usize,
+    /// Shard count of the sharded side.
+    pub shards: usize,
+    /// Thread budget for both sides.
+    pub threads: usize,
+    /// Traffic seed.
+    pub seed: u64,
+}
+
+impl SoakConfig {
+    fn normalized(mut self) -> Self {
+        self.streams = self.streams.max(1);
+        self.waves = self.waves.max(1);
+        self.shards = self.shards.max(1);
+        self.threads = self.threads.max(1);
+        self
+    }
+}
+
+/// Timing and identity evidence from one side of the soak comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct SideStats {
+    /// Total wall time spent inside the wave dispatch, seconds.
+    pub total_s: f64,
+    /// p99 per-wave latency (nearest-rank over all waves), milliseconds.
+    pub p99_wave_ms: f64,
+    /// Order-sensitive FNV-1a fingerprint over the raw bits of every
+    /// served output field.
+    pub fingerprint: u64,
+}
+
+/// Outcome of a soak run: both sides plus the cross-side verdict.
+#[derive(Debug, Clone, Copy)]
+pub struct SoakOutcome {
+    /// Total steps served per side (`streams × waves`).
+    pub steps: u64,
+    /// The plain multi-stream engine side.
+    pub engine: SideStats,
+    /// The sharded front-end side.
+    pub sharded: SideStats,
+    /// Whether both sides' output fingerprints matched.
+    pub bit_identical: bool,
+}
+
+/// Trains the small deterministic wrapper the soak cohort is served from
+/// (one quality factor, outcomes drawn from `{3, 7}`).
+pub fn soak_wrapper() -> TimeseriesAwareWrapper {
+    let make_series = |n: usize, seed: u64| -> Vec<TrainingSeries> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                let q = rng.next_f64();
+                let bias = if rng.next_f64() < 0.5 { 1.3 } else { 0.5 };
+                let steps = (0..10)
+                    .map(|_| {
+                        let failed = rng.next_f64() < (q * bias).min(0.95);
+                        TrainingStep {
+                            quality_factors: vec![q],
+                            outcome: if failed { 3 } else { 7 },
+                        }
+                    })
+                    .collect();
+                TrainingSeries {
+                    true_outcome: 7,
+                    steps,
+                }
+            })
+            .collect()
+    };
+    let train = make_series(300, 0x50AC_0001);
+    let calib = make_series(300, 0x50AC_0002);
+    let mut wb = WrapperBuilder::new();
+    wb.max_depth(3).calibration(CalibrationOptions {
+        min_samples_per_leaf: 50,
+        confidence: 0.99,
+        ..Default::default()
+    });
+    let mut builder = TauwBuilder::new();
+    builder.wrapper(wb);
+    builder
+        .fit(vec!["q".into()], &train, &calib)
+        .expect("soak wrapper fits")
+}
+
+/// Deterministic per-`(stream, wave)` traffic: a quality factor in
+/// `[0, 1)` and an outcome from the trained domain `{3, 7}`.
+fn traffic(seed: u64, stream: u64, wave: u64) -> (f64, u32) {
+    let mut rng = SplitMix64::new(
+        seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ wave.wrapping_mul(0xBF58_476D_1CE4_E5B9),
+    );
+    let q = rng.next_f64();
+    let failed = rng.next_f64() < (q * 0.9).min(0.95);
+    (q, if failed { 3 } else { 7 })
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fold(hash: &mut u64, word: u64) {
+    for byte in word.to_le_bytes() {
+        *hash = (*hash ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn fold_step(hash: &mut u64, step: &TauwStep) {
+    fold(hash, u64::from(step.fused_outcome));
+    fold(hash, step.uncertainty.to_bits());
+    fold(hash, step.stateless_uncertainty.to_bits());
+    fold(hash, step.adapted_uncertainty.to_bits());
+    fold(hash, step.series_length as u64);
+    fold(hash, step.taqf.ratio.to_bits());
+    fold(hash, step.taqf.length.to_bits());
+    fold(hash, step.taqf.unique_outcomes.to_bits());
+    fold(hash, step.taqf.cumulative_certainty.to_bits());
+}
+
+/// Nearest-rank p99 of the recorded per-wave latencies, milliseconds.
+fn p99_ms(latencies: &mut [f64]) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((latencies.len() as f64) * 0.99).ceil() as usize;
+    latencies[rank.clamp(1, latencies.len()) - 1]
+}
+
+/// Replays the cohort through one side. Batch construction is untimed;
+/// only the wave dispatch itself contributes to the latency samples.
+fn run_side<F>(cfg: &SoakConfig, mut step_wave: F) -> Result<SideStats, CoreError>
+where
+    F: FnMut(&[(StreamId, &[f64], u32)]) -> Result<Vec<TauwStep>, CoreError>,
+{
+    let mut features = vec![0.0f64; cfg.streams];
+    let mut outcomes = vec![0u32; cfg.streams];
+    let mut latencies = Vec::with_capacity(cfg.waves);
+    let mut hash = FNV_OFFSET;
+    let mut total_s = 0.0;
+    for wave in 0..cfg.waves {
+        for (i, (feature, outcome)) in features.iter_mut().zip(&mut outcomes).enumerate() {
+            let (q, o) = traffic(cfg.seed, i as u64, wave as u64);
+            *feature = q;
+            *outcome = o;
+        }
+        let batch: Vec<(StreamId, &[f64], u32)> = features
+            .iter()
+            .zip(&outcomes)
+            .enumerate()
+            .map(|(i, (q, &o))| (StreamId(i as u64), std::slice::from_ref(q), o))
+            .collect();
+        let start = Instant::now();
+        let results = step_wave(&batch)?;
+        let wave_s = start.elapsed().as_secs_f64();
+        total_s += wave_s;
+        latencies.push(wave_s * 1e3);
+        for step in &results {
+            fold_step(&mut hash, step);
+        }
+    }
+    Ok(SideStats {
+        total_s,
+        p99_wave_ms: p99_ms(&mut latencies),
+        fingerprint: hash,
+    })
+}
+
+/// Runs the soak comparison with a freshly trained [`soak_wrapper`].
+pub fn run(cfg: &SoakConfig) -> SoakOutcome {
+    run_with_wrapper(&soak_wrapper(), cfg)
+}
+
+/// Runs the soak comparison against an already trained wrapper: the
+/// plain engine first, then the sharded front end, on identical traffic.
+pub fn run_with_wrapper(wrapper: &TimeseriesAwareWrapper, cfg: &SoakConfig) -> SoakOutcome {
+    let cfg = cfg.normalized();
+    let mut engine = TauwEngine::new(wrapper.clone());
+    engine.threads(cfg.threads).buffer_capacity(BUFFER_WINDOW);
+    let engine_stats =
+        run_side(&cfg, |batch| engine.step_many_borrowed(batch)).expect("plain engine serves");
+    drop(engine);
+    let mut sharded = ShardedEngine::new(wrapper.clone(), cfg.shards);
+    sharded.threads(cfg.threads).buffer_capacity(BUFFER_WINDOW);
+    let sharded_stats =
+        run_side(&cfg, |batch| sharded.step_many_borrowed(batch)).expect("sharded engine serves");
+    SoakOutcome {
+        steps: (cfg.streams * cfg.waves) as u64,
+        engine: engine_stats,
+        sharded: sharded_stats,
+        bit_identical: engine_stats.fingerprint == sharded_stats.fingerprint,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p99_is_nearest_rank() {
+        let mut one = [3.5];
+        assert_eq!(p99_ms(&mut one), 3.5);
+        let mut hundred: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(p99_ms(&mut hundred), 99.0);
+        let mut fifty: Vec<f64> = (1..=50).map(f64::from).collect();
+        assert_eq!(p99_ms(&mut fifty), 50.0);
+        assert_eq!(p99_ms(&mut []), 0.0);
+    }
+
+    #[test]
+    fn traffic_is_deterministic_and_in_domain() {
+        for (stream, wave) in [(0u64, 0u64), (1, 0), (0, 1), (999_983, 17)] {
+            let (q, o) = traffic(0x50AC, stream, wave);
+            assert_eq!((q, o), traffic(0x50AC, stream, wave));
+            assert!((0.0..1.0).contains(&q));
+            assert!(o == 3 || o == 7);
+        }
+        // Different coordinates draw different traffic.
+        assert_ne!(traffic(0x50AC, 0, 0), traffic(0x50AC, 1, 0));
+        assert_ne!(traffic(0x50AC, 0, 0), traffic(0x50AC, 0, 1));
+    }
+
+    #[test]
+    fn soak_sides_agree_and_are_deterministic() {
+        let wrapper = soak_wrapper();
+        let cfg = SoakConfig {
+            streams: 64,
+            waves: 12,
+            shards: 3,
+            threads: 2,
+            seed: 0x50AC,
+        };
+        let outcome = run_with_wrapper(&wrapper, &cfg);
+        assert!(outcome.bit_identical, "sharded diverged from plain engine");
+        assert_eq!(outcome.steps, 64 * 12);
+        assert!(outcome.engine.total_s > 0.0 && outcome.sharded.total_s > 0.0);
+        assert!(outcome.engine.p99_wave_ms > 0.0 && outcome.sharded.p99_wave_ms > 0.0);
+        // The fingerprint is a pure function of the traffic and the model.
+        let again = run_with_wrapper(&wrapper, &cfg);
+        assert_eq!(outcome.engine.fingerprint, again.engine.fingerprint);
+        assert_eq!(outcome.sharded.fingerprint, again.sharded.fingerprint);
+        // A different cohort fingerprints differently (the fold sees data).
+        let other = run_with_wrapper(
+            &wrapper,
+            &SoakConfig {
+                seed: 0x50AD,
+                ..cfg
+            },
+        );
+        assert_ne!(outcome.engine.fingerprint, other.engine.fingerprint);
+    }
+
+    #[test]
+    fn degenerate_configs_are_clamped() {
+        let wrapper = soak_wrapper();
+        let outcome = run_with_wrapper(
+            &wrapper,
+            &SoakConfig {
+                streams: 0,
+                waves: 0,
+                shards: 0,
+                threads: 0,
+                seed: 1,
+            },
+        );
+        assert_eq!(outcome.steps, 1);
+        assert!(outcome.bit_identical);
+    }
+}

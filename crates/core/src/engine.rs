@@ -297,17 +297,76 @@ impl TauwEngine {
     }
 
     /// Removes a stream and its buffer entirely (the object left the scene
-    /// / the user disconnected), including any adaptive state. Returns
-    /// whether the stream existed.
+    /// / the user disconnected), including any adaptive state, and shrinks
+    /// the wave slot pool so steady-state memory tracks the *live* stream
+    /// count rather than the historical peak. Returns whether the stream
+    /// existed.
     pub fn end_stream(&mut self, stream: StreamId) -> bool {
         self.adaptive.remove(&stream);
-        self.streams.remove(&stream).is_some()
+        let existed = self.streams.remove(&stream).is_some();
+        if existed {
+            self.shrink_wave_scratch();
+        }
+        existed
     }
 
-    /// Removes all streams (including their adaptive state).
+    /// Removes all streams (including their adaptive state) and releases
+    /// the wave scaffolding entirely.
     pub fn clear_streams(&mut self) {
         self.streams.clear();
         self.adaptive.clear();
+        self.shrink_wave_scratch();
+        // With no live streams there is nothing for the order/scatter
+        // buffers to amortize either; the next wave resizes them.
+        self.wave.order = Vec::new();
+        self.wave.results = Vec::new();
+    }
+
+    /// Releases wave-slot capacity held for streams that no longer exist.
+    /// The slot pool is sized by the largest number of distinct streams
+    /// ever touched in one wave; each retired [`WaveSlot`] frees its
+    /// positions/scratch/output buffers, so ending streams returns their
+    /// share of the pool to the allocator instead of pinning the peak.
+    fn shrink_wave_scratch(&mut self) {
+        let live = self.streams.len();
+        if self.wave.slots.len() > live {
+            self.wave.slots.truncate(live);
+            self.wave.slots.shrink_to_fit();
+        }
+    }
+
+    /// Exports a stream's complete self-contained runtime state (fusion
+    /// buffer plus adaptive state, if any) for engine handover — the
+    /// building block of [`crate::sharded`] snapshots. Returns `None` for
+    /// unknown streams.
+    pub fn export_stream(
+        &self,
+        stream: StreamId,
+    ) -> Option<(TimeseriesBuffer, Option<AdaptiveState>)> {
+        let buffer = self.streams.get(&stream)?.clone();
+        Some((buffer, self.adaptive.get(&stream).cloned()))
+    }
+
+    /// Installs a stream's complete runtime state (the counterpart of
+    /// [`TauwEngine::export_stream`], used by snapshot restore and
+    /// resharding). Replaces any existing state for `stream`; passing
+    /// `adaptive: None` drops previously held adaptive state so the import
+    /// is a faithful overwrite.
+    pub fn import_stream(
+        &mut self,
+        stream: StreamId,
+        buffer: TimeseriesBuffer,
+        adaptive: Option<AdaptiveState>,
+    ) {
+        self.streams.insert(stream, buffer);
+        match adaptive {
+            Some(state) => {
+                self.adaptive.insert(stream, state);
+            }
+            None => {
+                self.adaptive.remove(&stream);
+            }
+        }
     }
 
     /// Processes one timestep on one stream (created on first use).
@@ -373,8 +432,15 @@ impl TauwEngine {
         self.step_many_impl(batch.len(), |i| batch[i])
     }
 
-    /// Shared batched-step core: `get(i)` yields batch entry `i`.
-    fn step_many_impl<'a, F>(&mut self, n: usize, get: F) -> Result<Vec<TauwStep>, CoreError>
+    /// Shared batched-step core: `get(i)` yields batch entry `i`. Crate
+    /// visibility lets [`crate::sharded::ShardedEngine`] dispatch one wave
+    /// per shard through an index indirection without materializing
+    /// per-shard sub-batches.
+    pub(crate) fn step_many_impl<'a, F>(
+        &mut self,
+        n: usize,
+        get: F,
+    ) -> Result<Vec<TauwStep>, CoreError>
     where
         F: Fn(usize) -> (StreamId, &'a [f64], u32) + Sync,
     {
@@ -594,11 +660,33 @@ impl TauwEngine {
         &mut self,
         batch: &[AdaptiveStreamStep],
     ) -> Result<Vec<TauwStep>, CoreError> {
+        self.step_many_adaptive_impl(batch.len(), |i| {
+            let step = &batch[i];
+            (
+                step.stream,
+                step.quality_factors.as_slice(),
+                step.outcome,
+                step.failed,
+            )
+        })
+    }
+
+    /// Shared adaptive batched-step core (see [`TauwEngine::step_many_impl`]
+    /// for why it is crate-visible): `get(i)` yields batch entry `i` as
+    /// `(stream, quality factors, outcome, failed)`.
+    pub(crate) fn step_many_adaptive_impl<'a, F>(
+        &mut self,
+        n: usize,
+        get: F,
+    ) -> Result<Vec<TauwStep>, CoreError>
+    where
+        F: Fn(usize) -> (StreamId, &'a [f64], u32, bool) + Sync,
+    {
         let config = self.require_adaptive_config()?;
-        for step in batch {
-            self.check_arity(step.quality_factors.len())?;
+        for i in 0..n {
+            self.check_arity(get(i).1.len())?;
         }
-        let n_slots = self.build_wave_slots(batch.len(), |i| batch[i].stream);
+        let n_slots = self.build_wave_slots(n, |i| get(i).0);
 
         // Detach each touched stream's adaptive state too, so a worker
         // owns the complete per-stream serving state.
@@ -618,21 +706,21 @@ impl TauwEngine {
                     .as_mut()
                     .expect("adaptive wave slots carry state");
                 for &i in &slot.positions {
-                    let entry = &batch[i];
+                    let (_, quality_factors, outcome, failed) = get(i);
                     let step = adaptive_step_with_parts(
                         wrapper,
                         &mut slot.buffer,
                         state,
                         &mut slot.scratch,
-                        &entry.quality_factors,
-                        entry.outcome,
-                        entry.failed,
+                        quality_factors,
+                        outcome,
+                        failed,
                     )?;
                     slot.output.push(step);
                 }
                 Ok(())
             });
-        self.finish_wave(batch.len(), n_slots, per_slot)
+        self.finish_wave(n, n_slots, per_slot)
     }
 
     /// Replays a batch of series as concurrent streams: series `s` becomes
@@ -682,7 +770,7 @@ impl TauwEngine {
         Ok(out)
     }
 
-    fn check_arity(&self, actual: usize) -> Result<(), CoreError> {
+    pub(crate) fn check_arity(&self, actual: usize) -> Result<(), CoreError> {
         let expected = self.wrapper.stateless().feature_names().len();
         if actual != expected {
             return Err(CoreError::FeatureArityMismatch { expected, actual });
@@ -1215,5 +1303,91 @@ mod tests {
             .map(|slot| slot.scratch.features.as_ptr())
             .collect();
         assert_eq!(after, plain_fingerprints, "plain waves must reuse scratch");
+    }
+
+    /// Satellite regression test: the wave slot pool is sized by the peak
+    /// number of distinct streams per wave; ending streams must hand that
+    /// capacity back so steady-state memory tracks *live* streams.
+    #[test]
+    fn end_stream_releases_wave_slot_capacity() {
+        let tauw = fitted();
+        let mut engine = tauw.clone().into_engine();
+        engine.threads(1);
+
+        let batch: Vec<StreamStep> = (0..64u64)
+            .map(|s| StreamStep::new(StreamId(s), vec![0.3], 7))
+            .collect();
+        engine.step_many(&batch).unwrap();
+        assert_eq!(engine.wave.slots.len(), 64, "one slot per distinct stream");
+
+        // Retire all but four streams: the pool must shrink with them
+        // (both the live length and the backing allocation).
+        for s in 4..64u64 {
+            assert!(engine.end_stream(StreamId(s)));
+        }
+        assert!(
+            engine.wave.slots.len() <= 4,
+            "slot pool still holds {} slots for 4 live streams",
+            engine.wave.slots.len()
+        );
+        assert!(
+            engine.wave.slots.capacity() < 64,
+            "slot pool capacity still pins the historical peak"
+        );
+
+        // Ending an unknown stream is a no-op and must not over-shrink.
+        assert!(!engine.end_stream(StreamId(999)));
+
+        // The shrunken engine keeps serving bit-identically: the surviving
+        // streams match dedicated sessions that replayed the same steps.
+        let survivors: Vec<StreamStep> = (0..4u64)
+            .map(|s| StreamStep::new(StreamId(s), vec![0.6], 3))
+            .collect();
+        let out = engine.step_many(&survivors).unwrap();
+        for (s, got) in out.iter().enumerate() {
+            let mut session = tauw.new_session();
+            session.step(&[0.3], 7).unwrap();
+            let expected = session.step(&[0.6], 3).unwrap();
+            assert_eq!(got, &expected, "stream {s} diverged after shrink");
+        }
+        assert_eq!(engine.wave.slots.len(), 4, "pool regrew past live count");
+
+        // clear_streams releases the scaffolding entirely.
+        engine.clear_streams();
+        assert!(engine.wave.slots.is_empty());
+        assert_eq!(engine.wave.slots.capacity(), 0);
+        assert!(engine.wave.order.capacity() == 0 && engine.wave.results.capacity() == 0);
+    }
+
+    #[test]
+    fn export_import_stream_round_trips_runtime_state() {
+        let tauw = fitted();
+        let config = AdaptiveConfig {
+            window: 4,
+            min_observations: 2,
+            ..Default::default()
+        };
+        let mut engine = tauw.clone().into_engine();
+        engine.enable_adaptation(config).unwrap();
+        for _ in 0..5 {
+            engine.step_adaptive(StreamId(3), &[0.9], 3, true).unwrap();
+        }
+        let (buffer, adaptive) = engine.export_stream(StreamId(3)).unwrap();
+        assert!(adaptive.is_some());
+        assert!(engine.export_stream(StreamId(99)).is_none());
+
+        // A fresh engine with the imported state continues bit-identically
+        // to the original engine.
+        let mut resumed = tauw.into_engine();
+        resumed.enable_adaptation(config).unwrap();
+        resumed.import_stream(StreamId(3), buffer, adaptive);
+        let a = engine.step_adaptive(StreamId(3), &[0.9], 3, true).unwrap();
+        let b = resumed.step_adaptive(StreamId(3), &[0.9], 3, true).unwrap();
+        assert_eq!(a, b);
+
+        // Importing with `adaptive: None` is a faithful overwrite.
+        let (buffer, _) = resumed.export_stream(StreamId(3)).unwrap();
+        resumed.import_stream(StreamId(3), buffer, None);
+        assert!(resumed.adaptive_state(StreamId(3)).is_none());
     }
 }

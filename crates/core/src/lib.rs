@@ -14,6 +14,9 @@
 //!   information fusion + taQIM, exposed as a runtime session.
 //! * [`engine`] — the **multi-stream inference engine**: one trained
 //!   wrapper serving many concurrent series via batched `step_many`.
+//! * [`sharded`] — the **sharded serving front end**: K engine shards
+//!   keyed by a deterministic stream hash, with cross-shard wave batching,
+//!   typed admission control, and live per-shard snapshot/restore.
 //! * [`adaptive`] — **online adaptive calibration**: a per-stream coverage
 //!   window over the served bounds, bounded multiplicative bound
 //!   adaptation when empirical coverage diverges, and an
@@ -87,6 +90,7 @@ pub mod error;
 pub mod monitor;
 pub mod persist;
 pub mod scope;
+pub mod sharded;
 pub mod taqf;
 pub mod tauw;
 pub mod training;
@@ -105,6 +109,7 @@ pub use engine::{StreamId, StreamStep, TauwEngine};
 pub use error::CoreError;
 pub use monitor::{MonitorDecision, MonitorStats, UncertaintyMonitor};
 pub use scope::{ScopeComplianceModel, ScopeVerdict};
+pub use sharded::{Admission, AdmissionReason, EngineShardState, ShardedEngine, StreamState};
 pub use taqf::{TaqfKind, TaqfSet, TaqfVector};
 pub use tauw::{
     replay, BackendSpec, ReplayRow, TauwBuilder, TauwSession, TauwStep, TimeseriesAwareWrapper,

@@ -31,8 +31,11 @@ use std::path::Path;
 /// adaptation); v5 adds the `Conformal` taQIM shape behind the
 /// [`crate::calibration::QimBackend`] seam plus the standalone `TreeQim`
 /// and `ConformalQim` artifact kinds, so every backend has its own
-/// deployable envelope.
-pub const FORMAT_VERSION: u32 = 5;
+/// deployable envelope; v6 adds the `EngineShard` artifact kind (one
+/// serving shard's complete per-stream runtime state — buffers plus
+/// adaptive state — so a sharded serving process restarts, or reshards,
+/// without losing windows).
+pub const FORMAT_VERSION: u32 = 6;
 
 /// Kind tag inside the envelope, so a stateless wrapper cannot be loaded
 /// where a timeseries-aware one is expected.
@@ -58,6 +61,10 @@ enum ArtifactKind {
     /// calibration state: coverage window, correction notch, last drift
     /// signal).
     AdaptiveState,
+    /// An [`crate::sharded::EngineShardState`] snapshot (one serving
+    /// shard's complete per-stream runtime state: every stream's fusion
+    /// buffer plus adaptive state, restorable under any shard count).
+    EngineShard,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -481,6 +488,66 @@ impl crate::adaptive::AdaptiveState {
 
     /// Reads an artifact file written by
     /// [`crate::adaptive::AdaptiveState::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on I/O or format errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let json = std::fs::read_to_string(path.as_ref()).map_err(|e| CoreError::InvalidInput {
+            reason: format!("reading artifact failed: {e}"),
+        })?;
+        Self::from_artifact_json(&json)
+    }
+}
+
+impl crate::sharded::EngineShardState {
+    /// Serializes one serving shard's complete per-stream runtime state
+    /// (every stream's fusion buffer plus adaptive state, in ascending
+    /// stream-id order) to a versioned JSON artifact. Together with the
+    /// wrapper artifact this is everything a sharded serving process needs
+    /// to restart without losing windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if serialization fails.
+    pub fn to_artifact_json(&self) -> Result<String, CoreError> {
+        to_json(ArtifactKind::EngineShard, self)
+    }
+
+    /// Loads a shard snapshot produced by
+    /// [`crate::sharded::EngineShardState::to_artifact_json`].
+    ///
+    /// Every stream's buffer and adaptive state deserialize through their
+    /// own validating `from_parts` paths, and the shard-level shape
+    /// (strictly ascending stream ids, in-range shard index) is
+    /// re-established via [`crate::sharded::EngineShardState::validate`] —
+    /// a crafted artifact is rejected, like tampered model artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on malformed JSON, a format
+    /// version mismatch, a wrong artifact kind, or state that violates the
+    /// snapshot invariants.
+    pub fn from_artifact_json(json: &str) -> Result<Self, CoreError> {
+        let state: Self = from_json(ArtifactKind::EngineShard, json)?;
+        state.validate()?;
+        Ok(state)
+    }
+
+    /// Writes the artifact to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] on serialization or I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let json = self.to_artifact_json()?;
+        std::fs::write(path.as_ref(), json).map_err(|e| CoreError::InvalidInput {
+            reason: format!("writing artifact failed: {e}"),
+        })
+    }
+
+    /// Reads an artifact file written by
+    /// [`crate::sharded::EngineShardState::save`].
     ///
     /// # Errors
     ///
@@ -1114,6 +1181,140 @@ mod tests {
 
         // The untampered artifact still loads.
         assert!(AdaptiveState::from_artifact_json(&json).is_ok());
+    }
+
+    use crate::engine::StreamId;
+    use crate::sharded::{EngineShardState, ShardedEngine};
+
+    fn sharded_engine_with_traffic() -> ShardedEngine {
+        let tauw = fitted();
+        let mut engine = ShardedEngine::new(tauw, 2);
+        engine
+            .enable_adaptation(AdaptiveConfig {
+                window: 6,
+                min_observations: 3,
+                ..Default::default()
+            })
+            .unwrap();
+        for round in 0..8 {
+            for id in 0..6u64 {
+                let q = 0.1 + 0.1 * id as f64;
+                let failed = (round + id) % 3 == 0;
+                engine
+                    .step_adaptive(StreamId(id), &[q], if failed { 1 } else { 0 }, failed)
+                    .unwrap();
+            }
+        }
+        engine
+    }
+
+    #[test]
+    fn engine_shard_artifact_roundtrips_byte_for_byte() {
+        let engine = sharded_engine_with_traffic();
+        for shard in 0..engine.n_shards() {
+            let state = engine.snapshot_shard(shard).unwrap();
+            let json = state.to_artifact_json().unwrap();
+            let back = EngineShardState::from_artifact_json(&json).unwrap();
+            assert_eq!(state, back);
+            // Byte-for-byte: re-serializing the loaded snapshot reproduces
+            // the artifact exactly (canonical stream order, no
+            // representation drift).
+            assert_eq!(json, back.to_artifact_json().unwrap());
+        }
+    }
+
+    #[test]
+    fn engine_shard_restore_from_artifact_continues_bit_identically() {
+        let mut original = sharded_engine_with_traffic();
+        let config = original.adaptive_config().unwrap();
+        // Persist every shard, restore into a differently-sharded engine.
+        let mut restored = ShardedEngine::new(original.wrapper().clone(), 5);
+        restored.enable_adaptation(config).unwrap();
+        for shard in 0..original.n_shards() {
+            let json = original
+                .snapshot_shard(shard)
+                .unwrap()
+                .to_artifact_json()
+                .unwrap();
+            let state = EngineShardState::from_artifact_json(&json).unwrap();
+            restored.restore(&state).unwrap();
+        }
+        assert_eq!(restored.n_streams(), original.n_streams());
+        for round in 0..4 {
+            for id in 0..6u64 {
+                let q = 0.2 + 0.1 * id as f64;
+                let failed = round % 2 == 0;
+                let a = original
+                    .step_adaptive(StreamId(id), &[q], u32::from(failed), failed)
+                    .unwrap();
+                let b = restored
+                    .step_adaptive(StreamId(id), &[q], u32::from(failed), failed)
+                    .unwrap();
+                assert_eq!(a, b, "round {round} stream {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_shard_artifact_rejects_tampering_and_stale_versions() {
+        let engine = sharded_engine_with_traffic();
+        let state = engine.snapshot_shard(0).unwrap();
+        assert!(
+            !state.streams.is_empty(),
+            "shard 0 must carry streams for this test"
+        );
+        let json = state.to_artifact_json().unwrap();
+
+        // A tampered stream id that breaks the ascending-order invariant.
+        let first = state.streams[0].stream.0;
+        let needle = format!("\"stream\": {first}");
+        let tampered = json.replacen(&needle, "\"stream\": 18446744073709551615", 1);
+        assert_ne!(tampered, json, "tamper edit must hit the artifact");
+        match EngineShardState::from_artifact_json(&tampered) {
+            Err(CoreError::InvalidInput { reason }) => {
+                assert!(reason.contains("strictly ascending"), "reason: {reason}");
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+
+        // A buffer invariant violation inside one stream's state is caught
+        // by the buffer's own validating deserializer.
+        let tampered = json.replacen("\"total_steps\": 8", "\"total_steps\": 1", 1);
+        if tampered != json {
+            assert!(EngineShardState::from_artifact_json(&tampered).is_err());
+        }
+
+        // Wrong artifact kind and stale format version.
+        let buffer_json = TimeseriesBuffer::new().to_artifact_json().unwrap();
+        assert!(EngineShardState::from_artifact_json(&buffer_json).is_err());
+        let stale = r#"{"format_version": 5, "kind": "EngineShard", "model": {}}"#;
+        match EngineShardState::from_artifact_json(stale) {
+            Err(CoreError::InvalidInput { reason }) => {
+                assert!(
+                    reason.contains("format version 5 is not supported")
+                        && reason.contains("EngineShard artifact"),
+                    "reason: {reason}"
+                );
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+
+        // The untampered artifact still loads.
+        assert!(EngineShardState::from_artifact_json(&json).is_ok());
+    }
+
+    #[test]
+    fn engine_shard_save_and_load_file() {
+        let engine = sharded_engine_with_traffic();
+        let state = engine.snapshot_shard(1).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "tauw_engine_shard_persist_test_{}.json",
+            std::process::id()
+        ));
+        state.save(&path).unwrap();
+        let back = EngineShardState::load(&path).unwrap();
+        assert_eq!(state, back);
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

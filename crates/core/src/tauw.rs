@@ -167,15 +167,27 @@ impl TauwBuilder {
     }
 
     /// Deprecated shim for [`TauwBuilder::backend`] with
-    /// [`BackendSpec::Forest`].
-    #[deprecated(since = "0.8.0", note = "use `backend(BackendSpec::Forest { .. })`")]
+    /// [`BackendSpec::Forest`]. Kept for downstream callers only — the
+    /// workspace itself is fully migrated to `backend(..)` (the sole
+    /// remaining internal use is the shim-mapping regression test).
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `backend(BackendSpec::Forest { n_trees, seed })`; \
+                this shim will be removed once downstreams have migrated"
+    )]
     pub fn forest(&mut self, n_trees: usize, seed: u64) -> &mut Self {
         self.backend(BackendSpec::Forest { n_trees, seed })
     }
 
     /// Deprecated shim for [`TauwBuilder::backend`] with
-    /// [`BackendSpec::Tree`].
-    #[deprecated(since = "0.8.0", note = "use `backend(BackendSpec::Tree)`")]
+    /// [`BackendSpec::Tree`]. Kept for downstream callers only — the
+    /// workspace itself is fully migrated to `backend(..)` (the sole
+    /// remaining internal use is the shim-mapping regression test).
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `backend(BackendSpec::Tree)`; \
+                this shim will be removed once downstreams have migrated"
+    )]
     pub fn single_tree(&mut self) -> &mut Self {
         self.backend(BackendSpec::Tree)
     }

@@ -3,18 +3,21 @@
 //! fixed residual-risk budget when uncertainty estimates are
 //! timeseries-aware?
 //!
-//! The replay runs on the multi-stream [`TauwEngine`]: test windows are
-//! served in cohorts of concurrent streams, each frame advancing the whole
-//! cohort through one batched `step_many` call — the deployment shape where
-//! one trained wrapper monitors many vehicles at once. Stream independence
-//! makes the estimates identical to per-series sessions.
+//! The replay runs on the sharded multi-stream front end
+//! ([`ShardedEngine`]): test windows are served in cohorts of concurrent
+//! streams, each stream hash-routed to one of a few single-threaded engine
+//! shards, each frame advancing the whole cohort through one batched wave
+//! across all shards — the service deployment shape where one trained
+//! wrapper monitors many vehicles at once. Sharding is pure routing, so
+//! the estimates are bit-identical to per-series sessions (and to the
+//! unsharded [`TauwEngine`]) at any shard count.
 //!
 //! ```text
 //! cargo run --release --example runtime_monitoring
 //! ```
 
-use tauw_suite::core::engine::TauwEngine;
 use tauw_suite::core::monitor::{MonitorDecision, UncertaintyMonitor};
+use tauw_suite::core::sharded::ShardedEngine;
 use tauw_suite::core::tauw::TauwBuilder;
 use tauw_suite::core::training::{TrainingSeries, TrainingStep};
 use tauw_suite::core::wrapper::WrapperBuilder;
@@ -23,6 +26,9 @@ use tauw_suite::sim::{DatasetBuilder, QualityObservation, SeriesRecord, SimConfi
 
 /// How many streams the engine serves concurrently per cohort.
 const COHORT_STREAMS: usize = 16;
+
+/// How many engine shards the front end routes those streams across.
+const N_SHARDS: usize = 4;
 
 fn convert(records: &[SeriesRecord]) -> Vec<TrainingSeries> {
     records
@@ -74,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("this example trains the default single-tree taQIM");
     let (stateless_flat, ta_flat) = (tauw.stateless().qim().flat(), ta_qim.flat());
     println!(
-        "serving {} test windows on a {COHORT_STREAMS}-stream engine",
+        "serving {} test windows on a {COHORT_STREAMS}-stream, {N_SHARDS}-shard engine",
         test.len()
     );
     println!(
@@ -87,10 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("uncertainty budget | channel      | availability | accepted-outcome error rate");
     println!("-------------------+--------------+--------------+----------------------------");
     // Serve the windows in cohorts of concurrent streams; within a cohort
-    // every frame is one batched multi-stream wave. The estimates do not
-    // depend on the monitor configuration, so one inference pass feeds all
-    // budget × channel rows below.
-    let mut engine = TauwEngine::new(tauw);
+    // every frame is one batched wave fanned across the shards. The
+    // estimates do not depend on the monitor configuration, so one
+    // inference pass feeds all budget × channel rows below.
+    let mut engine = ShardedEngine::new(tauw, N_SHARDS);
     let cohort_waves = test
         .chunks(COHORT_STREAMS)
         .map(|cohort| engine.step_series_waves(cohort))

@@ -21,7 +21,10 @@ Fails (exit 1) on:
     flat (batch-major) side must not lose to the per-sample pointer walk
     (speedup >= ``BENCH_FLAT_FLOOR``, default 1.0). Host-aware like the
     parallel floor: skipped with a notice on 1-thread hosts, where the
-    batched path cannot fan out.
+    batched path cannot fan out;
+  * missing tail latencies — soak rows (``soak_*``) must report positive
+    ``baseline_p99_ms`` / ``contender_p99_ms`` per-wave tail latencies
+    (other rows carry the columns but may leave them at 0.0).
 
 ``BENCH_TOLERANCE`` defaults to 0.2: CI runners differ from the host that
 produced the committed baseline (the committed files come from a 1-CPU
@@ -35,7 +38,7 @@ import json
 import os
 import sys
 
-SCHEMA = "tauw-bench-baseline/v7"
+SCHEMA = "tauw-bench-baseline/v8"
 
 # Rows whose contender is the batch-major flat serving path and whose
 # baseline is the per-sample pointer walk: flat must not trail pointer on
@@ -51,6 +54,8 @@ REQUIRED_COLUMNS = (
     "speedup",
     "baseline_per_s",
     "contender_per_s",
+    "baseline_p99_ms",
+    "contender_p99_ms",
     "bit_identical",
 )
 
@@ -76,6 +81,14 @@ def load(path: str) -> dict:
             fail(f"{path}: row {row.get('name')!r} misses columns {missing}")
         if row["bit_identical"] is not True:
             fail(f"{path}: row {row['name']!r} reports bit_identical: false")
+        for col in ("baseline_p99_ms", "contender_p99_ms"):
+            if row[col] < 0:
+                fail(f"{path}: row {row['name']!r} has negative {col}")
+            if row["name"].startswith("soak_") and not row[col] > 0:
+                fail(
+                    f"{path}: soak row {row['name']!r} must report a "
+                    f"positive {col} (got {row[col]!r})"
+                )
     return doc
 
 

@@ -833,3 +833,247 @@ fn dataset_generation_is_order_independent_per_series() {
         assert_eq!(x, y);
     }
 }
+
+#[test]
+fn sharded_engine_matches_sequential_sessions_across_shard_and_thread_grid() {
+    // The sharded serving front end is a pure router: at every shard
+    // count x thread budget, the served steps must be bit-identical to N
+    // dedicated sequential sessions — and a mid-replay snapshot restored
+    // into a *different* shard count must continue the exact same
+    // trajectory (the stream hash decides placement, never estimates).
+    use tauw_suite::core::engine::StreamId;
+    use tauw_suite::core::sharded::ShardedEngine;
+
+    let config = SimConfig::scaled(0.04);
+    let data = DatasetBuilder::new(config, 31).unwrap().build();
+    let mut wb = WrapperBuilder::new();
+    wb.max_depth(6).calibration(CalibrationOptions {
+        min_samples_per_leaf: 50,
+        confidence: 0.99,
+        ..Default::default()
+    });
+    let mut builder = TauwBuilder::new();
+    builder.wrapper(wb);
+    let tauw = builder
+        .fit(
+            QualityObservation::feature_names(),
+            &convert(&data.train),
+            &convert(&data.calib),
+        )
+        .unwrap();
+
+    let streams: Vec<_> = convert(&data.test).into_iter().take(24).collect();
+    let window_len = streams.iter().map(|s| s.steps.len()).max().unwrap();
+    // Non-sequential ids so the shard hash actually scatters.
+    let id_of = |s: usize| StreamId(s as u64 * 7919 + 3);
+
+    // Reference: one dedicated session per stream, stepped sequentially.
+    let mut expected: Vec<Vec<tauw_suite::core::tauw::TauwStep>> = Vec::new();
+    for series in &streams {
+        let mut session = tauw.new_session();
+        session.begin_series();
+        expected.push(
+            series
+                .steps
+                .iter()
+                .map(|s| session.step(&s.quality_factors, s.outcome).unwrap())
+                .collect(),
+        );
+    }
+
+    for shards in [1usize, 2, 7] {
+        for threads in [1usize, 2, 8] {
+            let mut engine = ShardedEngine::new(tauw.clone(), shards);
+            engine.threads(threads);
+            // Snapshot halfway, restore into a different shard count, and
+            // finish the replay on the resharded engine.
+            let snap_at = window_len / 2;
+            let reshard = (shards % 7) + 2; // 1 -> 3, 2 -> 4, 7 -> 2
+            let mut resharded = ShardedEngine::new(tauw.clone(), reshard);
+            resharded.threads(threads);
+            let mut moved = false;
+            let mut got: Vec<Vec<tauw_suite::core::tauw::TauwStep>> =
+                vec![Vec::new(); streams.len()];
+            for j in 0..window_len {
+                if j == snap_at {
+                    for state in engine.snapshot() {
+                        resharded.restore(&state).unwrap();
+                    }
+                    assert_eq!(resharded.n_streams(), engine.n_streams());
+                    moved = true;
+                }
+                let serving = if moved { &mut resharded } else { &mut engine };
+                let mut positions = Vec::new();
+                let mut batch = Vec::new();
+                for (s, series) in streams.iter().enumerate() {
+                    if let Some(step) = series.steps.get(j) {
+                        positions.push(s);
+                        batch.push((id_of(s), step.quality_factors.as_slice(), step.outcome));
+                    }
+                }
+                for (&s, out) in positions
+                    .iter()
+                    .zip(serving.step_many_borrowed(&batch).unwrap())
+                {
+                    got[s].push(out);
+                }
+            }
+            assert!(moved, "snapshot point must lie inside the replay");
+            for (s, (want, have)) in expected.iter().zip(&got).enumerate() {
+                assert_eq!(want.len(), have.len(), "stream {s} length");
+                for (k, (w, h)) in want.iter().zip(have).enumerate() {
+                    assert_eq!(
+                        w.uncertainty.to_bits(),
+                        h.uncertainty.to_bits(),
+                        "stream {s} step {k} shards={shards}->{reshard} threads={threads}"
+                    );
+                    assert_eq!(
+                        w, h,
+                        "stream {s} step {k} shards={shards} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_sharded_engine_matches_adaptive_sessions_across_the_grid() {
+    // Adaptive variant of the grid test: per-stream coverage windows and
+    // inflation state ride along through sharding, wave batching, and a
+    // mid-replay snapshot/reshard, bit for bit.
+    use tauw_suite::core::adaptive::AdaptiveConfig;
+    use tauw_suite::core::engine::{AdaptiveStreamStep, StreamId};
+    use tauw_suite::core::sharded::ShardedEngine;
+
+    let config = SimConfig::scaled(0.04);
+    let data = DatasetBuilder::new(config, 31).unwrap().build();
+    let mut wb = WrapperBuilder::new();
+    wb.max_depth(6).calibration(CalibrationOptions {
+        min_samples_per_leaf: 50,
+        confidence: 0.99,
+        ..Default::default()
+    });
+    let mut builder = TauwBuilder::new();
+    builder.wrapper(wb);
+    let tauw = builder
+        .fit(
+            QualityObservation::feature_names(),
+            &convert(&data.train),
+            &convert(&data.calib),
+        )
+        .unwrap();
+
+    // Regime switch in the second half so adaptation has real work to do
+    // when the snapshot moves the streams between shard layouts.
+    let streams: Vec<_> = convert(&data.test)
+        .into_iter()
+        .take(16)
+        .map(|mut series| {
+            let half = series.steps.len() / 2;
+            let truth = series.true_outcome;
+            for (j, step) in series.steps.iter_mut().enumerate() {
+                if j >= half && j % 2 == 0 {
+                    step.outcome = truth + 1;
+                }
+            }
+            series
+        })
+        .collect();
+    let window_len = streams.iter().map(|s| s.steps.len()).max().unwrap();
+    let id_of = |s: usize| StreamId(s as u64 * 104_729 + 11);
+    let adaptive = AdaptiveConfig {
+        window: 8,
+        min_observations: 4,
+        rate: 0.05,
+        max_inflation_steps: 32,
+        ..Default::default()
+    };
+
+    let mut expected: Vec<Vec<tauw_suite::core::tauw::TauwStep>> = Vec::new();
+    for series in &streams {
+        let mut session = tauw.new_adaptive_session(adaptive).unwrap();
+        session.begin_series();
+        expected.push(
+            series
+                .steps
+                .iter()
+                .map(|s| {
+                    session
+                        .step(
+                            &s.quality_factors,
+                            s.outcome,
+                            s.outcome != series.true_outcome,
+                        )
+                        .unwrap()
+                })
+                .collect(),
+        );
+    }
+    assert!(
+        expected
+            .iter()
+            .flatten()
+            .any(|s| s.adapted_uncertainty > s.uncertainty),
+        "regime switch should inflate at least one served bound"
+    );
+
+    for shards in [1usize, 2, 7] {
+        for threads in [1usize, 2, 8] {
+            let mut engine = ShardedEngine::new(tauw.clone(), shards);
+            engine.threads(threads);
+            engine.enable_adaptation(adaptive).unwrap();
+            let snap_at = window_len / 2;
+            let reshard = (shards % 7) + 2;
+            let mut resharded = ShardedEngine::new(tauw.clone(), reshard);
+            resharded.threads(threads);
+            resharded.enable_adaptation(adaptive).unwrap();
+            let mut moved = false;
+            let mut got: Vec<Vec<tauw_suite::core::tauw::TauwStep>> =
+                vec![Vec::new(); streams.len()];
+            for j in 0..window_len {
+                if j == snap_at {
+                    for state in engine.snapshot() {
+                        resharded.restore(&state).unwrap();
+                    }
+                    moved = true;
+                }
+                let serving = if moved { &mut resharded } else { &mut engine };
+                let mut positions = Vec::new();
+                let mut batch = Vec::new();
+                for (s, series) in streams.iter().enumerate() {
+                    if let Some(step) = series.steps.get(j) {
+                        positions.push(s);
+                        batch.push(AdaptiveStreamStep::new(
+                            id_of(s),
+                            step.quality_factors.clone(),
+                            step.outcome,
+                            step.outcome != series.true_outcome,
+                        ));
+                    }
+                }
+                for (&s, out) in positions
+                    .iter()
+                    .zip(serving.step_many_adaptive(&batch).unwrap())
+                {
+                    got[s].push(out);
+                }
+            }
+            assert!(moved);
+            for (s, (want, have)) in expected.iter().zip(&got).enumerate() {
+                assert_eq!(want.len(), have.len(), "stream {s} length");
+                for (k, (w, h)) in want.iter().zip(have).enumerate() {
+                    assert_eq!(
+                        w.adapted_uncertainty.to_bits(),
+                        h.adapted_uncertainty.to_bits(),
+                        "stream {s} step {k} shards={shards}->{reshard} threads={threads}"
+                    );
+                    assert_eq!(
+                        w, h,
+                        "stream {s} step {k} shards={shards} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -876,3 +876,188 @@ proptest! {
         }
     }
 }
+
+// --- sharded serving ---
+
+/// One small trained wrapper shared by every sharded proptest case (the
+/// property under test is the serving router, not training).
+fn sharded_fixture() -> &'static tauw_suite::core::tauw::TimeseriesAwareWrapper {
+    use std::sync::OnceLock;
+    use tauw_suite::core::calibration::CalibrationOptions;
+    use tauw_suite::core::tauw::{TauwBuilder, TimeseriesAwareWrapper};
+    use tauw_suite::core::training::{TrainingSeries, TrainingStep};
+    use tauw_suite::core::wrapper::WrapperBuilder;
+    static FIXTURE: OnceLock<TimeseriesAwareWrapper> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let make_series = |n: usize, seed: u64| -> Vec<TrainingSeries> {
+            let mut state = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            (0..n)
+                .map(|_| {
+                    let q = next();
+                    let bias = if next() < 0.5 { 1.3 } else { 0.5 };
+                    let steps = (0..10)
+                        .map(|_| TrainingStep {
+                            quality_factors: vec![q],
+                            outcome: if next() < (q * bias).min(0.95) { 3 } else { 7 },
+                        })
+                        .collect();
+                    TrainingSeries {
+                        true_outcome: 7,
+                        steps,
+                    }
+                })
+                .collect()
+        };
+        let mut wb = WrapperBuilder::new();
+        wb.max_depth(3).calibration(CalibrationOptions {
+            min_samples_per_leaf: 50,
+            confidence: 0.99,
+            ..Default::default()
+        });
+        let mut builder = TauwBuilder::new();
+        builder.wrapper(wb);
+        builder
+            .fit(vec!["q".into()], &make_series(300, 1), &make_series(300, 2))
+            .expect("sharded proptest fixture fits")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sharded_serving_is_bitwise_identical_to_sequential_sessions(
+        // Shard counts 1/2/7 x thread budgets 1/2/8, plain and adaptive,
+        // with a snapshot -> restore into a different shard count at a
+        // random wave mid-replay: the front end must be a pure router,
+        // reproducing N dedicated sequential sessions bit for bit.
+        n_streams in 1usize..10,
+        waves in 1usize..9,
+        traffic_seed in 0u64..u64::MAX,
+        shard_sel in 0usize..3,
+        thread_sel in 0usize..3,
+        snap_frac in 0.0f64..1.0,
+        adaptive in prop::bool::ANY,
+    ) {
+        use tauw_suite::core::adaptive::AdaptiveConfig;
+        use tauw_suite::core::engine::{AdaptiveStreamStep, StreamId};
+        use tauw_suite::core::sharded::ShardedEngine;
+        use tauw_suite::core::tauw::TauwStep;
+
+        let shards = [1usize, 2, 7][shard_sel];
+        let threads = [1usize, 2, 8][thread_sel];
+        let reshard = (shards % 7) + 2; // 1 -> 3, 2 -> 4, 7 -> 2
+        let tauw = sharded_fixture();
+        let id_of = |s: usize| StreamId((s as u64).wrapping_mul(0x9E37_79B9) + 5);
+        let config = AdaptiveConfig {
+            window: 4,
+            min_observations: 2,
+            rate: 0.1,
+            max_inflation_steps: 16,
+            ..Default::default()
+        };
+
+        // Deterministic per-(stream, wave) traffic in the trained domain.
+        let step_of = |s: usize, w: usize| -> (f64, u32) {
+            let mut state = traffic_seed
+                ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (w as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let q = next();
+            let outcome = if next() < (q * 0.9).min(0.95) { 3 } else { 7 };
+            (q, outcome)
+        };
+
+        // Reference: one dedicated sequential session per stream.
+        let mut expected: Vec<Vec<TauwStep>> = Vec::with_capacity(n_streams);
+        for s in 0..n_streams {
+            let mut out = Vec::with_capacity(waves);
+            if adaptive {
+                let mut session = tauw.new_adaptive_session(config).unwrap();
+                session.begin_series();
+                for w in 0..waves {
+                    let (q, outcome) = step_of(s, w);
+                    out.push(session.step(&[q], outcome, outcome != 7).unwrap());
+                }
+            } else {
+                let mut session = tauw.new_session();
+                session.begin_series();
+                for w in 0..waves {
+                    let (q, outcome) = step_of(s, w);
+                    out.push(session.step(&[q], outcome).unwrap());
+                }
+            }
+            expected.push(out);
+        }
+
+        // Sharded: all streams advance together, one wave per timestep,
+        // moving to a resharded engine at the snapshot wave.
+        let mut engine = ShardedEngine::new(tauw.clone(), shards);
+        engine.threads(threads);
+        let mut resharded = ShardedEngine::new(tauw.clone(), reshard);
+        resharded.threads(threads);
+        if adaptive {
+            engine.enable_adaptation(config).unwrap();
+            resharded.enable_adaptation(config).unwrap();
+        }
+        let snap_at = ((waves as f64) * snap_frac) as usize;
+        let mut moved = false;
+        let mut got: Vec<Vec<TauwStep>> = vec![Vec::new(); n_streams];
+        for w in 0..waves {
+            if w == snap_at {
+                for state in engine.snapshot() {
+                    prop_assert!(state.validate().is_ok());
+                    resharded.restore(&state).unwrap();
+                }
+                prop_assert_eq!(resharded.n_streams(), engine.n_streams());
+                moved = true;
+            }
+            let serving = if moved { &mut resharded } else { &mut engine };
+            let outputs = if adaptive {
+                let batch: Vec<AdaptiveStreamStep> = (0..n_streams)
+                    .map(|s| {
+                        let (q, outcome) = step_of(s, w);
+                        AdaptiveStreamStep::new(id_of(s), vec![q], outcome, outcome != 7)
+                    })
+                    .collect();
+                serving.step_many_adaptive(&batch).unwrap()
+            } else {
+                let features: Vec<[f64; 1]> = (0..n_streams)
+                    .map(|s| [step_of(s, w).0])
+                    .collect();
+                let batch: Vec<(StreamId, &[f64], u32)> = (0..n_streams)
+                    .map(|s| (id_of(s), &features[s][..], step_of(s, w).1))
+                    .collect();
+                serving.step_many_borrowed(&batch).unwrap()
+            };
+            for (s, out) in outputs.into_iter().enumerate() {
+                got[s].push(out);
+            }
+        }
+        prop_assert!(moved, "snapshot wave must lie inside the replay");
+        for (s, (want, have)) in expected.iter().zip(&got).enumerate() {
+            prop_assert_eq!(want.len(), have.len());
+            for (k, (w, h)) in want.iter().zip(have).enumerate() {
+                prop_assert!(
+                    w.uncertainty.to_bits() == h.uncertainty.to_bits(),
+                    "stream {} step {} shards={}->{} threads={} adaptive={}",
+                    s, k, shards, reshard, threads, adaptive
+                );
+                prop_assert_eq!(w, h);
+            }
+        }
+    }
+}
