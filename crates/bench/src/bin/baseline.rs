@@ -547,7 +547,7 @@ fn bench_pipeline(opts: &Options) {
 
     // Service-soak row: the sharded front end replaying a simulated stream
     // cohort against the plain multi-stream engine on the same traffic —
-    // the schema-v8 lock-in for throughput (steps/s) and p99 wave latency
+    // the schema-v9 lock-in for throughput (steps/s) and p99 wave latency
     // of the serving tier. One replay per side (a soak, not a best-of-N
     // microbenchmark); the full-scale harness is the `soak` binary.
     let soak_cfg = soak::SoakConfig {
@@ -556,8 +556,10 @@ fn bench_pipeline(opts: &Options) {
         shards: 8,
         threads: opts.threads.min(parallel::max_threads()),
         seed: 0x50AC,
+        scenario: soak::SoakScenario::Uniform,
     };
-    let outcome = soak::run(&soak_cfg);
+    let soak_wrapper = soak::soak_wrapper();
+    let outcome = soak::run_with_wrapper(&soak_wrapper, &soak_cfg);
     results.push(
         Comparison::new(
             "soak_engine_vs_sharded",
@@ -570,6 +572,30 @@ fn bench_pipeline(opts: &Options) {
             outcome.bit_identical,
         )
         .with_p99(outcome.engine.p99_wave_ms, outcome.sharded.p99_wave_ms),
+    );
+    results.last().expect("just pushed").print();
+
+    // The same cohort under the hash-partitioned scenario mix (dropout,
+    // regime switch, heavy tails, multi-source): the schema-v9 lock-in
+    // that scenario-shaped traffic serves at comparable throughput and
+    // stays bit-identical across the sharded front end.
+    let mixed_cfg = soak::SoakConfig {
+        scenario: soak::SoakScenario::Mixed,
+        ..soak_cfg
+    };
+    let mixed = soak::run_with_wrapper(&soak_wrapper, &mixed_cfg);
+    results.push(
+        Comparison::new(
+            "soak_scenario_mixed",
+            mixed.steps,
+            ("engine", mixed.engine.total_s),
+            (
+                &format!("sharded({})", mixed_cfg.shards),
+                mixed.sharded.total_s,
+            ),
+            mixed.bit_identical,
+        )
+        .with_p99(mixed.engine.p99_wave_ms, mixed.sharded.p99_wave_ms),
     );
     results.last().expect("just pushed").print();
 

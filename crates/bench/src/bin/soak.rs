@@ -1,7 +1,10 @@
 //! Service-soak harness at arbitrary cohort scale: replays a simulated
 //! stream cohort through the plain multi-stream engine and the sharded
-//! front end, and writes a `BENCH_soak.json` report (bench schema v8:
-//! steps/s throughput, p99 per-wave latency, bit-identity verdict).
+//! front end, and writes a `BENCH_soak.json` report (bench schema v9:
+//! steps/s throughput, p99 per-wave latency, bit-identity verdict). The
+//! `--scenario` knob replays the cohort through one of the simulator's
+//! workload families (dropout, regime switch, heavy tails, multi-source,
+//! or the hash-partitioned mix) as a pure overlay on the hashed traffic.
 //!
 //! The CI soak-smoke job runs the scaled-down `--smoke` shape (2k streams
 //! × 50 waves). The service-grade 1M-stream configuration documented in
@@ -18,7 +21,7 @@
 //! steps per stream).
 
 use tauw_bench::report::{write_report, Comparison};
-use tauw_bench::soak::{run, SoakConfig};
+use tauw_bench::soak::{run, SoakConfig, SoakScenario};
 
 #[derive(Debug, Clone)]
 struct Options {
@@ -38,6 +41,7 @@ impl Default for Options {
                 shards: 8,
                 threads: parallel::max_threads(),
                 seed: 0x50AC,
+                scenario: SoakScenario::Uniform,
             },
         }
     }
@@ -67,6 +71,13 @@ fn parse_args() -> Options {
             "--waves" => opts.config.waves = count(&mut args, "--waves"),
             "--shards" => opts.config.shards = count(&mut args, "--shards"),
             "--threads" => opts.config.threads = count(&mut args, "--threads"),
+            "--scenario" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--scenario needs a value"));
+                opts.config.scenario = SoakScenario::from_name(&v)
+                    .unwrap_or_else(|| usage(&format!("unknown scenario: {v}")));
+            }
             other => usage(&format!("unknown argument: {other}")),
         }
     }
@@ -76,7 +87,8 @@ fn parse_args() -> Options {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: soak [--out dir] [--streams n] [--waves n] [--shards k] [--threads n] [--smoke]"
+        "usage: soak [--out dir] [--streams n] [--waves n] [--shards k] [--threads n] \
+         [--scenario uniform|dropout|regime_switch|heavy_tails|multi_source|mixed] [--smoke]"
     );
     std::process::exit(2);
 }
@@ -85,17 +97,26 @@ fn main() {
     let opts = parse_args();
     let cfg = opts.config;
     println!(
-        "soak: streams={}, waves={}, shards={}, threads={}, smoke={}, host parallelism={}",
+        "soak: streams={}, waves={}, shards={}, threads={}, scenario={}, smoke={}, \
+         host parallelism={}",
         cfg.streams,
         cfg.waves,
         cfg.shards,
         cfg.threads,
+        cfg.scenario.name(),
         opts.smoke,
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
     let outcome = run(&cfg);
+    // The uniform cohort keeps the historical row name the regression
+    // gate tracks; scenario cohorts get their own names so baselines for
+    // different traffic shapes never alias.
+    let row_name = match cfg.scenario {
+        SoakScenario::Uniform => "soak_engine_vs_sharded".to_string(),
+        other => format!("soak_scenario_{}", other.name()),
+    };
     let row = Comparison::new(
-        "soak_engine_vs_sharded",
+        &row_name,
         outcome.steps,
         ("engine", outcome.engine.total_s),
         (&format!("sharded({})", cfg.shards), outcome.sharded.total_s),
@@ -103,6 +124,10 @@ fn main() {
     )
     .with_p99(outcome.engine.p99_wave_ms, outcome.sharded.p99_wave_ms);
     row.print();
+    println!(
+        "  fingerprint engine={:#018x} sharded={:#018x}",
+        outcome.engine.fingerprint, outcome.sharded.fingerprint,
+    );
     println!(
         "  engine   {:>12.0} steps/s, p99 wave {:.3} ms",
         outcome.steps as f64 / outcome.engine.total_s,

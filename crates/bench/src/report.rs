@@ -34,7 +34,13 @@ use serde::Serialize;
 /// pipeline report gains the `soak_engine_vs_sharded` row — the sharded
 /// serving front end replaying a simulated stream cohort against the plain
 /// multi-stream engine, recording steps/s and p99 wave latency.
-pub const SCHEMA: &str = "tauw-bench-baseline/v8";
+/// v9: the pipeline report gains the `soak_scenario_mixed` row — the soak
+/// cohort replayed through the hash-partitioned scenario mix (dropout,
+/// regime switch, heavy tails, multi-source overlays on the hashed
+/// traffic), locking in throughput and bit-identity for scenario-shaped
+/// serving; the `soak` binary gains `--scenario`, writing scenario rows
+/// as `soak_scenario_<name>`.
+pub const SCHEMA: &str = "tauw-bench-baseline/v9";
 
 /// One timed comparison row: a baseline implementation against a
 /// contender, with throughput on both sides and a bit-identity verdict.
@@ -235,8 +241,8 @@ mod tests {
     }
 
     #[test]
-    fn schema_tag_is_v8() {
-        assert_eq!(SCHEMA, "tauw-bench-baseline/v8");
+    fn schema_tag_is_v9() {
+        assert_eq!(SCHEMA, "tauw-bench-baseline/v9");
     }
 
     #[test]

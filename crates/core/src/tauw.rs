@@ -166,32 +166,6 @@ impl TauwBuilder {
         self
     }
 
-    /// Deprecated shim for [`TauwBuilder::backend`] with
-    /// [`BackendSpec::Forest`]. Kept for downstream callers only — the
-    /// workspace itself is fully migrated to `backend(..)` (the sole
-    /// remaining internal use is the shim-mapping regression test).
-    #[deprecated(
-        since = "0.8.0",
-        note = "use `backend(BackendSpec::Forest { n_trees, seed })`; \
-                this shim will be removed once downstreams have migrated"
-    )]
-    pub fn forest(&mut self, n_trees: usize, seed: u64) -> &mut Self {
-        self.backend(BackendSpec::Forest { n_trees, seed })
-    }
-
-    /// Deprecated shim for [`TauwBuilder::backend`] with
-    /// [`BackendSpec::Tree`]. Kept for downstream callers only — the
-    /// workspace itself is fully migrated to `backend(..)` (the sole
-    /// remaining internal use is the shim-mapping regression test).
-    #[deprecated(
-        since = "0.8.0",
-        note = "use `backend(BackendSpec::Tree)`; \
-                this shim will be removed once downstreams have migrated"
-    )]
-    pub fn single_tree(&mut self) -> &mut Self {
-        self.backend(BackendSpec::Tree)
-    }
-
     /// Trains the full taUW pipeline:
     ///
     /// 1. fit + calibrate the stateless wrapper on the flattened steps,
@@ -929,24 +903,6 @@ mod tests {
         let w2 = b2.fit(vec!["q".into()], &train, &calib).unwrap();
         assert_eq!(w2.taqim().n_trees(), 1);
         assert!(w2.taqim().as_tree().is_some());
-    }
-
-    /// The deprecated builder shims must keep steering the new
-    /// `BackendSpec` field so downstream callers migrate incrementally.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_map_onto_backend_spec() {
-        let mut b = small_builder();
-        b.forest(4, 0xF0);
-        assert_eq!(
-            b.backend,
-            BackendSpec::Forest {
-                n_trees: 4,
-                seed: 0xF0
-            }
-        );
-        b.single_tree();
-        assert_eq!(b.backend, BackendSpec::Tree);
     }
 
     #[test]

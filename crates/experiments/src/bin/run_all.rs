@@ -8,23 +8,7 @@
 
 use std::process::Command;
 use tauw_experiments::report::section;
-use tauw_experiments::CliOptions;
-
-const BINARIES: [&str; 13] = [
-    "fig4",
-    "fig5",
-    "table1",
-    "fig6",
-    "fig7",
-    "bounds_ablation",
-    "sensitivity",
-    "window_sweep",
-    "extended_taqf",
-    "if_ablation",
-    "forest_ablation",
-    "conformal_head_to_head",
-    "drift_adaptation",
-];
+use tauw_experiments::{CliOptions, BINARIES};
 
 fn main() {
     let opts = CliOptions::from_env();

@@ -1,0 +1,180 @@
+//! Scenario family: heavy-tailed noise bursts on the quality features.
+//!
+//! Symmetric Pareto bursts hit every quality factor for runs of steps.
+//! The family's default application transforms **calibration and test**
+//! together, so exchangeability between the two splits survives — which
+//! is exactly the regime where split-conformal's distribution-free
+//! guarantee must keep holding:
+//!
+//! 1. with bursts on calibration *and* test, conformal empirical
+//!    indicator coverage stays ≥ its nominal level;
+//! 2. the conformal bound stays informative (mean bound < 1) and the
+//!    wrapper keeps a useful ranking (AUC > 0.5, several levels);
+//! 3. recalibrating on bursty data repairs what a clean-calibrated
+//!    wrapper loses when only the test split is bursty (broken
+//!    exchangeability): paired coverage ≥ broken coverage.
+//!
+//! The binary exits non-zero if any shape check is VIOLATED.
+
+use tauw_core::conformal::ConformalOptions;
+use tauw_experiments::eval::evaluate;
+use tauw_experiments::report::{emit, fmt_prob, section, TextTable};
+use tauw_experiments::{Approach, CliOptions, ExperimentContext};
+use tauw_sim::scenario::{BurstParams, ScenarioFamily};
+use tauw_stats::roc::auc;
+
+/// Matches `conformal_head_to_head`: attainable from small calibration
+/// splits at every world scale.
+const CONFORMAL_CONFIDENCE: f64 = 0.9;
+
+/// Fraction of cases whose one-sided bound covers the realized failure
+/// indicator (`y ≤ bound`).
+fn indicator_coverage(forecasts: &[f64], failures: &[bool]) -> f64 {
+    let covered = forecasts
+        .iter()
+        .zip(failures)
+        .filter(|(&bound, &failed)| !failed || bound >= 1.0 - 1e-12)
+        .count();
+    covered as f64 / forecasts.len().max(1) as f64
+}
+
+struct Row {
+    name: String,
+    coverage: f64,
+    mean_bound: f64,
+    auc: f64,
+    levels: usize,
+}
+
+fn assess(
+    name: &str,
+    tauw: &tauw_core::tauw::TimeseriesAwareWrapper,
+    test: &[tauw_core::training::TrainingSeries],
+) -> Row {
+    let eval = evaluate(tauw, test).expect("evaluation runs");
+    let (forecasts, failures) = eval.forecasts(Approach::IfTauw);
+    let ranking = auc(&forecasts, &failures).expect("both outcome classes present");
+    let coverage = indicator_coverage(&forecasts, &failures);
+    let mean_bound = forecasts.iter().sum::<f64>() / forecasts.len().max(1) as f64;
+    let mut levels = forecasts.clone();
+    levels.sort_by(f64::total_cmp);
+    levels.dedup_by(|a, b| (*a - *b).abs() <= 1e-12);
+    Row {
+        name: name.to_string(),
+        coverage,
+        mean_bound,
+        auc: ranking,
+        levels: levels.len(),
+    }
+}
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let family = ScenarioFamily::HeavyTails(BurstParams::default());
+
+    // Clean world (baseline) and paired-burst world (bursts on calib+test).
+    let clean_ctx =
+        ExperimentContext::build(opts.scale, opts.seed).expect("experiment context must build");
+    let burst_ctx = ExperimentContext::build_scenario(family, opts.scale, opts.seed)
+        .expect("scenario context must build");
+
+    let conformal_clean = clean_ctx
+        .tauw_conformal_variant(ConformalOptions::default(), CONFORMAL_CONFIDENCE)
+        .expect("conformal variant builds");
+    let conformal_paired = burst_ctx
+        .tauw_conformal_variant(ConformalOptions::default(), CONFORMAL_CONFIDENCE)
+        .expect("conformal variant builds");
+    // Broken exchangeability: calibrated clean, served bursty.
+    let broken_test = clean_ctx
+        .scenario_test(family)
+        .expect("scenario test builds");
+
+    let rows = [
+        assess("conformal / clean world", &conformal_clean, &clean_ctx.test),
+        assess(
+            "conformal / bursts on calib+test",
+            &conformal_paired,
+            &burst_ctx.test,
+        ),
+        assess(
+            "conformal / bursts on test only",
+            &conformal_clean,
+            &broken_test,
+        ),
+        assess("tree / clean world", &clean_ctx.tauw, &clean_ctx.test),
+        assess(
+            "tree / bursts on calib+test",
+            &burst_ctx.tauw,
+            &burst_ctx.test,
+        ),
+    ];
+
+    let mut out = String::new();
+    out.push_str(&section(
+        "scenario: heavy-tailed bursts on the quality features (IF + taUW rows)",
+    ));
+    out.push_str(&format!(
+        "burst params: gate {} / mean run {} / alpha {} / scale {}.\n\
+         conformal nominal coverage: {CONFORMAL_CONFIDENCE}.\n\n",
+        BurstParams::default().gate_prob,
+        BurstParams::default().mean_run,
+        BurstParams::default().tail_alpha,
+        BurstParams::default().scale,
+    ));
+    let mut table = TextTable::new(vec![
+        "backend / world",
+        "coverage",
+        "mean bound",
+        "AUC",
+        "u levels",
+    ]);
+    for r in &rows {
+        table.row(vec![
+            r.name.clone(),
+            format!("{:.4}", r.coverage),
+            fmt_prob(r.mean_bound),
+            format!("{:.4}", r.auc),
+            r.levels.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    let paired = &rows[1];
+    let broken = &rows[2];
+    let tree_burst = &rows[4];
+    out.push_str(&section("shape checks"));
+    let mut checks = TextTable::new(vec!["check", "status"]);
+    let mut violations = 0usize;
+    let mut check = |label: &str, holds: bool| {
+        if !holds {
+            violations += 1;
+        }
+        checks.row(vec![
+            label.to_string(),
+            if holds { "HOLDS" } else { "VIOLATED" }.to_string(),
+        ]);
+    };
+    check(
+        "conformal coverage stays >= nominal under paired bursts",
+        paired.coverage >= CONFORMAL_CONFIDENCE,
+    );
+    check(
+        "paired conformal bound stays informative (mean bound < 1)",
+        paired.mean_bound < 1.0 - 1e-9,
+    );
+    check(
+        "recalibration repairs broken exchangeability (paired >= test-only coverage)",
+        paired.coverage >= broken.coverage,
+    );
+    check(
+        "tree wrapper stays informative under bursts (AUC > 0.5, several levels)",
+        tree_burst.auc > 0.5 && tree_burst.levels > 1,
+    );
+    out.push_str(&checks.render());
+
+    emit(&opts.out_dir, "scenario_heavy_tails.txt", &out).expect("write results");
+    if violations > 0 {
+        eprintln!("scenario_heavy_tails: {violations} shape check(s) VIOLATED");
+        std::process::exit(1);
+    }
+}

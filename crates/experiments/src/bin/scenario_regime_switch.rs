@@ -1,0 +1,182 @@
+//! Scenario family: mid-stream regime switch in the DDM error model.
+//!
+//! Unlike `drift_adaptation` (which injects failures into the *feedback*
+//! channel), this binary drives the switch through the first-class
+//! [`ScenarioFamily::RegimeSwitch`] workload: past the switch position a
+//! fraction of series become systematically confused — every frame
+//! reports the same wrong class, invisibly to the quality sensors and
+//! with full self-consistency, so outcome-agreement features read the
+//! failure as confidence. The wrapper is trained and calibrated on the
+//! clean world and serves the shifted stream through the adaptive
+//! session, which reports both the frozen and the adapted bound per
+//! step.
+//!
+//! Shape claims:
+//!
+//! 1. the first half of the stream is bit-identical to the baseline
+//!    world (the family transforms only post-switch series);
+//! 2. in the final quarter, frozen bounds undercover by more than 5
+//!    points — the paper's dependability argument breaks under drift;
+//! 3. the adaptive coverage gap closes to within 5 points;
+//! 4. drift signals concentrate after the switch.
+//!
+//! The binary exits non-zero if any shape check is VIOLATED.
+
+use tauw_core::adaptive::{AdaptiveConfig, DriftSignal};
+use tauw_experiments::report::{emit, fmt_pct, fmt_prob, section, TextTable};
+use tauw_experiments::{CliOptions, ExperimentContext};
+use tauw_sim::scenario::{RegimeParams, ScenarioFamily};
+
+struct Served {
+    frozen_bound: f64,
+    adapted_bound: f64,
+    failed: bool,
+    drifting: bool,
+    in_regime_switch: bool,
+}
+
+fn main() {
+    let opts = CliOptions::from_env();
+    let ctx =
+        ExperimentContext::build(opts.scale, opts.seed).expect("experiment context must build");
+    let params = RegimeParams::default();
+    let shifted = ctx
+        .scenario_test(ScenarioFamily::RegimeSwitch(params))
+        .expect("scenario test builds");
+
+    let n_series = shifted.len();
+    let switch_at = (params.switch_at * n_series as f64).ceil() as usize;
+    let total_steps: usize = shifted.iter().map(|s| s.steps.len()).sum();
+    let first_half_identical =
+        ctx.test[..switch_at.min(ctx.test.len())] == shifted[..switch_at.min(shifted.len())];
+
+    let window = (total_steps / 20).clamp(20, 200);
+    let config = AdaptiveConfig {
+        window,
+        min_observations: (window / 4).max(1),
+        rate: 0.05,
+        max_inflation_steps: 200,
+        ..Default::default()
+    };
+    let mut session = ctx
+        .tauw
+        .new_adaptive_session(config)
+        .expect("valid adaptive config");
+
+    let mut served = Vec::with_capacity(total_steps);
+    for (i, series) in shifted.iter().enumerate() {
+        session.begin_series();
+        for step in &series.steps {
+            let failed = step.outcome != series.true_outcome;
+            let out = session
+                .step(&step.quality_factors, step.outcome, failed)
+                .expect("step serves");
+            served.push(Served {
+                frozen_bound: out.uncertainty,
+                adapted_bound: out.adapted_uncertainty,
+                failed,
+                drifting: out.drift != DriftSignal::Stable,
+                in_regime_switch: i >= switch_at,
+            });
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&section(
+        "scenario: regime switch (first-class workload family)",
+    ));
+    out.push_str(&format!(
+        "stream: {total_steps} steps over {n_series} series; the regime-switch\n\
+         family makes each series systematically confused with p={} from\n\
+         series {switch_at} on. quality factors are untouched — only the\n\
+         ground-truth feedback channel reveals the shift.\n\
+         adaptive config: window {window}, min observations {}, rate {}.\n\n",
+        params.flip_prob, config.min_observations, config.rate,
+    ));
+
+    let gap = |failure_rate: f64, mean_bound: f64| (failure_rate - mean_bound).max(0.0);
+    let quarter = served.len() / 4;
+    let mut table = TextTable::new(vec![
+        "quarter",
+        "failure rate",
+        "frozen bound",
+        "adaptive bound",
+        "frozen gap",
+        "adaptive gap",
+        "drift signals",
+    ]);
+    let mut last_gaps = (0.0f64, 0.0f64);
+    for q in 0..4 {
+        let lo = q * quarter;
+        let hi = if q == 3 {
+            served.len()
+        } else {
+            (q + 1) * quarter
+        };
+        let slice = &served[lo..hi];
+        let n = slice.len().max(1) as f64;
+        let failure_rate = slice.iter().filter(|s| s.failed).count() as f64 / n;
+        let frozen = slice.iter().map(|s| s.frozen_bound).sum::<f64>() / n;
+        let adaptive = slice.iter().map(|s| s.adapted_bound).sum::<f64>() / n;
+        let drifting = slice.iter().filter(|s| s.drifting).count();
+        last_gaps = (gap(failure_rate, frozen), gap(failure_rate, adaptive));
+        table.row(vec![
+            format!("Q{}", q + 1),
+            fmt_pct(failure_rate),
+            fmt_prob(frozen),
+            fmt_prob(adaptive),
+            fmt_pct(last_gaps.0),
+            fmt_pct(last_gaps.1),
+            drifting.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    let pre_drift = served
+        .iter()
+        .filter(|s| !s.in_regime_switch && s.drifting)
+        .count();
+    let post_drift = served
+        .iter()
+        .filter(|s| s.in_regime_switch && s.drifting)
+        .count();
+
+    out.push_str(&section("shape checks"));
+    let mut checks = TextTable::new(vec!["check", "status"]);
+    let mut violations = 0usize;
+    let mut check = |label: &str, holds: bool| {
+        if !holds {
+            violations += 1;
+        }
+        checks.row(vec![
+            label.to_string(),
+            if holds { "HOLDS" } else { "VIOLATED" }.to_string(),
+        ]);
+    };
+    check(
+        "pre-switch stream is bit-identical to the baseline world",
+        first_half_identical,
+    );
+    check(
+        "final quarter: frozen bounds undercover by more than 5 points",
+        last_gaps.0 > 0.05,
+    );
+    check(
+        "final quarter: adaptive coverage gap closes to within 5 points",
+        last_gaps.1 <= 0.05,
+    );
+    check(
+        "drift signals concentrate after the regime switch",
+        post_drift > pre_drift,
+    );
+    out.push_str(&checks.render());
+    out.push_str(&format!(
+        "\ndrift signals: {pre_drift} before the switch, {post_drift} after.\n"
+    ));
+
+    emit(&opts.out_dir, "scenario_regime_switch.txt", &out).expect("write results");
+    if violations > 0 {
+        eprintln!("scenario_regime_switch: {violations} shape check(s) VIOLATED");
+        std::process::exit(1);
+    }
+}

@@ -9,7 +9,10 @@ use tauw_core::tauw::{replay, BackendSpec, ReplayRow, TauwBuilder, TimeseriesAwa
 use tauw_core::training::{flatten_stateless, TrainingSeries};
 use tauw_core::wrapper::{UncertaintyWrapper, WrapperBuilder};
 use tauw_core::CoreError;
-use tauw_sim::{DatasetBuilder, QualityObservation, SimConfig};
+use tauw_sim::{
+    DatasetBuilder, GtsrbLikeDataset, QualityObservation, ScenarioConfig, ScenarioFamily,
+    SimConfig, SplitKind,
+};
 
 /// The context's canonical wrapper configuration (paper depth 8 + the
 /// scale-adjusted calibration options) — shared by the base build and by
@@ -77,6 +80,45 @@ impl ExperimentContext {
         let data = DatasetBuilder::new(config.clone(), seed)
             .map_err(|reason| CoreError::InvalidInput { reason })?
             .build();
+        Self::build_with_dataset(config, data, seed)
+    }
+
+    /// Builds the context whose dataset has `family` applied to its
+    /// default splits (see `ScenarioFamily::default_application`): the
+    /// scenario studies' entry point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the configuration is invalid or training
+    /// or calibration fails.
+    pub fn build_scenario(
+        family: ScenarioFamily,
+        scale: f64,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        let config = if scale >= 1.0 {
+            SimConfig::default()
+        } else {
+            SimConfig::scaled(scale)
+        };
+        let scenario = ScenarioConfig::new(config.clone(), family);
+        let data = scenario
+            .build(seed)
+            .map_err(|reason| CoreError::InvalidInput { reason })?;
+        Self::build_with_dataset(config, data, seed)
+    }
+
+    /// Builds the context from an already-generated (possibly
+    /// scenario-transformed) dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if training or calibration fails.
+    pub fn build_with_dataset(
+        config: SimConfig,
+        data: GtsrbLikeDataset,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
         let train = to_training_series(&data.train);
         let calib = to_training_series(&data.calib);
         let test = to_training_series(&data.test);
@@ -144,6 +186,28 @@ impl ExperimentContext {
             }
         }
         wrong as f64 / total.max(1) as f64
+    }
+
+    /// Regenerates this context's **test split** with `family` applied
+    /// (train and calibration stay exactly as this context was built):
+    /// the deployment-time-shift view, where a wrapper trained on the
+    /// clean world is hit by scenario traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the configuration is invalid.
+    pub fn scenario_test(&self, family: ScenarioFamily) -> Result<Vec<TrainingSeries>, CoreError> {
+        let mut test = DatasetBuilder::new(self.config.clone(), self.seed)
+            .map_err(|reason| CoreError::InvalidInput { reason })?
+            .build_test_only();
+        let scenario = ScenarioConfig::new(self.config.clone(), family);
+        scenario.apply_split(
+            SplitKind::Test,
+            &mut test,
+            self.seed,
+            parallel::max_threads(),
+        );
+        Ok(to_training_series(&test))
     }
 
     /// Builds a taUW variant whose taQIM is a calibrated bootstrap
@@ -281,6 +345,42 @@ mod tests {
         let mut s = conformal.new_session();
         let step = s.step(&vec![0.5; ctx.feature_names.len()], 0).unwrap();
         assert!(step.uncertainty > 0.0 && step.uncertainty <= 1.0);
+    }
+
+    #[test]
+    fn scenario_test_split_keeps_family_semantics() {
+        let ctx = ExperimentContext::build(0.02, 7).unwrap();
+        // Dropout only touches observations: outcomes must be identical.
+        let dropout = ctx
+            .scenario_test(ScenarioFamily::from_name("dropout").unwrap())
+            .unwrap();
+        assert_eq!(dropout.len(), ctx.test.len());
+        let mut perturbed = false;
+        for (a, b) in ctx.test.iter().zip(&dropout) {
+            assert_eq!(a.true_outcome, b.true_outcome);
+            for (sa, sb) in a.steps.iter().zip(&b.steps) {
+                assert_eq!(sa.outcome, sb.outcome);
+                perturbed |= sa.quality_factors != sb.quality_factors;
+            }
+        }
+        assert!(perturbed, "dropout never changed a quality factor");
+        // Multi-source triples every series.
+        let ms = ctx
+            .scenario_test(ScenarioFamily::from_name("multi_source").unwrap())
+            .unwrap();
+        assert_eq!(ms[0].steps.len(), ctx.test[0].steps.len() * 3);
+    }
+
+    #[test]
+    fn scenario_context_builds_and_serves() {
+        let ctx = ExperimentContext::build_scenario(
+            ScenarioFamily::from_name("heavy_tails").unwrap(),
+            0.02,
+            7,
+        )
+        .unwrap();
+        assert!(!ctx.test.is_empty());
+        assert!((0.0..1.0).contains(&ctx.test_ddm_misclassification()));
     }
 
     #[test]

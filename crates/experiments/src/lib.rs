@@ -18,6 +18,10 @@
 //! | `forest_ablation` | related wk     | single-tree taQIM vs boundary-smoothed bootstrap forests (K=4, K=16): Brier, AUC, estimate granularity |
 //! | `conformal_head_to_head` | related wk | split-conformal backend vs tree and forest16: Brier, AUC, distinct levels, empirical coverage vs nominal |
 //! | `drift_adaptation`| future work    | mid-stream regime switch: adaptive coverage-tracked bounds vs the paper's frozen bounds |
+//! | `scenario_dropout` | scenario wall | sensor dropout + multi-rate sensing: ranking degrades, outcomes untouched, stale beats dead sensors |
+//! | `scenario_regime_switch` | scenario wall | regime-switch family: frozen bounds undercover, adaptive bounds close the gap, drift signals concentrate |
+//! | `scenario_heavy_tails` | scenario wall | heavy-tailed bursts: conformal coverage stays ≥ nominal when calibration sees the same tails |
+//! | `scenario_multi_source` | scenario wall | correlated multi-source evidence: independent sources help fusion, correlation erodes the gain |
 //! | `run_all`         | —              | everything above in one run |
 //!
 //! All binaries accept `--scale <f>` (default 1.0 = paper-sized),
@@ -38,6 +42,30 @@ pub use eval::{Approach, CaseRecord, TestEvaluation};
 
 /// Master seed used by all experiment binaries unless overridden.
 pub const DEFAULT_SEED: u64 = 20230627; // the VERDI workshop date
+
+/// Every experiment binary in `src/bin` except `run_all` itself, in
+/// `run_all` execution order. `run_all` consumes this list, and a lib
+/// test asserts it covers every `src/bin/*.rs` source file — so a new
+/// binary cannot be silently skipped by the one-stop entry point.
+pub const BINARIES: [&str; 17] = [
+    "fig4",
+    "fig5",
+    "table1",
+    "fig6",
+    "fig7",
+    "bounds_ablation",
+    "sensitivity",
+    "window_sweep",
+    "extended_taqf",
+    "if_ablation",
+    "forest_ablation",
+    "conformal_head_to_head",
+    "drift_adaptation",
+    "scenario_dropout",
+    "scenario_regime_switch",
+    "scenario_heavy_tails",
+    "scenario_multi_source",
+];
 
 /// Command-line options shared by every experiment binary.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +140,43 @@ mod tests {
 
     fn parse(args: &[&str]) -> Result<CliOptions, String> {
         CliOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn binary_map_covers_every_bin_source() {
+        let bin_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+        let mut stems: Vec<String> = std::fs::read_dir(&bin_dir)
+            .expect("src/bin exists")
+            .map(|entry| entry.expect("readable entry").path())
+            .filter(|path| path.extension().is_some_and(|ext| ext == "rs"))
+            .map(|path| {
+                path.file_stem()
+                    .expect("file stem")
+                    .to_string_lossy()
+                    .into_owned()
+            })
+            .collect();
+        stems.sort();
+        let doc = include_str!("lib.rs");
+        for stem in &stems {
+            if stem != "run_all" {
+                assert!(
+                    BINARIES.contains(&stem.as_str()),
+                    "src/bin/{stem}.rs is not registered in BINARIES — run_all would skip it"
+                );
+            }
+            assert!(
+                doc.contains(&format!("`{stem}`")),
+                "the lib doc binary table does not mention `{stem}`"
+            );
+        }
+        assert_eq!(
+            BINARIES.len(),
+            stems.len() - 1, // run_all is the driver, not an entry
+            "BINARIES lists a binary without a src/bin source"
+        );
+        let unique: std::collections::HashSet<&&str> = BINARIES.iter().collect();
+        assert_eq!(unique.len(), BINARIES.len(), "duplicate entry in BINARIES");
     }
 
     #[test]

@@ -104,6 +104,19 @@ impl DatasetBuilder {
         self.build_train(&specs[..self.config.split.0])
     }
 
+    /// Builds only the test split (bit-identical to the `test` field of
+    /// [`DatasetBuilder::build`]; used by scenario studies that re-derive
+    /// a transformed test set without paying for the training split).
+    pub fn build_test_only(&self) -> Vec<SeriesRecord> {
+        let specs = self.base_series_specs();
+        let start = self.config.split.0 + self.config.split.1;
+        self.build_windows(
+            &specs[start..start + self.config.split.2],
+            self.config.test_augmentations,
+            0x7E57,
+        )
+    }
+
     /// The per-base-series ground truth: a true class per series, shuffled
     /// deterministically so splits are random with respect to class.
     fn base_series_specs(&self) -> Vec<SignClass> {
@@ -250,6 +263,13 @@ mod tests {
             assert_eq!(serial.calib, par.calib, "threads={threads}");
             assert_eq!(serial.test, par.test, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn test_only_build_matches_full_build() {
+        let full = small_builder().build();
+        let test_only = small_builder().build_test_only();
+        assert_eq!(full.test, test_only);
     }
 
     #[test]

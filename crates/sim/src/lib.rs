@@ -14,6 +14,9 @@
 //!   strongly *correlated within a series* ([`ddm`]),
 //! * noisy quality-factor sensors ([`sensors`]),
 //! * the paper's train/calibration/test construction ([`dataset`]),
+//! * first-class workload families layered over the base world — sensor
+//!   dropout, regime switches, heavy-tailed bursts, multi-source evidence
+//!   ([`scenario`]),
 //! * multi-sign drive scenarios for end-to-end pipeline demos ([`drive`]),
 //! * and a Kalman-filter sign tracker that signals series onsets
 //!   ([`tracking`]).
@@ -41,6 +44,7 @@ pub mod deficits;
 pub mod drive;
 pub mod geometry;
 pub mod rng_util;
+pub mod scenario;
 pub mod sensors;
 pub mod series;
 pub mod situation;
@@ -52,6 +56,10 @@ pub use dataset::{DatasetBuilder, GtsrbLikeDataset};
 pub use ddm::SimulatedDdm;
 pub use deficits::{DeficitKind, DeficitVector, N_DEFICITS};
 pub use drive::{Drive, DriveFrame, DriveScenario};
+pub use scenario::{
+    BurstParams, DropoutParams, MultiSourceParams, RegimeParams, ScenarioConfig, ScenarioFamily,
+    SplitApplication, SplitKind,
+};
 pub use sensors::{QualityObservation, N_QUALITY_FACTORS};
 pub use series::{Frame, SeriesRecord};
 pub use situation::{RoadEnvironment, SituationModel, SituationSetting};

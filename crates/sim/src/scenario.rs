@@ -1,0 +1,829 @@
+//! Scenario families: first-class workload configurations layered over
+//! [`SimConfig`].
+//!
+//! The base simulator reproduces the paper's single
+//! traffic-sign-recognition world. Production serving must survive much
+//! uglier traffic, so this module opens four additional workload families
+//! as deterministic *post-generation transforms* over the generated
+//! splits:
+//!
+//! * [`ScenarioFamily::SensorDropout`] — quality sensors deliver stale or
+//!   missing readings for runs of steps, and channels refresh at
+//!   different rates (multi-rate sensing). Only the wrapper-visible
+//!   [`QualityObservation`] is touched; the latent world and DDM outcomes
+//!   are unchanged.
+//! * [`ScenarioFamily::RegimeSwitch`] — from a configurable position in
+//!   the split onwards (and optionally from a configurable onset frame
+//!   within each series), the DDM enters an unmodeled error regime: a
+//!   fixed fraction of series become systematically confused, every
+//!   frame reporting the same confusion target — invisible to the
+//!   quality sensors and self-consistent over time.
+//! * [`ScenarioFamily::HeavyTails`] — heavy-tailed (symmetric Pareto)
+//!   noise bursts hit all quality features for runs of steps.
+//! * [`ScenarioFamily::MultiSource`] — every frame is replicated into
+//!   `n_sources` interleaved evidence sources with correlated errors,
+//!   stressing the fusion layer's majority vote.
+//!
+//! ## Determinism contract
+//!
+//! Every transform is a pure function of `(family parameters, scenario
+//! seed, split, series content)`: the per-series RNG stream is
+//! `SplitMix64(derive_seed(derive_seed(seed, family ^ split), series_id))`,
+//! so the result is bit-identical across thread budgets and invariant to
+//! the order in which series are transformed. This is locked in by
+//! `tests/properties.rs` and the determinism suite.
+
+use crate::classes::SignClass;
+use crate::config::SimConfig;
+use crate::dataset::{DatasetBuilder, GtsrbLikeDataset};
+use crate::deficits::N_DEFICITS;
+use crate::rng_util::derive_seed;
+use crate::sensors::QualityObservation;
+use crate::series::{Frame, SeriesRecord};
+use tauw_stats::bootstrap::SplitMix64;
+
+/// Base salt mixed into every scenario stream so scenario RNG streams
+/// never collide with dataset-generation streams.
+const SCENARIO_SALT: u64 = 0x5CEA_0000_0000;
+
+/// Which dataset split a series belongs to (selects the per-split RNG
+/// stream salt and the split-position decoding rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitKind {
+    /// Full-length training series.
+    Train,
+    /// Length-`window_len` calibration windows.
+    Calib,
+    /// Length-`window_len` test windows.
+    Test,
+}
+
+impl SplitKind {
+    /// Stream salt for this split (distinct from the dataset builder's
+    /// split salts so transform streams are independent of generation).
+    fn salt(self) -> u64 {
+        match self {
+            SplitKind::Train => 0x1_0000,
+            SplitKind::Calib => 0x2_0000,
+            SplitKind::Test => 0x3_0000,
+        }
+    }
+
+    /// Decodes a series' 0-based position within its split from its id.
+    ///
+    /// [`DatasetBuilder`] assigns contiguous ids per split: train ids
+    /// count up from 0; calibration/test ids are `(salt << 32) + pos`.
+    /// Masking the high word therefore recovers the position regardless
+    /// of generation order.
+    pub fn position_in_split(self, series_id: u64) -> usize {
+        (series_id & 0xFFFF_FFFF) as usize
+    }
+}
+
+/// Which splits a scenario transform applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitApplication {
+    /// Transform the training split.
+    pub train: bool,
+    /// Transform the calibration split.
+    pub calib: bool,
+    /// Transform the test split.
+    pub test: bool,
+}
+
+impl SplitApplication {
+    /// Apply to the test split only (deployment-time shift).
+    pub const TEST_ONLY: SplitApplication = SplitApplication {
+        train: false,
+        calib: false,
+        test: true,
+    };
+    /// Apply to calibration and test (exchangeability-preserving shift).
+    pub const CALIB_AND_TEST: SplitApplication = SplitApplication {
+        train: false,
+        calib: true,
+        test: true,
+    };
+    /// Apply to no split (baseline).
+    pub const NONE: SplitApplication = SplitApplication {
+        train: false,
+        calib: false,
+        test: false,
+    };
+}
+
+/// Parameters for [`ScenarioFamily::SensorDropout`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DropoutParams {
+    /// Per-frame, per-channel probability of entering a dropout run when
+    /// no run is active.
+    pub gate_prob: f64,
+    /// Mean dropout-run length in frames (geometric distribution).
+    pub mean_run: f64,
+    /// Probability a dropout run holds the last delivered value (stale
+    /// sensor) instead of reading zero (dead sensor).
+    pub stale_prob: f64,
+    /// Multi-rate period: deficit channel `c` refreshes only on frames
+    /// where `(step + c) % period == 0` (1 = every frame refreshes).
+    pub multi_rate_period: usize,
+    /// Whether the detector's pixel-size channel drops out too: a stale
+    /// run holds the last delivered bounding box, a dead run reads the
+    /// no-detection floor (1 pixel).
+    pub drop_pixel: bool,
+}
+
+impl Default for DropoutParams {
+    fn default() -> Self {
+        DropoutParams {
+            gate_prob: 0.08,
+            mean_run: 3.0,
+            stale_prob: 0.5,
+            multi_rate_period: 3,
+            drop_pixel: true,
+        }
+    }
+}
+
+/// Parameters for [`ScenarioFamily::RegimeSwitch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegimeParams {
+    /// Fraction of the split (by series position) after which series are
+    /// in the switched regime (`0.5` = second half of the stream).
+    pub switch_at: f64,
+    /// Per-series probability that a series in the switched regime is
+    /// *systematically confused*: every frame (from the onset) reports
+    /// the series' confusion target, with full self-consistency — the
+    /// worst case for outcome-derived timeseries features, which read
+    /// the agreement as confidence.
+    pub flip_prob: f64,
+    /// Fraction of each switched series' frames that elapse before the
+    /// regime takes effect within the series (`0.0` = whole series).
+    pub within_series_onset: f64,
+}
+
+impl Default for RegimeParams {
+    fn default() -> Self {
+        RegimeParams {
+            switch_at: 0.5,
+            flip_prob: 0.35,
+            within_series_onset: 0.0,
+        }
+    }
+}
+
+/// Parameters for [`ScenarioFamily::HeavyTails`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstParams {
+    /// Per-frame probability of entering a burst run when none is active.
+    pub gate_prob: f64,
+    /// Mean burst-run length in frames (geometric distribution).
+    pub mean_run: f64,
+    /// Pareto tail exponent `alpha` (smaller = heavier tails).
+    pub tail_alpha: f64,
+    /// Noise scale multiplying the Pareto excess.
+    pub scale: f64,
+}
+
+impl Default for BurstParams {
+    fn default() -> Self {
+        BurstParams {
+            gate_prob: 0.06,
+            mean_run: 2.5,
+            tail_alpha: 1.5,
+            scale: 0.08,
+        }
+    }
+}
+
+/// Parameters for [`ScenarioFamily::MultiSource`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiSourceParams {
+    /// Number of evidence sources per frame (source 0 is the original).
+    pub n_sources: usize,
+    /// Cross-source error correlation in `[0, 1]`: the probability that a
+    /// secondary source copies the primary outcome verbatim.
+    pub correlation: f64,
+    /// Probability that an uncorrelated secondary source disagrees with a
+    /// *correct* primary outcome (votes its own confusion target).
+    pub disagree_prob: f64,
+    /// Sensor-noise sigma for secondary-source quality observations.
+    pub sensor_sigma: f64,
+}
+
+impl Default for MultiSourceParams {
+    fn default() -> Self {
+        MultiSourceParams {
+            n_sources: 3,
+            correlation: 0.5,
+            disagree_prob: 0.1,
+            sensor_sigma: 0.05,
+        }
+    }
+}
+
+/// A first-class workload family layered over [`SimConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioFamily {
+    /// The unmodified paper world.
+    Baseline,
+    /// Stale/missing quality readings and multi-rate sensors.
+    SensorDropout(DropoutParams),
+    /// Mid-stream (and optionally mid-series) DDM error-regime switch.
+    RegimeSwitch(RegimeParams),
+    /// Heavy-tailed noise bursts on the quality features.
+    HeavyTails(BurstParams),
+    /// Correlated multi-source evidence streams.
+    MultiSource(MultiSourceParams),
+}
+
+impl ScenarioFamily {
+    /// Canonical name (accepted by [`ScenarioFamily::from_name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioFamily::Baseline => "baseline",
+            ScenarioFamily::SensorDropout(_) => "dropout",
+            ScenarioFamily::RegimeSwitch(_) => "regime_switch",
+            ScenarioFamily::HeavyTails(_) => "heavy_tails",
+            ScenarioFamily::MultiSource(_) => "multi_source",
+        }
+    }
+
+    /// Parses a family (with default parameters) from a CLI-style name.
+    pub fn from_name(name: &str) -> Option<ScenarioFamily> {
+        match name {
+            "baseline" => Some(ScenarioFamily::Baseline),
+            "dropout" => Some(ScenarioFamily::SensorDropout(DropoutParams::default())),
+            "regime_switch" | "regime" => {
+                Some(ScenarioFamily::RegimeSwitch(RegimeParams::default()))
+            }
+            "heavy_tails" | "heavy" => Some(ScenarioFamily::HeavyTails(BurstParams::default())),
+            "multi_source" | "multisource" => {
+                Some(ScenarioFamily::MultiSource(MultiSourceParams::default()))
+            }
+            _ => None,
+        }
+    }
+
+    /// All families at their default parameters, baseline first.
+    pub fn all_defaults() -> [ScenarioFamily; 5] {
+        [
+            ScenarioFamily::Baseline,
+            ScenarioFamily::SensorDropout(DropoutParams::default()),
+            ScenarioFamily::RegimeSwitch(RegimeParams::default()),
+            ScenarioFamily::HeavyTails(BurstParams::default()),
+            ScenarioFamily::MultiSource(MultiSourceParams::default()),
+        ]
+    }
+
+    /// The splits this family transforms by default.
+    ///
+    /// Deployment-time shifts (dropout, regime switch, multi-source)
+    /// touch only the test split — the wrapper is trained and calibrated
+    /// on the clean world and then hit by the shift. Heavy tails apply to
+    /// calibration *and* test so conformal exchangeability survives (the
+    /// documented shape claim is that coverage stays ≥ nominal there).
+    pub fn default_application(&self) -> SplitApplication {
+        match self {
+            ScenarioFamily::Baseline => SplitApplication::NONE,
+            ScenarioFamily::HeavyTails(_) => SplitApplication::CALIB_AND_TEST,
+            _ => SplitApplication::TEST_ONLY,
+        }
+    }
+
+    /// Stream salt distinguishing this family's RNG streams.
+    fn salt(&self) -> u64 {
+        match self {
+            ScenarioFamily::Baseline => 0x00,
+            ScenarioFamily::SensorDropout(_) => 0x11,
+            ScenarioFamily::RegimeSwitch(_) => 0x22,
+            ScenarioFamily::HeavyTails(_) => 0x33,
+            ScenarioFamily::MultiSource(_) => 0x44,
+        }
+    }
+}
+
+/// A scenario: a base [`SimConfig`] plus a [`ScenarioFamily`] and the
+/// splits it applies to.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// The base world configuration.
+    pub base: SimConfig,
+    /// The workload family to layer on top.
+    pub family: ScenarioFamily,
+    /// Which splits the transform applies to.
+    pub apply_to: SplitApplication,
+}
+
+impl ScenarioConfig {
+    /// Creates a scenario with the family's default split application.
+    pub fn new(base: SimConfig, family: ScenarioFamily) -> Self {
+        let apply_to = family.default_application();
+        ScenarioConfig {
+            base,
+            family,
+            apply_to,
+        }
+    }
+
+    /// Overrides the split application.
+    pub fn applied_to(mut self, apply_to: SplitApplication) -> Self {
+        self.apply_to = apply_to;
+        self
+    }
+
+    /// Builds the base dataset and applies the scenario transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns the base configuration's validation error, if any.
+    pub fn build(&self, seed: u64) -> Result<GtsrbLikeDataset, String> {
+        self.build_with_threads(seed, parallel::max_threads())
+    }
+
+    /// Like [`ScenarioConfig::build`] with a pinned thread budget. The
+    /// result is bit-identical for every budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the base configuration's validation error, if any.
+    pub fn build_with_threads(
+        &self,
+        seed: u64,
+        threads: usize,
+    ) -> Result<GtsrbLikeDataset, String> {
+        let mut builder = DatasetBuilder::new(self.base.clone(), seed)?;
+        builder.threads(threads);
+        let mut data = builder.build();
+        self.apply_with_threads(&mut data, seed, threads);
+        Ok(data)
+    }
+
+    /// Applies the scenario transform in place to the configured splits.
+    pub fn apply(&self, data: &mut GtsrbLikeDataset, seed: u64) {
+        self.apply_with_threads(data, seed, parallel::max_threads());
+    }
+
+    /// Like [`ScenarioConfig::apply`] with a pinned thread budget.
+    pub fn apply_with_threads(&self, data: &mut GtsrbLikeDataset, seed: u64, threads: usize) {
+        let threads = threads.max(1);
+        if self.apply_to.train {
+            self.apply_split(SplitKind::Train, &mut data.train, seed, threads);
+        }
+        if self.apply_to.calib {
+            self.apply_split(SplitKind::Calib, &mut data.calib, seed, threads);
+        }
+        if self.apply_to.test {
+            self.apply_split(SplitKind::Test, &mut data.test, seed, threads);
+        }
+    }
+
+    /// Transforms every series of one split (parallel over series).
+    pub fn apply_split(
+        &self,
+        split: SplitKind,
+        series: &mut [SeriesRecord],
+        seed: u64,
+        threads: usize,
+    ) {
+        let split_len = series.len();
+        parallel::par_map_mut(threads.max(1), series, |s| {
+            self.transform_series(split, split_len, s, seed);
+        });
+    }
+
+    /// Transforms a single series in place. Pure in `(self, split,
+    /// split_len, series content, seed)` — independent of call order and
+    /// thread placement.
+    pub fn transform_series(
+        &self,
+        split: SplitKind,
+        split_len: usize,
+        series: &mut SeriesRecord,
+        seed: u64,
+    ) {
+        let mut rng = self.series_stream(split, series.series_id, seed);
+        match &self.family {
+            ScenarioFamily::Baseline => {}
+            ScenarioFamily::SensorDropout(p) => transform_dropout(p, series, &mut rng),
+            ScenarioFamily::RegimeSwitch(p) => {
+                let pos = split.position_in_split(series.series_id);
+                transform_regime(p, pos, split_len, series, &mut rng);
+            }
+            ScenarioFamily::HeavyTails(p) => transform_heavy_tails(p, series, &mut rng),
+            ScenarioFamily::MultiSource(p) => transform_multi_source(p, series, &mut rng),
+        }
+    }
+
+    /// The per-series scenario RNG stream (see the module docs for the
+    /// determinism contract).
+    fn series_stream(&self, split: SplitKind, series_id: u64, seed: u64) -> SplitMix64 {
+        let family_stream = derive_seed(seed, SCENARIO_SALT ^ self.family.salt() ^ split.salt());
+        SplitMix64::new(derive_seed(family_stream, series_id))
+    }
+}
+
+/// Samples a geometric run length with the given mean (≥ 1 frame).
+fn sample_run_len(rng: &mut SplitMix64, mean: f64) -> usize {
+    let p = (1.0 / mean.max(1.0)).min(1.0);
+    if p >= 1.0 {
+        return 1;
+    }
+    let u = 1.0 - rng.next_f64(); // (0, 1]
+    1 + (u.ln() / (1.0 - p).ln()).min(1000.0) as usize
+}
+
+/// Standard normal via Box–Muller on a SplitMix64 stream.
+fn sample_normal(rng: &mut SplitMix64) -> f64 {
+    let u1 = 1.0 - rng.next_f64(); // (0, 1]
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Symmetric heavy-tailed excess: `u^(-1/alpha) - 1` with a random sign.
+fn sample_pareto_excess(rng: &mut SplitMix64, alpha: f64) -> f64 {
+    let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+    let u = 1.0 - rng.next_f64(); // (0, 1]
+    sign * (u.powf(-1.0 / alpha.max(0.1)) - 1.0)
+}
+
+/// Picks a deterministic confusion target for a series (a visually
+/// confusable class, never the true class).
+fn confusion_target(rng: &mut SplitMix64, true_class: SignClass) -> SignClass {
+    let peers = true_class.confusable_with();
+    if peers.is_empty() {
+        // Unreachable for GTSRB's 43 classes (every group has ≥ 2
+        // members) but kept total for safety.
+        SignClass::new((true_class.id() + 1) % 43).expect("valid class id")
+    } else {
+        peers[rng.next_index(peers.len())]
+    }
+}
+
+/// Sensor dropout + multi-rate sensing: only the wrapper-visible
+/// observation changes; latents, outcomes and pixel size stay intact.
+fn transform_dropout(p: &DropoutParams, series: &mut SeriesRecord, rng: &mut SplitMix64) {
+    if series.frames.is_empty() {
+        return;
+    }
+    let period = p.multi_rate_period.max(1);
+    // One channel per deficit sensor plus the detector's pixel size.
+    const N_CHANNELS: usize = N_DEFICITS + 1;
+    const PIXEL: usize = N_DEFICITS;
+    // Last *delivered* value per channel; sensors boot with frame 0.
+    let mut held = [0.0f64; N_CHANNELS];
+    held[..N_DEFICITS].copy_from_slice(&series.frames[0].observation.deficits);
+    held[PIXEL] = series.frames[0].observation.pixel_size;
+    let mut run = [0usize; N_CHANNELS];
+    let mut stale = [false; N_CHANNELS];
+    let n_channels = if p.drop_pixel { N_CHANNELS } else { N_DEFICITS };
+    for frame in &mut series.frames {
+        for c in 0..n_channels {
+            let fresh = if c == PIXEL {
+                frame.observation.pixel_size
+            } else {
+                frame.observation.deficits[c]
+            };
+            if run[c] == 0 && rng.next_f64() < p.gate_prob {
+                run[c] = sample_run_len(rng, p.mean_run);
+                stale[c] = rng.next_f64() < p.stale_prob;
+            }
+            let refreshes = frame.step == 0 || (frame.step + c) % period == 0;
+            let value = if run[c] > 0 {
+                run[c] -= 1;
+                if stale[c] {
+                    held[c]
+                } else if c == PIXEL {
+                    1.0 // no-detection floor
+                } else {
+                    0.0 // dead deficit sensor
+                }
+            } else if refreshes {
+                held[c] = fresh;
+                fresh
+            } else {
+                held[c]
+            };
+            if c == PIXEL {
+                frame.observation.pixel_size = value;
+            } else {
+                frame.observation.deficits[c] = value;
+            }
+        }
+    }
+}
+
+/// Mid-stream regime switch: series past the switch position become
+/// systematically confused with probability `flip_prob` — every frame
+/// from the onset reports the same confusion target, invisible to the
+/// quality sensors and self-consistent over time (so outcome-agreement
+/// timeseries features read the failure as confidence).
+fn transform_regime(
+    p: &RegimeParams,
+    pos: usize,
+    split_len: usize,
+    series: &mut SeriesRecord,
+    rng: &mut SplitMix64,
+) {
+    let threshold = p.switch_at * split_len as f64;
+    if (pos as f64) < threshold {
+        return;
+    }
+    let target = confusion_target(rng, series.true_class);
+    if rng.next_f64() >= p.flip_prob {
+        return;
+    }
+    let onset = (p.within_series_onset * series.frames.len() as f64) as usize;
+    for frame in series.frames.iter_mut().skip(onset) {
+        frame.outcome = target;
+        frame.correct = target == series.true_class; // always false
+    }
+}
+
+/// Heavy-tailed noise bursts on all quality features (deficit channels
+/// clamped to `[0, 1]`, pixel size by a bounded multiplicative factor).
+fn transform_heavy_tails(p: &BurstParams, series: &mut SeriesRecord, rng: &mut SplitMix64) {
+    let mut run = 0usize;
+    for frame in &mut series.frames {
+        if run == 0 && rng.next_f64() < p.gate_prob {
+            run = sample_run_len(rng, p.mean_run);
+        }
+        if run == 0 {
+            continue;
+        }
+        run -= 1;
+        for c in 0..N_DEFICITS {
+            let excess = sample_pareto_excess(rng, p.tail_alpha);
+            frame.observation.deficits[c] =
+                (frame.observation.deficits[c] + p.scale * excess).clamp(0.0, 1.0);
+        }
+        let excess = sample_pareto_excess(rng, p.tail_alpha);
+        let factor = (1.0 + p.scale * excess).clamp(0.2, 5.0);
+        frame.observation.pixel_size = (frame.observation.pixel_size * factor).max(1.0);
+    }
+}
+
+/// Correlated multi-source evidence: every frame becomes `n_sources`
+/// interleaved frames. Source 0 is the original; secondary sources carry
+/// independently noised observations and outcomes correlated with the
+/// primary through the `correlation` parameter.
+fn transform_multi_source(p: &MultiSourceParams, series: &mut SeriesRecord, rng: &mut SplitMix64) {
+    let n = p.n_sources.max(1);
+    if n == 1 || series.frames.is_empty() {
+        return;
+    }
+    // Each secondary source has its own systematic confusion target.
+    let targets: Vec<SignClass> = (1..n)
+        .map(|_| confusion_target(rng, series.true_class))
+        .collect();
+    let mut frames = Vec::with_capacity(series.frames.len() * n);
+    for (i, original) in series.frames.iter().enumerate() {
+        frames.push(Frame {
+            step: i * n,
+            ..*original
+        });
+        for (j, &target) in targets.iter().enumerate() {
+            let mut deficits = original.observation.deficits;
+            for value in &mut deficits {
+                *value = (*value + p.sensor_sigma * sample_normal(rng)).clamp(0.0, 1.0);
+            }
+            let pixel_size = (original.observation.pixel_size
+                * (1.0 + p.sensor_sigma * sample_normal(rng)))
+            .max(1.0);
+            let outcome = if rng.next_f64() < p.correlation {
+                original.outcome
+            } else if original.correct {
+                if rng.next_f64() < p.disagree_prob {
+                    target
+                } else {
+                    series.true_class
+                }
+            } else if rng.next_f64() < 0.5 {
+                series.true_class
+            } else {
+                target
+            };
+            frames.push(Frame {
+                step: i * n + j + 1,
+                observation: QualityObservation {
+                    deficits,
+                    pixel_size,
+                },
+                outcome,
+                correct: outcome == series.true_class,
+                ..*original
+            });
+        }
+    }
+    series.frames = frames;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> SimConfig {
+        SimConfig::scaled(0.01)
+    }
+
+    fn scenario(family: ScenarioFamily) -> ScenarioConfig {
+        ScenarioConfig::new(small_config(), family)
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for family in ScenarioFamily::all_defaults() {
+            let parsed = ScenarioFamily::from_name(family.name()).unwrap();
+            assert_eq!(parsed, family);
+        }
+        assert!(ScenarioFamily::from_name("nope").is_none());
+    }
+
+    #[test]
+    fn baseline_is_identity() {
+        let base = DatasetBuilder::new(small_config(), 7).unwrap().build();
+        let built = scenario(ScenarioFamily::Baseline).build(7).unwrap();
+        assert_eq!(base.test, built.test);
+        assert_eq!(base.calib, built.calib);
+        assert_eq!(base.train, built.train);
+    }
+
+    #[test]
+    fn build_is_bit_identical_across_thread_budgets() {
+        for family in ScenarioFamily::all_defaults() {
+            let cfg = scenario(family);
+            let serial = cfg.build_with_threads(11, 1).unwrap();
+            for threads in [2usize, 8] {
+                let par = cfg.build_with_threads(11, threads).unwrap();
+                assert_eq!(
+                    serial.train,
+                    par.train,
+                    "{} threads={threads}",
+                    family.name()
+                );
+                assert_eq!(
+                    serial.calib,
+                    par.calib,
+                    "{} threads={threads}",
+                    family.name()
+                );
+                assert_eq!(serial.test, par.test, "{} threads={threads}", family.name());
+            }
+        }
+    }
+
+    #[test]
+    fn transform_is_invariant_to_series_order() {
+        for family in ScenarioFamily::all_defaults() {
+            let cfg = scenario(family);
+            let base = DatasetBuilder::new(small_config(), 13).unwrap().build();
+            let mut in_order = base.test.clone();
+            let split_len = in_order.len();
+            for s in &mut in_order {
+                cfg.transform_series(SplitKind::Test, split_len, s, 13);
+            }
+            let mut reversed = base.test.clone();
+            reversed.reverse();
+            for s in &mut reversed {
+                cfg.transform_series(SplitKind::Test, split_len, s, 13);
+            }
+            reversed.reverse();
+            assert_eq!(in_order, reversed, "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn dropout_touches_only_observations() {
+        let cfg = scenario(ScenarioFamily::SensorDropout(DropoutParams::default()));
+        let base = DatasetBuilder::new(small_config(), 3).unwrap().build();
+        let shifted = cfg.build(3).unwrap();
+        assert_eq!(base.train, shifted.train);
+        assert_eq!(base.calib, shifted.calib);
+        let mut changed = 0usize;
+        for (a, b) in base.test.iter().zip(&shifted.test) {
+            assert_eq!(a.series_id, b.series_id);
+            for (fa, fb) in a.frames.iter().zip(&b.frames) {
+                assert_eq!(fa.outcome, fb.outcome);
+                assert_eq!(fa.correct, fb.correct);
+                assert_eq!(fa.latent_deficits, fb.latent_deficits);
+                assert_eq!(fa.pixel_size, fb.pixel_size, "latent pixel size changed");
+                assert!(fb.observation.pixel_size >= 1.0);
+                for v in fb.observation.deficits {
+                    assert!((0.0..=1.0).contains(&v));
+                }
+                if fa.observation.deficits != fb.observation.deficits {
+                    changed += 1;
+                }
+            }
+        }
+        assert!(changed > 0, "dropout never perturbed an observation");
+    }
+
+    #[test]
+    fn regime_switch_leaves_first_half_untouched_and_degrades_second() {
+        // flip_prob 1.0: the tiny test world has too few post-switch
+        // series for a fractional per-series flip to be guaranteed.
+        let cfg = scenario(ScenarioFamily::RegimeSwitch(RegimeParams {
+            flip_prob: 1.0,
+            ..Default::default()
+        }));
+        let base = DatasetBuilder::new(small_config(), 5).unwrap().build();
+        let shifted = cfg.build(5).unwrap();
+        let half = shifted.test.len() / 2;
+        assert_eq!(&base.test[..half], &shifted.test[..half]);
+        let acc = |series: &[SeriesRecord]| {
+            let (ok, total) = series.iter().fold((0usize, 0usize), |(ok, total), s| {
+                (
+                    ok + s.frames.iter().filter(|f| f.correct).count(),
+                    total + s.frames.len(),
+                )
+            });
+            ok as f64 / total as f64
+        };
+        let base_acc = acc(&base.test[half..]);
+        let shifted_acc = acc(&shifted.test[half..]);
+        assert!(
+            shifted_acc < base_acc - 0.1,
+            "regime switch should degrade accuracy: {base_acc} -> {shifted_acc}"
+        );
+        for s in &shifted.test {
+            for f in &s.frames {
+                assert_eq!(f.correct, f.outcome == s.true_class);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_tails_respects_bounds_and_perturbs_calib_and_test() {
+        let cfg = scenario(ScenarioFamily::HeavyTails(BurstParams::default()));
+        let base = DatasetBuilder::new(small_config(), 9).unwrap().build();
+        let shifted = cfg.build(9).unwrap();
+        assert_eq!(base.train, shifted.train);
+        for (split_base, split_shifted) in
+            [(&base.calib, &shifted.calib), (&base.test, &shifted.test)]
+        {
+            let mut changed = 0usize;
+            for (a, b) in split_base.iter().zip(split_shifted.iter()) {
+                for (fa, fb) in a.frames.iter().zip(&b.frames) {
+                    assert_eq!(fa.outcome, fb.outcome);
+                    for v in fb.observation.deficits {
+                        assert!((0.0..=1.0).contains(&v));
+                    }
+                    assert!(fb.observation.pixel_size >= 1.0);
+                    if fa.observation != fb.observation {
+                        changed += 1;
+                    }
+                }
+            }
+            assert!(changed > 0, "heavy tails never perturbed a frame");
+        }
+    }
+
+    #[test]
+    fn multi_source_interleaves_sources_and_keeps_source_zero() {
+        let params = MultiSourceParams::default();
+        let cfg = scenario(ScenarioFamily::MultiSource(params));
+        let base = DatasetBuilder::new(small_config(), 21).unwrap().build();
+        let shifted = cfg.build(21).unwrap();
+        for (a, b) in base.test.iter().zip(&shifted.test) {
+            assert_eq!(b.frames.len(), a.frames.len() * params.n_sources);
+            for (i, fa) in a.frames.iter().enumerate() {
+                let primary = &b.frames[i * params.n_sources];
+                assert_eq!(primary.outcome, fa.outcome);
+                assert_eq!(primary.observation, fa.observation);
+                for j in 0..params.n_sources {
+                    let f = &b.frames[i * params.n_sources + j];
+                    assert_eq!(f.step, i * params.n_sources + j);
+                    assert_eq!(f.absolute_step, fa.absolute_step);
+                    assert_eq!(f.correct, f.outcome == b.true_class);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn high_correlation_copies_primary_outcomes_more_often() {
+        let base = DatasetBuilder::new(small_config(), 31).unwrap().build();
+        let agreement = |correlation: f64| {
+            let cfg = scenario(ScenarioFamily::MultiSource(MultiSourceParams {
+                correlation,
+                ..Default::default()
+            }));
+            let shifted = cfg.build(31).unwrap();
+            // Condition on primary-wrong frames: there, copying the
+            // primary is essentially the only path to agreement.
+            let (mut same, mut total) = (0usize, 0usize);
+            for (a, b) in base.test.iter().zip(&shifted.test) {
+                for (i, fa) in a.frames.iter().enumerate().filter(|(_, f)| !f.correct) {
+                    for j in 1..3 {
+                        total += 1;
+                        if b.frames[i * 3 + j].outcome == fa.outcome {
+                            same += 1;
+                        }
+                    }
+                }
+            }
+            same as f64 / total.max(1) as f64
+        };
+        assert!(agreement(0.95) > agreement(0.1) + 0.3);
+    }
+}

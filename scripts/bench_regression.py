@@ -38,7 +38,7 @@ import json
 import os
 import sys
 
-SCHEMA = "tauw-bench-baseline/v8"
+SCHEMA = "tauw-bench-baseline/v9"
 
 # Rows whose contender is the batch-major flat serving path and whose
 # baseline is the per-sample pointer walk: flat must not trail pointer on

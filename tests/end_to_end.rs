@@ -244,3 +244,101 @@ fn qim_trees_are_exportable_and_transparent() {
     let sum: f64 = imp.iter().sum();
     assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-9);
 }
+
+#[test]
+fn adaptive_session_closes_coverage_gap_under_regime_switch_family() {
+    use tauw_suite::core::adaptive::{AdaptiveConfig, DriftSignal};
+    use tauw_suite::sim::{RegimeParams, ScenarioConfig, ScenarioFamily, SplitKind};
+
+    // Train and calibrate on the clean world, then serve a test split the
+    // regime-switch family has shifted: past the switch position, a
+    // fraction of series become systematically confused — every frame
+    // reports the same wrong class while the quality sensors read clean.
+    let config = SimConfig::scaled(0.1);
+    let seed = 20230627;
+    let data = DatasetBuilder::new(config.clone(), seed).unwrap().build();
+    let mut wb = WrapperBuilder::new();
+    wb.max_depth(8).calibration(CalibrationOptions {
+        min_samples_per_leaf: 100,
+        confidence: 0.999,
+        ..Default::default()
+    });
+    let mut builder = TauwBuilder::new();
+    builder.wrapper(wb);
+    let tauw = builder
+        .fit(
+            QualityObservation::feature_names(),
+            &convert(&data.train),
+            &convert(&data.calib),
+        )
+        .unwrap();
+
+    let mut shifted_records = data.test.clone();
+    let scenario = ScenarioConfig::new(
+        config,
+        ScenarioFamily::RegimeSwitch(RegimeParams::default()),
+    );
+    scenario.apply_split(SplitKind::Test, &mut shifted_records, seed, 2);
+    let shifted = convert(&shifted_records);
+    let switch_at = shifted.len() / 2;
+
+    let total_steps: usize = shifted.iter().map(|s| s.steps.len()).sum();
+    let window = (total_steps / 20).clamp(20, 200);
+    let adaptive_config = AdaptiveConfig {
+        window,
+        min_observations: (window / 4).max(1),
+        rate: 0.05,
+        max_inflation_steps: 200,
+        ..Default::default()
+    };
+    let mut session = tauw.new_adaptive_session(adaptive_config).unwrap();
+
+    let mut frozen_bounds = Vec::with_capacity(total_steps);
+    let mut adapted_bounds = Vec::with_capacity(total_steps);
+    let mut failures = Vec::with_capacity(total_steps);
+    let mut drift = Vec::with_capacity(total_steps);
+    let mut post_switch_from = usize::MAX;
+    for (i, series) in shifted.iter().enumerate() {
+        if i == switch_at {
+            post_switch_from = frozen_bounds.len();
+        }
+        session.begin_series();
+        for step in &series.steps {
+            let failed = step.outcome != series.true_outcome;
+            let out = session
+                .step(&step.quality_factors, step.outcome, failed)
+                .unwrap();
+            frozen_bounds.push(out.uncertainty);
+            adapted_bounds.push(out.adapted_uncertainty);
+            failures.push(failed);
+            drift.push(out.drift != DriftSignal::Stable);
+        }
+    }
+
+    // Judge coverage on the final quarter, where adaptation has had the
+    // whole post-switch stream to converge.
+    let q4 = 3 * frozen_bounds.len() / 4;
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+    let failure_rate =
+        failures[q4..].iter().filter(|&&f| f).count() as f64 / (failures.len() - q4) as f64;
+    let frozen_gap = (failure_rate - mean(&frozen_bounds[q4..])).max(0.0);
+    let adaptive_gap = (failure_rate - mean(&adapted_bounds[q4..])).max(0.0);
+    assert!(
+        frozen_gap > 0.05,
+        "frozen bounds should undercover the confused regime by more than \
+         5 points (failure rate {failure_rate:.3}, gap {frozen_gap:.3})"
+    );
+    assert!(
+        adaptive_gap <= 0.05,
+        "adaptation should close the coverage gap to within 5 points \
+         (got {adaptive_gap:.3} vs frozen {frozen_gap:.3})"
+    );
+
+    // Drift signals concentrate after the switch.
+    let pre = drift[..post_switch_from].iter().filter(|&&d| d).count();
+    let post = drift[post_switch_from..].iter().filter(|&&d| d).count();
+    assert!(
+        post > 2 * pre,
+        "drift signals should concentrate post-switch (pre {pre}, post {post})"
+    );
+}

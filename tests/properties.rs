@@ -1061,3 +1061,100 @@ proptest! {
         }
     }
 }
+
+// --- scenario families (tauw-sim) ---
+
+mod scenario_families {
+    use proptest::prelude::*;
+    use tauw_suite::sim::{
+        BurstParams, DropoutParams, MultiSourceParams, RegimeParams, ScenarioConfig,
+        ScenarioFamily, SimConfig, SplitKind,
+    };
+
+    /// Builds one of the four non-baseline families from generic drawn
+    /// knobs (the vendored proptest stub has no `prop_oneof`/`prop_map`,
+    /// so selection and construction happen in the test body).
+    fn make_family(kind: usize, a: f64, b: f64, c: f64, n: usize, flag: bool) -> ScenarioFamily {
+        match kind % 4 {
+            0 => ScenarioFamily::SensorDropout(DropoutParams {
+                gate_prob: a * 0.4,
+                stale_prob: b,
+                multi_rate_period: n,
+                drop_pixel: flag,
+                ..Default::default()
+            }),
+            1 => ScenarioFamily::RegimeSwitch(RegimeParams {
+                switch_at: a,
+                flip_prob: b,
+                within_series_onset: c * 0.9,
+            }),
+            2 => ScenarioFamily::HeavyTails(BurstParams {
+                gate_prob: a * 0.3,
+                tail_alpha: 1.1 + b * 1.9,
+                scale: c * 0.3,
+                ..Default::default()
+            }),
+            _ => ScenarioFamily::MultiSource(MultiSourceParams {
+                n_sources: 2 + n % 3,
+                correlation: a,
+                disagree_prob: b * 0.5,
+                ..Default::default()
+            }),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        // The determinism wall, extended to scenario generation: the
+        // whole scenario-shaped dataset is bitwise identical across
+        // thread budgets 1 / 2 / 8.
+        #[test]
+        fn scenario_build_is_bitwise_deterministic_across_thread_budgets(
+            kind in 0usize..4,
+            a in 0.0..=1.0f64,
+            b in 0.0..=1.0f64,
+            c in 0.0..=1.0f64,
+            n in 1usize..5,
+            flag in proptest::bool::ANY,
+            seed in 0u64..1_000,
+        ) {
+            let family = make_family(kind, a, b, c, n, flag);
+            let cfg = ScenarioConfig::new(SimConfig::scaled(0.01), family);
+            let one = cfg.build_with_threads(seed, 1).unwrap();
+            for threads in [2usize, 8] {
+                let other = cfg.build_with_threads(seed, threads).unwrap();
+                prop_assert_eq!(&one.train, &other.train);
+                prop_assert_eq!(&one.calib, &other.calib);
+                prop_assert_eq!(&one.test, &other.test);
+            }
+        }
+
+        // Transforms key every draw off the series id, never the slice
+        // position: applying the family to a reversed split and
+        // un-reversing must reproduce the in-order result exactly.
+        #[test]
+        fn scenario_transform_is_invariant_to_series_order(
+            kind in 0usize..4,
+            a in 0.0..=1.0f64,
+            b in 0.0..=1.0f64,
+            c in 0.0..=1.0f64,
+            n in 1usize..5,
+            flag in proptest::bool::ANY,
+            seed in 0u64..1_000,
+        ) {
+            let family = make_family(kind, a, b, c, n, flag);
+            let base = tauw_suite::sim::DatasetBuilder::new(SimConfig::scaled(0.01), seed)
+                .unwrap()
+                .build();
+            let cfg = ScenarioConfig::new(SimConfig::scaled(0.01), family);
+            let mut in_order = base.test.clone();
+            cfg.apply_split(SplitKind::Test, &mut in_order, seed, 2);
+            let mut reversed = base.test.clone();
+            reversed.reverse();
+            cfg.apply_split(SplitKind::Test, &mut reversed, seed, 2);
+            reversed.reverse();
+            prop_assert_eq!(in_order, reversed);
+        }
+    }
+}
